@@ -1,0 +1,77 @@
+// Ablation / §4.2 quantification: measurement (in)efficiency of the common
+// idle-mode gate configuration.
+//
+// The paper's instance: Θintra = 62 dB means intra-frequency measurements
+// run essentially always — even parked under a strong cell — while handoff
+// decisions only fire when the serving cell is very weak (Θ(s)lower = 6 dB).
+// This bench parks an idle UE under good coverage and sweeps the gate
+// threshold, reporting the measurement duty cycle: the battery the
+// configuration burns for measurements that cannot lead anywhere.
+#include "common.hpp"
+
+#include "mmlab/ue/ue.hpp"
+
+int main() {
+  using namespace mmlab;
+  bench::intro("Ablation / Fig 11 companion",
+               "idle measurement duty cycle vs the s-IntraSearch gate");
+
+  TablePrinter table({"Th_intra (dB)", "Th_nonintra (dB)", "intra duty",
+                      "non-intra duty", "reselections"});
+  for (const double th_intra : {62.0, 42.0, 22.0, 10.0}) {
+    for (const double th_nonintra : {8.0, 28.0}) {
+      if (th_nonintra > th_intra) continue;
+      net::Deployment net;
+      net.set_shadowing(9, 4.0, 50.0);
+      net.add_carrier({0, "Ablation", "X", "US"});
+      geo::City city;
+      city.origin = {-1000, -1000};
+      city.extent_m = 4000;
+      net.add_city(city);
+      config::CellConfig cfg;
+      cfg.serving.s_intrasearch_db = th_intra;
+      cfg.serving.s_nonintrasearch_db = th_nonintra;
+      for (int i = 0; i < 2; ++i) {
+        net::Cell cell;
+        cell.id = static_cast<net::CellId>(i + 1);
+        cell.pci = static_cast<std::uint16_t>(i + 1);
+        cell.carrier = 0;
+        cell.channel = {spectrum::Rat::kLte, 1975};
+        cell.position = {i * 1500.0, 0};
+        cell.tx_power_dbm = 15.0;
+        cell.bandwidth_prbs = 50;
+        cell.lte_config = cfg;
+        net.add_cell(cell);
+      }
+      // Average over parking spots at varying distance (shadowing makes a
+      // single spot unrepresentative).
+      double intra = 0.0, nonintra = 0.0;
+      std::size_t reselections = 0;
+      const int spots = 20;
+      for (int spot = 0; spot < spots; ++spot) {
+        ue::UeOptions opts;
+        opts.seed = 3 + spot;
+        opts.carrier = 0;
+        opts.active_mode = false;
+        ue::Ue device(net, opts);
+        const geo::Point park{100.0 + spot * 30.0, (spot % 5) * 120.0};
+        for (Millis t = 0; t <= 2 * kMillisPerMinute; t += 100)
+          device.step(park, SimTime{t});
+        intra += device.measurement_stats().intra_duty();
+        nonintra += device.measurement_stats().nonintra_duty();
+        reselections += device.handoffs().size();
+      }
+      table.add_row({fmt_double(th_intra, 0), fmt_double(th_nonintra, 0),
+                     fmt_percent(intra / spots, 1),
+                     fmt_percent(nonintra / spots, 1),
+                     std::to_string(reselections)});
+    }
+  }
+  table.print();
+  table.write_csv(bench::out_csv("abl_meas_efficiency"));
+  std::printf("\npaper point (§4.2): with the common Θintra = 62 dB the UE "
+              "measures intra-frequency neighbours ~always even though no "
+              "handoff can fire under good coverage — pure overhead; a "
+              "tighter gate eliminates it without losing reselections\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation: the stability machinery the standard builds into handoffs —
+// time-to-trigger, hysteresis, and L3 filtering.  Removing any of them
+// should inflate the handoff rate and the ping-pong fraction; this bench
+// quantifies by how much, justifying the defaults DESIGN.md calls out.
+#include "common.hpp"
+
+#include "mmlab/core/handoff_extract.hpp"
+#include "mmlab/core/stability.hpp"
+#include "mmlab/mobility/route.hpp"
+
+namespace {
+
+using namespace mmlab;
+
+struct Variant {
+  const char* label;
+  Millis ttt;
+  double hysteresis_db;
+  int l3_k;
+};
+
+struct Outcome {
+  double handoffs_per_km = 0.0;
+  double pingpong_fraction = 0.0;
+  std::size_t handoffs = 0;
+};
+
+Outcome run_variant(const netgen::GeneratedWorld& world, const Variant& v) {
+  // A dense-city drive on a copy of AT&T cells whose A3 uses the variant's
+  // knobs; we rebuild a single-carrier deployment so the variant applies to
+  // every cell uniformly.
+  net::Deployment net;
+  net.set_shadowing(17, 7.0, 50.0);
+  net.add_carrier({0, "Ablation", "X", "US"});
+  const geo::City& city = world.network.cities()[2];
+  net.add_city(city);
+  config::EventConfig a3;
+  a3.type = config::EventType::kA3;
+  a3.offset_db = 3.0;
+  a3.hysteresis_db = v.hysteresis_db;
+  a3.time_to_trigger = v.ttt;
+  for (const auto& cell : world.network.cells()) {
+    if (cell.carrier != 0 || cell.city != city.id || !cell.is_lte()) continue;
+    net::Cell copy = cell;
+    copy.carrier = 0;
+    copy.lte_config.report_configs = {a3};
+    net.add_cell(copy);
+  }
+
+  Outcome outcome;
+  double km = 0.0;
+  std::vector<core::HandoffInstance> all;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    const auto route = mobility::manhattan_drive(
+        rng, city, mobility::kph(40), 10 * kMillisPerMinute);
+    sim::DriveTestOptions opts;
+    opts.seed = seed;
+    // The variant's L3 filter applies through UeOptions; run_drive_test has
+    // no knob for it, so drive the UE directly.
+    ue::UeOptions uopts;
+    uopts.seed = seed;
+    uopts.carrier = 0;
+    uopts.active_mode = true;
+    uopts.log_radio_snapshots = true;
+    uopts.l3_filter_k = v.l3_k;
+    ue::Ue device(net, uopts);
+    for (Millis t = 0; t <= route.duration(); t += 100)
+      device.step(route.position_at(t), SimTime{t});
+    km += route.length_m() / 1000.0;
+    const auto instances = core::extract_handoffs(device.diag_log().bytes());
+    all.insert(all.end(), instances.begin(), instances.end());
+  }
+  const auto stats = core::analyze_pingpong(all);
+  outcome.handoffs = stats.handoffs;
+  outcome.handoffs_per_km = km > 0 ? static_cast<double>(stats.handoffs) / km : 0;
+  outcome.pingpong_fraction = stats.pingpong_fraction();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mmlab;
+  bench::intro("Ablation", "TTT / hysteresis / L3 filtering vs stability");
+
+  netgen::WorldOptions wopts;
+  wopts.seed = 42;
+  wopts.scale = std::min(1.0, bench::env_scale());
+  const auto world = netgen::generate_world(wopts);
+
+  const Variant variants[] = {
+      {"baseline (ttt=320, hys=1, k=4)", 320, 1.0, 4},
+      {"no TTT", 0, 1.0, 4},
+      {"no hysteresis", 320, 0.0, 4},
+      {"no L3 filter (k=0)", 320, 1.0, 0},
+      {"nothing (ttt=0, hys=0, k=0)", 0, 0.0, 0},
+      {"heavy damping (ttt=1024, hys=2.5, k=8)", 1024, 2.5, 8},
+  };
+
+  TablePrinter table({"variant", "handoffs", "handoffs/km", "ping-pong"});
+  for (const auto& v : variants) {
+    const auto outcome = run_variant(world, v);
+    table.add_row({v.label, std::to_string(outcome.handoffs),
+                   fmt_double(outcome.handoffs_per_km, 2),
+                   fmt_percent(outcome.pingpong_fraction, 1)});
+  }
+  table.print();
+  table.write_csv(bench::out_csv("abl_stability_knobs"));
+  std::printf("\nexpected: removing damping inflates rate and ping-pong; "
+              "heavy damping trades them against handoff delay\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Fig 12: number of unique cells and configuration samples per carrier.
+#include "common.hpp"
+
+int main() {
+  using namespace mmlab;
+  bench::intro("Fig 12", "cells and samples per carrier");
+
+  const auto data = bench::build_d2();
+  TablePrinter table({"Carrier", "Country", "Cells", "Samples"});
+  for (const auto& carrier : data.world.network.carriers())
+    table.add_row({carrier.acronym, carrier.country,
+                   std::to_string(data.db.cell_count(carrier.acronym)),
+                   std::to_string(data.db.sample_count(carrier.acronym))});
+  table.print();
+  table.write_csv(bench::out_csv("fig12_dataset"));
+  std::printf("\ntotal: %zu cells, %zu samples, %zu camps "
+              "(paper: 32,033 cells, 7,996,149 samples)\n",
+              data.db.total_cells(), data.db.total_samples(), data.camps);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig 6: serving RSRP before vs after active handoffs per decisive event
+// (AT&T), CDFs of deltaRSRP, and the A5 positive/negative-config split.
+#include "common.hpp"
+
+int main() {
+  using namespace mmlab;
+  using config::EventType;
+  bench::intro("Fig 6", "RSRP change in active handoffs (AT&T)");
+
+  const auto data = bench::build_d2(bench::env_scale());
+  const auto campaign = bench::build_d1(
+      data.world.network, bench::carrier_id(data.world.network, "A"));
+
+  std::map<std::string, std::vector<double>> deltas;
+  for (const auto& hp : campaign.handoffs) {
+    if (!hp.rec.active_state) continue;
+    const double delta = hp.rec.new_rsrp_dbm - hp.rec.old_rsrp_dbm;
+    std::string key(config::event_name(hp.rec.trigger));
+    if (hp.rec.trigger == EventType::kA5) {
+      // Paper's split: "(+)" when the A5 thresholds still demand a serving
+      // cell in bad shape relative to the candidate; "(-)" when the serving
+      // requirement is disabled (RSRP -44) or inverted (RSRQ ThS > ThC).
+      const auto& cfg = hp.rec.decisive_config;
+      const bool negative_cfg =
+          cfg.metric == config::SignalMetric::kRsrp
+              ? cfg.threshold1 >= -44.0
+              : cfg.threshold1 > cfg.threshold2;
+      key += negative_cfg ? "(-)" : "(+)";
+      deltas["A5"].push_back(delta);
+    }
+    deltas[key].push_back(delta);
+  }
+
+  TablePrinter table({"event", "n", "P(delta>0)", "P(delta>-3dB)", "median"});
+  TablePrinter csv({"event", "delta_db", "cdf"});
+  for (const auto& [event, values] : deltas) {
+    if (values.empty()) continue;
+    std::size_t better = 0, near = 0;
+    for (const double d : values) {
+      better += d > 0.0;
+      near += d > -3.0;
+    }
+    table.add_row({event, std::to_string(values.size()),
+                   fmt_percent(static_cast<double>(better) / values.size(), 1),
+                   fmt_percent(static_cast<double>(near) / values.size(), 1),
+                   fmt_double(stats::quantile(values, 0.5), 1)});
+    stats::EmpiricalCdf cdf(values);
+    for (const auto& [x, f] : cdf.series(15))
+      csv.add_row({event, fmt_double(x, 1), fmt_double(f, 4)});
+  }
+  table.print();
+  csv.write_csv(bench::out_csv("fig6_rsrp_change"));
+  std::printf("\npaper shape: A3 and P largely improve RSRP (87%%, 94%% "
+              "within 3 dB dynamics); A5 only ~52%% — its negative configs "
+              "are responsible for the weaker-after-handoff cases\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig 7: throughput timeline around a handoff under two A3 offsets
+// (5 dB vs 12 dB) — the late-handoff throughput collapse.
+//
+// A controlled two-cell corridor (as the paper's controlled Type-II runs)
+// makes the two timelines directly comparable.
+#include "common.hpp"
+
+#include "mmlab/mobility/route.hpp"
+#include "mmlab/netgen/profile.hpp"
+
+namespace {
+
+mmlab::net::Deployment corridor(double a3_offset_db) {
+  using namespace mmlab;
+  net::Deployment net;
+  net.set_shadowing(99, 3.0, 60.0);
+  net.add_carrier({0, "TestCarrier", "X", "US"});
+  geo::City city;
+  city.origin = {-1000, -1000};
+  city.extent_m = 6000;
+  net.add_city(city);
+  config::CellConfig cfg;
+  config::EventConfig a3;
+  a3.type = config::EventType::kA3;
+  a3.offset_db = a3_offset_db;
+  a3.hysteresis_db = 1.0;
+  a3.time_to_trigger = 320;
+  cfg.report_configs = {a3};
+  auto make_cell = [&](net::CellId id, double x) {
+    net::Cell cell;
+    cell.id = id;
+    cell.pci = static_cast<std::uint16_t>(id);
+    cell.carrier = 0;
+    cell.channel = {spectrum::Rat::kLte, 1975};
+    cell.position = {x, 0};
+    cell.tx_power_dbm = 15.0;
+    cell.bandwidth_prbs = 50;
+    cell.lte_config = cfg;
+    return cell;
+  };
+  net.add_cell(make_cell(1, 0));
+  net.add_cell(make_cell(2, 2400));
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mmlab;
+  bench::intro("Fig 7", "throughput around a handoff: DA3 = 5 dB vs 12 dB");
+
+  TablePrinter csv({"offset_db", "t_rel_s", "thpt_mbps"});
+  for (const double offset : {5.0, 12.0}) {
+    auto net = corridor(offset);
+    const auto route = mobility::highway_drive({0, 0}, {2400, 0}, 16.0);
+    sim::DriveTestOptions opts;
+    opts.seed = 11;
+    const auto result = run_drive_test(net, route, opts);
+    if (result.handoffs.empty()) {
+      std::printf("offset %.0f dB: no handoff (unexpected)\n", offset);
+      continue;
+    }
+    const auto& ho = result.handoffs.front();
+    std::printf("-- DA3 = %.0f dB: handoff at t=%.1f s (report at %.1f s), "
+                "old RSRP %.1f dBm -> new %.1f dBm --\n",
+                offset, ho.exec_time.seconds(), ho.report_time.seconds(),
+                ho.old_rsrp_dbm, ho.new_rsrp_dbm);
+    // 1 s-binned throughput from 20 s before to 10 s after the report.
+    std::printf("  t-rel(s):  thpt(Mbps)\n");
+    for (Millis rel = -20'000; rel <= 10'000; rel += 1'000) {
+      const SimTime from = ho.report_time + rel;
+      const double thpt =
+          traffic::mean_throughput_bps(result.throughput, from, from + 1'000) /
+          1e6;
+      std::printf("  %+6.0f     %6.2f%s\n", static_cast<double>(rel) / 1e3,
+                  thpt, rel == 0 ? "   <- measurement report" : "");
+      csv.add_row({fmt_double(offset, 0), fmt_double(rel / 1e3, 0),
+                   fmt_double(thpt, 3)});
+    }
+    const double min_before = traffic::min_binned_throughput_bps(
+        result.throughput, ho.report_time - 10'000, ho.report_time, 100);
+    std::printf("  min 100ms-binned throughput before handoff: %.2f Mbps\n\n",
+                min_before / 1e6);
+  }
+  csv.write_csv(bench::out_csv("fig7_thpt_timeline"));
+  std::printf("paper shape: the 12 dB offset defers the handoff until "
+              "throughput has already collapsed (paper: 437 kbps vs "
+              "2.2 Mbps minimum, a ~5x gap)\n");
+  return 0;
+}

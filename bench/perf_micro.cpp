@@ -1,0 +1,146 @@
+// google-benchmark microbenches for the hot paths: RRC codec, diag framing,
+// event evaluation, reselection ranking, and the end-to-end extract
+// pipeline.
+#include <benchmark/benchmark.h>
+
+#include "mmlab/core/extractor.hpp"
+#include "mmlab/rrc/codec.hpp"
+#include "mmlab/ue/event_engine.hpp"
+#include "mmlab/ue/reselection.hpp"
+#include "mmlab/ue/ue.hpp"
+#include "mmlab/netgen/generator.hpp"
+#include "mmlab/sim/crawl.hpp"
+
+namespace {
+
+using namespace mmlab;
+
+rrc::Sib3 sample_sib3() {
+  rrc::Sib3 sib3;
+  sib3.serving.priority = 3;
+  sib3.serving.s_intrasearch_db = 62.0;
+  sib3.serving.s_nonintrasearch_db = 8.0;
+  return sib3;
+}
+
+rrc::RrcConnectionReconfiguration sample_reconf() {
+  rrc::RrcConnectionReconfiguration reconf;
+  config::EventConfig a2;
+  a2.type = config::EventType::kA2;
+  a2.threshold1 = -110.0;
+  a2.hysteresis_db = 1.0;
+  a2.time_to_trigger = 320;
+  config::EventConfig a3;
+  a3.type = config::EventType::kA3;
+  a3.offset_db = 3.0;
+  a3.hysteresis_db = 1.0;
+  a3.time_to_trigger = 320;
+  reconf.report_configs = {a2, a3};
+  return reconf;
+}
+
+void BM_RrcEncodeSib3(benchmark::State& state) {
+  const rrc::Message msg{sample_sib3()};
+  for (auto _ : state) benchmark::DoNotOptimize(rrc::encode(msg));
+}
+BENCHMARK(BM_RrcEncodeSib3);
+
+void BM_RrcDecodeSib3(benchmark::State& state) {
+  const auto bytes = rrc::encode(rrc::Message{sample_sib3()});
+  for (auto _ : state) benchmark::DoNotOptimize(rrc::decode(bytes));
+}
+BENCHMARK(BM_RrcDecodeSib3);
+
+void BM_RrcRoundTripReconfiguration(benchmark::State& state) {
+  const rrc::Message msg{sample_reconf()};
+  for (auto _ : state) {
+    const auto bytes = rrc::encode(msg);
+    benchmark::DoNotOptimize(rrc::decode(bytes));
+  }
+}
+BENCHMARK(BM_RrcRoundTripReconfiguration);
+
+void BM_DiagWriteParse(benchmark::State& state) {
+  const auto payload = rrc::encode(rrc::Message{sample_sib3()});
+  for (auto _ : state) {
+    diag::Writer writer;
+    for (int i = 0; i < 16; ++i)
+      writer.append({diag::LogCode::kLteRrcOta, SimTime{i}, payload});
+    diag::Parser parser(writer.bytes());
+    benchmark::DoNotOptimize(parser.all());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_DiagWriteParse);
+
+void BM_EventMonitorUpdate(benchmark::State& state) {
+  config::EventConfig a3;
+  a3.type = config::EventType::kA3;
+  a3.offset_db = 3.0;
+  a3.hysteresis_db = 1.0;
+  a3.time_to_trigger = 320;
+  ue::EventMonitor monitor(a3);
+  const ue::CellMeas serving{1, {spectrum::Rat::kLte, 850}, -100.0, -10.0};
+  std::vector<ue::CellMeas> neighbors;
+  for (std::uint32_t i = 2; i < 10; ++i)
+    neighbors.push_back(
+        {i, {spectrum::Rat::kLte, 850}, -104.0 + i * 0.5, -11.0});
+  Millis t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.update(SimTime{t}, serving, neighbors));
+    t += 100;
+  }
+}
+BENCHMARK(BM_EventMonitorUpdate);
+
+void BM_ReselectionUpdate(benchmark::State& state) {
+  config::CellConfig cfg;
+  ue::IdleReselection resel;
+  resel.configure(cfg);
+  std::vector<ue::RankedCandidate> cands;
+  for (std::uint32_t i = 2; i < 12; ++i)
+    cands.push_back({i, {spectrum::Rat::kLte, 850}, 4, 10.0 + i});
+  Millis t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resel.update(SimTime{t}, 20.0, cands));
+    t += 100;
+  }
+}
+BENCHMARK(BM_ReselectionUpdate);
+
+void BM_CrawlExtractPipeline(benchmark::State& state) {
+  // Pre-build one carrier's crawl log (small world), then measure the
+  // decode-and-extract rate.
+  static const auto log = [] {
+    auto world = netgen::generate_world({.seed = 1, .scale = 0.01});
+    sim::CrawlOptions copts;
+    auto crawl = sim::run_crawl(world, copts);
+    return crawl.logs.front().diag_log;
+  }();
+  for (auto _ : state) {
+    core::ConfigDatabase db;
+    benchmark::DoNotOptimize(core::extract_configs("A", log, db));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(log.size()));
+}
+BENCHMARK(BM_CrawlExtractPipeline);
+
+void BM_UeStepDense(benchmark::State& state) {
+  static auto world = netgen::generate_world({.seed = 2, .scale = 0.2});
+  ue::UeOptions opts;
+  opts.carrier = 0;
+  opts.active_mode = true;
+  ue::Ue device(world.network, opts);
+  const auto& city = world.network.cities()[0];
+  const geo::Point center{city.origin.x + city.extent_m / 2,
+                          city.origin.y + city.extent_m / 2};
+  Millis t = 0;
+  for (auto _ : state) {
+    device.step({center.x + (t % 40'000) * 0.011, center.y}, SimTime{t});
+    t += 100;
+  }
+}
+BENCHMARK(BM_UeStepDense);
+
+}  // namespace

@@ -1,0 +1,128 @@
+// The §5.4.1 troubleshooting story: AT&T gave band 30 (EARFCN 9820) the
+// highest priority; handsets that do not implement band 30 could no longer
+// hold 4G service in areas where band-30 cells dominate.  This example
+// reproduces the outage with two otherwise identical phones and shows how
+// MMLab's misconfiguration detector flags the root cause from crawled data.
+//
+//   $ ./band30_outage
+#include <cstdio>
+
+#include "mmlab/core/extractor.hpp"
+#include "mmlab/core/misconfig.hpp"
+#include "mmlab/sim/drive_test.hpp"
+#include "mmlab/ue/ue.hpp"
+
+namespace {
+
+using namespace mmlab;
+
+/// A corridor where the strong mid-route coverage is band 30 only; band-2
+/// coverage exists at the ends. Cells prefer band 30 (priority 6).
+net::Deployment band30_corridor() {
+  net::Deployment net;
+  net.set_shadowing(3, 3.0, 60.0);
+  net.add_carrier({0, "AT&T-like", "A", "US"});
+  geo::City city;
+  city.origin = {-1000, -1000};
+  city.extent_m = 9000;
+  net.add_city(city);
+
+  config::CellConfig cfg;
+  config::EventConfig a3;
+  a3.type = config::EventType::kA3;
+  a3.offset_db = 3.0;
+  a3.hysteresis_db = 1.0;
+  a3.time_to_trigger = 320;
+  cfg.report_configs = {a3};
+  config::NeighborFreqConfig to_band30;
+  to_band30.channel = {spectrum::Rat::kLte, 9820};
+  to_band30.priority = 6;  // the problematic "newest band first" policy
+  to_band30.thresh_high_db = 14.0;
+  config::NeighborFreqConfig to_band2;
+  to_band2.channel = {spectrum::Rat::kLte, 850};
+  to_band2.priority = 3;
+  cfg.neighbor_freqs = {to_band30, to_band2};
+
+  auto add_cell = [&](net::CellId id, double x, std::uint32_t earfcn,
+                      int priority) {
+    net::Cell cell;
+    cell.id = id;
+    cell.pci = static_cast<std::uint16_t>(id);
+    cell.carrier = 0;
+    cell.channel = {spectrum::Rat::kLte, earfcn};
+    cell.position = {x, 0};
+    cell.tx_power_dbm = 15.0;
+    cell.bandwidth_prbs = 50;
+    cell.lte_config = cfg;
+    cell.lte_config.serving.priority = priority;
+    net.add_cell(cell);
+  };
+  // Band 2 only covers the start; the operator carried the rest of the
+  // corridor on newly-acquired band 30 alone (the upgrade pattern behind
+  // the forum complaints).
+  add_cell(1, 0, 850, 3);
+  add_cell(2, 4000, 9820, 6);
+  add_cell(3, 8000, 9820, 6);
+  add_cell(4, 12'000, 9820, 6);
+  return net;
+}
+
+void drive(const net::Deployment& net, bool supports_band30) {
+  ue::UeOptions opts;
+  opts.seed = 9;
+  opts.carrier = 0;
+  opts.active_mode = true;
+  if (!supports_band30)
+    opts.band_support = spectrum::BandSupport::all_except({30});
+  ue::Ue device(net, opts);
+
+  const auto route = mobility::highway_drive({0, 0}, {12'000, 0}, 25.0);
+  Millis served = 0, outage = 0;
+  for (Millis t = 0; t <= route.duration(); t += 100) {
+    device.step(route.position_at(t), SimTime{t});
+    const auto& tick = device.link_tick();
+    const bool has_service =
+        device.serving_cell() != nullptr &&
+        traffic::downlink_throughput_bps(tick.sinr_db, tick.bandwidth_prbs) >
+            0.0;
+    (has_service ? served : outage) += 100;
+  }
+  std::printf("  %-18s usable 4G %5.1f%% of the drive, %zu handoffs, "
+              "%zu radio link failures\n",
+              supports_band30 ? "band-30 phone:" : "no-band-30 phone:",
+              100.0 * static_cast<double>(served) /
+                  static_cast<double>(served + outage),
+              device.handoffs().size(), device.radio_link_failures());
+}
+
+}  // namespace
+
+int main() {
+  const auto net = band30_corridor();
+  std::printf("driving 12 km into band-30-dominated coverage:\n");
+  drive(net, /*supports_band30=*/true);
+  drive(net, /*supports_band30=*/false);
+
+  // Now the measurement side: crawl the cells and let the detector explain.
+  ue::UeOptions opts;
+  opts.carrier = 0;
+  ue::Ue crawler(net, opts);
+  SimTime t{0};
+  for (const auto& cell : net.cells()) {
+    crawler.force_camp(cell.id, cell.position, t);
+    t += 1000;
+  }
+  core::ConfigDatabase db;
+  core::extract_configs("A", crawler.diag_log().bytes(), db);
+  std::printf("\nMMLab misconfiguration findings from the crawled configs:\n");
+  for (const auto& finding : core::detect_misconfigurations(db)) {
+    if (finding.kind == core::FindingKind::kUnsupportedTopPriority ||
+        finding.kind == core::FindingKind::kPriorityConflict)
+      std::printf("  [%s] channel %u: %s\n",
+                  core::finding_kind_name(finding.kind), finding.channel,
+                  finding.detail.c_str());
+  }
+  std::printf("\n(the paper traced real user complaints — AT&T forum, 2017 — "
+              "to exactly this configuration)\n");
+  return 0;
+}

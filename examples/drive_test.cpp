@@ -1,0 +1,79 @@
+// Type-II measurement walkthrough: the paper's controlled experiment — the
+// same drive under an early-handoff policy (A3 offset 3 dB) and a
+// late-handoff policy (12 dB), showing the throughput cost of late handoffs
+// and that the diag log alone recovers every handoff instance.
+//
+//   $ ./drive_test
+#include <cstdio>
+
+#include "mmlab/core/handoff_extract.hpp"
+#include "mmlab/sim/drive_test.hpp"
+
+namespace {
+
+mmlab::net::Deployment corridor(double a3_offset_db) {
+  using namespace mmlab;
+  net::Deployment net;
+  net.set_shadowing(5, 3.0, 60.0);
+  net.add_carrier({0, "Example", "X", "US"});
+  geo::City city;
+  city.origin = {-1000, -1000};
+  city.extent_m = 6000;
+  net.add_city(city);
+  config::EventConfig a3;
+  a3.type = config::EventType::kA3;
+  a3.offset_db = a3_offset_db;
+  a3.hysteresis_db = 1.0;
+  a3.time_to_trigger = 320;
+  config::CellConfig cfg;
+  cfg.report_configs = {a3};
+  for (int i = 0; i < 3; ++i) {
+    net::Cell cell;
+    cell.id = static_cast<net::CellId>(i + 1);
+    cell.pci = static_cast<std::uint16_t>(i + 1);
+    cell.carrier = 0;
+    cell.channel = {spectrum::Rat::kLte, 1975};
+    cell.position = {i * 1800.0, 0};
+    cell.tx_power_dbm = 15.0;
+    cell.bandwidth_prbs = 50;
+    cell.lte_config = cfg;
+    net.add_cell(cell);
+  }
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mmlab;
+  for (const double offset : {3.0, 12.0}) {
+    auto net = corridor(offset);
+    const auto route = mobility::highway_drive({0, 0}, {3600, 0}, 16.0);
+    sim::DriveTestOptions opts;
+    opts.seed = 21;
+    opts.workload = sim::Workload::kSpeedtest;
+    const auto result = run_drive_test(net, route, opts);
+
+    std::printf("=== A3 offset %.0f dB ===\n", offset);
+    for (const auto& hp : sim::annotate_handoffs(result)) {
+      std::printf("handoff at %.1fs: cell %u -> %u, RSRP %.1f -> %.1f dBm, "
+                  "min throughput before: %.2f Mbps\n",
+                  hp.rec.exec_time.seconds(), hp.rec.from, hp.rec.to,
+                  hp.rec.old_rsrp_dbm, hp.rec.new_rsrp_dbm,
+                  hp.min_thpt_before_bps / 1e6);
+    }
+
+    // Device-centric verification: re-derive the handoffs from the diag log
+    // only, as the real MMLab does from a phone's log.
+    const auto instances = core::extract_handoffs(result.diag_log);
+    std::printf("diag-log view: %zu handoff instances", instances.size());
+    for (const auto& inst : instances)
+      std::printf("  [%s report->exec %lld ms]",
+                  std::string(config::event_name(inst.trigger)).c_str(),
+                  static_cast<long long>(inst.report_to_exec_ms()));
+    std::printf("\n\n");
+  }
+  std::printf("takeaway: the 12 dB policy executes later at a much weaker "
+              "serving signal — the paper's Fig 7 in miniature\n");
+  return 0;
+}

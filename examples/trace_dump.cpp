@@ -1,0 +1,119 @@
+// Decode and pretty-print a device diag log — the paper's Fig 3 trace
+// excerpt ("An example trace via MMLab"), reproduced end to end: SIB
+// broadcast on camping, measConfig, measurement reports, and the handoff
+// command, all recovered from the framed byte stream.
+//
+//   $ ./trace_dump
+#include <cstdio>
+
+#include "mmlab/diag/log.hpp"
+#include "mmlab/rrc/codec.hpp"
+#include "mmlab/rrc/describe.hpp"
+#include "mmlab/sim/drive_test.hpp"
+
+namespace {
+
+mmlab::net::Deployment fig3_world() {
+  using namespace mmlab;
+  net::Deployment net;
+  net.set_shadowing(8, 3.0, 60.0);
+  net.add_carrier({0, "AT&T-like", "A", "US"});
+  geo::City city;
+  city.origin = {-1000, -1000};
+  city.extent_m = 5000;
+  net.add_city(city);
+
+  // The Fig 3 cell: priority 3, sIntra 62 dB, sNonIntra 8 dB, qHyst 4 dB,
+  // an inter-freq neighbour on 5780 and a UMTS carrier 4435.
+  config::CellConfig cfg;
+  cfg.serving.priority = 3;
+  cfg.serving.q_hyst_db = 4.0;
+  cfg.serving.s_intrasearch_db = 62.0;
+  cfg.serving.s_nonintrasearch_db = 8.0;
+  config::NeighborFreqConfig inter;
+  inter.channel = {spectrum::Rat::kLte, 5780};
+  inter.priority = 2;
+  cfg.neighbor_freqs.push_back(inter);
+  config::NeighborFreqConfig umts;
+  umts.channel = {spectrum::Rat::kUmts, 4435};
+  umts.priority = 2;
+  cfg.neighbor_freqs.push_back(umts);
+  config::EventConfig a3;
+  a3.type = config::EventType::kA3;
+  a3.offset_db = 3.0;
+  a3.hysteresis_db = 1.0;
+  a3.time_to_trigger = 320;
+  cfg.report_configs = {a3};
+
+  for (int i = 0; i < 2; ++i) {
+    net::Cell cell;
+    cell.id = static_cast<net::CellId>(i + 1);
+    cell.pci = static_cast<std::uint16_t>(100 + i);
+    cell.carrier = 0;
+    cell.channel = {spectrum::Rat::kLte, 5780};
+    cell.position = {i * 2000.0, 0};
+    cell.tx_power_dbm = 15.0;
+    cell.bandwidth_prbs = 50;
+    cell.lte_config = cfg;
+    net.add_cell(cell);
+  }
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mmlab;
+  auto net = fig3_world();
+  const auto route = mobility::highway_drive({0, 0}, {2000, 0}, 16.0);
+  sim::DriveTestOptions opts;
+  opts.seed = 4;
+  const auto result = run_drive_test(net, route, opts);
+
+  std::printf("diag log: %zu bytes; decoded trace (radio snapshots "
+              "suppressed):\n\n", result.diag_log.size());
+  diag::Parser parser(result.diag_log.data(), result.diag_log.size());
+  diag::Record rec;
+  std::size_t shown = 0;
+  while (parser.next(rec) && shown < 40) {
+    switch (rec.code) {
+      case diag::LogCode::kServingCellInfo: {
+        diag::CampEvent ev;
+        if (!decode_camp_event(rec.payload, ev)) break;
+        const char* cause = "?";
+        switch (static_cast<diag::CampCause>(ev.cause)) {
+          case diag::CampCause::kInitial: cause = "initial camp"; break;
+          case diag::CampCause::kIdleReselection: cause = "reselection"; break;
+          case diag::CampCause::kActiveHandoff: cause = "HANDOFF"; break;
+          case diag::CampCause::kForcedSwitch: cause = "forced switch"; break;
+        }
+        std::printf("%8.1fs  ServingCellInfo cell=%u pci=%u earfcn=%u (%s)\n",
+                    rec.timestamp.seconds(), ev.cell_identity, ev.pci,
+                    ev.channel, cause);
+        ++shown;
+        break;
+      }
+      case diag::LogCode::kLteRrcOta:
+      case diag::LogCode::kLegacyRrcOta: {
+        auto msg = rrc::decode(rec.payload);
+        if (!msg.ok()) {
+          std::printf("%8.1fs  <undecodable: %s>\n", rec.timestamp.seconds(),
+                      msg.error_message().c_str());
+          ++shown;
+          break;
+        }
+        // Suppress repeated measurement reports to keep the excerpt short.
+        std::printf("%8.1fs  %s\n", rec.timestamp.seconds(),
+                    rrc::describe(msg.value()).c_str());
+        ++shown;
+        break;
+      }
+      case diag::LogCode::kRadioMeasurement:
+        break;  // 100 ms cadence; too chatty for an excerpt
+    }
+  }
+  std::printf("\n(compare with the paper's Fig 3: SIB1/SIB3 with priority & "
+              "search thresholds, SIB5/SIB6 neighbour carriers, then a "
+              "measurement report followed by the handoff)\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure plus the ablations and microbenches.
+# Usage: scripts/run_all_benches.sh [build-dir]
+#   MMLAB_SCALE  (default 1.0) world scale
+#   MMLAB_DRIVES (default 4)   city drives per city for D1 campaigns
+set -u
+BUILD=${1:-build}
+for b in "$BUILD"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "##### $(basename "$b")"
+  "$b" || echo "FAILED: $b"
+done

@@ -1,0 +1,85 @@
+// Per-cell handoff configuration — the paper's Table 2 in full.
+//
+// A serving cell broadcasts (SIB1/3/4/5/6/7/8) everything a UE needs for
+// idle-mode reselection, and signals per-connection measConfig (RRC
+// Connection Reconfiguration) for active-state reporting.  CellConfig is the
+// in-memory form of all of it; the RRC codec serializes it message by
+// message and MMLab re-extracts it from the decoded messages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mmlab/config/events.hpp"
+#include "mmlab/spectrum/bands.hpp"
+#include "mmlab/util/clock.hpp"
+
+namespace mmlab::config {
+
+/// Serving-cell idle-mode parameters (SIB3; TS 36.331 §6.3.1).
+struct ServingIdleConfig {
+  int priority = 4;                    ///< Ps, 0..7 (7 most preferred)
+  double q_hyst_db = 4.0;              ///< Hs, hysteresis added to serving rank
+  double q_rxlevmin_dbm = -122.0;      ///< ∆min (calibration), 2 dB grid
+  double s_intrasearch_db = 62.0;      ///< Θintra, intra-freq measurement gate
+  double s_nonintrasearch_db = 8.0;    ///< Θnonintra, non-intra measurement gate
+  double thresh_serving_low_db = 6.0;  ///< Θ(s)lower, for lower-priority resel.
+  Millis t_reselection = 1000;         ///< Treselect, 0..7 s grid
+  Millis t_higher_meas = 60'000;       ///< period of higher-priority measurement
+
+  bool operator==(const ServingIdleConfig&) const = default;
+};
+
+/// Per-neighbour-frequency parameters (SIB5 intra-LTE inter-freq; SIB6 UMTS;
+/// SIB7 GSM; SIB8 CDMA2000), shared shape across the target RATs.
+struct NeighborFreqConfig {
+  spectrum::Channel channel;          ///< target DL channel
+  int priority = 4;                   ///< Pc = P_freq
+  double q_rxlevmin_dbm = -122.0;     ///< target-RAT minimum level
+  double thresh_high_db = 10.0;       ///< Θ(c)higher (relative to q_rxlevmin)
+  double thresh_low_db = 4.0;         ///< Θ(c)lower
+  double q_offset_freq_db = 0.0;      ///< ∆freq for equal-priority ranking
+  double meas_bandwidth_mhz = 10.0;   ///< allowed measurement bandwidth
+  Millis t_reselection = 1000;
+
+  bool operator==(const NeighborFreqConfig&) const = default;
+};
+
+/// Full configuration of one LTE cell.
+struct CellConfig {
+  ServingIdleConfig serving;
+  double q_offset_equal_db = 4.0;  ///< ∆equal used in equal-priority ranking
+  std::vector<NeighborFreqConfig> neighbor_freqs;  ///< SIB5/6/7/8 entries
+  std::vector<std::uint32_t> forbidden_cells;      ///< Listforbid (SIB4)
+  std::vector<EventConfig> report_configs;         ///< measConfig events
+
+  bool operator==(const CellConfig&) const = default;
+
+  const NeighborFreqConfig* find_freq(spectrum::Channel ch) const {
+    for (const auto& nf : neighbor_freqs)
+      if (nf.channel == ch) return &nf;
+    return nullptr;
+  }
+};
+
+/// Configuration of a legacy-RAT (UMTS/GSM/EVDO/CDMA1x) cell.
+///
+/// The paper only analyzes legacy RATs through the generic parameter lens
+/// (Tab 4 counts, Fig 22 diversity); we model them as their standardized
+/// parameter vector plus the handful of fields the reselection machinery
+/// needs.
+struct LegacyCellConfig {
+  spectrum::Rat rat = spectrum::Rat::kUmts;
+  int priority = 2;
+  double q_rxlevmin_dbm = -115.0;
+  double q_hyst_db = 4.0;
+  Millis t_reselection = 1000;
+  /// Remaining standardized parameters, index -> value, sized so that the
+  /// total per-RAT count matches Tab 4 (handled by the parameter registry).
+  std::vector<double> extra_params;
+
+  bool operator==(const LegacyCellConfig&) const = default;
+};
+
+}  // namespace mmlab::config

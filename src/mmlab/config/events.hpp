@@ -1,0 +1,98 @@
+// Measurement-reporting event configuration (TS 36.331 §5.5.4, paper §2.2).
+//
+// LTE defines events A1-A6 (intra-RAT), B1-B2 (inter-RAT) and C1-C2 (CSI-RS);
+// the paper observes A1-A5, B1, B2 plus carrier-configured periodic
+// reporting (P).  Each configured event carries thresholds, a hysteresis, an
+// offset and a time-to-trigger, all broadcast to the UE in measConfig.
+#pragma once
+
+#include <string_view>
+
+#include "mmlab/util/clock.hpp"
+#include "mmlab/util/units.hpp"
+
+namespace mmlab::config {
+
+enum class EventType : std::uint8_t {
+  kA1,  ///< serving becomes better than threshold
+  kA2,  ///< serving becomes worse than threshold
+  kA3,  ///< neighbour becomes offset better than serving
+  kA4,  ///< neighbour becomes better than threshold
+  kA5,  ///< serving worse than thresh1 AND neighbour better than thresh2
+  kA6,  ///< neighbour becomes offset better than SCell (CA; never observed)
+  kB1,  ///< inter-RAT neighbour becomes better than threshold
+  kB2,  ///< serving worse than thresh1 AND inter-RAT neighbour better than thresh2
+  kC1,  ///< CSI-RS resource better than threshold (never observed)
+  kC2,  ///< CSI-RS resource offset better than reference (never observed)
+  kPeriodic,  ///< periodic reporting of strongest cells ("P" in the paper)
+};
+
+constexpr std::string_view event_name(EventType e) {
+  switch (e) {
+    case EventType::kA1: return "A1";
+    case EventType::kA2: return "A2";
+    case EventType::kA3: return "A3";
+    case EventType::kA4: return "A4";
+    case EventType::kA5: return "A5";
+    case EventType::kA6: return "A6";
+    case EventType::kB1: return "B1";
+    case EventType::kB2: return "B2";
+    case EventType::kC1: return "C1";
+    case EventType::kC2: return "C2";
+    case EventType::kPeriodic: return "P";
+  }
+  return "?";
+}
+
+/// Which radio quantity the event thresholds compare (paper §2.2: RSRP and
+/// RSRQ have disjoint ranges and separate configuration grids).
+enum class SignalMetric : std::uint8_t { kRsrp, kRsrq };
+
+constexpr std::string_view metric_name(SignalMetric m) {
+  return m == SignalMetric::kRsrp ? "RSRP" : "RSRQ";
+}
+
+/// One entry of the measConfig report-configuration list.
+///
+/// Thresholds are stored in engineering units: dBm for RSRP metrics, dB for
+/// RSRQ.  `threshold1` is the serving-cell threshold (A1/A2/A5/B2),
+/// `threshold2` the neighbour threshold (A4 uses threshold1; A5/B2 use
+/// threshold2 for the neighbour).  `offset_db` is the A3/A6 offset (may be
+/// negative — the paper observes -1 dB in T-Mobile).
+struct EventConfig {
+  EventType type = EventType::kA3;
+  SignalMetric metric = SignalMetric::kRsrp;
+  double threshold1 = 0.0;
+  double threshold2 = 0.0;
+  double offset_db = 0.0;
+  double hysteresis_db = 0.0;
+  Millis time_to_trigger = 0;   ///< TTT: condition must hold this long
+  Millis report_interval = 0;   ///< 0 = single report on trigger
+  int report_amount = 1;        ///< max reports after trigger; 16 = infinity
+
+  bool operator==(const EventConfig&) const = default;
+};
+
+/// True for the event types that compare a neighbour against thresholds or
+/// against the serving cell (i.e. can nominate a handoff target).
+constexpr bool event_involves_neighbor(EventType e) {
+  switch (e) {
+    case EventType::kA3:
+    case EventType::kA4:
+    case EventType::kA5:
+    case EventType::kA6:
+    case EventType::kB1:
+    case EventType::kB2:
+    case EventType::kPeriodic:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True for inter-RAT events.
+constexpr bool event_is_inter_rat(EventType e) {
+  return e == EventType::kB1 || e == EventType::kB2;
+}
+
+}  // namespace mmlab::config

@@ -1,0 +1,210 @@
+#include "mmlab/config/params.hpp"
+
+#include <array>
+#include <cctype>
+#include <exception>
+
+namespace mmlab::config {
+
+namespace {
+
+constexpr std::array<const char*, kLteParamCount> kLteNames = {
+    "Ps",            // kServingPriority
+    "Hs",            // kQHyst
+    "Dmin",          // kQRxLevMin
+    "ThIntra",       // kSIntraSearch
+    "ThNonIntra",    // kSNonIntraSearch
+    "ThSrvLow",      // kThreshServingLow
+    "Tresel",        // kTReselection
+    "ThiMeas",       // kTHigherMeas
+    "Dequal",        // kQOffsetEqual
+    "Pc",            // kNeighborPriority
+    "DminNbr",       // kNeighborQRxLevMin
+    "ThXHigh",       // kThreshXHigh
+    "ThXLow",        // kThreshXLow
+    "Dfreq",         // kQOffsetFreq
+    "MeasBw",        // kMeasBandwidth
+    "TreselNbr",     // kNeighborTReselection
+    "ThA1", "HA1", "TttA1",
+    "ThA2", "HA2", "TttA2",
+    "DA3", "HA3", "TttA3",
+    "ThA4", "HA4", "TttA4",
+    "ThA5S",         // kA5Threshold1
+    "ThA5C",         // kA5Threshold2
+    "HA5", "TttA5",
+    "ThB1", "HB1", "TttB1",
+    "ThB2S", "ThB2C", "HB2", "TttB2",
+    "TreportInt",    // kReportInterval
+    "ReportAmt",     // kReportAmount
+    "PeriodInt",     // kPeriodicInterval
+};
+
+constexpr const char* legacy_semantic_name(std::uint16_t id) {
+  switch (id) {
+    case 0: return "prio";
+    case 1: return "qRxLevMin";
+    case 2: return "qHyst";
+    case 3: return "Tresel";
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+std::string param_name(ParamKey key) {
+  if (key.rat == spectrum::Rat::kLte) {
+    if (key.id < kLteParamCount) return kLteNames[key.id];
+    return "lte[" + std::to_string(key.id) + "]";
+  }
+  std::string prefix(spectrum::rat_name(key.rat));
+  for (char& c : prefix) c = static_cast<char>(std::tolower(c));
+  if (const char* s = legacy_semantic_name(key.id))
+    return prefix + "." + s;
+  return prefix + "[" + std::to_string(key.id) + "]";
+}
+
+std::optional<ParamKey> parse_param_name(const std::string& name) {
+  for (std::uint16_t i = 0; i < kLteParamCount; ++i)
+    if (name == kLteNames[i]) return ParamKey{spectrum::Rat::kLte, i};
+  for (const auto rat : spectrum::kAllRats) {
+    if (rat == spectrum::Rat::kLte) continue;
+    std::string prefix(spectrum::rat_name(rat));
+    for (char& c : prefix) c = static_cast<char>(std::tolower(c));
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::string rest = name.substr(prefix.size());
+    if (rest.size() >= 2 && rest.front() == '.') {
+      for (std::uint16_t i = 0; i < 4; ++i)
+        if (rest.substr(1) == legacy_semantic_name(i))
+          return ParamKey{rat, i};
+      return std::nullopt;
+    }
+    if (rest.size() >= 3 && rest.front() == '[' && rest.back() == ']') {
+      try {
+        const int idx = std::stoi(rest.substr(1, rest.size() - 2));
+        if (idx >= 0 && idx < 4096)
+          return ParamKey{rat, static_cast<std::uint16_t>(idx)};
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_active_state_param(ParamKey key) {
+  if (key.rat != spectrum::Rat::kLte) return false;
+  return key.id >= static_cast<std::uint16_t>(ParamId::kA1Threshold) &&
+         key.id < kLteParamCount;
+}
+
+namespace {
+
+void emit_event_params(const EventConfig& ev,
+                       std::vector<ParamObservation>& out) {
+  auto add = [&](ParamId id, double v) {
+    out.push_back({lte_param(id), v});
+  };
+  switch (ev.type) {
+    case EventType::kA1:
+      add(ParamId::kA1Threshold, ev.threshold1);
+      add(ParamId::kA1Hysteresis, ev.hysteresis_db);
+      add(ParamId::kA1Ttt, static_cast<double>(ev.time_to_trigger));
+      break;
+    case EventType::kA2:
+      add(ParamId::kA2Threshold, ev.threshold1);
+      add(ParamId::kA2Hysteresis, ev.hysteresis_db);
+      add(ParamId::kA2Ttt, static_cast<double>(ev.time_to_trigger));
+      break;
+    case EventType::kA3:
+      add(ParamId::kA3Offset, ev.offset_db);
+      add(ParamId::kA3Hysteresis, ev.hysteresis_db);
+      add(ParamId::kA3Ttt, static_cast<double>(ev.time_to_trigger));
+      break;
+    case EventType::kA4:
+      add(ParamId::kA4Threshold, ev.threshold1);
+      add(ParamId::kA4Hysteresis, ev.hysteresis_db);
+      add(ParamId::kA4Ttt, static_cast<double>(ev.time_to_trigger));
+      break;
+    case EventType::kA5:
+      add(ParamId::kA5Threshold1, ev.threshold1);
+      add(ParamId::kA5Threshold2, ev.threshold2);
+      add(ParamId::kA5Hysteresis, ev.hysteresis_db);
+      add(ParamId::kA5Ttt, static_cast<double>(ev.time_to_trigger));
+      break;
+    case EventType::kB1:
+      add(ParamId::kB1Threshold, ev.threshold1);
+      add(ParamId::kB1Hysteresis, ev.hysteresis_db);
+      add(ParamId::kB1Ttt, static_cast<double>(ev.time_to_trigger));
+      break;
+    case EventType::kB2:
+      add(ParamId::kB2Threshold1, ev.threshold1);
+      add(ParamId::kB2Threshold2, ev.threshold2);
+      add(ParamId::kB2Hysteresis, ev.hysteresis_db);
+      add(ParamId::kB2Ttt, static_cast<double>(ev.time_to_trigger));
+      break;
+    case EventType::kPeriodic:
+      add(ParamId::kPeriodicInterval, static_cast<double>(ev.report_interval));
+      break;
+    default:
+      break;  // A6/C1/C2 never configured by the generator
+  }
+  if (ev.type != EventType::kPeriodic) {
+    if (ev.report_interval > 0)
+      add(ParamId::kReportInterval, static_cast<double>(ev.report_interval));
+    add(ParamId::kReportAmount, static_cast<double>(ev.report_amount));
+  }
+}
+
+}  // namespace
+
+std::vector<ParamObservation> extract_parameters(const CellConfig& cfg) {
+  std::vector<ParamObservation> out;
+  out.reserve(16 + 8 * cfg.neighbor_freqs.size() +
+              5 * cfg.report_configs.size());
+  auto add = [&](ParamId id, double v) {
+    out.push_back({lte_param(id), v});
+  };
+  const auto& s = cfg.serving;
+  add(ParamId::kServingPriority, s.priority);
+  add(ParamId::kQHyst, s.q_hyst_db);
+  add(ParamId::kQRxLevMin, s.q_rxlevmin_dbm);
+  add(ParamId::kSIntraSearch, s.s_intrasearch_db);
+  add(ParamId::kSNonIntraSearch, s.s_nonintrasearch_db);
+  add(ParamId::kThreshServingLow, s.thresh_serving_low_db);
+  add(ParamId::kTReselection, static_cast<double>(s.t_reselection));
+  add(ParamId::kTHigherMeas, static_cast<double>(s.t_higher_meas));
+  add(ParamId::kQOffsetEqual, cfg.q_offset_equal_db);
+  for (const auto& nf : cfg.neighbor_freqs) {
+    auto add_freq = [&](ParamId id, double v) {
+      out.push_back({lte_param(id), v,
+                     static_cast<std::int64_t>(nf.channel.number)});
+    };
+    add_freq(ParamId::kNeighborPriority, nf.priority);
+    add_freq(ParamId::kNeighborQRxLevMin, nf.q_rxlevmin_dbm);
+    add_freq(ParamId::kThreshXHigh, nf.thresh_high_db);
+    add_freq(ParamId::kThreshXLow, nf.thresh_low_db);
+    add_freq(ParamId::kQOffsetFreq, nf.q_offset_freq_db);
+    add_freq(ParamId::kMeasBandwidth, nf.meas_bandwidth_mhz);
+    add_freq(ParamId::kNeighborTReselection,
+             static_cast<double>(nf.t_reselection));
+  }
+  for (const auto& ev : cfg.report_configs) emit_event_params(ev, out);
+  return out;
+}
+
+std::vector<ParamObservation> extract_parameters(const LegacyCellConfig& cfg) {
+  std::vector<ParamObservation> out;
+  out.reserve(4 + cfg.extra_params.size());
+  auto add = [&](std::uint16_t id, double v) {
+    out.push_back({ParamKey{cfg.rat, id}, v});
+  };
+  add(0, cfg.priority);
+  add(1, cfg.q_rxlevmin_dbm);
+  add(2, cfg.q_hyst_db);
+  add(3, static_cast<double>(cfg.t_reselection));
+  for (std::size_t i = 0; i < cfg.extra_params.size(); ++i)
+    add(static_cast<std::uint16_t>(4 + i), cfg.extra_params[i]);
+  return out;
+}
+
+}  // namespace mmlab::config

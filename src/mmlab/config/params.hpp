@@ -1,0 +1,107 @@
+// Generic parameter registry.
+//
+// The large-scale analyses (Figs 13-22) treat a configuration as a bag of
+// (parameter, value) observations per cell, uniformly across 66 LTE and 91
+// legacy-RAT parameters.  ParamKey identifies a parameter; extract_parameters
+// flattens a decoded CellConfig into observations.  Everything downstream
+// (diversity, dependence, temporal dynamics) works on this representation
+// only — it never sees the typed config structs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mmlab/config/cell_config.hpp"
+#include "mmlab/spectrum/rat.hpp"
+
+namespace mmlab::config {
+
+/// Semantic identifiers for the LTE parameters our measurement observes.
+/// Values are stable; they index Fig 16's x-axis.
+enum class ParamId : std::uint16_t {
+  // --- serving-cell idle parameters (SIB3) ---
+  kServingPriority = 0,   ///< Ps
+  kQHyst,                 ///< Hs
+  kQRxLevMin,             ///< ∆min
+  kSIntraSearch,          ///< Θintra
+  kSNonIntraSearch,       ///< Θnonintra
+  kThreshServingLow,      ///< Θ(s)lower
+  kTReselection,          ///< Treselect
+  kTHigherMeas,           ///< higher-priority measurement period
+  kQOffsetEqual,          ///< ∆equal
+  // --- neighbour-frequency parameters (SIB5/6/7/8) ---
+  kNeighborPriority,      ///< Pc (per frequency)
+  kNeighborQRxLevMin,
+  kThreshXHigh,           ///< Θ(c)higher
+  kThreshXLow,            ///< Θ(c)lower
+  kQOffsetFreq,           ///< ∆freq
+  kMeasBandwidth,
+  kNeighborTReselection,
+  // --- reporting-event parameters (measConfig) ---
+  kA1Threshold, kA1Hysteresis, kA1Ttt,
+  kA2Threshold, kA2Hysteresis, kA2Ttt,
+  kA3Offset, kA3Hysteresis, kA3Ttt,
+  kA4Threshold, kA4Hysteresis, kA4Ttt,
+  kA5Threshold1,          ///< ΘA5,S (serving)
+  kA5Threshold2,          ///< ΘA5,C (candidate)
+  kA5Hysteresis, kA5Ttt,
+  kB1Threshold, kB1Hysteresis, kB1Ttt,
+  kB2Threshold1, kB2Threshold2, kB2Hysteresis, kB2Ttt,
+  kReportInterval,        ///< TreportInterval
+  kReportAmount,
+  kPeriodicInterval,      ///< period of configured periodic reporting
+
+  kCount,  // sentinel
+};
+
+constexpr std::uint16_t kLteParamCount =
+    static_cast<std::uint16_t>(ParamId::kCount);
+
+/// RAT-qualified parameter identifier. For LTE, `id` is a ParamId; for
+/// legacy RATs it indexes that RAT's standardized parameter list
+/// (0 = priority, 1 = q_rxlevmin, 2 = q_hyst, 3 = t_reselection, 4+ = extra).
+struct ParamKey {
+  spectrum::Rat rat = spectrum::Rat::kLte;
+  std::uint16_t id = 0;
+
+  auto operator<=>(const ParamKey&) const = default;
+};
+
+inline ParamKey lte_param(ParamId id) {
+  return ParamKey{spectrum::Rat::kLte, static_cast<std::uint16_t>(id)};
+}
+
+/// Human-readable parameter name ("Ps", "ThA5S", "umts[7]", ...).
+std::string param_name(ParamKey key);
+
+/// Inverse of param_name; nullopt for unknown names.
+std::optional<ParamKey> parse_param_name(const std::string& name);
+
+/// Active-state parameters are those signalled in measConfig (reporting
+/// events); everything broadcast in SIBs is an idle-state parameter.  The
+/// split drives Fig 13's idle-vs-active temporal-dynamics comparison.
+bool is_active_state_param(ParamKey key);
+
+/// One flattened observation of one parameter at one cell.
+///
+/// `context` disambiguates parameters that occur several times per cell:
+/// for per-neighbour-frequency parameters it is the target channel number
+/// (Fig 18's bottom panel groups candidate priorities by that channel);
+/// -1 for single-occurrence parameters.
+struct ParamObservation {
+  ParamKey key;
+  double value = 0.0;
+  std::int64_t context = -1;
+};
+
+/// Flatten an LTE cell configuration into parameter observations. Event
+/// parameters appear once per configured event; per-frequency parameters
+/// once per neighbour frequency.
+std::vector<ParamObservation> extract_parameters(const CellConfig& cfg);
+
+/// Flatten a legacy-RAT configuration.
+std::vector<ParamObservation> extract_parameters(const LegacyCellConfig& cfg);
+
+}  // namespace mmlab::config

@@ -1,0 +1,170 @@
+#include "mmlab/config/quant.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace mmlab::config::quant {
+
+namespace {
+
+[[noreturn]] void off_grid(const char* what, double value) {
+  throw std::invalid_argument(std::string("quant: off-grid ") + what + ": " +
+                              std::to_string(value));
+}
+
+/// Check `value = min + step * ie` for integer ie in [0, count).
+std::uint64_t linear_encode(double value, double min, double step,
+                            std::uint64_t count, const char* what) {
+  const double raw = (value - min) / step;
+  const double rounded = std::round(raw);
+  if (std::abs(raw - rounded) > 1e-9 || rounded < 0.0 ||
+      rounded >= static_cast<double>(count))
+    off_grid(what, value);
+  return static_cast<std::uint64_t>(rounded);
+}
+
+std::uint64_t enum_encode(double value, const std::vector<double>& grid,
+                          const char* what) {
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    if (std::abs(grid[i] - value) < 1e-9) return i;
+  off_grid(what, value);
+}
+
+std::uint64_t enum_encode_ms(Millis value, const std::vector<Millis>& grid,
+                             const char* what) {
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    if (grid[i] == value) return i;
+  off_grid(what, static_cast<double>(value));
+}
+
+double enum_decode(std::uint64_t ie, const std::vector<double>& grid,
+                   const char* what) {
+  if (ie >= grid.size()) off_grid(what, static_cast<double>(ie));
+  return grid[ie];
+}
+
+Millis enum_decode_ms(std::uint64_t ie, const std::vector<Millis>& grid,
+                      const char* what) {
+  if (ie >= grid.size()) off_grid(what, static_cast<double>(ie));
+  return grid[ie];
+}
+
+}  // namespace
+
+std::uint64_t encode_q_rxlevmin(double dbm) {
+  return linear_encode(dbm, -140.0, 2.0, 49, "q-RxLevMin");  // -140..-44
+}
+double decode_q_rxlevmin(std::uint64_t ie) {
+  return -140.0 + 2.0 * static_cast<double>(ie);
+}
+
+std::uint64_t encode_rsrp_threshold(double dbm) {
+  return linear_encode(dbm, -140.0, 1.0, 98, "rsrp-threshold");
+}
+double decode_rsrp_threshold(std::uint64_t ie) {
+  return -140.0 + static_cast<double>(ie);
+}
+
+std::uint64_t encode_rsrq_threshold(double db) {
+  return linear_encode(db, -19.5, 0.5, 35, "rsrq-threshold");
+}
+double decode_rsrq_threshold(std::uint64_t ie) {
+  return -19.5 + 0.5 * static_cast<double>(ie);
+}
+
+std::uint64_t encode_hysteresis(double db) {
+  return linear_encode(db, 0.0, 0.5, 31, "hysteresis");
+}
+double decode_hysteresis(std::uint64_t ie) {
+  return 0.5 * static_cast<double>(ie);
+}
+
+std::uint64_t encode_a3_offset(double db) {
+  return linear_encode(db, -15.0, 0.5, 61, "a3-offset");
+}
+double decode_a3_offset(std::uint64_t ie) {
+  return -15.0 + 0.5 * static_cast<double>(ie);
+}
+
+std::uint64_t encode_search_threshold(double db) {
+  return linear_encode(db, 0.0, 2.0, 32, "search-threshold");
+}
+double decode_search_threshold(std::uint64_t ie) {
+  return 2.0 * static_cast<double>(ie);
+}
+
+std::uint64_t encode_t_reselection(Millis ms) {
+  if (ms < 0 || ms > 7000 || ms % 1000 != 0)
+    throw std::invalid_argument("quant: off-grid t-reselection: " +
+                                std::to_string(ms));
+  return static_cast<std::uint64_t>(ms / 1000);
+}
+Millis decode_t_reselection(std::uint64_t ie) {
+  if (ie > 7) throw std::invalid_argument("quant: bad t-reselection IE");
+  return static_cast<Millis>(ie) * 1000;
+}
+
+const std::vector<double>& q_hyst_grid() {
+  static const std::vector<double> kGrid = {0, 1, 2, 3, 4, 5, 6, 8,
+                                            10, 12, 14, 16, 18, 20, 22, 24};
+  return kGrid;
+}
+std::uint64_t encode_q_hyst(double db) {
+  return enum_encode(db, q_hyst_grid(), "q-hyst");
+}
+double decode_q_hyst(std::uint64_t ie) {
+  return enum_decode(ie, q_hyst_grid(), "q-hyst");
+}
+
+const std::vector<Millis>& ttt_grid() {
+  static const std::vector<Millis> kGrid = {0,   40,  64,  80,   100,  128,
+                                            160, 256, 320, 480,  512,  640,
+                                            1024, 1280, 2560, 5120};
+  return kGrid;
+}
+std::uint64_t encode_ttt(Millis ms) {
+  return enum_encode_ms(ms, ttt_grid(), "time-to-trigger");
+}
+Millis decode_ttt(std::uint64_t ie) {
+  return enum_decode_ms(ie, ttt_grid(), "time-to-trigger");
+}
+
+const std::vector<Millis>& report_interval_grid() {
+  static const std::vector<Millis> kGrid = {
+      120,  240,  480,  640,  1024, 2048, 5120, 10240,
+      60'000, 360'000, 720'000, 1'800'000, 3'600'000};
+  return kGrid;
+}
+std::uint64_t encode_report_interval(Millis ms) {
+  return enum_encode_ms(ms, report_interval_grid(), "report-interval");
+}
+Millis decode_report_interval(std::uint64_t ie) {
+  return enum_decode_ms(ie, report_interval_grid(), "report-interval");
+}
+
+const std::vector<double>& q_offset_grid() {
+  static const std::vector<double> kGrid = {
+      -24, -22, -20, -18, -16, -14, -12, -10, -8, -6, -5, -4, -3, -2, -1,
+      0,   1,   2,   3,   4,   5,   6,   8,   10, 12, 14, 16, 18, 20, 22, 24};
+  return kGrid;
+}
+std::uint64_t encode_q_offset(double db) {
+  return enum_encode(db, q_offset_grid(), "q-offset");
+}
+double decode_q_offset(std::uint64_t ie) {
+  return enum_decode(ie, q_offset_grid(), "q-offset");
+}
+
+const std::vector<double>& meas_bandwidth_grid() {
+  static const std::vector<double> kGrid = {1.4, 3, 5, 10, 15, 20};
+  return kGrid;
+}
+std::uint64_t encode_meas_bandwidth(double mhz) {
+  return enum_encode(mhz, meas_bandwidth_grid(), "meas-bandwidth");
+}
+double decode_meas_bandwidth(std::uint64_t ie) {
+  return enum_decode(ie, meas_bandwidth_grid(), "meas-bandwidth");
+}
+
+}  // namespace mmlab::config::quant

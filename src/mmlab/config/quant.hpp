@@ -1,0 +1,78 @@
+// 3GPP quantization grids.
+//
+// Every broadcast parameter lives on a standardized grid (TS 36.331 §6.3):
+// q-RxLevMin in 2 dB steps, hysteresis and a3-offset in 0.5 dB steps,
+// time-to-trigger from a 16-entry enum, etc.  The RRC codec encodes the grid
+// *index*; the generator only produces on-grid values.  encode_* throws
+// std::invalid_argument for off-grid input — catching a generator bug at the
+// encode boundary instead of corrupting the dataset.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmlab/util/clock.hpp"
+
+namespace mmlab::config::quant {
+
+// --- linear grids ---------------------------------------------------------
+
+/// q-RxLevMin: IE -70..-22, actual dBm = 2 * IE. 6 bits.
+std::uint64_t encode_q_rxlevmin(double dbm);
+double decode_q_rxlevmin(std::uint64_t ie);
+
+/// RSRP threshold: IE 0..97, actual dBm = IE - 140. 7 bits.
+std::uint64_t encode_rsrp_threshold(double dbm);
+double decode_rsrp_threshold(std::uint64_t ie);
+
+/// RSRQ threshold: IE 0..34, actual dB = IE/2 - 19.5. 6 bits.
+std::uint64_t encode_rsrq_threshold(double db);
+double decode_rsrq_threshold(std::uint64_t ie);
+
+/// Hysteresis: IE 0..30, actual dB = IE / 2. 5 bits.
+std::uint64_t encode_hysteresis(double db);
+double decode_hysteresis(std::uint64_t ie);
+
+/// a3-Offset: IE -30..30, actual dB = IE / 2. 6 bits (offset-binary).
+std::uint64_t encode_a3_offset(double db);
+double decode_a3_offset(std::uint64_t ie);
+
+/// s-IntraSearch / s-NonIntraSearch / threshX: IE 0..31, dB = 2 * IE. 5 bits.
+std::uint64_t encode_search_threshold(double db);
+double decode_search_threshold(std::uint64_t ie);
+
+/// t-Reselection: IE 0..7 seconds. 3 bits.
+std::uint64_t encode_t_reselection(Millis ms);
+Millis decode_t_reselection(std::uint64_t ie);
+
+// --- enumerated grids -----------------------------------------------------
+
+/// q-Hyst enum (TS 36.331 SIB3): {0,1,2,3,4,5,6,8,10,12,14,16,18,20,22,24} dB.
+const std::vector<double>& q_hyst_grid();
+std::uint64_t encode_q_hyst(double db);
+double decode_q_hyst(std::uint64_t ie);
+
+/// timeToTrigger enum: {0,40,64,80,100,128,160,256,320,480,512,640,1024,
+/// 1280,2560,5120} ms. 4 bits.
+const std::vector<Millis>& ttt_grid();
+std::uint64_t encode_ttt(Millis ms);
+Millis decode_ttt(std::uint64_t ie);
+
+/// reportInterval enum: {120,240,480,640,1024,2048,5120,10240 ms,
+/// 1,6,12,30,60 min}. 4 bits.
+const std::vector<Millis>& report_interval_grid();
+std::uint64_t encode_report_interval(Millis ms);
+Millis decode_report_interval(std::uint64_t ie);
+
+/// q-OffsetRange enum (TS 36.331): 31 values
+/// {-24,-22,...,-6,-5,...,5,6,8,...,24} dB. 5 bits.
+const std::vector<double>& q_offset_grid();
+std::uint64_t encode_q_offset(double db);
+double decode_q_offset(std::uint64_t ie);
+
+/// allowedMeasBandwidth enum: {1.4, 3, 5, 10, 15, 20} MHz. 3 bits.
+const std::vector<double>& meas_bandwidth_grid();
+std::uint64_t encode_meas_bandwidth(double mhz);
+double decode_meas_bandwidth(std::uint64_t ie);
+
+}  // namespace mmlab::config::quant

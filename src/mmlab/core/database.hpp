@@ -1,0 +1,92 @@
+// The crawled-configuration database — MMLab's central data structure.
+//
+// Everything here is built from decoded diag logs only (device-side view);
+// tests assert it agrees with simulator ground truth.  An observation is one
+// (parameter, value) pair seen at one cell at one time; a cell accumulates
+// observations across crawl rounds.  Queries follow the paper's methodology:
+// distribution/diversity statistics count *unique* (cell, value) pairs so
+// repeatedly-sampled cells don't tip the distributions (§5.1), while raw
+// observation counts are the paper's "samples" (Fig 12).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mmlab/config/params.hpp"
+#include "mmlab/geo/geometry.hpp"
+#include "mmlab/stats/diversity.hpp"
+#include "mmlab/util/clock.hpp"
+
+namespace mmlab::core {
+
+struct Observation {
+  config::ParamKey key;
+  double value = 0.0;
+  SimTime t;
+  std::int64_t context = -1;  ///< see config::ParamObservation::context
+};
+
+struct CellRecord {
+  std::uint32_t cell_id = 0;
+  spectrum::Rat rat = spectrum::Rat::kLte;
+  std::uint32_t channel = 0;
+  geo::Point position;  ///< device GPS at first camp
+  std::vector<Observation> observations;
+
+  /// Unique values this cell was observed with for `key`, in first-seen
+  /// time order.
+  std::vector<double> unique_values(config::ParamKey key) const;
+  /// Most recent observation of `key`.
+  std::optional<double> latest(config::ParamKey key) const;
+  /// Number of observations of `key` (the Fig 13a per-cell sample count).
+  std::size_t sample_count(config::ParamKey key) const;
+};
+
+class ConfigDatabase {
+ public:
+  using CellMap = std::map<std::uint32_t, CellRecord>;
+
+  /// Record one decoded configuration snapshot of a cell.
+  void add_snapshot(const std::string& carrier, std::uint32_t cell_id,
+                    spectrum::Rat rat, std::uint32_t channel,
+                    geo::Point position, SimTime t,
+                    const std::vector<config::ParamObservation>& params);
+
+  const std::map<std::string, CellMap>& carriers() const { return carriers_; }
+  const CellMap* cells_of(const std::string& carrier) const;
+
+  std::size_t cell_count(const std::string& carrier) const;
+  std::size_t sample_count(const std::string& carrier) const;
+  std::size_t total_cells() const;
+  std::size_t total_samples() const;
+
+  /// Unique-per-cell value counts of one parameter across a carrier's
+  /// cells (optionally restricted to one RAT).
+  stats::ValueCounts values(const std::string& carrier,
+                            config::ParamKey key) const;
+
+  /// Same, grouped by an arbitrary cell-level factor (frequency channel,
+  /// city id, ...). Cells mapping to a negative factor are skipped.
+  std::map<long, stats::ValueCounts> values_grouped(
+      const std::string& carrier, config::ParamKey key,
+      const std::function<long(const CellRecord&)>& factor) const;
+
+  /// Unique (cell, context, value) counts grouped by observation context —
+  /// e.g. candidate priorities grouped by their target channel (Fig 18
+  /// bottom). Observations without context (-1) are skipped.
+  std::map<long, stats::ValueCounts> values_by_context(
+      const std::string& carrier, config::ParamKey key) const;
+
+  /// Every parameter key observed for a carrier (sorted).
+  std::vector<config::ParamKey> observed_params(
+      const std::string& carrier) const;
+
+ private:
+  std::map<std::string, CellMap> carriers_;
+};
+
+}  // namespace mmlab::core

@@ -1,0 +1,88 @@
+#include "mmlab/core/dataset_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mmlab::core {
+
+namespace {
+constexpr char kHeader[] =
+    "carrier,cell_id,rat,channel,x_m,y_m,t_ms,param,value,context";
+}
+
+void save_dataset(const ConfigDatabase& db, std::ostream& out) {
+  out << kHeader << '\n';
+  for (const auto& [carrier, cells] : db.carriers()) {
+    for (const auto& [id, rec] : cells) {
+      for (const auto& obs : rec.observations) {
+        out << carrier << ',' << rec.cell_id << ','
+            << static_cast<int>(rec.rat) << ',' << rec.channel << ','
+            << rec.position.x << ',' << rec.position.y << ',' << obs.t.ms
+            << ',' << config::param_name(obs.key) << ',' << obs.value << ','
+            << obs.context << '\n';
+      }
+    }
+  }
+}
+
+void save_dataset(const ConfigDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_dataset: cannot open " + path);
+  save_dataset(db, out);
+}
+
+Result<LoadStats> load_dataset(std::istream& in, ConfigDatabase& db) {
+  std::string line;
+  if (!std::getline(in, line))
+    return Result<LoadStats>::error("load_dataset: empty input");
+  if (line != kHeader)
+    return Result<LoadStats>::error("load_dataset: unexpected header: " + line);
+
+  LoadStats stats;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++stats.rows;
+    std::stringstream row(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(row, field, ',')) fields.push_back(field);
+    if (fields.size() != 10) {
+      ++stats.bad_rows;
+      continue;
+    }
+    const auto key = config::parse_param_name(fields[7]);
+    if (!key) {
+      ++stats.bad_rows;
+      continue;
+    }
+    try {
+      const int rat_raw = std::stoi(fields[2]);
+      if (rat_raw < 0 || rat_raw > 4) {
+        ++stats.bad_rows;
+        continue;
+      }
+      config::ParamObservation obs;
+      obs.key = *key;
+      obs.value = std::stod(fields[8]);
+      obs.context = std::stoll(fields[9]);
+      db.add_snapshot(
+          fields[0], static_cast<std::uint32_t>(std::stoul(fields[1])),
+          static_cast<spectrum::Rat>(rat_raw),
+          static_cast<std::uint32_t>(std::stoul(fields[3])),
+          {std::stod(fields[4]), std::stod(fields[5])},
+          SimTime{std::stoll(fields[6])}, {obs});
+    } catch (const std::exception&) {
+      ++stats.bad_rows;
+    }
+  }
+  return stats;
+}
+
+Result<LoadStats> load_dataset(const std::string& path, ConfigDatabase& db) {
+  std::ifstream in(path);
+  if (!in)
+    return Result<LoadStats>::error("load_dataset: cannot open " + path);
+  return load_dataset(in, db);
+}
+
+}  // namespace mmlab::core

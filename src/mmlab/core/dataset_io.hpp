@@ -1,0 +1,31 @@
+// Dataset persistence: save a crawled ConfigDatabase to a CSV file and load
+// it back — the release format of the paper's appendix ("our codes and
+// datasets will be released").
+//
+// One row per observation:
+//   carrier,cell_id,rat,channel,x_m,y_m,t_ms,param,value,context
+// `param` is the registry name (config::param_name); loading resolves names
+// back to keys, so the file is stable across enum reordering.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mmlab/core/database.hpp"
+#include "mmlab/util/result.hpp"
+
+namespace mmlab::core {
+
+void save_dataset(const ConfigDatabase& db, std::ostream& out);
+/// Convenience: write to a file path. Throws std::runtime_error on I/O error.
+void save_dataset(const ConfigDatabase& db, const std::string& path);
+
+struct LoadStats {
+  std::size_t rows = 0;
+  std::size_t bad_rows = 0;  ///< skipped (wrong arity / unknown parameter)
+};
+
+Result<LoadStats> load_dataset(std::istream& in, ConfigDatabase& db);
+Result<LoadStats> load_dataset(const std::string& path, ConfigDatabase& db);
+
+}  // namespace mmlab::core

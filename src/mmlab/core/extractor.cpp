@@ -1,0 +1,118 @@
+#include "mmlab/core/extractor.hpp"
+
+#include <optional>
+
+#include "mmlab/diag/log.hpp"
+#include "mmlab/rrc/codec.hpp"
+
+namespace mmlab::core {
+
+namespace {
+
+/// Configuration parts accumulated while camped on one cell.
+struct PendingCell {
+  diag::CampEvent camp;
+  SimTime camp_time;
+  config::CellConfig cfg;
+  bool saw_sib3 = false;
+  std::optional<config::LegacyCellConfig> legacy;
+
+  void flush(const std::string& carrier, ConfigDatabase& db,
+             std::size_t& snapshots) const {
+    const geo::Point pos{static_cast<double>(camp.x_dm) / 10.0,
+                         static_cast<double>(camp.y_dm) / 10.0};
+    if (legacy) {
+      db.add_snapshot(carrier, camp.cell_identity,
+                      static_cast<spectrum::Rat>(camp.rat), camp.channel, pos,
+                      camp_time, config::extract_parameters(*legacy));
+      ++snapshots;
+      return;
+    }
+    if (!saw_sib3) return;  // partial capture; nothing trustworthy to file
+    db.add_snapshot(carrier, camp.cell_identity,
+                    static_cast<spectrum::Rat>(camp.rat), camp.channel, pos,
+                    camp_time, config::extract_parameters(cfg));
+    ++snapshots;
+  }
+};
+
+}  // namespace
+
+ExtractStats extract_configs(const std::string& carrier,
+                             const std::uint8_t* data, std::size_t size,
+                             ConfigDatabase& db) {
+  ExtractStats stats;
+  diag::Parser parser(data, size);
+  std::optional<PendingCell> pending;
+
+  diag::Record rec;
+  while (parser.next(rec)) {
+    ++stats.records;
+    switch (rec.code) {
+      case diag::LogCode::kServingCellInfo: {
+        diag::CampEvent ev;
+        if (!decode_camp_event(rec.payload, ev)) {
+          ++stats.malformed;
+          break;
+        }
+        if (pending) pending->flush(carrier, db, stats.snapshots);
+        pending = PendingCell{};
+        pending->camp = ev;
+        pending->camp_time = rec.timestamp;
+        ++stats.camps;
+        break;
+      }
+      case diag::LogCode::kLteRrcOta:
+      case diag::LogCode::kLegacyRrcOta: {
+        auto decoded = rrc::decode(rec.payload);
+        if (!decoded) {
+          ++stats.rrc_errors;
+          break;
+        }
+        ++stats.rrc_messages;
+        if (!pending) break;  // message before any camp: unattributable
+        const rrc::Message& msg = decoded.value();
+        if (const auto* sib1 = std::get_if<rrc::Sib1>(&msg)) {
+          // q-RxLevMin also appears in SIB1; SIB3's copy wins if present.
+          if (!pending->saw_sib3)
+            pending->cfg.serving.q_rxlevmin_dbm = sib1->q_rxlevmin_dbm;
+        } else if (const auto* sib3 = std::get_if<rrc::Sib3>(&msg)) {
+          pending->cfg.serving = sib3->serving;
+          pending->cfg.q_offset_equal_db = sib3->q_offset_equal_db;
+          pending->saw_sib3 = true;
+        } else if (const auto* sib4 = std::get_if<rrc::Sib4>(&msg)) {
+          pending->cfg.forbidden_cells = sib4->forbidden_cells;
+        } else if (const auto* sib5 = std::get_if<rrc::Sib5>(&msg)) {
+          for (const auto& nf : sib5->freqs)
+            pending->cfg.neighbor_freqs.push_back(nf);
+        } else if (const auto* sib6 = std::get_if<rrc::Sib6>(&msg)) {
+          for (const auto& nf : sib6->freqs)
+            pending->cfg.neighbor_freqs.push_back(nf);
+        } else if (const auto* sib7 = std::get_if<rrc::Sib7>(&msg)) {
+          for (const auto& nf : sib7->freqs)
+            pending->cfg.neighbor_freqs.push_back(nf);
+        } else if (const auto* sib8 = std::get_if<rrc::Sib8>(&msg)) {
+          for (const auto& nf : sib8->freqs)
+            pending->cfg.neighbor_freqs.push_back(nf);
+        } else if (const auto* reconf =
+                       std::get_if<rrc::RrcConnectionReconfiguration>(&msg)) {
+          if (!reconf->report_configs.empty())
+            pending->cfg.report_configs = reconf->report_configs;
+        } else if (const auto* legacy =
+                       std::get_if<rrc::LegacySystemInfo>(&msg)) {
+          pending->legacy = legacy->config;
+        }
+        // MeasurementReports carry no configuration.
+        break;
+      }
+      case diag::LogCode::kRadioMeasurement:
+        break;  // not configuration
+    }
+  }
+  if (pending) pending->flush(carrier, db, stats.snapshots);
+  stats.crc_failures = parser.stats().crc_failures;
+  stats.malformed += parser.stats().malformed;
+  return stats;
+}
+
+}  // namespace mmlab::core

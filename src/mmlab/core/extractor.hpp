@@ -1,0 +1,38 @@
+// The decode pipeline: diag bytes -> RRC messages -> ConfigDatabase.
+//
+// This is MMLab's "crawler" half: it replays a device diag log, reassembles
+// each camped cell's configuration from the SIBs (and measConfig) captured
+// while camped there, flattens it through the parameter registry, and files
+// the observations.  It is deliberately the *only* way data enters the
+// database — the analyses never see simulator ground truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mmlab/core/database.hpp"
+
+namespace mmlab::core {
+
+struct ExtractStats {
+  std::size_t records = 0;        ///< diag records parsed
+  std::size_t camps = 0;          ///< camping events seen
+  std::size_t snapshots = 0;      ///< configuration snapshots filed
+  std::size_t rrc_messages = 0;   ///< RRC messages decoded
+  std::size_t rrc_errors = 0;     ///< undecodable RRC payloads (skipped)
+  std::size_t crc_failures = 0;   ///< diag frames dropped by CRC
+  std::size_t malformed = 0;      ///< diag frames dropped by framing
+};
+
+/// Replay one diag log recorded on a device subscribed to `carrier`.
+ExtractStats extract_configs(const std::string& carrier,
+                             const std::uint8_t* data, std::size_t size,
+                             ConfigDatabase& db);
+
+inline ExtractStats extract_configs(const std::string& carrier,
+                                    const std::vector<std::uint8_t>& log,
+                                    ConfigDatabase& db) {
+  return extract_configs(carrier, log.data(), log.size(), db);
+}
+
+}  // namespace mmlab::core

@@ -1,0 +1,94 @@
+#include "mmlab/core/handoff_extract.hpp"
+
+#include "mmlab/diag/log.hpp"
+#include "mmlab/rrc/codec.hpp"
+
+namespace mmlab::core {
+
+std::vector<HandoffInstance> extract_handoffs(const std::uint8_t* data,
+                                              std::size_t size) {
+  // Two passes: first materialize the record sequence (we need lookahead for
+  // the new cell's first snapshot), then walk it.
+  diag::Parser parser(data, size);
+  const auto records = [&] {
+    std::vector<diag::Record> out;
+    diag::Record rec;
+    while (parser.next(rec)) out.push_back(rec);
+    return out;
+  }();
+
+  std::vector<HandoffInstance> instances;
+  std::optional<diag::CampEvent> camped;
+  std::optional<std::pair<SimTime, rrc::MeasurementReport>> last_report;
+  std::optional<std::pair<SimTime, double>> last_snapshot;  // (t, rsrp)
+
+  auto first_snapshot_after = [&](std::size_t start) -> std::optional<double> {
+    for (std::size_t j = start; j < records.size(); ++j) {
+      const auto& r = records[j];
+      if (r.code == diag::LogCode::kServingCellInfo) return std::nullopt;
+      if (r.code == diag::LogCode::kRadioMeasurement) {
+        diag::RadioSnapshot snap;
+        if (decode_radio_snapshot(r.payload, snap))
+          return static_cast<double>(snap.rsrp_cdbm) / 100.0;
+      }
+    }
+    return std::nullopt;
+  };
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& rec = records[i];
+    switch (rec.code) {
+      case diag::LogCode::kRadioMeasurement: {
+        diag::RadioSnapshot snap;
+        if (decode_radio_snapshot(rec.payload, snap))
+          last_snapshot = {rec.timestamp,
+                           static_cast<double>(snap.rsrp_cdbm) / 100.0};
+        break;
+      }
+      case diag::LogCode::kLteRrcOta: {
+        auto decoded = rrc::decode(rec.payload);
+        if (!decoded) break;
+        if (const auto* report =
+                std::get_if<rrc::MeasurementReport>(&decoded.value()))
+          last_report = {rec.timestamp, *report};
+        break;
+      }
+      case diag::LogCode::kLegacyRrcOta:
+        break;
+      case diag::LogCode::kServingCellInfo: {
+        diag::CampEvent ev;
+        if (!decode_camp_event(rec.payload, ev)) break;
+        const auto cause = static_cast<diag::CampCause>(ev.cause);
+        const bool is_handoff = cause == diag::CampCause::kActiveHandoff ||
+                                cause == diag::CampCause::kIdleReselection;
+        if (is_handoff && camped) {
+          HandoffInstance inst;
+          inst.exec_time = rec.timestamp;
+          inst.from_cell = camped->cell_identity;
+          inst.to_cell = ev.cell_identity;
+          inst.from_channel = camped->channel;
+          inst.to_channel = ev.channel;
+          inst.active_state = cause == diag::CampCause::kActiveHandoff;
+          if (inst.active_state && last_report &&
+              rec.timestamp - last_report->first <= 1'000) {
+            inst.report_time = last_report->first;
+            inst.trigger = last_report->second.trigger;
+            inst.metric = last_report->second.metric;
+            inst.reported_serving_rsrp_dbm =
+                last_report->second.serving_rsrp_dbm;
+          }
+          if (last_snapshot && rec.timestamp - last_snapshot->first <= 1'000)
+            inst.old_rsrp_dbm = last_snapshot->second;
+          inst.new_rsrp_dbm = first_snapshot_after(i + 1);
+          instances.push_back(inst);
+        }
+        camped = ev;
+        last_snapshot.reset();  // snapshots belong to the new serving cell
+        break;
+      }
+    }
+  }
+  return instances;
+}
+
+}  // namespace mmlab::core

@@ -1,0 +1,49 @@
+// Handoff-instance extraction from a drive-test diag log (dataset D1).
+//
+// An active-state handoff appears in the log as: MeasurementReport(s) ->
+// RRCConnectionReconfiguration with mobilityControlInfo -> CampEvent(cause
+// ActiveHandoff).  An idle-state handoff is a CampEvent(cause
+// IdleReselection).  Old/new radio quality is read off the periodic
+// RadioSnapshot records bracketing the switch — exactly how the paper's
+// Fig 3 trace is interpreted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mmlab/config/events.hpp"
+#include "mmlab/util/clock.hpp"
+
+namespace mmlab::core {
+
+struct HandoffInstance {
+  SimTime report_time{-1};  ///< decisive report (-1 for idle handoffs)
+  SimTime exec_time{0};
+  std::uint32_t from_cell = 0;
+  std::uint32_t to_cell = 0;
+  std::uint32_t from_channel = 0;
+  std::uint32_t to_channel = 0;
+  bool active_state = false;
+  config::EventType trigger = config::EventType::kPeriodic;
+  config::SignalMetric metric = config::SignalMetric::kRsrp;
+  /// Serving measurement carried in the decisive report.
+  double reported_serving_rsrp_dbm = 0.0;
+  /// Radio snapshots bracketing the switch (old serving / new serving).
+  std::optional<double> old_rsrp_dbm;
+  std::optional<double> new_rsrp_dbm;
+  /// Report -> execution latency (the paper's 80-230 ms observation).
+  Millis report_to_exec_ms() const {
+    return report_time.ms < 0 ? -1 : exec_time - report_time;
+  }
+};
+
+std::vector<HandoffInstance> extract_handoffs(const std::uint8_t* data,
+                                              std::size_t size);
+
+inline std::vector<HandoffInstance> extract_handoffs(
+    const std::vector<std::uint8_t>& log) {
+  return extract_handoffs(log.data(), log.size());
+}
+
+}  // namespace mmlab::core

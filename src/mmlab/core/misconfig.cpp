@@ -1,0 +1,100 @@
+#include "mmlab/core/misconfig.hpp"
+
+#include "mmlab/core/analysis.hpp"
+
+namespace mmlab::core {
+
+const char* finding_kind_name(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kNegativeA3Offset: return "negative-a3-offset";
+    case FindingKind::kPrematureMeasurement: return "premature-measurement";
+    case FindingKind::kLateNonIntraMeasure: return "late-nonintra-measurement";
+    case FindingKind::kSwappedSearchGates: return "swapped-search-gates";
+    case FindingKind::kPriorityConflict: return "priority-conflict";
+    case FindingKind::kUnsupportedTopPriority: return "top-priority-niche-band";
+    case FindingKind::kNoServingRequirement: return "a5-ignores-serving";
+  }
+  return "?";
+}
+
+std::vector<Finding> detect_misconfigurations(const ConfigDatabase& db,
+                                              const DetectorOptions& options) {
+  std::vector<Finding> findings;
+  using config::ParamId;
+  for (const auto& [carrier, cells] : db.carriers()) {
+    for (const auto& [id, rec] : cells) {
+      if (rec.rat != spectrum::Rat::kLte) continue;
+      // Per-cell checks on the latest configuration.
+      const auto a3 = rec.latest(config::lte_param(ParamId::kA3Offset));
+      if (a3 && *a3 <= 0.0)
+        findings.push_back({FindingKind::kNegativeA3Offset, carrier, id,
+                            rec.channel, *a3,
+                            "A3 offset <= 0: may hand off to a weaker cell"});
+      const auto intra = rec.latest(config::lte_param(ParamId::kSIntraSearch));
+      const auto nonintra =
+          rec.latest(config::lte_param(ParamId::kSNonIntraSearch));
+      const auto slow =
+          rec.latest(config::lte_param(ParamId::kThreshServingLow));
+      if (intra && nonintra && *intra < *nonintra)
+        findings.push_back({FindingKind::kSwappedSearchGates, carrier, id,
+                            rec.channel, *intra - *nonintra,
+                            "non-intra measurements gated before intra"});
+      if (intra && slow && *intra - *slow > options.premature_gap_db)
+        findings.push_back(
+            {FindingKind::kPrematureMeasurement, carrier, id, rec.channel,
+             *intra - *slow,
+             "intra-freq measurements run long before any decision can fire"});
+      if (nonintra && slow && *nonintra < *slow)
+        findings.push_back({FindingKind::kLateNonIntraMeasure, carrier, id,
+                            rec.channel, *nonintra - *slow,
+                            "non-intra measurement may start after the "
+                            "decision threshold is already met"});
+      const auto a5s = rec.latest(config::lte_param(ParamId::kA5Threshold1));
+      if (a5s && *a5s >= -44.0)
+        findings.push_back({FindingKind::kNoServingRequirement, carrier, id,
+                            rec.channel, *a5s,
+                            "A5 serving threshold at best RSRP: serving "
+                            "quality not considered"});
+    }
+    // Carrier-level: conflicting priorities per channel (handoff-loop risk).
+    const auto by_channel = priority_by_channel(db, carrier, false);
+    for (const auto& [channel, counts] : by_channel) {
+      if (counts.richness() > 1)
+        findings.push_back(
+            {FindingKind::kPriorityConflict, carrier, 0,
+             static_cast<std::uint32_t>(channel),
+             static_cast<double>(counts.richness()),
+             "channel observed with multiple serving priorities"});
+    }
+    // Carrier-level: highest priority assigned to a niche band (band 30
+    // story: devices lacking the band lose 4G service).
+    long best_channel = -1;
+    double best_priority = -1.0;
+    for (const auto& [channel, counts] : by_channel) {
+      for (const auto& [value, count] : counts.counts())
+        if (value > best_priority) {
+          best_priority = value;
+          best_channel = channel;
+        }
+    }
+    if (best_channel >= 0) {
+      const auto band =
+          spectrum::lte_band_for_earfcn(static_cast<std::uint32_t>(best_channel));
+      if (band && (*band == 30 || *band == 29))
+        findings.push_back(
+            {FindingKind::kUnsupportedTopPriority, carrier, 0,
+             static_cast<std::uint32_t>(best_channel), best_priority,
+             "highest priority on band " + std::to_string(*band) +
+                 "; handsets without it lose 4G here"});
+    }
+  }
+  return findings;
+}
+
+std::map<FindingKind, std::size_t> summarize(const std::vector<Finding>& f) {
+  std::map<FindingKind, std::size_t> out;
+  for (const auto& finding : f) ++out[finding.kind];
+  return out;
+}
+
+}  // namespace mmlab::core

@@ -1,0 +1,47 @@
+// Misconfiguration detectors — the troubleshooting side of the paper
+// (§4.2's questionable gaps, §5.4.1's priority conflicts and the band-30
+// outage, §6's operator suggestions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mmlab/core/database.hpp"
+#include "mmlab/spectrum/bands.hpp"
+
+namespace mmlab::core {
+
+enum class FindingKind {
+  kNegativeA3Offset,       ///< A3 with offset <= 0: handoff to a weaker cell
+  kPrematureMeasurement,   ///< Θintra − Θ(s)lower very large: wasted battery
+  kLateNonIntraMeasure,    ///< Θnonintra < Θ(s)lower: measurements too late
+  kSwappedSearchGates,     ///< Θintra < Θnonintra
+  kPriorityConflict,       ///< channel observed with conflicting priorities
+  kUnsupportedTopPriority, ///< top priority on a band devices may lack
+  kNoServingRequirement,   ///< A5 with ΘA5,S = best (serving state ignored)
+};
+
+struct Finding {
+  FindingKind kind;
+  std::string carrier;
+  std::uint32_t cell_id = 0;   ///< 0 = carrier-level finding
+  std::uint32_t channel = 0;   ///< involved channel, when applicable
+  double value = 0.0;          ///< offending value / gap
+  std::string detail;
+};
+
+struct DetectorOptions {
+  /// Gap above which intra-frequency measurement is flagged premature
+  /// (paper: >30 dB in ~95 % of AT&T cells — flag, as the paper argues).
+  double premature_gap_db = 30.0;
+};
+
+std::vector<Finding> detect_misconfigurations(
+    const ConfigDatabase& db, const DetectorOptions& options = {});
+
+/// Summary counts per kind.
+std::map<FindingKind, std::size_t> summarize(const std::vector<Finding>& f);
+
+const char* finding_kind_name(FindingKind kind);
+
+}  // namespace mmlab::core

@@ -1,0 +1,60 @@
+#include "mmlab/core/predictor.hpp"
+
+#include <algorithm>
+
+namespace mmlab::core {
+
+HandoffPredictor::HandoffPredictor(const config::CellConfig& serving_cfg,
+                                   Millis typical_decision_delay)
+    : decision_delay_(typical_decision_delay) {
+  reconfigure(serving_cfg);
+}
+
+void HandoffPredictor::reconfigure(const config::CellConfig& serving_cfg) {
+  trackers_.clear();
+  for (const auto& ev : serving_cfg.report_configs) {
+    // Only events that can nominate a handoff target are predictive;
+    // A1/A2 gates and periodic reporting do not by themselves move the UE.
+    if (!config::event_involves_neighbor(ev.type) ||
+        ev.type == config::EventType::kPeriodic)
+      continue;
+    trackers_.push_back({ev, {}});
+  }
+}
+
+Prediction HandoffPredictor::update(SimTime t, const ue::CellMeas& serving,
+                                    const std::vector<ue::CellMeas>& neighbors) {
+  Prediction best;
+  Millis best_eta = std::numeric_limits<Millis>::max();
+  for (auto& tracker : trackers_) {
+    const double serving_m = serving.metric(tracker.cfg.metric);
+    const bool inter_rat = config::event_is_inter_rat(tracker.cfg.type);
+    for (const auto& nb : neighbors) {
+      const bool nb_is_lte = nb.channel.rat == spectrum::Rat::kLte;
+      if (inter_rat == nb_is_lte) continue;
+      const double nb_m = nb.metric(tracker.cfg.metric);
+      auto it = tracker.entered.find(nb.cell_id);
+      if (ue::event_entry_condition(tracker.cfg, serving_m, nb_m)) {
+        if (it == tracker.entered.end())
+          it = tracker.entered.emplace(nb.cell_id, t).first;
+        const Millis elapsed = t - it->second;
+        const Millis eta = std::max<Millis>(
+                               0, tracker.cfg.time_to_trigger - elapsed) +
+                           decision_delay_;
+        if (eta < best_eta) {
+          best_eta = eta;
+          best.imminent = true;
+          best.expected_trigger = tracker.cfg.type;
+          best.expected_target = nb.cell_id;
+          best.eta_ms = eta;
+        }
+      } else if (it != tracker.entered.end() &&
+                 ue::event_leave_condition(tracker.cfg, serving_m, nb_m)) {
+        tracker.entered.erase(it);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace mmlab::core

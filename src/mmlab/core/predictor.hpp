@@ -1,0 +1,50 @@
+// Device-side handoff prediction (paper §6, "Device side improvement").
+//
+// Because the serving cell broadcasts its handoff policy, a device that has
+// crawled the configuration can replay the network's own trigger logic on
+// its live measurements and see a handoff coming: the predictor mirrors the
+// event engine, and flags "imminent" from the moment a decisive event's
+// entry condition starts its time-to-trigger countdown.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mmlab/config/cell_config.hpp"
+#include "mmlab/ue/event_engine.hpp"
+
+namespace mmlab::core {
+
+struct Prediction {
+  bool imminent = false;
+  config::EventType expected_trigger = config::EventType::kA3;
+  std::uint32_t expected_target = 0;
+  /// Expected time until the handoff executes: remaining TTT plus the
+  /// typical decision latency.
+  Millis eta_ms = 0;
+};
+
+class HandoffPredictor {
+ public:
+  /// `serving_cfg` is the crawled configuration of the current serving cell;
+  /// `typical_decision_delay` the report->execution latency to assume.
+  explicit HandoffPredictor(const config::CellConfig& serving_cfg,
+                            Millis typical_decision_delay = 150);
+
+  /// Feed one measurement round; returns the current prediction.
+  Prediction update(SimTime t, const ue::CellMeas& serving,
+                    const std::vector<ue::CellMeas>& neighbors);
+
+  /// Reinstall after a handoff (new serving cell, new config).
+  void reconfigure(const config::CellConfig& serving_cfg);
+
+ private:
+  struct Tracker {
+    config::EventConfig cfg;
+    std::map<std::uint32_t, SimTime> entered;  ///< per-target entry time
+  };
+  std::vector<Tracker> trackers_;
+  Millis decision_delay_;
+};
+
+}  // namespace mmlab::core

@@ -1,0 +1,46 @@
+// Handoff-stability analysis — the paper's companion findings ([22, 24]:
+// "Instability in Distributed Mobility Management") surfaced through this
+// dataset: ping-pong handoffs in traces, and configuration-level priority
+// loops that make them structural.
+#pragma once
+
+#include <vector>
+
+#include "mmlab/core/database.hpp"
+#include "mmlab/core/handoff_extract.hpp"
+
+namespace mmlab::core {
+
+/// Trace-level instability: handoffs that revert within a short window.
+struct PingPongStats {
+  std::size_t handoffs = 0;
+  /// A->B immediately followed by B->A within the window.
+  std::size_t pingpongs = 0;
+  /// A->B->C->A style loops (3 switches returning to the origin) within
+  /// twice the window.
+  std::size_t loops3 = 0;
+  double pingpong_fraction() const {
+    return handoffs == 0 ? 0.0
+                         : static_cast<double>(pingpongs) /
+                               static_cast<double>(handoffs);
+  }
+};
+
+PingPongStats analyze_pingpong(const std::vector<HandoffInstance>& instances,
+                               Millis window = 10'000);
+
+/// Configuration-level instability: a pair of channels where cells on each
+/// side advertise the *other* side as strictly higher priority — a device
+/// reselecting on priority alone bounces between them.
+struct PriorityLoop {
+  std::uint32_t channel_a = 0;
+  std::uint32_t channel_b = 0;
+  /// How many cells on each side contribute the conflicting view.
+  std::size_t cells_a = 0;
+  std::size_t cells_b = 0;
+};
+
+std::vector<PriorityLoop> detect_priority_loops(const ConfigDatabase& db,
+                                                const std::string& carrier);
+
+}  // namespace mmlab::core

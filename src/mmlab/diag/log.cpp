@@ -1,0 +1,204 @@
+#include "mmlab/diag/log.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "mmlab/util/crc.hpp"
+
+namespace mmlab::diag {
+
+namespace {
+
+constexpr std::uint8_t kTerminator = 0x7E;
+constexpr std::uint8_t kEscape = 0x7D;
+constexpr std::uint8_t kEscTerminator = 0x5E;  // 0x7E ^ 0x20
+constexpr std::uint8_t kEscEscape = 0x5D;      // 0x7D ^ 0x20
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(u & 0xFF));
+    u >>= 8;
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::int64_t get_i64(const std::uint8_t* p) {
+  std::uint64_t u = 0;
+  for (int i = 7; i >= 0; --i) u = (u << 8) | p[i];
+  return static_cast<std::int64_t>(u);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    v >>= 8;
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void Writer::append(const Record& record) {
+  if (record.payload.size() > 0xFFFF)
+    throw std::invalid_argument("diag: payload too large");
+  std::vector<std::uint8_t> body;
+  body.reserve(12 + record.payload.size());
+  put_u16(body, static_cast<std::uint16_t>(record.code));
+  put_i64(body, record.timestamp.ms);
+  put_u16(body, static_cast<std::uint16_t>(record.payload.size()));
+  body.insert(body.end(), record.payload.begin(), record.payload.end());
+  const std::uint16_t crc = crc16_ccitt(body.data(), body.size());
+  put_u16(body, crc);
+  for (std::uint8_t b : body) {
+    if (b == kTerminator) {
+      buffer_.push_back(kEscape);
+      buffer_.push_back(kEscTerminator);
+    } else if (b == kEscape) {
+      buffer_.push_back(kEscape);
+      buffer_.push_back(kEscEscape);
+    } else {
+      buffer_.push_back(b);
+    }
+  }
+  buffer_.push_back(kTerminator);
+  ++count_;
+}
+
+bool Parser::next(Record& out) {
+  while (pos_ < size_) {
+    // Collect and unescape bytes up to the next terminator.
+    std::vector<std::uint8_t> body;
+    bool saw_terminator = false;
+    bool bad_escape = false;
+    while (pos_ < size_) {
+      const std::uint8_t b = data_[pos_++];
+      if (b == kTerminator) {
+        saw_terminator = true;
+        break;
+      }
+      if (b == kEscape) {
+        if (pos_ >= size_) {
+          bad_escape = true;
+          break;
+        }
+        const std::uint8_t e = data_[pos_++];
+        if (e == kEscTerminator)
+          body.push_back(kTerminator);
+        else if (e == kEscEscape)
+          body.push_back(kEscape);
+        else {
+          bad_escape = true;
+          // Skip ahead to the terminator to resync.
+          while (pos_ < size_ && data_[pos_] != kTerminator) ++pos_;
+          if (pos_ < size_) {
+            ++pos_;
+            saw_terminator = true;
+          }
+          break;
+        }
+      } else {
+        body.push_back(b);
+      }
+    }
+    if (!saw_terminator) {
+      // Truncated trailing frame (log cut mid-write): count iff non-empty.
+      if (!body.empty() || bad_escape) ++stats_.malformed;
+      return false;
+    }
+    if (bad_escape) {
+      ++stats_.malformed;
+      continue;
+    }
+    if (body.empty()) continue;  // stray terminator between frames
+    if (body.size() < 14) {      // 12-byte header + 2-byte CRC
+      ++stats_.malformed;
+      continue;
+    }
+    const std::size_t crc_pos = body.size() - 2;
+    const std::uint16_t want = get_u16(body.data() + crc_pos);
+    const std::uint16_t got = crc16_ccitt(body.data(), crc_pos);
+    if (want != got) {
+      ++stats_.crc_failures;
+      continue;
+    }
+    const std::uint16_t len = get_u16(body.data() + 10);
+    if (static_cast<std::size_t>(len) + 14 != body.size()) {
+      ++stats_.malformed;
+      continue;
+    }
+    out.code = static_cast<LogCode>(get_u16(body.data()));
+    out.timestamp = SimTime{get_i64(body.data() + 2)};
+    out.payload.assign(body.begin() + 12, body.begin() + 12 + len);
+    ++stats_.records;
+    return true;
+  }
+  return false;
+}
+
+std::vector<Record> Parser::all() {
+  std::vector<Record> out;
+  Record rec;
+  while (next(rec)) out.push_back(rec);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_camp_event(const CampEvent& ev) {
+  std::vector<std::uint8_t> out;
+  out.reserve(20);
+  put_u32(out, ev.cell_identity);
+  put_u16(out, ev.pci);
+  out.push_back(ev.rat);
+  put_u32(out, ev.channel);
+  out.push_back(ev.cause);
+  put_u32(out, static_cast<std::uint32_t>(ev.x_dm));
+  put_u32(out, static_cast<std::uint32_t>(ev.y_dm));
+  return out;
+}
+
+bool decode_camp_event(const std::vector<std::uint8_t>& payload,
+                       CampEvent& out) {
+  if (payload.size() != 20) return false;
+  out.cell_identity = get_u32(payload.data());
+  out.pci = get_u16(payload.data() + 4);
+  out.rat = payload[6];
+  out.channel = get_u32(payload.data() + 7);
+  out.cause = payload[11];
+  out.x_dm = static_cast<std::int32_t>(get_u32(payload.data() + 12));
+  out.y_dm = static_cast<std::int32_t>(get_u32(payload.data() + 16));
+  return true;
+}
+
+std::vector<std::uint8_t> encode_radio_snapshot(const RadioSnapshot& snap) {
+  std::vector<std::uint8_t> out;
+  out.reserve(6);
+  put_u16(out, static_cast<std::uint16_t>(snap.rsrp_cdbm));
+  put_u16(out, static_cast<std::uint16_t>(snap.rsrq_cdb));
+  put_u16(out, static_cast<std::uint16_t>(snap.sinr_cdb));
+  return out;
+}
+
+bool decode_radio_snapshot(const std::vector<std::uint8_t>& payload,
+                           RadioSnapshot& out) {
+  if (payload.size() != 6) return false;
+  out.rsrp_cdbm = static_cast<std::int16_t>(get_u16(payload.data()));
+  out.rsrq_cdb = static_cast<std::int16_t>(get_u16(payload.data() + 2));
+  out.sinr_cdb = static_cast<std::int16_t>(get_u16(payload.data() + 4));
+  return true;
+}
+
+}  // namespace mmlab::diag

@@ -1,0 +1,35 @@
+// Flat 2D geometry in meters.
+//
+// Deployments span a handful of metropolitan areas a few tens of km wide;
+// a local tangent-plane approximation (x east, y north, meters) is accurate
+// to well under the cell-radius scale, so we avoid geodesic math entirely.
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+namespace mmlab::geo {
+
+struct Point {
+  double x = 0.0;  ///< meters east of the region origin
+  double y = 0.0;  ///< meters north of the region origin
+
+  constexpr auto operator<=>(const Point&) const = default;
+  constexpr Point operator+(Point o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(Point o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double k) const { return {x * k, y * k}; }
+};
+
+inline double distance(Point a, Point b) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+inline double norm(Point p) { return std::sqrt(p.x * p.x + p.y * p.y); }
+
+/// Linear interpolation a -> b at fraction t in [0, 1].
+inline Point lerp(Point a, Point b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+}  // namespace mmlab::geo

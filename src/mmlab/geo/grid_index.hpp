@@ -1,0 +1,60 @@
+// Uniform-grid spatial index for radius queries over point sets.
+//
+// Used on both the hot path (which cells can a UE hear right now?) and the
+// analysis path (cluster cells within R km of each cell, Fig 21).  A hash
+// grid with cell size ~= the common query radius gives O(points-in-range)
+// queries without any balancing logic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mmlab/geo/geometry.hpp"
+
+namespace mmlab::geo {
+
+class GridIndex {
+ public:
+  /// `bucket_m` is the grid pitch; pick close to the typical query radius.
+  explicit GridIndex(double bucket_m = 2000.0);
+
+  /// Insert a point with an opaque integer id (caller's index).
+  void insert(std::uint32_t id, Point p);
+
+  /// All ids within `radius_m` of `center` (inclusive), unordered.
+  std::vector<std::uint32_t> query(Point center, double radius_m) const;
+
+  /// Visit ids within radius without allocating.
+  void for_each_in_radius(Point center, double radius_m,
+                          const std::function<void(std::uint32_t)>& fn) const;
+
+  std::size_t size() const { return count_; }
+
+ private:
+  struct Key {
+    std::int64_t cx, cy;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = static_cast<std::uint64_t>(k.cx) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<std::uint64_t>(k.cy) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  Key key_for(Point p) const {
+    return {static_cast<std::int64_t>(std::floor(p.x / bucket_m_)),
+            static_cast<std::int64_t>(std::floor(p.y / bucket_m_))};
+  }
+
+  double bucket_m_;
+  std::size_t count_ = 0;
+  std::unordered_map<Key, std::vector<std::pair<std::uint32_t, Point>>, KeyHash>
+      buckets_;
+};
+
+}  // namespace mmlab::geo

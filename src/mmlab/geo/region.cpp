@@ -1,0 +1,10 @@
+#include "mmlab/geo/region.hpp"
+
+namespace mmlab::geo {
+
+bool contains(const City& city, Point p) {
+  return p.x >= city.origin.x && p.x <= city.origin.x + city.extent_m &&
+         p.y >= city.origin.y && p.y <= city.origin.y + city.extent_m;
+}
+
+}  // namespace mmlab::geo

@@ -1,0 +1,27 @@
+// Named geographic regions (the paper's measurement cities) and their
+// bounding extents. Cities carry an id used to group cells for the
+// city-level analysis (Fig 20) and the dense-crawl subset (Fig 21).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mmlab/geo/geometry.hpp"
+
+namespace mmlab::geo {
+
+using CityId = int;
+
+struct City {
+  CityId id = 0;
+  std::string name;        ///< e.g. "Chicago"
+  std::string code;        ///< paper's label, e.g. "C1"
+  std::string country;     ///< ISO-ish country label, e.g. "US"
+  Point origin;            ///< offset of this city's area in the world plane
+  double extent_m = 0.0;   ///< side of the square metro area, meters
+};
+
+/// Whether `p` lies within the city's square extent.
+bool contains(const City& city, Point p);
+
+}  // namespace mmlab::geo

@@ -1,0 +1,79 @@
+#include "mmlab/mobility/route.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mmlab::mobility {
+
+Route Route::from_waypoints(std::vector<Waypoint> waypoints) {
+  if (waypoints.size() < 2)
+    throw std::invalid_argument("Route: need at least two waypoints");
+  Route r;
+  r.waypoints_ = std::move(waypoints);
+  r.times_.resize(r.waypoints_.size());
+  r.times_[0] = 0;
+  for (std::size_t i = 1; i < r.waypoints_.size(); ++i) {
+    const double seg =
+        geo::distance(r.waypoints_[i - 1].position, r.waypoints_[i].position);
+    const double speed = std::max(r.waypoints_[i - 1].speed_mps, 0.1);
+    r.length_m_ += seg;
+    r.times_[i] =
+        r.times_[i - 1] + static_cast<Millis>(std::llround(seg / speed * 1e3));
+  }
+  return r;
+}
+
+geo::Point Route::position_at(Millis t) const {
+  if (t <= 0) return waypoints_.front().position;
+  if (t >= times_.back()) return waypoints_.back().position;
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto i = static_cast<std::size_t>(it - times_.begin());
+  const Millis t0 = times_[i - 1], t1 = times_[i];
+  const double frac = t1 == t0 ? 0.0
+                               : static_cast<double>(t - t0) /
+                                     static_cast<double>(t1 - t0);
+  return geo::lerp(waypoints_[i - 1].position, waypoints_[i].position, frac);
+}
+
+Route manhattan_drive(Rng& rng, const geo::City& city, double speed_mps,
+                      Millis duration, double block_m) {
+  // Start at a random intersection in the central half of the city.
+  const double extent = city.extent_m;
+  auto snap = [&](double v) { return std::round(v / block_m) * block_m; };
+  geo::Point pos{city.origin.x + snap(rng.uniform(0.25, 0.75) * extent),
+                 city.origin.y + snap(rng.uniform(0.25, 0.75) * extent)};
+  std::vector<Waypoint> wps{{pos, speed_mps}};
+  Millis elapsed = 0;
+  int heading = static_cast<int>(rng.below(4));  // 0=E 1=N 2=W 3=S
+  while (elapsed < duration) {
+    const int blocks = static_cast<int>(rng.between(2, 6));
+    const double leg = blocks * block_m;
+    geo::Point next = pos;
+    switch (heading) {
+      case 0: next.x += leg; break;
+      case 1: next.y += leg; break;
+      case 2: next.x -= leg; break;
+      default: next.y -= leg; break;
+    }
+    // Bounce off the city boundary by reversing the heading.
+    if (next.x < city.origin.x || next.x > city.origin.x + extent ||
+        next.y < city.origin.y || next.y > city.origin.y + extent) {
+      heading = (heading + 2) % 4;
+      continue;
+    }
+    pos = next;
+    wps.push_back({pos, speed_mps});
+    elapsed += static_cast<Millis>(std::llround(leg / speed_mps * 1e3));
+    // Turn or continue: 60 % turn at each intersection block run.
+    if (rng.chance(0.6))
+      heading = (heading + (rng.chance(0.5) ? 1 : 3)) % 4;
+  }
+  return Route::from_waypoints(std::move(wps));
+}
+
+Route highway_drive(geo::Point a, geo::Point b, double speed_mps) {
+  return Route::from_waypoints({{a, speed_mps}, {b, speed_mps}});
+}
+
+}  // namespace mmlab::mobility

@@ -1,0 +1,48 @@
+// UE movement: piecewise-linear routes with per-segment speeds, plus
+// generators for the paper's two drive profiles — city grid driving
+// (<50 km/h) and highway driving (90-120 km/h).
+#pragma once
+
+#include <vector>
+
+#include "mmlab/geo/region.hpp"
+#include "mmlab/util/clock.hpp"
+#include "mmlab/util/rng.hpp"
+
+namespace mmlab::mobility {
+
+struct Waypoint {
+  geo::Point position;
+  double speed_mps = 13.9;  ///< speed while travelling *to the next* waypoint
+};
+
+/// A drive: piecewise-linear path traversed at per-segment speeds.
+class Route {
+ public:
+  static Route from_waypoints(std::vector<Waypoint> waypoints);
+
+  /// Position at time t since route start; clamped to the endpoints.
+  geo::Point position_at(Millis t) const;
+
+  Millis duration() const { return times_.empty() ? 0 : times_.back(); }
+  double length_m() const { return length_m_; }
+  const std::vector<Waypoint>& waypoints() const { return waypoints_; }
+
+ private:
+  std::vector<Waypoint> waypoints_;
+  std::vector<Millis> times_;  ///< arrival time at each waypoint
+  double length_m_ = 0.0;
+};
+
+/// Random Manhattan-grid drive inside a city: axis-aligned legs of
+/// `block_m`-multiples, turning at intersections, bounded to the city square.
+Route manhattan_drive(Rng& rng, const geo::City& city, double speed_mps,
+                      Millis duration, double block_m = 500.0);
+
+/// Straight highway drive from a to b at the given speed.
+Route highway_drive(geo::Point a, geo::Point b, double speed_mps);
+
+/// kph -> m/s.
+constexpr double kph(double v) { return v / 3.6; }
+
+}  // namespace mmlab::mobility

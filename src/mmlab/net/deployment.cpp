@@ -1,0 +1,105 @@
+#include "mmlab/net/deployment.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mmlab::net {
+
+Deployment::Deployment()
+    : shadowing_(std::make_unique<radio::ShadowingField>(0x5eedf1e1dULL, 7.0,
+                                                         50.0)) {}
+
+CarrierId Deployment::add_carrier(Carrier carrier) {
+  carrier.id = static_cast<CarrierId>(carriers_.size());
+  carriers_.push_back(std::move(carrier));
+  index_per_carrier_.push_back(std::make_unique<geo::GridIndex>(2000.0));
+  return carriers_.back().id;
+}
+
+void Deployment::add_city(geo::City city) { cities_.push_back(std::move(city)); }
+
+void Deployment::set_shadowing(std::uint64_t seed, double sigma_db,
+                               double corr_distance_m) {
+  shadowing_ = std::make_unique<radio::ShadowingField>(seed, sigma_db,
+                                                       corr_distance_m);
+}
+
+void Deployment::add_cell(Cell cell) {
+  if (cell.carrier >= carriers_.size())
+    throw std::invalid_argument("Deployment: unknown carrier");
+  const auto index = static_cast<std::uint32_t>(cells_.size());
+  index_per_carrier_[cell.carrier]->insert(index, cell.position);
+  cells_.push_back(std::move(cell));
+}
+
+void Deployment::update_lte_config(CellId id, config::CellConfig cfg) {
+  for (auto& cell : cells_) {
+    if (cell.id == id) {
+      cell.lte_config = std::move(cfg);
+      return;
+    }
+  }
+  throw std::invalid_argument("Deployment: unknown cell id");
+}
+
+const Cell* Deployment::find_cell(CellId id) const {
+  for (const auto& cell : cells_)
+    if (cell.id == id) return &cell;
+  return nullptr;
+}
+
+const Carrier* Deployment::find_carrier(CarrierId id) const {
+  return id < carriers_.size() ? &carriers_[id] : nullptr;
+}
+
+const geo::City* Deployment::find_city(geo::CityId id) const {
+  for (const auto& city : cities_)
+    if (city.id == id) return &city;
+  return nullptr;
+}
+
+std::vector<std::uint32_t> Deployment::cells_near(geo::Point p, double radius_m,
+                                                  CarrierId carrier) const {
+  if (carrier >= index_per_carrier_.size()) return {};
+  return index_per_carrier_[carrier]->query(p, radius_m);
+}
+
+radio::Transmitter Deployment::transmitter_of(const Cell& cell) const {
+  double freq_mhz = 2000.0;
+  switch (cell.channel.rat) {
+    case spectrum::Rat::kLte:
+      if (auto f = spectrum::lte_dl_frequency_mhz(cell.channel.number))
+        freq_mhz = *f;
+      break;
+    case spectrum::Rat::kUmts:
+      freq_mhz = spectrum::umts_dl_frequency_mhz(cell.channel.number);
+      break;
+    case spectrum::Rat::kGsm:
+      freq_mhz = 900.0;
+      break;
+    case spectrum::Rat::kEvdo:
+    case spectrum::Rat::kCdma1x:
+      freq_mhz = 850.0;
+      break;
+  }
+  return radio::Transmitter{cell.id, cell.position, cell.tx_power_dbm,
+                            freq_mhz};
+}
+
+double Deployment::rsrp_at(const Cell& cell, geo::Point p) const {
+  return radio::rsrp_dbm(transmitter_of(cell), p, pathloss_, *shadowing_);
+}
+
+std::vector<double> Deployment::cochannel_interference(const Cell& serving,
+                                                       geo::Point p) const {
+  std::vector<double> out;
+  for (auto idx : cells_near(p, kInterferenceRadiusM, serving.carrier)) {
+    const Cell& other = cells_[idx];
+    if (other.id == serving.id || other.channel != serving.channel) continue;
+    const double rsrp = rsrp_at(other, p);
+    if (rsrp > kDetectionFloorDbm - 10.0) out.push_back(rsrp);
+  }
+  return out;
+}
+
+}  // namespace mmlab::net

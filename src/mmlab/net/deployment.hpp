@@ -1,0 +1,115 @@
+// The carrier network model: cells, carriers, and the Deployment container
+// with spatial indexes and the radio environment.
+//
+// A Deployment is the ground truth the simulator runs against.  MMLab (the
+// measurement side) never reads it directly — it sees only what cells
+// broadcast over the air; tests assert the crawled view matches this truth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mmlab/config/cell_config.hpp"
+#include "mmlab/geo/grid_index.hpp"
+#include "mmlab/geo/region.hpp"
+#include "mmlab/radio/link.hpp"
+#include "mmlab/spectrum/bands.hpp"
+
+namespace mmlab::net {
+
+using CellId = std::uint32_t;     ///< global cell identity (28-bit)
+using CarrierId = std::uint16_t;
+
+struct Carrier {
+  CarrierId id = 0;
+  std::string name;     ///< "AT&T"
+  std::string acronym;  ///< Tab 3 bold letters: "A", "T", "CM", ...
+  std::string country;  ///< "US", "CN", ...
+};
+
+struct Cell {
+  CellId id = 0;
+  std::uint16_t pci = 0;   ///< physical cell id (0..503)
+  CarrierId carrier = 0;
+  spectrum::Channel channel;     ///< RAT + channel number
+  geo::Point position;
+  geo::CityId city = 0;
+  double tx_power_dbm = 15.0;    ///< per-RE reference-signal power
+  int bandwidth_prbs = 50;
+  /// LTE configuration (meaningful when channel.rat == kLte).
+  config::CellConfig lte_config;
+  /// Legacy configuration (meaningful otherwise).
+  config::LegacyCellConfig legacy_config;
+
+  bool is_lte() const { return channel.rat == spectrum::Rat::kLte; }
+};
+
+class Deployment {
+ public:
+  Deployment();
+
+  // --- construction ---
+  CarrierId add_carrier(Carrier carrier);
+  void add_city(geo::City city);
+  /// Adds the cell and indexes it. Cell ids must be unique.
+  void add_cell(Cell cell);
+
+  /// Replace a cell's LTE configuration (temporal reconfiguration, Fig 13).
+  void update_lte_config(CellId id, config::CellConfig cfg);
+
+  // --- lookup ---
+  const std::vector<Carrier>& carriers() const { return carriers_; }
+  const std::vector<geo::City>& cities() const { return cities_; }
+  const std::vector<Cell>& cells() const { return cells_; }
+  /// Mutable access by index (position is fixed at add time; only the
+  /// configuration may be edited — used by temporal reconfiguration).
+  Cell& cell_at(std::size_t index) { return cells_.at(index); }
+  const Cell* find_cell(CellId id) const;
+  const Carrier* find_carrier(CarrierId id) const;
+  const geo::City* find_city(geo::CityId id) const;
+
+  /// Indices (into cells()) of one carrier's cells within radius of p.
+  std::vector<std::uint32_t> cells_near(geo::Point p, double radius_m,
+                                        CarrierId carrier) const;
+
+  // --- radio environment ---
+  const radio::PathLossModel& pathloss() const { return pathloss_; }
+  const radio::ShadowingField& shadowing() const { return *shadowing_; }
+  void set_pathloss(radio::PathLossModel m) { pathloss_ = m; }
+  /// Replace the shadowing field (tests use sigma = 0 for exact radio).
+  void set_shadowing(std::uint64_t seed, double sigma_db,
+                     double corr_distance_m);
+
+  /// RSRP of `cell` at `p` (no measurement noise).
+  double rsrp_at(const Cell& cell, geo::Point p) const;
+
+  /// Per-RE powers of co-channel cells (same carrier, same channel,
+  /// excluding `serving`) audible at `p` — the interference set.
+  std::vector<double> cochannel_interference(const Cell& serving,
+                                             geo::Point p) const;
+
+ private:
+  radio::Transmitter transmitter_of(const Cell& cell) const;
+
+  std::vector<Carrier> carriers_;
+  std::vector<geo::City> cities_;
+  std::vector<Cell> cells_;
+  std::vector<std::unique_ptr<geo::GridIndex>> index_per_carrier_;
+  radio::PathLossModel pathloss_{3.5, 100.0};
+  std::unique_ptr<radio::ShadowingField> shadowing_;
+};
+
+/// Audible-signal floor: cells whose RSRP would fall below this are not
+/// detectable by a UE and are skipped during measurement.
+constexpr double kDetectionFloorDbm = -132.0;
+
+/// Default search radius when enumerating candidate cells around a UE.
+constexpr double kAudibleRadiusM = 6'000.0;
+
+/// Search radius for co-channel interference; beyond this each interferer
+/// contributes less than the noise floor under the urban path-loss model.
+constexpr double kInterferenceRadiusM = 4'000.0;
+
+}  // namespace mmlab::net

@@ -1,0 +1,117 @@
+// Per-carrier configuration-policy profiles.
+//
+// The paper's D2 dataset is a joint distribution of handoff parameters over
+// 32k cells of 30 carriers; every large-scale figure (12-22) is a statistic
+// of it.  A CarrierProfile encodes one carrier's policy as the paper
+// reports it: which LTE channels it runs and with what priorities (Fig 18),
+// how each tunable parameter is distributed (Figs 14-17), how spatially
+// coherent the values are (Fig 21: T-Mobile uniform within a market, AT&T
+// per-cell), the legacy-RAT mix (Tab 4) and per-RAT parameter diversity
+// (Fig 22), and the temporal reconfiguration rates (Fig 13).
+//
+// Calibration targets come from the paper's figures, not its raw data (long
+// unavailable); EXPERIMENTS.md tracks how closely the regenerated statistics
+// land.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mmlab/config/events.hpp"
+#include "mmlab/geo/region.hpp"
+#include "mmlab/spectrum/bands.hpp"
+#include "mmlab/stats/discrete.hpp"
+#include "mmlab/util/clock.hpp"
+
+namespace mmlab::netgen {
+
+/// One LTE channel a carrier operates, with its serving-cell share and the
+/// priority policy on that channel (multi-valued = the Fig 18 conflicts).
+struct FreqPolicy {
+  std::uint32_t earfcn = 0;
+  double weight = 1.0;  ///< share of the carrier's LTE cells on this channel
+  stats::Discrete<int> priority;
+  /// Optional per-city multiplier on `weight` (drives Fig 20's city skew).
+  std::map<geo::CityId, double> city_weight_mult;
+};
+
+/// One decisive reporting-event policy (the cell's handoff trigger).
+struct EventPolicy {
+  config::EventType type = config::EventType::kA3;
+  config::SignalMetric metric = config::SignalMetric::kRsrp;
+  double weight = 1.0;
+  stats::Discrete<double> threshold1;  ///< serving threshold (A5/B2)
+  stats::Discrete<double> threshold2;  ///< candidate threshold (A4/A5)
+  stats::Discrete<double> offset;      ///< A3 offset
+  stats::Discrete<double> hysteresis;
+  stats::Discrete<Millis> report_interval;  ///< for periodic reporting
+};
+
+/// Legacy-RAT presence and parameter-diversity policy.
+struct LegacyRatPolicy {
+  spectrum::Rat rat = spectrum::Rat::kUmts;
+  double share = 0.0;          ///< of the carrier's cells
+  double param_fixed_prob = 0.8;  ///< P(parameter single-valued carrier-wide)
+  int max_values = 4;          ///< richness cap for variable parameters
+};
+
+struct CarrierProfile {
+  std::string name;
+  std::string acronym;  ///< Tab 3 bold letters
+  std::string country;
+  int cell_count = 100;         ///< at scale 1.0 (Fig 12)
+  double tract_m = 0.0;         ///< spatial coherence: 0 = per-cell draws,
+                                ///< else one draw per tract_m-sized tract
+  std::uint64_t seed_salt = 0;  ///< per-carrier RNG stream separation
+
+  std::vector<FreqPolicy> lte_freqs;
+  std::vector<LegacyRatPolicy> legacy;
+
+  // Idle-state (SIB) parameter distributions.
+  stats::Discrete<double> dmin;                ///< ∆min (q-RxLevMin)
+  stats::Discrete<double> q_hyst;              ///< Hs
+  stats::Discrete<double> s_intra;             ///< Θintra
+  stats::Discrete<double> s_nonintra;          ///< Θnonintra
+  stats::Discrete<double> thresh_serving_low;  ///< Θ(s)lower
+  stats::Discrete<double> q_offset_equal;      ///< ∆equal
+  stats::Discrete<Millis> t_resel;
+  stats::Discrete<double> thresh_high;         ///< Θ(c)higher
+  stats::Discrete<double> thresh_low;          ///< Θ(c)lower
+  stats::Discrete<double> q_offset_freq;       ///< ∆freq
+  stats::Discrete<double> meas_bandwidth;
+
+  // Reporting-event policy.
+  double a2_gate_prob = 0.9;  ///< P(cell configures an A2 measurement gate)
+  stats::Discrete<double> a2_threshold;
+  stats::Discrete<double> a2_hysteresis;
+  std::vector<EventPolicy> decisive;   ///< exactly one drawn per cell
+  double extra_periodic_prob = 0.0;    ///< P(additional P config on top)
+  stats::Discrete<Millis> ttt;         ///< TreportTrigger (shared)
+  stats::Discrete<Millis> periodic_interval;
+
+  /// Probability that a cell's (Θintra, Θnonintra) pair is swapped —
+  /// the rare counterexamples of §4.2 (two carriers, specific areas).
+  double swapped_search_prob = 0.0;
+
+  /// Fig 13 temporal dynamics: probability a cell's idle/active parameters
+  /// are reconfigured at least once over the two-year collection window.
+  double idle_update_prob_2y = 0.02;
+  double active_update_prob_2y = 0.33;
+};
+
+/// All 30 carriers of Tab 3, fully calibrated.
+const std::vector<CarrierProfile>& standard_carrier_profiles();
+
+/// The measurement cities. US: C1 Chicago, C2 LA, C3 Indianapolis,
+/// C4 Columbus, C5 Lafayette (Fig 20); one metro per non-US country.
+std::vector<geo::City> standard_cities();
+
+/// City ids for the US cities, in C1..C5 order.
+const std::vector<geo::CityId>& us_city_ids();
+
+/// Share of a US carrier's cells per US city (C1..C5), matching Fig 20's
+/// relative totals.
+const std::vector<double>& us_city_weights();
+
+}  // namespace mmlab::netgen

@@ -1,0 +1,32 @@
+// Bit-packed RRC codec.
+//
+// Encoding mirrors ASN.1 UPER practice: each field occupies the minimum
+// number of bits for its constrained range, values on standardized grids are
+// encoded as grid indices (see config/quant.hpp), and list fields carry an
+// explicit count.  A one-byte message-type discriminator precedes the
+// payload so a decoder can dispatch without context (the diag log also
+// carries the type in its record header; the two must agree).
+//
+// encode() throws std::invalid_argument on out-of-range/off-grid input —
+// such configurations are unrepresentable on the air interface, so refusing
+// them at the encoder keeps the synthetic dataset standards-clean.
+// decode() never throws on malformed bytes; it returns an error Result,
+// because a real diag stream contains truncated and corrupted records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmlab/rrc/messages.hpp"
+#include "mmlab/util/result.hpp"
+
+namespace mmlab::rrc {
+
+std::vector<std::uint8_t> encode(const Message& msg);
+
+Result<Message> decode(const std::uint8_t* data, std::size_t size);
+inline Result<Message> decode(const std::vector<std::uint8_t>& buf) {
+  return decode(buf.data(), buf.size());
+}
+
+}  // namespace mmlab::rrc

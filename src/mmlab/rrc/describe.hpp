@@ -1,0 +1,16 @@
+// Human-readable one-line summaries of RRC messages — what MobileInsight's
+// message viewer shows, and what the paper's Fig 3 trace excerpt looks like.
+#pragma once
+
+#include <string>
+
+#include "mmlab/rrc/messages.hpp"
+
+namespace mmlab::rrc {
+
+/// One-line description, e.g.
+///   "SIB3 prio=3 sIntra=62dB sNonIntra=8dB qHyst=4dB"
+///   "MeasurementReport A3 serving pci=101 rsrp=-97dBm +2 neighbours"
+std::string describe(const Message& msg);
+
+}  // namespace mmlab::rrc

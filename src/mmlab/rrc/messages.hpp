@@ -1,0 +1,135 @@
+// RRC message model (TS 36.331 message family, reduced to the fields the
+// measurement study extracts).
+//
+// The serving cell broadcasts System Information Blocks:
+//   SIB1 — cell identity, tracking area, carrier, q-RxLevMin
+//   SIB3 — serving-cell reselection parameters (priority, hysteresis, search
+//          thresholds, Treselection)
+//   SIB4 — intra-frequency neighbour / forbidden-cell list
+//   SIB5 — inter-frequency (LTE) neighbour carrier list
+//   SIB6 — UMTS neighbour carriers, SIB7 — GSM, SIB8 — CDMA2000
+// and signals per-connection:
+//   RRCConnectionReconfiguration — measConfig (report configurations) and,
+//          when it commands a handoff, mobilityControlInfo
+//   MeasurementReport — UE -> network event report (the paper's Fig 3 trace)
+// Legacy RATs broadcast their own system information, modeled uniformly as
+// LegacySystemInfo.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "mmlab/config/cell_config.hpp"
+
+namespace mmlab::rrc {
+
+/// Physical cell identity, 0..503 on LTE.
+using Pci = std::uint16_t;
+/// 28-bit E-UTRAN global cell identity.
+using CellIdentity = std::uint32_t;
+
+struct Sib1 {
+  CellIdentity cell_identity = 0;
+  std::uint16_t tracking_area = 0;
+  std::uint32_t earfcn = 0;
+  double q_rxlevmin_dbm = -122.0;
+  int bandwidth_prbs = 50;  ///< {6,15,25,50,75,100}
+
+  bool operator==(const Sib1&) const = default;
+};
+
+struct Sib3 {
+  config::ServingIdleConfig serving;
+  double q_offset_equal_db = 4.0;  ///< ∆equal
+
+  bool operator==(const Sib3&) const = default;
+};
+
+struct Sib4 {
+  std::vector<std::uint32_t> forbidden_cells;  ///< Listforbid
+
+  bool operator==(const Sib4&) const = default;
+};
+
+/// SIB5/6/7/8 share one layout: a list of neighbour carriers of one RAT.
+struct NeighborFreqList {
+  spectrum::Rat target_rat = spectrum::Rat::kLte;
+  std::vector<config::NeighborFreqConfig> freqs;
+
+  bool operator==(const NeighborFreqList&) const = default;
+};
+
+struct Sib5 : NeighborFreqList {};  ///< inter-freq LTE
+struct Sib6 : NeighborFreqList {};  ///< UMTS
+struct Sib7 : NeighborFreqList {};  ///< GSM
+struct Sib8 : NeighborFreqList {};  ///< CDMA2000 (EV-DO / 1x)
+
+/// Handoff command payload inside RRCConnectionReconfiguration.
+struct MobilityControlInfo {
+  Pci target_pci = 0;
+  spectrum::Channel target_channel;
+
+  bool operator==(const MobilityControlInfo&) const = default;
+};
+
+struct RrcConnectionReconfiguration {
+  std::vector<config::EventConfig> report_configs;  ///< measConfig
+  std::optional<MobilityControlInfo> mobility;      ///< present = handoff cmd
+
+  bool operator==(const RrcConnectionReconfiguration&) const = default;
+};
+
+struct NeighborMeasurement {
+  Pci pci = 0;
+  spectrum::Channel channel;
+  double rsrp_dbm = -140.0;
+  double rsrq_db = -19.5;
+
+  bool operator==(const NeighborMeasurement&) const = default;
+};
+
+struct MeasurementReport {
+  config::EventType trigger = config::EventType::kA3;
+  config::SignalMetric metric = config::SignalMetric::kRsrp;
+  Pci serving_pci = 0;
+  double serving_rsrp_dbm = -140.0;
+  double serving_rsrq_db = -19.5;
+  std::vector<NeighborMeasurement> neighbors;
+
+  bool operator==(const MeasurementReport&) const = default;
+};
+
+/// System information of a UMTS/GSM/EVDO/CDMA1x cell (uniform model).
+struct LegacySystemInfo {
+  config::LegacyCellConfig config;
+  std::uint32_t cell_identity = 0;
+  std::uint32_t channel = 0;  ///< UARFCN / ARFCN / CDMA channel
+
+  bool operator==(const LegacySystemInfo&) const = default;
+};
+
+using Message =
+    std::variant<Sib1, Sib3, Sib4, Sib5, Sib6, Sib7, Sib8,
+                 RrcConnectionReconfiguration, MeasurementReport,
+                 LegacySystemInfo>;
+
+/// Wire discriminator for each alternative (stable; recorded in diag logs).
+enum class MessageType : std::uint8_t {
+  kSib1 = 1,
+  kSib3 = 3,
+  kSib4 = 4,
+  kSib5 = 5,
+  kSib6 = 6,
+  kSib7 = 7,
+  kSib8 = 8,
+  kRrcReconfiguration = 32,
+  kMeasurementReport = 33,
+  kLegacySystemInfo = 48,
+};
+
+MessageType message_type(const Message& msg);
+const char* message_type_name(MessageType t);
+
+}  // namespace mmlab::rrc

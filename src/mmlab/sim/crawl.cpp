@@ -1,0 +1,87 @@
+#include "mmlab/sim/crawl.hpp"
+
+#include <algorithm>
+
+#include "mmlab/ue/ue.hpp"
+
+namespace mmlab::sim {
+
+namespace {
+
+/// Visit-round count: geometric-ish with a heavy-one mass, calibrated to
+/// Fig 13a (about half the cells observed once, tail reaching 20+).
+int draw_rounds(Rng& rng, double mean_rounds) {
+  if (rng.chance(0.52)) return 1;
+  // Remaining mass: shifted geometric with mean chosen to hit mean_rounds.
+  const double remaining_mean = (mean_rounds - 0.52) / 0.48;
+  const double p = 1.0 / std::max(1.5, remaining_mean - 1.0);
+  int n = 2;
+  while (n < 24 && rng.chance(1.0 - p)) ++n;
+  return n;
+}
+
+}  // namespace
+
+CrawlResult run_crawl(netgen::GeneratedWorld& world,
+                      const CrawlOptions& options) {
+  CrawlResult result;
+  const auto& network = world.network;
+  const double window_days = world.options.window_days;
+
+  // Per-cell visit schedules.
+  struct Visit {
+    double day;
+    std::uint32_t cell_index;
+  };
+  Rng rng(options.seed);
+  std::vector<Visit> visits;
+  visits.reserve(static_cast<std::size_t>(
+      static_cast<double>(network.cells().size()) * options.mean_rounds));
+  for (std::uint32_t i = 0; i < network.cells().size(); ++i) {
+    const int rounds = draw_rounds(rng, options.mean_rounds);
+    for (int r = 0; r < rounds; ++r)
+      visits.push_back({rng.uniform(0.0, window_days), i});
+  }
+  std::sort(visits.begin(), visits.end(),
+            [](const Visit& a, const Visit& b) { return a.day < b.day; });
+
+  // One crawling UE per carrier, pooling all its volunteers' logs.
+  std::vector<std::unique_ptr<ue::Ue>> crawlers;
+  for (const auto& carrier : network.carriers()) {
+    ue::UeOptions opts;
+    opts.seed = rng.fork(carrier.id).next_u64();
+    opts.carrier = carrier.id;
+    // The crawl phone opens a short data connection at each camped cell so
+    // the log also captures measConfig (the paper's D2 covers reporting
+    // events, which are signalled — not broadcast).
+    opts.active_mode = true;
+    opts.log_radio_snapshots = false;
+    crawlers.push_back(std::make_unique<ue::Ue>(network, opts));
+  }
+
+  // Walk visits in time order; apply due reconfigurations lazily per cell.
+  std::vector<std::size_t> next_update(network.cells().size(), 0);
+  for (const auto& visit : visits) {
+    auto& schedule = world.update_schedule[visit.cell_index];
+    auto& cursor = next_update[visit.cell_index];
+    while (cursor < schedule.size() && schedule[cursor].day <= visit.day) {
+      netgen::apply_config_update(world, visit.cell_index, schedule[cursor]);
+      ++cursor;
+    }
+    const net::Cell& cell = network.cells()[visit.cell_index];
+    const SimTime t = SimTime::from_days(visit.day);
+    crawlers[cell.carrier]->force_camp(cell.id, cell.position, t);
+    ++result.total_camps;
+  }
+
+  for (const auto& carrier : network.carriers()) {
+    CarrierLog log;
+    log.carrier = carrier.id;
+    log.acronym = carrier.acronym;
+    log.diag_log = crawlers[carrier.id]->take_diag_log();
+    result.logs.push_back(std::move(log));
+  }
+  return result;
+}
+
+}  // namespace mmlab::sim

@@ -1,0 +1,44 @@
+// Type-I measurements (paper §3): crowdsourced configuration crawling —
+// dataset D2.
+//
+// Volunteers' phones camp across nearby cells (MMLab's proactive cell
+// switching) and log every broadcast SIB into the diag stream.  The crawl
+// engine visits each cell on a sampling schedule spread over the collection
+// window (giving Fig 13a's samples-per-cell distribution), applies each
+// cell's scheduled reconfigurations as their day arrives (Fig 13b's temporal
+// dynamics), and emits one diag log per carrier — the exact input MMLab's
+// analyzer consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mmlab/netgen/generator.hpp"
+
+namespace mmlab::sim {
+
+struct CrawlOptions {
+  std::uint64_t seed = 7;
+  /// Mean number of visit rounds per cell (paper: 48.1 % of cells have >1
+  /// sample, tail up to 20+).
+  double mean_rounds = 3.2;
+};
+
+/// One carrier's pooled diag log (a volunteer's phone knows its operator).
+struct CarrierLog {
+  net::CarrierId carrier = 0;
+  std::string acronym;
+  std::vector<std::uint8_t> diag_log;
+};
+
+struct CrawlResult {
+  std::vector<CarrierLog> logs;
+  std::size_t total_camps = 0;
+};
+
+/// Runs the crawl. Mutates `world` (temporal reconfigurations are applied to
+/// the deployment as their scheduled day passes).
+CrawlResult run_crawl(netgen::GeneratedWorld& world,
+                      const CrawlOptions& options);
+
+}  // namespace mmlab::sim

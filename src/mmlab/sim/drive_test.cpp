@@ -1,0 +1,125 @@
+#include "mmlab/sim/drive_test.hpp"
+
+#include <stdexcept>
+
+namespace mmlab::sim {
+
+DriveTestResult run_drive_test(const net::Deployment& network,
+                               const mobility::Route& route,
+                               const DriveTestOptions& options) {
+  ue::UeOptions ue_opts;
+  ue_opts.seed = options.seed;
+  ue_opts.carrier = options.carrier;
+  ue_opts.band_support = options.band_support;
+  ue_opts.active_mode = options.workload != Workload::kNone;
+  ue_opts.log_radio_snapshots = true;
+  ue::Ue device(network, ue_opts);
+
+  traffic::SpeedtestApp speedtest;
+  traffic::ConstantRateApp iperf(options.workload == Workload::kIperf5k
+                                     ? 5e3
+                                     : 1e6);
+  traffic::PingApp ping;
+
+  const Millis duration = route.duration();
+  for (Millis t = 0; t <= duration; t += options.tick_ms) {
+    const SimTime now = options.start_time + t;
+    device.step(route.position_at(t), now);
+    const auto& tick = device.link_tick();
+    switch (options.workload) {
+      case Workload::kSpeedtest: speedtest.on_tick(tick); break;
+      case Workload::kIperf5k:
+      case Workload::kIperf1M: iperf.on_tick(tick); break;
+      case Workload::kPing: ping.on_tick(tick); break;
+      case Workload::kNone: break;
+    }
+  }
+
+  DriveTestResult result;
+  result.handoffs = device.handoffs();
+  result.handoff_failures = device.handoff_failures();
+  switch (options.workload) {
+    case Workload::kSpeedtest: result.throughput = speedtest.samples(); break;
+    case Workload::kIperf5k:
+    case Workload::kIperf1M: result.throughput = iperf.samples(); break;
+    case Workload::kPing: result.probes = ping.probes(); break;
+    case Workload::kNone: break;
+  }
+  result.diag_log = device.take_diag_log();
+  result.radio_link_failures = device.radio_link_failures();
+  result.route_length_m = route.length_m();
+  result.duration = duration;
+  return result;
+}
+
+std::vector<HandoffPerf> annotate_handoffs(const DriveTestResult& result) {
+  std::vector<HandoffPerf> out;
+  out.reserve(result.handoffs.size());
+  for (const auto& rec : result.handoffs) {
+    HandoffPerf hp;
+    hp.rec = rec;
+    if (!result.throughput.empty()) {
+      hp.min_thpt_before_bps = traffic::min_binned_throughput_bps(
+          result.throughput, rec.report_time - 10'000, rec.report_time, 100);
+      hp.min_thpt_before_1s_bps = traffic::min_binned_throughput_bps(
+          result.throughput, rec.report_time - 10'000, rec.report_time, 1'000);
+      hp.mean_thpt_after_bps = traffic::mean_throughput_bps(
+          result.throughput, rec.exec_time + 100, rec.exec_time + 5'000);
+    }
+    out.push_back(hp);
+  }
+  return out;
+}
+
+CampaignResult run_campaign(const net::Deployment& network,
+                            const CampaignOptions& options) {
+  CampaignResult result;
+  Rng rng(options.seed);
+  for (geo::CityId city_id : options.cities) {
+    const geo::City* city = network.find_city(city_id);
+    if (!city) throw std::invalid_argument("run_campaign: unknown city");
+
+    for (int i = 0; i < options.city_drives_per_city; ++i) {
+      Rng route_rng = rng.fork(0x1000u + city_id * 64u + i);
+      const auto route = mobility::manhattan_drive(
+          route_rng, *city, mobility::kph(40), options.city_drive_duration);
+      DriveTestOptions dopts;
+      dopts.seed = route_rng.next_u64();
+      dopts.carrier = options.carrier;
+      dopts.workload = options.workload;
+      dopts.band_support = options.band_support;
+      const auto drive = run_drive_test(network, route, dopts);
+      for (auto& hp : annotate_handoffs(drive)) result.handoffs.push_back(hp);
+      result.radio_link_failures += drive.radio_link_failures;
+      result.total_km += drive.route_length_m / 1000.0;
+      ++result.drives;
+    }
+
+    for (int i = 0; i < options.highway_drives_per_city; ++i) {
+      Rng route_rng = rng.fork(0x2000u + city_id * 64u + i);
+      // Diagonal crossing at highway speed (90-120 km/h).
+      const double inset = 0.05 * city->extent_m;
+      const geo::Point a{city->origin.x + inset,
+                         city->origin.y + inset +
+                             route_rng.uniform(0.0, 0.3) * city->extent_m};
+      const geo::Point b{city->origin.x + city->extent_m - inset,
+                         city->origin.y + city->extent_m - inset -
+                             route_rng.uniform(0.0, 0.3) * city->extent_m};
+      const auto route = mobility::highway_drive(
+          a, b, mobility::kph(route_rng.uniform(90.0, 120.0)));
+      DriveTestOptions dopts;
+      dopts.seed = route_rng.next_u64();
+      dopts.carrier = options.carrier;
+      dopts.workload = options.workload;
+      dopts.band_support = options.band_support;
+      const auto drive = run_drive_test(network, route, dopts);
+      for (auto& hp : annotate_handoffs(drive)) result.handoffs.push_back(hp);
+      result.radio_link_failures += drive.radio_link_failures;
+      result.total_km += drive.route_length_m / 1000.0;
+      ++result.drives;
+    }
+  }
+  return result;
+}
+
+}  // namespace mmlab::sim

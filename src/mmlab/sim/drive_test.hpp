@@ -1,0 +1,84 @@
+// Type-II measurements (paper §4): drive a UE along a route with a workload
+// and record handoffs, throughput and the device diag log — dataset D1.
+#pragma once
+
+#include <vector>
+
+#include "mmlab/mobility/route.hpp"
+#include "mmlab/net/deployment.hpp"
+#include "mmlab/traffic/apps.hpp"
+#include "mmlab/ue/ue.hpp"
+
+namespace mmlab::sim {
+
+enum class Workload {
+  kNone,       ///< idle drive (idle-state handoffs only)
+  kSpeedtest,  ///< continuous full-buffer download
+  kIperf5k,    ///< constant-rate 5 kbps
+  kIperf1M,    ///< constant-rate 1 Mbps
+  kPing,       ///< ping every 5 s
+};
+
+struct DriveTestOptions {
+  std::uint64_t seed = 1;
+  net::CarrierId carrier = 0;
+  Workload workload = Workload::kSpeedtest;
+  spectrum::BandSupport band_support = spectrum::BandSupport::all();
+  Millis tick_ms = 100;
+  SimTime start_time{0};
+};
+
+struct DriveTestResult {
+  std::vector<ue::HandoffRecord> handoffs;
+  std::vector<std::pair<SimTime, ue::HandoffFailure>> handoff_failures;
+  std::vector<traffic::ThroughputSample> throughput;  ///< empty for kPing/kNone
+  std::vector<traffic::PingApp::Probe> probes;        ///< kPing only
+  std::vector<std::uint8_t> diag_log;
+  std::size_t radio_link_failures = 0;
+  double route_length_m = 0.0;
+  Millis duration = 0;
+};
+
+DriveTestResult run_drive_test(const net::Deployment& network,
+                               const mobility::Route& route,
+                               const DriveTestOptions& options);
+
+/// A handoff annotated with its local performance context (Fig 7-9).
+struct HandoffPerf {
+  ue::HandoffRecord rec;
+  /// Minimum 100 ms-binned throughput in the 10 s before the decisive
+  /// report — the paper's Fig 7 fine-grained metric.
+  double min_thpt_before_bps = 0.0;
+  /// Same with 1 s bins (the paper's Fig 8 metric; robust to the 50 ms
+  /// execution gap and momentary fades).
+  double min_thpt_before_1s_bps = 0.0;
+  /// Mean throughput in the 5 s after execution.
+  double mean_thpt_after_bps = 0.0;
+};
+
+std::vector<HandoffPerf> annotate_handoffs(const DriveTestResult& result);
+
+/// A batch of drives: several city drives plus highway crossings in the
+/// given cities, mirroring the paper's D1 collection.
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  net::CarrierId carrier = 0;
+  Workload workload = Workload::kSpeedtest;
+  std::vector<geo::CityId> cities = {0, 2, 4};  ///< paper: 3 US cities
+  int city_drives_per_city = 4;
+  int highway_drives_per_city = 2;
+  Millis city_drive_duration = 20 * kMillisPerMinute;
+  spectrum::BandSupport band_support = spectrum::BandSupport::all();
+};
+
+struct CampaignResult {
+  std::vector<HandoffPerf> handoffs;  ///< annotated, all drives pooled
+  std::size_t drives = 0;
+  double total_km = 0.0;
+  std::size_t radio_link_failures = 0;
+};
+
+CampaignResult run_campaign(const net::Deployment& network,
+                            const CampaignOptions& options);
+
+}  // namespace mmlab::sim

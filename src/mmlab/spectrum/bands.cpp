@@ -1,0 +1,97 @@
+#include "mmlab/spectrum/bands.hpp"
+
+#include <algorithm>
+
+namespace mmlab::spectrum {
+
+std::string to_string(Channel ch) {
+  return std::string(rat_name(ch.rat)) + "/" + std::to_string(ch.number);
+}
+
+const std::vector<LteBandInfo>& lte_band_table() {
+  // TS 36.101 Table 5.7.3-1 (subset spanning every channel in the dataset).
+  static const std::vector<LteBandInfo> kTable = {
+      {1, 0, 599, 2110.0, "2100 IMT"},
+      {2, 600, 1199, 1930.0, "1900 PCS"},
+      {3, 1200, 1949, 1805.0, "1800+"},
+      {4, 1950, 2399, 2110.0, "AWS-1"},
+      {5, 2400, 2649, 869.0, "850 CLR"},
+      {7, 2750, 3449, 2620.0, "2600 IMT-E"},
+      {8, 3450, 3799, 925.0, "900 GSM"},
+      {12, 5010, 5179, 729.0, "700 a"},
+      {13, 5180, 5279, 746.0, "700 c"},
+      {14, 5280, 5379, 758.0, "700 PS"},
+      {17, 5730, 5849, 734.0, "700 b"},
+      {20, 6150, 6449, 791.0, "800 DD"},
+      {25, 8040, 8689, 1930.0, "1900+"},
+      {26, 8690, 9039, 859.0, "850+"},
+      {28, 9210, 9659, 758.0, "700 APT"},
+      {29, 9660, 9769, 717.0, "700 d (SDL)"},
+      {30, 9770, 9869, 2350.0, "2300 WCS"},
+      {38, 37750, 38249, 2570.0, "TD 2600"},
+      {39, 38250, 38649, 1880.0, "TD 1900+"},
+      {40, 38650, 39649, 2300.0, "TD 2300"},
+      {41, 39650, 41589, 2496.0, "TD 2500"},
+      {66, 66436, 67335, 2110.0, "AWS-3"},
+  };
+  return kTable;
+}
+
+std::optional<int> lte_band_for_earfcn(std::uint32_t earfcn) {
+  for (const auto& row : lte_band_table())
+    if (earfcn >= row.earfcn_lo && earfcn <= row.earfcn_hi) return row.band;
+  return std::nullopt;
+}
+
+std::optional<double> lte_dl_frequency_mhz(std::uint32_t earfcn) {
+  for (const auto& row : lte_band_table())
+    if (earfcn >= row.earfcn_lo && earfcn <= row.earfcn_hi)
+      return row.f_dl_low_mhz + 0.1 * static_cast<double>(earfcn - row.earfcn_lo);
+  return std::nullopt;
+}
+
+double umts_dl_frequency_mhz(std::uint32_t uarfcn) {
+  return static_cast<double>(uarfcn) / 5.0;
+}
+
+const std::vector<std::uint32_t>& att_fig18_channels() {
+  // Fig 18's x-axis, left to right.
+  static const std::vector<std::uint32_t> kChannels = {
+      675,  700,  725,  750,  775,  800,  825,  850,
+      1975, 2000, 2175, 2200, 2225, 2425, 2430, 2535,
+      2538, 2600, 5110, 5145, 5330, 5760, 5780, 5815,
+      9000, 9720, 9820};
+  return kChannels;
+}
+
+BandSupport BandSupport::all() {
+  BandSupport bs;
+  for (const auto& row : lte_band_table())
+    if (row.band < 64) bs.mask_ |= 1ULL << row.band;
+  bs.support_high_bands_ = true;
+  return bs;
+}
+
+BandSupport BandSupport::all_except(const std::vector<int>& bands) {
+  BandSupport bs = all();
+  for (int b : bands) {
+    if (b < 64)
+      bs.mask_ &= ~(1ULL << b);
+    else
+      bs.support_high_bands_ = false;
+  }
+  return bs;
+}
+
+bool BandSupport::supports_band(int band) const {
+  if (band < 0) return false;
+  if (band < 64) return (mask_ >> band) & 1ULL;
+  return support_high_bands_;
+}
+
+bool BandSupport::supports_earfcn(std::uint32_t earfcn) const {
+  const auto band = lte_band_for_earfcn(earfcn);
+  return band.has_value() && supports_band(*band);
+}
+
+}  // namespace mmlab::spectrum

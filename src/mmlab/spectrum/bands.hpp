@@ -1,0 +1,70 @@
+// Frequency-channel numbering (TS 36.101 §5.7.3 for LTE EARFCN; TS 25.101
+// for UMTS UARFCN; 3GPP TS 45.005 for GSM ARFCN).
+//
+// The paper keys several analyses on the channel number: Fig 18 breaks cell
+// priorities down by EARFCN, and §5.4.1's band-30 outage story depends on
+// the EARFCN -> band mapping (channel 9820 = band 30 = 2300 MHz WCS).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mmlab/spectrum/rat.hpp"
+
+namespace mmlab::spectrum {
+
+/// A downlink channel: RAT + channel number (EARFCN / UARFCN / ARFCN / ...).
+struct Channel {
+  Rat rat = Rat::kLte;
+  std::uint32_t number = 0;
+
+  bool operator==(const Channel&) const = default;
+  auto operator<=>(const Channel&) const = default;
+};
+
+std::string to_string(Channel ch);
+
+/// One row of the TS 36.101 EARFCN table.
+struct LteBandInfo {
+  int band;                  ///< E-UTRA operating band number
+  std::uint32_t earfcn_lo;   ///< N_Offs-DL
+  std::uint32_t earfcn_hi;   ///< last DL EARFCN of the band
+  double f_dl_low_mhz;       ///< F_DL_low
+  const char* label;         ///< marketing-ish name used in the text
+};
+
+/// The band rows used in the dataset (covers all Fig 18 channels plus the
+/// common international bands).
+const std::vector<LteBandInfo>& lte_band_table();
+
+/// E-UTRA band for a DL EARFCN, or nullopt if outside the table.
+std::optional<int> lte_band_for_earfcn(std::uint32_t earfcn);
+
+/// DL carrier frequency in MHz: F_DL = F_DL_low + 0.1 (N_DL - N_Offs-DL).
+std::optional<double> lte_dl_frequency_mhz(std::uint32_t earfcn);
+
+/// UMTS: F_DL = UARFCN / 5 MHz (general formula, no additional offset bands).
+double umts_dl_frequency_mhz(std::uint32_t uarfcn);
+
+/// The 24 distinct AT&T LTE channels of Fig 18, in the paper's order.
+const std::vector<std::uint32_t>& att_fig18_channels();
+
+/// Device band-support mask (§5.4.1): which E-UTRA bands a phone implements.
+class BandSupport {
+ public:
+  /// All bands in lte_band_table() supported.
+  static BandSupport all();
+  /// All bands except the listed ones (e.g. a pre-band-30 handset).
+  static BandSupport all_except(const std::vector<int>& bands);
+
+  bool supports_band(int band) const;
+  bool supports_earfcn(std::uint32_t earfcn) const;
+
+ private:
+  std::uint64_t mask_ = 0;  ///< bit b set => band b supported (b < 64)
+  bool support_high_bands_ = true;  ///< bands numbered >= 64
+};
+
+}  // namespace mmlab::spectrum

@@ -1,0 +1,57 @@
+// Radio access technologies covered by the study (Tab 4) and their
+// standardized handoff-parameter counts.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace mmlab::spectrum {
+
+enum class Rat : std::uint8_t {
+  kLte = 0,    ///< 4G LTE (E-UTRA)
+  kUmts = 1,   ///< 3G UMTS / WCDMA
+  kGsm = 2,    ///< 2G GSM
+  kEvdo = 3,   ///< 3G CDMA2000 EV-DO
+  kCdma1x = 4  ///< 2G CDMA2000 1x
+};
+
+constexpr std::array<Rat, 5> kAllRats = {Rat::kLte, Rat::kUmts, Rat::kGsm,
+                                         Rat::kEvdo, Rat::kCdma1x};
+
+constexpr std::string_view rat_name(Rat rat) {
+  switch (rat) {
+    case Rat::kLte: return "LTE";
+    case Rat::kUmts: return "UMTS";
+    case Rat::kGsm: return "GSM";
+    case Rat::kEvdo: return "EVDO";
+    case Rat::kCdma1x: return "CDMA1x";
+  }
+  return "?";
+}
+
+/// Number of standardized handoff configuration parameters per RAT, as the
+/// paper counts them (Tab 4): 66 + 64 + 9 + 14 + 4.
+constexpr int standard_parameter_count(Rat rat) {
+  switch (rat) {
+    case Rat::kLte: return 66;
+    case Rat::kUmts: return 64;
+    case Rat::kGsm: return 9;
+    case Rat::kEvdo: return 14;
+    case Rat::kCdma1x: return 4;
+  }
+  return 0;
+}
+
+/// Technology generation, for "handoff to lower/higher RAT" reasoning.
+constexpr int rat_generation(Rat rat) {
+  switch (rat) {
+    case Rat::kLte: return 4;
+    case Rat::kUmts: return 3;
+    case Rat::kEvdo: return 3;
+    case Rat::kGsm: return 2;
+    case Rat::kCdma1x: return 2;
+  }
+  return 0;
+}
+
+}  // namespace mmlab::spectrum

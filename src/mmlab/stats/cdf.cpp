@@ -1,0 +1,70 @@
+#include "mmlab/stats/cdf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmlab::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : samples_(std::move(samples)), sorted_(false) {}
+
+void EmpiricalCdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf::quantile: empty");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("EmpiricalCdf::quantile: q out of range");
+  ensure_sorted();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double EmpiricalCdf::min() const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf::min: empty");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf::max: empty");
+  ensure_sorted();
+  return samples_.back();
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::series(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points < 2) return out;
+  ensure_sorted();
+  const double lo = samples_.front(), hi = samples_.back();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+}  // namespace mmlab::stats

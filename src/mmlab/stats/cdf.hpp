@@ -1,0 +1,36 @@
+// Empirical cumulative distribution functions, the workhorse of Figs 6, 10
+// and 11: F(x) = fraction of samples <= x.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mmlab::stats {
+
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  void add(double x);
+  /// Fraction of samples <= x, in [0, 1]. Empty CDF returns 0.
+  double at(double x) const;
+  /// Inverse CDF; q in [0, 1].
+  double quantile(double q) const;
+
+  std::size_t size() const { return sorted_ ? samples_.size() : samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+
+  /// Evaluate at `points` evenly spaced sample positions across [min, max];
+  /// returns (x, F(x)) pairs — the series a CDF plot draws.
+  std::vector<std::pair<double, double>> series(std::size_t points = 21) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace mmlab::stats

@@ -1,0 +1,80 @@
+#include "mmlab/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mmlab::stats {
+
+namespace {
+void require_nonempty(const std::vector<double>& xs, const char* who) {
+  if (xs.empty()) throw std::invalid_argument(std::string(who) + ": empty input");
+}
+}  // namespace
+
+double mean(const std::vector<double>& xs) {
+  require_nonempty(xs, "mean");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  require_nonempty(xs, "variance");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double min_of(const std::vector<double>& xs) {
+  require_nonempty(xs, "min_of");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  require_nonempty(xs, "max_of");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::vector<double> xs, double q) {
+  require_nonempty(xs, "quantile");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of range");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Boxplot boxplot(std::vector<double> xs) {
+  require_nonempty(xs, "boxplot");
+  std::sort(xs.begin(), xs.end());
+  Boxplot b;
+  b.n = xs.size();
+  auto q_sorted = [&](double q) {
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  };
+  b.q1 = q_sorted(0.25);
+  b.median = q_sorted(0.5);
+  b.q3 = q_sorted(0.75);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  b.whisker_low = xs.back();
+  b.whisker_high = xs.front();
+  for (double x : xs) {
+    if (x >= lo_fence && x < b.whisker_low) b.whisker_low = x;
+    if (x <= hi_fence && x > b.whisker_high) b.whisker_high = x;
+  }
+  return b;
+}
+
+}  // namespace mmlab::stats

@@ -1,0 +1,32 @@
+// Descriptive statistics over double samples: moments, quantiles, and the
+// five-number boxplot summary used by Figs 9, 21 and 22.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mmlab::stats {
+
+double mean(const std::vector<double>& xs);
+/// Population variance (divides by N); matches the paper's Cv definition.
+double variance(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile, q in [0, 1]. xs need not be sorted.
+double quantile(std::vector<double> xs, double q);
+
+/// Five-number summary with 1.5*IQR whiskers (Tukey boxplot).
+struct Boxplot {
+  double whisker_low = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double whisker_high = 0;
+  std::size_t n = 0;
+};
+
+Boxplot boxplot(std::vector<double> xs);
+
+}  // namespace mmlab::stats

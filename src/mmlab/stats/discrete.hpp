@@ -1,0 +1,54 @@
+// Weighted discrete distribution over an arbitrary value type.
+//
+// The configuration generator (netgen) is essentially a catalogue of these:
+// for each (carrier, parameter) the paper reports a set of observed values
+// and their relative abundance; sampling one assigns a cell its value.
+#pragma once
+
+#include <initializer_list>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "mmlab/util/rng.hpp"
+
+namespace mmlab::stats {
+
+template <typename T>
+class Discrete {
+ public:
+  Discrete() = default;
+  Discrete(std::initializer_list<std::pair<T, double>> entries) {
+    for (auto& [v, w] : entries) add(v, w);
+  }
+
+  void add(T value, double weight) {
+    if (weight < 0.0) throw std::invalid_argument("Discrete: negative weight");
+    values_.push_back(std::move(value));
+    weights_.push_back(weight);
+  }
+
+  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return values_.size(); }
+  const std::vector<T>& values() const { return values_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Single-valued distribution (weight 1 on `value`).
+  static Discrete fixed(T value) {
+    Discrete d;
+    d.add(std::move(value), 1.0);
+    return d;
+  }
+
+  const T& sample(Rng& rng) const {
+    if (values_.empty()) throw std::logic_error("Discrete::sample: empty");
+    if (values_.size() == 1) return values_.front();
+    return values_[rng.weighted(weights_)];
+  }
+
+ private:
+  std::vector<T> values_;
+  std::vector<double> weights_;
+};
+
+}  // namespace mmlab::stats

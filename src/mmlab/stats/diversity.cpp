@@ -1,0 +1,96 @@
+#include "mmlab/stats/diversity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mmlab::stats {
+
+void ValueCounts::add(double value, std::size_t count) {
+  counts_[value] += count;
+  total_ += count;
+}
+
+double ValueCounts::simpson_index() const {
+  if (total_ == 0) return 0.0;
+  double sum_sq = 0.0;
+  const auto n = static_cast<double>(total_);
+  for (const auto& [value, count] : counts_) {
+    const auto c = static_cast<double>(count);
+    sum_sq += c * c;
+  }
+  return 1.0 - sum_sq / (n * n);
+}
+
+double ValueCounts::coefficient_of_variation() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [value, count] : counts_)
+    sum += value * static_cast<double>(count);
+  const double m = sum / static_cast<double>(total_);
+  double var = 0.0;
+  for (const auto& [value, count] : counts_)
+    var += (value - m) * (value - m) * static_cast<double>(count);
+  var /= static_cast<double>(total_);
+  if (m == 0.0) return 0.0;
+  return std::sqrt(var) / std::abs(m);
+}
+
+double ValueCounts::fraction(double value) const {
+  if (total_ == 0) return 0.0;
+  const auto it = counts_.find(value);
+  if (it == counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(total_);
+}
+
+double ValueCounts::mode() const {
+  if (empty()) throw std::logic_error("ValueCounts::mode: empty");
+  double best_value = 0.0;
+  std::size_t best_count = 0;
+  for (const auto& [value, count] : counts_) {
+    if (count > best_count) {
+      best_count = count;
+      best_value = value;
+    }
+  }
+  return best_value;
+}
+
+std::vector<double> ValueCounts::samples() const {
+  std::vector<double> out;
+  out.reserve(total_);
+  for (const auto& [value, count] : counts_)
+    out.insert(out.end(), count, value);
+  return out;
+}
+
+DiversityMeasures measure_diversity(const ValueCounts& vc) {
+  return DiversityMeasures{vc.simpson_index(), vc.coefficient_of_variation(),
+                           vc.richness()};
+}
+
+double dependence_measure(const std::map<long, ValueCounts>& groups,
+                          DiversityMetric metric) {
+  ValueCounts pooled;
+  std::size_t total = 0;
+  for (const auto& [factor, vc] : groups) {
+    for (const auto& [value, count] : vc.counts()) pooled.add(value, count);
+    total += vc.total();
+  }
+  if (total == 0) return 0.0;
+  const double pooled_measure = metric == DiversityMetric::kSimpson
+                                    ? pooled.simpson_index()
+                                    : pooled.coefficient_of_variation();
+  double acc = 0.0;
+  for (const auto& [factor, vc] : groups) {
+    if (vc.empty()) continue;
+    const double group_measure = metric == DiversityMetric::kSimpson
+                                     ? vc.simpson_index()
+                                     : vc.coefficient_of_variation();
+    const double weight =
+        static_cast<double>(vc.total()) / static_cast<double>(total);
+    acc += weight * std::abs(group_measure - pooled_measure);
+  }
+  return acc;
+}
+
+}  // namespace mmlab::stats

@@ -1,0 +1,43 @@
+#include "mmlab/traffic/apps.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmlab::traffic {
+
+void SpeedtestApp::on_tick(const LinkTick& tick) {
+  const double bps =
+      tick.interrupted
+          ? 0.0
+          : downlink_throughput_bps(tick.sinr_db, tick.bandwidth_prbs);
+  samples_.push_back({tick.t, bps});
+}
+
+void ConstantRateApp::on_tick(const LinkTick& tick) {
+  const double cap =
+      tick.interrupted
+          ? 0.0
+          : downlink_throughput_bps(tick.sinr_db, tick.bandwidth_prbs);
+  samples_.push_back({tick.t, std::min(rate_bps_, cap)});
+}
+
+void PingApp::on_tick(const LinkTick& tick) {
+  if (first_) {
+    next_probe_ = tick.t;
+    first_ = false;
+  }
+  if (tick.t < next_probe_) return;
+  next_probe_ = tick.t + interval_;
+  Probe p;
+  p.t = tick.t;
+  if (tick.interrupted || cqi_from_sinr(tick.sinr_db) == 0) {
+    p.lost = true;
+  } else {
+    // Base RTT ~45 ms plus HARQ retransmission inflation at poor SINR.
+    const double penalty = std::max(0.0, 8.0 - tick.sinr_db) * 6.0;
+    p.rtt_ms = 45.0 + penalty;
+  }
+  probes_.push_back(p);
+}
+
+}  // namespace mmlab::traffic

@@ -1,0 +1,66 @@
+// The paper's three Type-II workloads (§4): continuous speedtest,
+// constant-rate iPerf (5 kbps / 1 Mbps), and a 5-second ping.
+//
+// Apps consume per-tick link state (capacity + whether the radio is in a
+// handoff interruption) and record what a packet trace would show.
+#pragma once
+
+#include <vector>
+
+#include "mmlab/traffic/link_adaptation.hpp"
+
+namespace mmlab::traffic {
+
+/// Link state for one tick, produced by the UE stack.
+struct LinkTick {
+  SimTime t;
+  double sinr_db = 0.0;
+  int bandwidth_prbs = 50;
+  bool interrupted = false;  ///< radio gap (handoff execution)
+};
+
+/// Full-buffer download: achieves link capacity (speedtest.net analogue).
+class SpeedtestApp {
+ public:
+  void on_tick(const LinkTick& tick);
+  const std::vector<ThroughputSample>& samples() const { return samples_; }
+
+ private:
+  std::vector<ThroughputSample> samples_;
+};
+
+/// Constant-bitrate UDP flow (iPerf -u): delivers min(rate, capacity).
+class ConstantRateApp {
+ public:
+  explicit ConstantRateApp(double rate_bps) : rate_bps_(rate_bps) {}
+  void on_tick(const LinkTick& tick);
+  const std::vector<ThroughputSample>& samples() const { return samples_; }
+  double rate_bps() const { return rate_bps_; }
+
+ private:
+  double rate_bps_;
+  std::vector<ThroughputSample> samples_;
+};
+
+/// ICMP echo every `interval`; RTT grows as SINR decays, loss during
+/// interruption.
+class PingApp {
+ public:
+  struct Probe {
+    SimTime t;
+    bool lost = false;
+    double rtt_ms = 0.0;
+  };
+
+  explicit PingApp(Millis interval = 5'000) : interval_(interval) {}
+  void on_tick(const LinkTick& tick);
+  const std::vector<Probe>& probes() const { return probes_; }
+
+ private:
+  Millis interval_;
+  SimTime next_probe_{0};
+  bool first_ = true;
+  std::vector<Probe> probes_;
+};
+
+}  // namespace mmlab::traffic

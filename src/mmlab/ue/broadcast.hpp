@@ -1,0 +1,24 @@
+// Cell-side system-information generation: what a serving cell transmits.
+//
+// Maps a net::Cell's configuration onto the RRC message family exactly the
+// way the standard distributes parameters across SIBs (Tab 2's "Message"
+// column): SIB3 carries serving reselection parameters, SIB5/6/7/8 carry
+// per-RAT neighbour frequency lists, measConfig carries reporting events.
+#pragma once
+
+#include <vector>
+
+#include "mmlab/net/deployment.hpp"
+#include "mmlab/rrc/messages.hpp"
+
+namespace mmlab::ue {
+
+/// All system information an LTE cell broadcasts (SIB1, SIB3, SIB4 when a
+/// forbidden list exists, and SIB5/6/7/8 for each neighbour RAT present).
+/// For a legacy cell, a single LegacySystemInfo message.
+std::vector<rrc::Message> broadcast_system_information(const net::Cell& cell);
+
+/// The measConfig an LTE cell signals on connection setup / after handoff.
+rrc::RrcConnectionReconfiguration make_measurement_config(const net::Cell& cell);
+
+}  // namespace mmlab::ue

@@ -1,0 +1,130 @@
+#include "mmlab/ue/event_engine.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace mmlab::ue {
+
+namespace {
+using config::EventType;
+}  // namespace
+
+bool event_entry_condition(const config::EventConfig& ev, double serving,
+                           double neighbor) {
+  const double h = ev.hysteresis_db;
+  switch (ev.type) {
+    case EventType::kA1:
+      return serving - h > ev.threshold1;
+    case EventType::kA2:
+      return serving + h < ev.threshold1;
+    case EventType::kA3:
+    case EventType::kA6:
+      return neighbor - h > serving + ev.offset_db;
+    case EventType::kA4:
+    case EventType::kB1:
+      return neighbor - h > ev.threshold1;
+    case EventType::kA5:
+    case EventType::kB2:
+      return serving + h < ev.threshold1 && neighbor - h > ev.threshold2;
+    case EventType::kPeriodic:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool event_leave_condition(const config::EventConfig& ev, double serving,
+                           double neighbor) {
+  const double h = ev.hysteresis_db;
+  switch (ev.type) {
+    case EventType::kA1:
+      return serving + h < ev.threshold1;
+    case EventType::kA2:
+      return serving - h > ev.threshold1;
+    case EventType::kA3:
+    case EventType::kA6:
+      return neighbor + h < serving + ev.offset_db;
+    case EventType::kA4:
+    case EventType::kB1:
+      return neighbor + h < ev.threshold1;
+    case EventType::kA5:
+    case EventType::kB2:
+      return serving - h > ev.threshold1 || neighbor + h < ev.threshold2;
+    case EventType::kPeriodic:
+      return false;
+    default:
+      return true;
+  }
+}
+
+EventMonitor::EventMonitor(const config::EventConfig& cfg) : cfg_(cfg) {}
+
+void EventMonitor::reset() { targets_.clear(); }
+
+void EventMonitor::rearm(std::uint32_t target_cell_id) {
+  targets_.erase(target_cell_id);
+}
+
+std::optional<EventTrigger> EventMonitor::evaluate_target(SimTime t,
+                                                          std::uint32_t target,
+                                                          double serving_m,
+                                                          double neighbor_m) {
+  TargetState& st = targets_[target];
+  const bool entered_now = event_entry_condition(cfg_, serving_m, neighbor_m);
+  if (!st.entered) {
+    if (entered_now) st.entered = t;
+  } else if (event_leave_condition(cfg_, serving_m, neighbor_m)) {
+    // Leaving cancels timing and re-arms the event for this target.
+    st = TargetState{};
+  }
+  if (!st.entered) return std::nullopt;
+  // Time-to-trigger: entry condition must have held continuously.
+  if (t - *st.entered < cfg_.time_to_trigger) return std::nullopt;
+  // Report pacing after the first trigger. reportAmount 16 encodes the
+  // standard's "infinity" (unbounded periodic reporting).
+  if (cfg_.report_amount < 16 && st.reports_sent >= cfg_.report_amount)
+    return std::nullopt;
+  if (st.last_report &&
+      (cfg_.report_interval <= 0 || t - *st.last_report < cfg_.report_interval))
+    return std::nullopt;
+  st.last_report = t;
+  ++st.reports_sent;
+  return EventTrigger{cfg_.type, cfg_.metric, target};
+}
+
+std::vector<EventTrigger> EventMonitor::update(
+    SimTime t, const CellMeas& serving, const std::vector<CellMeas>& neighbors) {
+  std::vector<EventTrigger> fired;
+  const double serving_m = serving.metric(cfg_.metric);
+
+  if (cfg_.type == EventType::kA1 || cfg_.type == EventType::kA2) {
+    if (auto trig = evaluate_target(t, 0, serving_m, 0.0)) fired.push_back(*trig);
+    return fired;
+  }
+
+  if (cfg_.type == EventType::kPeriodic) {
+    // Periodic reporting is not gated on a condition; pace on target 0.
+    if (auto trig = evaluate_target(t, 0, serving_m, 0.0)) fired.push_back(*trig);
+    return fired;
+  }
+
+  const bool inter_rat = config::event_is_inter_rat(cfg_.type);
+  for (const auto& nb : neighbors) {
+    const bool nb_is_lte = nb.channel.rat == spectrum::Rat::kLte;
+    if (inter_rat == nb_is_lte) continue;  // A-events: LTE; B-events: legacy
+    if (auto trig =
+            evaluate_target(t, nb.cell_id, serving_m, nb.metric(cfg_.metric)))
+      fired.push_back(*trig);
+  }
+  // Garbage-collect state of neighbours no longer audible.
+  for (auto it = targets_.begin(); it != targets_.end();) {
+    const std::uint32_t id = it->first;
+    const bool audible =
+        id == 0 || std::any_of(neighbors.begin(), neighbors.end(),
+                               [&](const CellMeas& n) { return n.cell_id == id; });
+    it = audible ? std::next(it) : targets_.erase(it);
+  }
+  return fired;
+}
+
+}  // namespace mmlab::ue

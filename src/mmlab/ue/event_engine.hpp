@@ -1,0 +1,89 @@
+// Connected-mode measurement-event evaluation (TS 36.331 §5.5.4; paper Eq 2).
+//
+// Each configured reporting event has an *entry* condition and a *leave*
+// condition separated by twice the hysteresis.  The entry condition must
+// hold continuously for time-to-trigger before a report fires; afterwards,
+// reports repeat every report_interval (up to report_amount) while the
+// condition holds.  State is tracked per target cell for neighbour events
+// and per serving cell for A1/A2.
+//
+// All comparisons run on the event's configured metric (RSRP or RSRQ), on
+// L3-filtered measurements.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mmlab/config/events.hpp"
+#include "mmlab/spectrum/bands.hpp"
+
+namespace mmlab::ue {
+
+/// Measurements of one cell in both metrics; the engine picks per event.
+struct CellMeas {
+  std::uint32_t cell_id = 0;
+  spectrum::Channel channel;
+  double rsrp_dbm = -140.0;
+  double rsrq_db = -19.5;
+
+  double metric(config::SignalMetric m) const {
+    return m == config::SignalMetric::kRsrp ? rsrp_dbm : rsrq_db;
+  }
+};
+
+/// Pure entry-condition predicate. `serving`/`neighbor` are in the event's
+/// metric units; neighbour-less events (A1/A2) ignore `neighbor`.
+bool event_entry_condition(const config::EventConfig& ev, double serving,
+                           double neighbor);
+
+/// Pure leave-condition predicate (mirrors entry with -Hys).
+bool event_leave_condition(const config::EventConfig& ev, double serving,
+                           double neighbor);
+
+/// A fired report trigger.
+struct EventTrigger {
+  config::EventType type = config::EventType::kA3;
+  config::SignalMetric metric = config::SignalMetric::kRsrp;
+  /// Neighbour that satisfied the condition (0 for serving-only events).
+  std::uint32_t neighbor_cell_id = 0;
+};
+
+/// Stateful evaluator for one configured event.
+class EventMonitor {
+ public:
+  explicit EventMonitor(const config::EventConfig& cfg);
+
+  /// Advance to time `t` with current filtered measurements. Returns the
+  /// triggers fired at this tick (at most one per tracked target).
+  std::vector<EventTrigger> update(SimTime t, const CellMeas& serving,
+                                   const std::vector<CellMeas>& neighbors);
+
+  const config::EventConfig& config() const { return cfg_; }
+
+  /// Drop all timing state (after a handoff, measurements restart).
+  void reset();
+
+  /// Re-arm one target: clears its trigger/timing state so the event can
+  /// fire again after a fresh time-to-trigger.  Used when the network does
+  /// not act on a report (sanity-rejected target, handoff already in
+  /// flight) — the UE keeps reporting while the condition persists.
+  void rearm(std::uint32_t target_cell_id);
+
+ private:
+  struct TargetState {
+    std::optional<SimTime> entered;   ///< entry condition first satisfied
+    int reports_sent = 0;
+    std::optional<SimTime> last_report;
+  };
+
+  std::optional<EventTrigger> evaluate_target(SimTime t, std::uint32_t target,
+                                              double serving_m,
+                                              double neighbor_m);
+
+  config::EventConfig cfg_;
+  std::map<std::uint32_t, TargetState> targets_;
+};
+
+}  // namespace mmlab::ue

@@ -1,0 +1,74 @@
+#include "mmlab/ue/reselection.hpp"
+
+#include <algorithm>
+
+namespace mmlab::ue {
+
+MeasurementGate evaluate_measurement_gate(
+    const config::ServingIdleConfig& serving_cfg, double serving_srxlev_db) {
+  MeasurementGate gate;
+  gate.measure_intra = serving_srxlev_db <= serving_cfg.s_intrasearch_db;
+  gate.measure_nonintra = serving_srxlev_db <= serving_cfg.s_nonintrasearch_db;
+  gate.measure_higher_priority = true;
+  return gate;
+}
+
+bool ranks_higher(const config::CellConfig& serving_cfg, int serving_priority,
+                  double serving_srxlev_db, const RankedCandidate& cand) {
+  if (cand.priority > serving_priority) {
+    // Needs the candidate frequency's Theta^c_higher; default if unlisted.
+    double thresh_high = 10.0;
+    if (const auto* nf = serving_cfg.find_freq(cand.channel))
+      thresh_high = nf->thresh_high_db;
+    return cand.srxlev_db > thresh_high;
+  }
+  if (cand.priority == serving_priority)
+    return cand.srxlev_db > serving_srxlev_db + serving_cfg.q_offset_equal_db;
+  // Lower priority: candidate above its floor AND serving below its own.
+  double thresh_low = 4.0;
+  if (const auto* nf = serving_cfg.find_freq(cand.channel))
+    thresh_low = nf->thresh_low_db;
+  return cand.srxlev_db > thresh_low &&
+         serving_srxlev_db < serving_cfg.serving.thresh_serving_low_db;
+}
+
+void IdleReselection::configure(const config::CellConfig& serving_cfg) {
+  cfg_ = serving_cfg;
+  rank_since_.clear();
+}
+
+std::optional<std::uint32_t> IdleReselection::update(
+    SimTime t, double serving_srxlev_db,
+    const std::vector<RankedCandidate>& cands) {
+  const int ps = cfg_.serving.priority;
+  std::optional<std::uint32_t> winner;
+  int winner_priority = -1;
+  double winner_srxlev = -1e9;
+  for (const auto& cand : cands) {
+    if (!ranks_higher(cfg_, ps, serving_srxlev_db, cand)) {
+      rank_since_.erase(cand.cell_id);
+      continue;
+    }
+    auto [it, inserted] = rank_since_.try_emplace(cand.cell_id, t);
+    if (t - it->second < cfg_.serving.t_reselection) continue;
+    // Among matured candidates prefer higher priority, then stronger signal
+    // (TS 36.304 ranks the highest-priority, best-ranked cell).
+    if (cand.priority > winner_priority ||
+        (cand.priority == winner_priority && cand.srxlev_db > winner_srxlev)) {
+      winner = cand.cell_id;
+      winner_priority = cand.priority;
+      winner_srxlev = cand.srxlev_db;
+    }
+  }
+  // Forget candidates that disappeared from the audible set.
+  for (auto it = rank_since_.begin(); it != rank_since_.end();) {
+    const auto id = it->first;
+    const bool seen = std::any_of(
+        cands.begin(), cands.end(),
+        [&](const RankedCandidate& c) { return c.cell_id == id; });
+    it = seen ? std::next(it) : rank_since_.erase(it);
+  }
+  return winner;
+}
+
+}  // namespace mmlab::ue

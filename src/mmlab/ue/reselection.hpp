@@ -1,0 +1,76 @@
+// Idle-mode measurement gating and cell-reselection ranking
+// (TS 36.304; paper Eq. 1 and Eq. 3).
+//
+// All comparisons run on *calibrated* levels ("Srxlev" in the standard, "r"
+// in the paper): r = measured RSRP - q_rxlevmin of the measured cell, which
+// compensates for per-cell transmit-power differences (the paper's
+// "calibration" step).
+//
+// Measurement gating (Eq. 1): intra-frequency neighbours are measured only
+// when r_S <= Theta_intra; non-intra-frequency (inter-freq + inter-RAT)
+// neighbours only when r_S <= Theta_nonintra.  Higher-priority frequencies
+// are always measured, on a slow periodic schedule.
+//
+// Ranking (Eq. 3): a candidate ranks above the serving cell iff
+//   P_c > P_s :  r_c > Theta^c_higher
+//   P_c = P_s :  r_c > r_s + Delta_equal
+//   P_c < P_s :  r_c > Theta^c_lower  AND  r_s < Theta^s_lower
+// and reselection executes once the winning condition has held for
+// T_reselection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mmlab/config/cell_config.hpp"
+#include "mmlab/ue/event_engine.hpp"  // CellMeas
+
+namespace mmlab::ue {
+
+/// A reselection candidate as the ranking sees it.
+struct RankedCandidate {
+  std::uint32_t cell_id = 0;
+  spectrum::Channel channel;
+  int priority = 0;
+  double srxlev_db = 0.0;  ///< calibrated level r_c
+};
+
+/// Measurement classes of Eq. 1.
+struct MeasurementGate {
+  bool measure_intra = false;
+  bool measure_nonintra = false;
+  /// Higher-priority layers are always measured periodically regardless of
+  /// the gates above.
+  bool measure_higher_priority = true;
+};
+
+/// Apply Eq. 1 given the serving calibrated level.
+MeasurementGate evaluate_measurement_gate(
+    const config::ServingIdleConfig& serving_cfg, double serving_srxlev_db);
+
+/// Does `cand` rank above the serving cell *right now*? (One Eq. 3 check.)
+bool ranks_higher(const config::CellConfig& serving_cfg, int serving_priority,
+                  double serving_srxlev_db, const RankedCandidate& cand);
+
+/// Stateful reselection: tracks per-candidate rank persistence against
+/// T_reselection and picks the final target.
+class IdleReselection {
+ public:
+  /// Install the (new) serving cell's configuration; clears timing state.
+  void configure(const config::CellConfig& serving_cfg);
+
+  /// One evaluation round. Returns the cell id to reselect to, if any
+  /// candidate's winning condition has held for T_reselection.
+  std::optional<std::uint32_t> update(SimTime t, double serving_srxlev_db,
+                                      const std::vector<RankedCandidate>& cands);
+
+  const config::CellConfig& serving_config() const { return cfg_; }
+
+ private:
+  config::CellConfig cfg_;
+  std::map<std::uint32_t, SimTime> rank_since_;
+};
+
+}  // namespace mmlab::ue

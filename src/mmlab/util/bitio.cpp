@@ -1,0 +1,48 @@
+#include "mmlab/util/bitio.hpp"
+
+namespace mmlab {
+
+void BitWriter::write(std::uint64_t value, unsigned width) {
+  if (width > 64) throw std::invalid_argument("BitWriter: width > 64");
+  if (width < 64) value &= (1ULL << width) - 1;
+  for (unsigned i = width; i-- > 0;) {
+    const bool bit = (value >> i) & 1ULL;
+    const std::size_t byte = bit_size_ / 8;
+    const unsigned offset = 7 - static_cast<unsigned>(bit_size_ % 8);
+    if (byte == bytes_.size()) bytes_.push_back(0);
+    if (bit) bytes_[byte] |= static_cast<std::uint8_t>(1u << offset);
+    ++bit_size_;
+  }
+}
+
+void BitWriter::write_ranged(std::int64_t value, std::int64_t min,
+                             unsigned width) {
+  if (value < min) throw std::invalid_argument("BitWriter: value below min");
+  const auto delta = static_cast<std::uint64_t>(value - min);
+  if (width < 64 && delta >= (1ULL << width))
+    throw std::invalid_argument("BitWriter: value exceeds field range");
+  write(delta, width);
+}
+
+void BitWriter::align() {
+  while (bit_size_ % 8 != 0) write_bit(false);
+}
+
+std::uint64_t BitReader::read(unsigned width) {
+  if (width > 64) throw std::invalid_argument("BitReader: width > 64");
+  if (pos_ + width > size_bits_) throw BitUnderflow{};
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    const std::size_t byte = pos_ / 8;
+    const unsigned offset = 7 - static_cast<unsigned>(pos_ % 8);
+    value = (value << 1) | ((data_[byte] >> offset) & 1u);
+    ++pos_;
+  }
+  return value;
+}
+
+void BitReader::align() {
+  while (pos_ % 8 != 0 && pos_ < size_bits_) ++pos_;
+}
+
+}  // namespace mmlab

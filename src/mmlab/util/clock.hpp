@@ -1,0 +1,41 @@
+// Simulation time.
+//
+// All timestamps in the simulator and in diag logs are SimTime: integer
+// milliseconds since the simulation epoch.  Durations are plain Millis.
+// Integer milliseconds are exact, totally ordered, and sufficient for the
+// finest timer in the model (the 40 ms time-to-trigger step).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace mmlab {
+
+using Millis = std::int64_t;
+
+struct SimTime {
+  Millis ms = 0;
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(Millis d) const { return SimTime{ms + d}; }
+  constexpr SimTime operator-(Millis d) const { return SimTime{ms - d}; }
+  constexpr Millis operator-(SimTime o) const { return ms - o.ms; }
+  constexpr SimTime& operator+=(Millis d) { ms += d; return *this; }
+
+  constexpr double seconds() const { return static_cast<double>(ms) / 1e3; }
+  constexpr double days() const { return static_cast<double>(ms) / 86'400'000.0; }
+
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<Millis>(s * 1e3)};
+  }
+  static constexpr SimTime from_days(double d) {
+    return SimTime{static_cast<Millis>(d * 86'400'000.0)};
+  }
+};
+
+constexpr Millis kMillisPerSecond = 1'000;
+constexpr Millis kMillisPerMinute = 60'000;
+constexpr Millis kMillisPerHour = 3'600'000;
+constexpr Millis kMillisPerDay = 86'400'000;
+
+}  // namespace mmlab

@@ -1,0 +1,31 @@
+#include "mmlab/util/crc.hpp"
+
+#include <array>
+
+namespace mmlab {
+namespace {
+
+constexpr std::array<std::uint16_t, 256> make_table() {
+  std::array<std::uint16_t, 256> table{};
+  for (std::uint16_t i = 0; i < 256; ++i) {
+    std::uint16_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc & 1u) ? static_cast<std::uint16_t>((crc >> 1) ^ 0x8408)
+                       : static_cast<std::uint16_t>(crc >> 1);
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t size) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = static_cast<std::uint16_t>((crc >> 8) ^ kTable[(crc ^ data[i]) & 0xFF]);
+  return static_cast<std::uint16_t>(crc ^ 0xFFFF);
+}
+
+}  // namespace mmlab

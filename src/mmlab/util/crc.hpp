@@ -1,0 +1,13 @@
+// CRC-16/CCITT (X.25 variant) — the checksum used by the Qualcomm diag
+// protocol our diag-log framing emulates: polynomial 0x1021 reflected
+// (0x8408), initial value 0xFFFF, final XOR 0xFFFF.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace mmlab {
+
+std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t size);
+
+}  // namespace mmlab

@@ -1,0 +1,48 @@
+// Minimal expected-like result type for recoverable parse errors.
+//
+// The diag/RRC decode path must tolerate malformed input (a real diag stream
+// has truncation and bit errors); exceptions are reserved for programmer
+// errors.  Result<T> carries either a value or an error string.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mmlab {
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  static Result error(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error_);
+    return *value_;
+  }
+  T& value() & {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error_);
+    return *value_;
+  }
+  T&& take() && {
+    if (!ok()) throw std::logic_error("Result::take on error: " + error_);
+    return std::move(*value_);
+  }
+  const std::string& error_message() const { return error_; }
+
+ private:
+  Result() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace mmlab

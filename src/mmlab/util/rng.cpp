@@ -1,0 +1,23 @@
+#include "mmlab/util/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mmlab {
+
+std::size_t Rng::weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Rng::weighted: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("Rng::weighted: zero total");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point tail
+}
+
+}  // namespace mmlab

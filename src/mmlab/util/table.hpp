@@ -1,0 +1,38 @@
+// Plain-text table and CSV emission for the bench harness.
+//
+// Every fig*/tab* bench prints a human-readable table to stdout (the rows or
+// series the paper reports) and can mirror the same rows into a CSV file for
+// plotting.  TablePrinter right-aligns numeric columns and pads headers.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mmlab {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Add one row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render to stdout with a separator under the header.
+  void print() const;
+
+  /// Write as CSV (headers + rows). Throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helpers for table cells.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace mmlab

@@ -1,0 +1,19 @@
+#include "mmlab/util/units.hpp"
+
+#include <cstdio>
+
+namespace mmlab {
+
+std::string to_string(Db v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fdB", v.value());
+  return buf;
+}
+
+std::string to_string(Dbm v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fdBm", v.value());
+  return buf;
+}
+
+}  // namespace mmlab

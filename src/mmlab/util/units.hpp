@@ -1,0 +1,86 @@
+// Strong types for radio-engineering units.
+//
+// Cellular configuration work mixes three kinds of decibel quantities that
+// must never be silently confused:
+//   * Dbm  — absolute power referenced to 1 mW (e.g. RSRP, -140..-44 dBm),
+//   * Db   — a ratio / offset (e.g. hysteresis, A3 offset, RSRQ),
+//   * plain doubles — linear mW used internally by the channel model.
+// The types below make the legal algebra explicit: Dbm - Dbm = Db,
+// Dbm + Db = Dbm, Db + Db = Db; adding two Dbm values does not compile.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <string>
+
+namespace mmlab {
+
+/// A decibel *ratio or offset* (relative quantity).
+class Db {
+ public:
+  constexpr Db() = default;
+  constexpr explicit Db(double value) : value_(value) {}
+
+  constexpr double value() const { return value_; }
+  /// Linear power ratio: 10^(dB/10).
+  double linear() const { return std::pow(10.0, value_ / 10.0); }
+
+  constexpr Db operator+(Db o) const { return Db{value_ + o.value_}; }
+  constexpr Db operator-(Db o) const { return Db{value_ - o.value_}; }
+  constexpr Db operator-() const { return Db{-value_}; }
+  constexpr Db operator*(double k) const { return Db{value_ * k}; }
+  constexpr Db& operator+=(Db o) { value_ += o.value_; return *this; }
+  constexpr Db& operator-=(Db o) { value_ -= o.value_; return *this; }
+  constexpr auto operator<=>(const Db&) const = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// An absolute power level in dBm.
+class Dbm {
+ public:
+  constexpr Dbm() = default;
+  constexpr explicit Dbm(double value) : value_(value) {}
+
+  /// Construct from linear milliwatts. `mw` must be > 0.
+  static Dbm from_milliwatts(double mw) { return Dbm{10.0 * std::log10(mw)}; }
+
+  constexpr double value() const { return value_; }
+  double milliwatts() const { return std::pow(10.0, value_ / 10.0); }
+
+  constexpr Dbm operator+(Db o) const { return Dbm{value_ + o.value()}; }
+  constexpr Dbm operator-(Db o) const { return Dbm{value_ - o.value()}; }
+  constexpr Db operator-(Dbm o) const { return Db{value_ - o.value_}; }
+  constexpr Dbm& operator+=(Db o) { value_ += o.value(); return *this; }
+  constexpr Dbm& operator-=(Db o) { value_ -= o.value(); return *this; }
+  constexpr auto operator<=>(const Dbm&) const = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr Db operator"" _dB(long double v) { return Db{static_cast<double>(v)}; }
+constexpr Db operator"" _dB(unsigned long long v) { return Db{static_cast<double>(v)}; }
+constexpr Dbm operator"" _dBm(long double v) { return Dbm{static_cast<double>(v)}; }
+constexpr Dbm operator"" _dBm(unsigned long long v) { return Dbm{static_cast<double>(v)}; }
+
+std::string to_string(Db v);
+std::string to_string(Dbm v);
+
+/// RSRP validity range defined by 3GPP TS 36.133 §9.1.4.
+constexpr Dbm kMinRsrp{-140.0};
+constexpr Dbm kMaxRsrp{-44.0};
+/// RSRQ validity range defined by 3GPP TS 36.133 §9.1.7.
+constexpr Db kMinRsrq{-19.5};
+constexpr Db kMaxRsrq{-3.0};
+
+/// Clamp a measured RSRP into its reportable range.
+constexpr Dbm clamp_rsrp(Dbm v) {
+  return v < kMinRsrp ? kMinRsrp : (v > kMaxRsrp ? kMaxRsrp : v);
+}
+constexpr Db clamp_rsrq(Db v) {
+  return v < kMinRsrq ? kMinRsrq : (v > kMaxRsrq ? kMaxRsrq : v);
+}
+
+}  // namespace mmlab

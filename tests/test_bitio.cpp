@@ -1,0 +1,141 @@
+#include "mmlab/util/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlab/util/rng.hpp"
+
+namespace mmlab {
+namespace {
+
+TEST(BitIo, SingleBits) {
+  BitWriter w;
+  w.write_bit(true);
+  w.write_bit(false);
+  w.write_bit(true);
+  EXPECT_EQ(w.bit_size(), 3u);
+  BitReader r(w.bytes());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_FALSE(r.read_bit());
+  EXPECT_TRUE(r.read_bit());
+}
+
+TEST(BitIo, MsbFirstLayout) {
+  BitWriter w;
+  w.write(0b101, 3);
+  w.align();
+  ASSERT_EQ(w.bytes().size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0b1010'0000);
+}
+
+TEST(BitIo, ZeroWidthIsNoop) {
+  BitWriter w;
+  w.write(123, 0);
+  EXPECT_EQ(w.bit_size(), 0u);
+}
+
+TEST(BitIo, MasksExcessBits) {
+  BitWriter w;
+  w.write(0xFF, 4);  // only the low 4 bits survive
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(4), 0xFu);
+}
+
+TEST(BitIo, Width64RoundTrip) {
+  BitWriter w;
+  const std::uint64_t v = 0xDEADBEEFCAFEBABEULL;
+  w.write(v, 64);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(64), v);
+}
+
+TEST(BitIo, RejectsWidthOver64) {
+  BitWriter w;
+  EXPECT_THROW(w.write(0, 65), std::invalid_argument);
+  w.write(1, 8);
+  BitReader r(w.bytes());
+  EXPECT_THROW(r.read(65), std::invalid_argument);
+}
+
+TEST(BitIo, RangedRoundTrip) {
+  BitWriter w;
+  w.write_ranged(-3, -15, 5);
+  w.write_ranged(100, 0, 7);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read_ranged(-15, 5), -3);
+  EXPECT_EQ(r.read_ranged(0, 7), 100);
+}
+
+TEST(BitIo, RangedRejectsOutOfRange) {
+  BitWriter w;
+  EXPECT_THROW(w.write_ranged(-16, -15, 5), std::invalid_argument);
+  EXPECT_THROW(w.write_ranged(17, 0, 4), std::invalid_argument);
+}
+
+TEST(BitIo, UnderflowThrows) {
+  BitWriter w;
+  w.write(3, 2);
+  BitReader r(w.bytes());
+  r.read(2);
+  // The buffer pads to a full byte; reading past the byte must throw.
+  r.read(6);
+  EXPECT_THROW(r.read(1), BitUnderflow);
+}
+
+TEST(BitIo, AlignPadsWithZeros) {
+  BitWriter w;
+  w.write_bit(true);
+  w.align();
+  EXPECT_EQ(w.bit_size(), 8u);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(8), 0b1000'0000u);
+}
+
+TEST(BitIo, ReaderAlignSkips) {
+  BitWriter w;
+  w.write(1, 3);
+  w.align();
+  w.write(0xAB, 8);
+  BitReader r(w.bytes());
+  r.read(3);
+  r.align();
+  EXPECT_EQ(r.read(8), 0xABu);
+}
+
+class BitIoWidthSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitIoWidthSweep, RandomRoundTrip) {
+  const unsigned width = GetParam();
+  Rng rng(width * 1337 + 1);
+  BitWriter w;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t mask =
+        width == 64 ? ~0ULL : ((1ULL << width) - 1);
+    values.push_back(rng.next_u64() & mask);
+    w.write(values.back(), width);
+  }
+  BitReader r(w.bytes());
+  for (const auto v : values) EXPECT_EQ(r.read(width), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitIoWidthSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u, 8u, 9u, 13u,
+                                           16u, 18u, 28u, 31u, 32u, 33u, 48u,
+                                           63u, 64u));
+
+TEST(BitIo, MixedWidthSequence) {
+  Rng rng(99);
+  BitWriter w;
+  std::vector<std::pair<std::uint64_t, unsigned>> seq;
+  for (int i = 0; i < 500; ++i) {
+    const unsigned width = 1 + static_cast<unsigned>(rng.below(64));
+    const std::uint64_t mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+    seq.emplace_back(rng.next_u64() & mask, width);
+    w.write(seq.back().first, width);
+  }
+  BitReader r(w.bytes());
+  for (const auto& [v, width] : seq) EXPECT_EQ(r.read(width), v);
+}
+
+}  // namespace
+}  // namespace mmlab

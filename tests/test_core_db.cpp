@@ -1,0 +1,265 @@
+// ConfigDatabase + extractor + handoff extraction tests — the heart of the
+// "crawled view equals ground truth" guarantee.
+#include <gtest/gtest.h>
+
+#include "mmlab/core/extractor.hpp"
+#include "mmlab/core/handoff_extract.hpp"
+#include "mmlab/sim/crawl.hpp"
+#include "mmlab/sim/drive_test.hpp"
+#include "mmlab/ue/ue.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlab::core {
+namespace {
+
+using config::ParamId;
+
+std::vector<config::ParamObservation> obs(
+    std::initializer_list<std::pair<ParamId, double>> list) {
+  std::vector<config::ParamObservation> out;
+  for (const auto& [id, v] : list) out.push_back({config::lte_param(id), v});
+  return out;
+}
+
+TEST(Database, SnapshotAccumulates) {
+  ConfigDatabase db;
+  db.add_snapshot("A", 1, spectrum::Rat::kLte, 850, {1, 2}, SimTime{0},
+                  obs({{ParamId::kServingPriority, 3.0}}));
+  db.add_snapshot("A", 1, spectrum::Rat::kLte, 850, {1, 2}, SimTime{100},
+                  obs({{ParamId::kServingPriority, 3.0}}));
+  EXPECT_EQ(db.cell_count("A"), 1u);
+  EXPECT_EQ(db.sample_count("A"), 2u);
+  const auto& rec = db.cells_of("A")->at(1);
+  EXPECT_EQ(rec.sample_count(config::lte_param(ParamId::kServingPriority)), 2u);
+  EXPECT_EQ(rec.unique_values(config::lte_param(ParamId::kServingPriority)),
+            std::vector<double>{3.0});
+}
+
+TEST(Database, LatestPicksNewest) {
+  ConfigDatabase db;
+  db.add_snapshot("A", 1, spectrum::Rat::kLte, 850, {0, 0}, SimTime{0},
+                  obs({{ParamId::kA3Offset, 3.0}}));
+  db.add_snapshot("A", 1, spectrum::Rat::kLte, 850, {0, 0}, SimTime{100},
+                  obs({{ParamId::kA3Offset, 5.0}}));
+  const auto& rec = db.cells_of("A")->at(1);
+  EXPECT_EQ(rec.latest(config::lte_param(ParamId::kA3Offset)), 5.0);
+  EXPECT_FALSE(rec.latest(config::lte_param(ParamId::kQHyst)).has_value());
+}
+
+TEST(Database, ValuesDeduplicatePerCell) {
+  // Paper §5.1: unique samples per cell so heavily-crawled cells don't tip
+  // the distribution.
+  ConfigDatabase db;
+  for (int round = 0; round < 10; ++round)
+    db.add_snapshot("A", 1, spectrum::Rat::kLte, 850, {0, 0},
+                    SimTime{round * 100},
+                    obs({{ParamId::kServingPriority, 3.0}}));
+  db.add_snapshot("A", 2, spectrum::Rat::kLte, 850, {0, 0}, SimTime{0},
+                  obs({{ParamId::kServingPriority, 5.0}}));
+  const auto vc =
+      db.values("A", config::lte_param(ParamId::kServingPriority));
+  EXPECT_EQ(vc.total(), 2u);  // one per cell despite 10 visits to cell 1
+  EXPECT_DOUBLE_EQ(vc.fraction(3.0), 0.5);
+}
+
+TEST(Database, GroupedByFactor) {
+  ConfigDatabase db;
+  db.add_snapshot("A", 1, spectrum::Rat::kLte, 850, {0, 0}, SimTime{0},
+                  obs({{ParamId::kServingPriority, 3.0}}));
+  db.add_snapshot("A", 2, spectrum::Rat::kLte, 9820, {0, 0}, SimTime{0},
+                  obs({{ParamId::kServingPriority, 5.0}}));
+  const auto groups =
+      db.values_grouped("A", config::lte_param(ParamId::kServingPriority),
+                        [](const CellRecord& rec) {
+                          return static_cast<long>(rec.channel);
+                        });
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_DOUBLE_EQ(groups.at(850).mode(), 3.0);
+  EXPECT_DOUBLE_EQ(groups.at(9820).mode(), 5.0);
+}
+
+TEST(Database, UnknownCarrierEmpty) {
+  ConfigDatabase db;
+  EXPECT_EQ(db.cells_of("Z"), nullptr);
+  EXPECT_EQ(db.cell_count("Z"), 0u);
+  EXPECT_TRUE(db.values("Z", config::lte_param(ParamId::kQHyst)).empty());
+}
+
+// --- extractor: crawled view == ground truth ---------------------------------
+
+TEST(Extractor, CrawlMatchesGroundTruth) {
+  netgen::WorldOptions wopts;
+  wopts.seed = 5;
+  wopts.scale = 0.02;
+  auto world = netgen::generate_world(wopts);
+
+  // Snapshot ground truth *before* the crawl mutates configs over time.
+  std::map<std::uint32_t, config::CellConfig> truth;
+  for (const auto& cell : world.network.cells())
+    if (cell.is_lte()) truth[cell.id] = cell.lte_config;
+
+  sim::CrawlOptions copts;
+  auto crawl = sim::run_crawl(world, copts);
+
+  ConfigDatabase db;
+  for (const auto& log : crawl.logs) {
+    const auto stats = extract_configs(log.acronym, log.diag_log, db);
+    EXPECT_EQ(stats.crc_failures, 0u);
+    EXPECT_EQ(stats.rrc_errors, 0u);
+    EXPECT_EQ(stats.snapshots, stats.camps);
+  }
+
+  // Every cell crawled; every parameter's FIRST observation matches the
+  // pre-crawl ground truth.
+  EXPECT_EQ(db.total_cells(), world.network.cells().size());
+  std::size_t checked = 0;
+  for (const auto& [carrier, cells] : db.carriers()) {
+    for (const auto& [id, rec] : cells) {
+      if (rec.rat != spectrum::Rat::kLte) continue;
+      const auto it = truth.find(id);
+      ASSERT_NE(it, truth.end());
+      const auto expected = config::extract_parameters(it->second);
+      // Group expected by key; the first crawled unique value per key must
+      // equal the first generated value for single-occurrence params.
+      const auto prio = rec.unique_values(
+          config::lte_param(ParamId::kServingPriority));
+      ASSERT_FALSE(prio.empty());
+      EXPECT_DOUBLE_EQ(prio.front(), it->second.serving.priority);
+      const auto slow = rec.unique_values(
+          config::lte_param(ParamId::kThreshServingLow));
+      EXPECT_DOUBLE_EQ(slow.front(),
+                       it->second.serving.thresh_serving_low_db);
+      (void)expected;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(Extractor, SampleCountsScaleWithVisits) {
+  netgen::WorldOptions wopts;
+  wopts.seed = 5;
+  wopts.scale = 0.02;
+  auto world = netgen::generate_world(wopts);
+  sim::CrawlOptions copts;
+  auto crawl = sim::run_crawl(world, copts);
+  ConfigDatabase db;
+  for (const auto& log : crawl.logs)
+    extract_configs(log.acronym, log.diag_log, db);
+  // Total samples is far larger than cells: each visit yields a full
+  // parameter snapshot (the paper's 8M samples over 32k cells).
+  EXPECT_GT(db.total_samples(), db.total_cells() * 30);
+}
+
+TEST(Extractor, SurvivesCorruption) {
+  auto net = test::two_cell_corridor(test::a3_event(3.0));
+  ue::UeOptions opts;
+  opts.carrier = 0;
+  ue::Ue device(net, opts);
+  device.force_camp(1, {0, 0}, SimTime{0});
+  device.force_camp(2, {1900, 0}, SimTime{1000});
+  auto log = device.take_diag_log();
+  // Corrupt a byte mid-log.
+  log[log.size() / 2] ^= 0x55;
+  ConfigDatabase db;
+  const auto stats = extract_configs("X", log, db);
+  EXPECT_GE(stats.crc_failures + stats.malformed + stats.rrc_errors, 1u);
+  EXPECT_GE(db.cell_count("X"), 1u);  // the uncorrupted cell still extracted
+}
+
+TEST(Extractor, LegacyCellsExtracted) {
+  netgen::WorldOptions wopts;
+  wopts.seed = 5;
+  wopts.scale = 0.02;
+  auto world = netgen::generate_world(wopts);
+  sim::CrawlOptions copts;
+  auto crawl = sim::run_crawl(world, copts);
+  ConfigDatabase db;
+  for (const auto& log : crawl.logs)
+    extract_configs(log.acronym, log.diag_log, db);
+  bool umts_seen = false;
+  for (const auto& [carrier, cells] : db.carriers())
+    for (const auto& [id, rec] : cells)
+      if (rec.rat == spectrum::Rat::kUmts) {
+        umts_seen = true;
+        // 64 UMTS parameters per Tab 4.
+        std::set<config::ParamKey> keys;
+        for (const auto& o : rec.observations) keys.insert(o.key);
+        EXPECT_EQ(keys.size(), 64u);
+      }
+  EXPECT_TRUE(umts_seen);
+}
+
+// --- handoff extraction -------------------------------------------------------
+
+TEST(HandoffExtract, MatchesUeRecords) {
+  auto net = test::two_cell_corridor(test::a3_event(3.0));
+  const auto route = mobility::highway_drive({0, 0}, {2000, 0}, 15.0);
+  sim::DriveTestOptions opts;
+  opts.seed = 3;
+  const auto result = run_drive_test(net, route, opts);
+  const auto instances = extract_handoffs(result.diag_log);
+  ASSERT_EQ(instances.size(), result.handoffs.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const auto& inst = instances[i];
+    const auto& rec = result.handoffs[i];
+    EXPECT_EQ(inst.from_cell, rec.from);
+    EXPECT_EQ(inst.to_cell, rec.to);
+    EXPECT_EQ(inst.active_state, rec.active_state);
+    EXPECT_EQ(inst.trigger, rec.trigger);
+    EXPECT_EQ(inst.exec_time, rec.exec_time);
+    EXPECT_EQ(inst.report_time, rec.report_time);
+  }
+}
+
+TEST(HandoffExtract, LatencyInPaperRange) {
+  auto net = test::two_cell_corridor(test::a3_event(3.0));
+  const auto route = mobility::highway_drive({0, 0}, {2000, 0}, 15.0);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::DriveTestOptions opts;
+    opts.seed = seed;
+    const auto result = run_drive_test(net, route, opts);
+    for (const auto& inst : extract_handoffs(result.diag_log)) {
+      if (!inst.active_state) continue;
+      EXPECT_GE(inst.report_to_exec_ms(), 80);
+      EXPECT_LE(inst.report_to_exec_ms(), 330);
+    }
+  }
+}
+
+TEST(HandoffExtract, IdleHandoffsHaveNoReport) {
+  auto net = test::two_cell_corridor(test::a3_event(3.0));
+  const auto route = mobility::highway_drive({0, 0}, {2000, 0}, 15.0);
+  sim::DriveTestOptions opts;
+  opts.workload = sim::Workload::kNone;
+  const auto result = run_drive_test(net, route, opts);
+  const auto instances = extract_handoffs(result.diag_log);
+  ASSERT_GE(instances.size(), 1u);
+  for (const auto& inst : instances) {
+    EXPECT_FALSE(inst.active_state);
+    EXPECT_EQ(inst.report_to_exec_ms(), -1);
+  }
+}
+
+TEST(HandoffExtract, RadioSnapshotsBracketSwitch) {
+  auto net = test::two_cell_corridor(test::a3_event(3.0));
+  const auto route = mobility::highway_drive({0, 0}, {2000, 0}, 15.0);
+  sim::DriveTestOptions opts;
+  opts.seed = 9;
+  const auto result = run_drive_test(net, route, opts);
+  const auto instances = extract_handoffs(result.diag_log);
+  ASSERT_GE(instances.size(), 1u);
+  for (const auto& inst : instances) {
+    ASSERT_TRUE(inst.old_rsrp_dbm.has_value());
+    ASSERT_TRUE(inst.new_rsrp_dbm.has_value());
+    // A3-triggered handoffs in the clean corridor improve RSRP.
+    EXPECT_GT(*inst.new_rsrp_dbm, *inst.old_rsrp_dbm - 3.0);
+  }
+}
+
+TEST(HandoffExtract, EmptyLog) {
+  EXPECT_TRUE(extract_handoffs(nullptr, 0).empty());
+}
+
+}  // namespace
+}  // namespace mmlab::core

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "mmlab/util/crc.hpp"
+#include "mmlab/util/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace mmlab {
+namespace {
+
+TEST(Crc, KnownVector) {
+  // CRC-16/X-25 check value for "123456789".
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_ccitt(data, sizeof(data)), 0x906E);
+}
+
+TEST(Crc, EmptyInput) {
+  EXPECT_EQ(crc16_ccitt(nullptr, 0), 0x0000);  // init ^ final-xor
+}
+
+TEST(Crc, SingleBitChangesChecksum) {
+  std::uint8_t data[32];
+  for (std::size_t i = 0; i < sizeof(data); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  const auto base = crc16_ccitt(data, sizeof(data));
+  for (std::size_t i = 0; i < sizeof(data); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(crc16_ccitt(data, sizeof(data)), base) << "byte " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+TEST(Table, RejectsArityMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, CsvEscaping) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"has,comma", "has\"quote"});
+  const std::string path = ::testing::TempDir() + "/mmlab_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "name,value");
+  EXPECT_EQ(row, "\"has,comma\",\"has\"\"quote\"");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.674, 1), "67.4%");
+}
+
+}  // namespace
+}  // namespace mmlab

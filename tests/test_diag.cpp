@@ -1,0 +1,167 @@
+#include "mmlab/diag/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlab/util/rng.hpp"
+
+namespace mmlab::diag {
+namespace {
+
+Record make_record(std::uint16_t salt) {
+  Record rec;
+  rec.code = LogCode::kLteRrcOta;
+  rec.timestamp = SimTime{1000 + salt};
+  rec.payload = {static_cast<std::uint8_t>(salt),
+                 static_cast<std::uint8_t>(salt >> 8), 0x7E, 0x7D, 0xAA};
+  return rec;
+}
+
+TEST(Diag, SingleRecordRoundTrip) {
+  Writer w;
+  const Record rec = make_record(7);
+  w.append(rec);
+  Parser p(w.bytes());
+  Record out;
+  ASSERT_TRUE(p.next(out));
+  EXPECT_EQ(out, rec);
+  EXPECT_FALSE(p.next(out));
+  EXPECT_EQ(p.stats().records, 1u);
+  EXPECT_EQ(p.stats().crc_failures, 0u);
+}
+
+TEST(Diag, EmptyPayloadRecord) {
+  Writer w;
+  Record rec;
+  rec.code = LogCode::kServingCellInfo;
+  rec.timestamp = SimTime{5};
+  w.append(rec);
+  Parser p(w.bytes());
+  Record out;
+  ASSERT_TRUE(p.next(out));
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(Diag, ManyRecordsInOrder) {
+  Writer w;
+  std::vector<Record> records;
+  for (std::uint16_t i = 0; i < 200; ++i) {
+    records.push_back(make_record(i));
+    w.append(records.back());
+  }
+  EXPECT_EQ(w.record_count(), 200u);
+  Parser p(w.bytes());
+  const auto out = p.all();
+  ASSERT_EQ(out.size(), 200u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], records[i]);
+}
+
+TEST(Diag, EscapingHandlesTerminatorBytes) {
+  // Payload stuffed with frame delimiters and escape bytes.
+  Writer w;
+  Record rec;
+  rec.code = LogCode::kRadioMeasurement;
+  rec.timestamp = SimTime{0x7E7D7E7D};
+  rec.payload.assign(64, 0x7E);
+  for (std::size_t i = 0; i < 32; ++i) rec.payload.push_back(0x7D);
+  w.append(rec);
+  Parser p(w.bytes());
+  Record out;
+  ASSERT_TRUE(p.next(out));
+  EXPECT_EQ(out, rec);
+}
+
+TEST(Diag, CorruptedFrameSkippedAndCounted) {
+  Writer w;
+  w.append(make_record(1));
+  w.append(make_record(2));
+  w.append(make_record(3));
+  auto bytes = w.bytes();
+  // Flip a byte inside the second frame (frames are equal-length here).
+  const std::size_t frame_len = bytes.size() / 3;
+  bytes[frame_len + 4] ^= 0xFF;
+  Parser p(bytes);
+  const auto out = p.all();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], make_record(1));
+  EXPECT_EQ(out[1], make_record(3));
+  EXPECT_EQ(p.stats().crc_failures + p.stats().malformed, 1u);
+}
+
+TEST(Diag, TruncatedTailIgnored) {
+  Writer w;
+  w.append(make_record(1));
+  w.append(make_record(2));
+  auto bytes = w.bytes();
+  bytes.resize(bytes.size() - 3);  // cut into the second frame
+  Parser p(bytes);
+  const auto out = p.all();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(p.stats().malformed, 1u);
+}
+
+TEST(Diag, GarbageBetweenFramesResyncs) {
+  Writer w1, w2;
+  w1.append(make_record(1));
+  w2.append(make_record(2));
+  std::vector<std::uint8_t> bytes = w1.bytes();
+  const std::uint8_t junk[] = {0x01, 0x02, 0x03, 0x7E};
+  bytes.insert(bytes.end(), junk, junk + sizeof(junk));
+  bytes.insert(bytes.end(), w2.bytes().begin(), w2.bytes().end());
+  Parser p(bytes);
+  const auto out = p.all();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1], make_record(2));
+}
+
+TEST(Diag, RandomCorruptionNeverThrows) {
+  Writer w;
+  for (std::uint16_t i = 0; i < 50; ++i) w.append(make_record(i));
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto bytes = w.bytes();
+    for (int flips = 0; flips < 20; ++flips)
+      bytes[rng.below(bytes.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    Parser p(bytes);
+    EXPECT_NO_THROW({ auto all = p.all(); (void)all; });
+  }
+}
+
+TEST(Diag, PayloadSizeLimit) {
+  Writer w;
+  Record rec;
+  rec.payload.assign(70'000, 0);
+  EXPECT_THROW(w.append(rec), std::invalid_argument);
+}
+
+TEST(Diag, CampEventRoundTrip) {
+  CampEvent ev;
+  ev.cell_identity = 0x0ABCDEF1;
+  ev.pci = 371;
+  ev.rat = 0;
+  ev.channel = 9820;
+  ev.cause = static_cast<std::uint8_t>(CampCause::kActiveHandoff);
+  ev.x_dm = -123456;
+  ev.y_dm = 789012;
+  CampEvent out;
+  ASSERT_TRUE(decode_camp_event(encode_camp_event(ev), out));
+  EXPECT_EQ(out, ev);
+}
+
+TEST(Diag, CampEventRejectsWrongSize) {
+  CampEvent out;
+  EXPECT_FALSE(decode_camp_event({1, 2, 3}, out));
+}
+
+TEST(Diag, RadioSnapshotRoundTrip) {
+  RadioSnapshot snap;
+  snap.rsrp_cdbm = -10150;  // -101.5 dBm
+  snap.rsrq_cdb = -1200;
+  snap.sinr_cdb = 850;
+  RadioSnapshot out;
+  ASSERT_TRUE(decode_radio_snapshot(encode_radio_snapshot(snap), out));
+  EXPECT_EQ(out, snap);
+}
+
+}  // namespace
+}  // namespace mmlab::diag

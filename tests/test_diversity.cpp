@@ -1,0 +1,143 @@
+#include "mmlab/stats/diversity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmlab::stats {
+namespace {
+
+TEST(Diversity, SingleValueIsZero) {
+  ValueCounts vc;
+  vc.add(4.0, 100);
+  EXPECT_DOUBLE_EQ(vc.simpson_index(), 0.0);
+  EXPECT_DOUBLE_EQ(vc.coefficient_of_variation(), 0.0);
+  EXPECT_EQ(vc.richness(), 1u);
+}
+
+TEST(Diversity, EmptyIsZero) {
+  ValueCounts vc;
+  EXPECT_DOUBLE_EQ(vc.simpson_index(), 0.0);
+  EXPECT_DOUBLE_EQ(vc.coefficient_of_variation(), 0.0);
+  EXPECT_TRUE(vc.empty());
+}
+
+TEST(Diversity, SimpsonTwoEqualValues) {
+  ValueCounts vc;
+  vc.add(1.0, 50);
+  vc.add(2.0, 50);
+  // D = 1 - 2 * (50/100)^2 = 0.5
+  EXPECT_DOUBLE_EQ(vc.simpson_index(), 0.5);
+}
+
+TEST(Diversity, SimpsonHandComputed) {
+  ValueCounts vc;
+  vc.add(1.0, 70);
+  vc.add(2.0, 20);
+  vc.add(3.0, 10);
+  const double expected = 1.0 - (0.7 * 0.7 + 0.2 * 0.2 + 0.1 * 0.1);
+  EXPECT_NEAR(vc.simpson_index(), expected, 1e-12);
+}
+
+TEST(Diversity, SimpsonApproachesOneForEvenSpread) {
+  ValueCounts vc;
+  for (int i = 0; i < 100; ++i) vc.add(i, 1);
+  EXPECT_NEAR(vc.simpson_index(), 0.99, 1e-9);
+}
+
+TEST(Diversity, CoefficientOfVariationHandComputed) {
+  ValueCounts vc;
+  vc.add(2.0, 1);
+  vc.add(4.0, 1);
+  // mean 3, population sd 1 -> Cv = 1/3
+  EXPECT_NEAR(vc.coefficient_of_variation(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Diversity, CvUsesAbsoluteMean) {
+  ValueCounts vc;
+  vc.add(-2.0, 1);
+  vc.add(-4.0, 1);
+  EXPECT_NEAR(vc.coefficient_of_variation(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Diversity, ModeAndFraction) {
+  ValueCounts vc;
+  vc.add(3.0, 80);
+  vc.add(5.0, 20);
+  EXPECT_DOUBLE_EQ(vc.mode(), 3.0);
+  EXPECT_DOUBLE_EQ(vc.fraction(3.0), 0.8);
+  EXPECT_DOUBLE_EQ(vc.fraction(99.0), 0.0);
+}
+
+TEST(Diversity, ModeOnEmptyThrows) {
+  ValueCounts vc;
+  EXPECT_THROW(vc.mode(), std::logic_error);
+}
+
+TEST(Diversity, SamplesRoundTrip) {
+  ValueCounts vc;
+  vc.add(1.0, 2);
+  vc.add(7.0, 1);
+  const auto s = vc.samples();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+  EXPECT_DOUBLE_EQ(s[2], 7.0);
+}
+
+TEST(Dependence, ZeroWhenGroupsMirrorPooled) {
+  // Every group has the same distribution as the pool: zeta == 0.
+  std::map<long, ValueCounts> groups;
+  for (long g = 0; g < 3; ++g) {
+    groups[g].add(1.0, 10);
+    groups[g].add(2.0, 10);
+  }
+  EXPECT_NEAR(dependence_measure(groups, DiversityMetric::kSimpson), 0.0, 1e-12);
+  EXPECT_NEAR(dependence_measure(groups, DiversityMetric::kCv), 0.0, 1e-12);
+}
+
+TEST(Dependence, MaximalWhenFactorExplainsEverything) {
+  // Each group single-valued but pool diverse: zeta == pooled Simpson.
+  std::map<long, ValueCounts> groups;
+  groups[0].add(1.0, 50);
+  groups[1].add(2.0, 50);
+  ValueCounts pooled;
+  pooled.add(1.0, 50);
+  pooled.add(2.0, 50);
+  EXPECT_NEAR(dependence_measure(groups, DiversityMetric::kSimpson),
+              pooled.simpson_index(), 1e-12);
+}
+
+TEST(Dependence, EmptyGroupsGiveZero) {
+  std::map<long, ValueCounts> groups;
+  EXPECT_DOUBLE_EQ(dependence_measure(groups, DiversityMetric::kSimpson), 0.0);
+}
+
+TEST(Dependence, WeightedByGroupSize) {
+  // A huge conforming group dilutes a small divergent one.
+  std::map<long, ValueCounts> groups;
+  groups[0].add(1.0, 990);
+  groups[0].add(2.0, 990);
+  groups[1].add(1.0, 20);
+  const double zeta =
+      dependence_measure(groups, DiversityMetric::kSimpson);
+  EXPECT_LT(zeta, 0.05);
+  EXPECT_GT(zeta, 0.0);
+}
+
+class SimpsonSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimpsonSweep, MatchesClosedForm) {
+  // k evenly-weighted values: D = 1 - 1/k.
+  const int k = GetParam();
+  ValueCounts vc;
+  for (int i = 0; i < k; ++i) vc.add(i, 7);
+  EXPECT_NEAR(vc.simpson_index(), 1.0 - 1.0 / k, 1e-12);
+  EXPECT_EQ(vc.richness(), static_cast<std::size_t>(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SimpsonSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 10, 16, 20, 32));
+
+}  // namespace
+}  // namespace mmlab::stats

@@ -1,0 +1,293 @@
+#include "mmlab/ue/event_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmlab::ue {
+namespace {
+
+using config::EventConfig;
+using config::EventType;
+using config::SignalMetric;
+
+EventConfig make_event(EventType type) {
+  EventConfig ev;
+  ev.type = type;
+  ev.metric = SignalMetric::kRsrp;
+  ev.hysteresis_db = 2.0;
+  ev.time_to_trigger = 0;
+  ev.report_amount = 1;
+  return ev;
+}
+
+// --- pure predicates (paper Eq. 2 semantics) --------------------------------
+
+TEST(EventConditions, A1) {
+  auto ev = make_event(EventType::kA1);
+  ev.threshold1 = -100.0;
+  EXPECT_TRUE(event_entry_condition(ev, -97.0, 0.0));   // -97 - 2 > -100
+  EXPECT_FALSE(event_entry_condition(ev, -98.0, 0.0));  // boundary: equal
+  EXPECT_TRUE(event_leave_condition(ev, -103.0, 0.0));
+  EXPECT_FALSE(event_leave_condition(ev, -101.0, 0.0));
+}
+
+TEST(EventConditions, A2) {
+  auto ev = make_event(EventType::kA2);
+  ev.threshold1 = -110.0;
+  EXPECT_TRUE(event_entry_condition(ev, -113.0, 0.0));
+  EXPECT_FALSE(event_entry_condition(ev, -111.0, 0.0));
+  EXPECT_TRUE(event_leave_condition(ev, -107.0, 0.0));
+}
+
+TEST(EventConditions, A3UsesOffset) {
+  auto ev = make_event(EventType::kA3);
+  ev.offset_db = 3.0;
+  // Entry: neighbour - hys > serving + offset.
+  EXPECT_TRUE(event_entry_condition(ev, -100.0, -94.0));   // -96 > -97
+  EXPECT_FALSE(event_entry_condition(ev, -100.0, -95.5));  // -97.5 < -97
+  // Leave: neighbour + hys < serving + offset.
+  EXPECT_TRUE(event_leave_condition(ev, -100.0, -99.5));
+  EXPECT_FALSE(event_leave_condition(ev, -100.0, -96.0));
+}
+
+TEST(EventConditions, A3NegativeOffsetAdmitsWeakerCell) {
+  auto ev = make_event(EventType::kA3);
+  ev.offset_db = -1.0;
+  ev.hysteresis_db = 0.0;
+  // With a negative offset the neighbour may be *weaker* than serving.
+  EXPECT_TRUE(event_entry_condition(ev, -100.0, -100.5));
+}
+
+TEST(EventConditions, A4) {
+  auto ev = make_event(EventType::kA4);
+  ev.threshold1 = -105.0;
+  EXPECT_TRUE(event_entry_condition(ev, -60.0, -102.0));
+  EXPECT_FALSE(event_entry_condition(ev, -60.0, -104.0));
+}
+
+TEST(EventConditions, A5NeedsBothConditions) {
+  auto ev = make_event(EventType::kA5);
+  ev.threshold1 = -110.0;  // serving below
+  ev.threshold2 = -114.0;  // candidate above
+  EXPECT_TRUE(event_entry_condition(ev, -115.0, -110.0));
+  EXPECT_FALSE(event_entry_condition(ev, -105.0, -110.0));  // serving too good
+  EXPECT_FALSE(event_entry_condition(ev, -115.0, -113.0));  // cand too weak
+  // Leave if either sub-condition reverses.
+  EXPECT_TRUE(event_leave_condition(ev, -104.0, -110.0));
+  EXPECT_TRUE(event_leave_condition(ev, -115.0, -117.0));
+  EXPECT_FALSE(event_leave_condition(ev, -115.0, -110.0));
+}
+
+TEST(EventConditions, A5NoServingRequirementPolicy) {
+  // AT&T's dominant A5-RSRP config: ΘA5,S = -44 (best) disables the serving
+  // check in practice — entry depends on the candidate only.
+  auto ev = make_event(EventType::kA5);
+  ev.threshold1 = -44.0;
+  ev.threshold2 = -114.0;
+  EXPECT_TRUE(event_entry_condition(ev, -50.0, -110.0));
+  EXPECT_TRUE(event_entry_condition(ev, -120.0, -110.0));
+  EXPECT_FALSE(event_entry_condition(ev, -120.0, -114.0));
+}
+
+TEST(EventConditions, B1B2MirrorA4A5) {
+  auto b1 = make_event(EventType::kB1);
+  b1.threshold1 = -100.0;
+  EXPECT_TRUE(event_entry_condition(b1, -120.0, -95.0));
+  auto b2 = make_event(EventType::kB2);
+  b2.threshold1 = -115.0;
+  b2.threshold2 = -100.0;
+  EXPECT_TRUE(event_entry_condition(b2, -118.0, -97.0));
+  EXPECT_FALSE(event_entry_condition(b2, -110.0, -97.0));
+}
+
+TEST(EventConditions, PeriodicAlwaysEntered) {
+  auto ev = make_event(EventType::kPeriodic);
+  EXPECT_TRUE(event_entry_condition(ev, -60.0, 0.0));
+  EXPECT_FALSE(event_leave_condition(ev, -140.0, 0.0));
+}
+
+// --- stateful monitor --------------------------------------------------------
+
+CellMeas serving_at(double rsrp) {
+  return CellMeas{1, {spectrum::Rat::kLte, 850}, rsrp, -10.0};
+}
+
+CellMeas neighbor_at(std::uint32_t id, double rsrp) {
+  return CellMeas{id, {spectrum::Rat::kLte, 850}, rsrp, -10.0};
+}
+
+TEST(EventMonitor, FiresImmediatelyWithZeroTtt) {
+  auto ev = make_event(EventType::kA3);
+  ev.offset_db = 3.0;
+  ev.hysteresis_db = 0.0;
+  EventMonitor monitor(ev);
+  const auto fired =
+      monitor.update(SimTime{0}, serving_at(-100), {neighbor_at(2, -90)});
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].type, EventType::kA3);
+  EXPECT_EQ(fired[0].neighbor_cell_id, 2u);
+}
+
+TEST(EventMonitor, TttDelaysTrigger) {
+  auto ev = make_event(EventType::kA3);
+  ev.offset_db = 3.0;
+  ev.hysteresis_db = 0.0;
+  ev.time_to_trigger = 320;
+  EventMonitor monitor(ev);
+  for (Millis t = 0; t < 320; t += 100)
+    EXPECT_TRUE(
+        monitor.update(SimTime{t}, serving_at(-100), {neighbor_at(2, -90)})
+            .empty())
+        << t;
+  const auto fired =
+      monitor.update(SimTime{400}, serving_at(-100), {neighbor_at(2, -90)});
+  EXPECT_EQ(fired.size(), 1u);
+}
+
+TEST(EventMonitor, LeaveResetsTtt) {
+  auto ev = make_event(EventType::kA3);
+  ev.offset_db = 3.0;
+  ev.hysteresis_db = 1.0;
+  ev.time_to_trigger = 300;
+  EventMonitor monitor(ev);
+  EXPECT_TRUE(
+      monitor.update(SimTime{0}, serving_at(-100), {neighbor_at(2, -90)})
+          .empty());
+  // Condition breaks (leave satisfied: -105 + 1 < -100 + 3).
+  EXPECT_TRUE(
+      monitor.update(SimTime{100}, serving_at(-100), {neighbor_at(2, -105)})
+          .empty());
+  // Re-entered at t=200; firing must not happen before t=500.
+  EXPECT_TRUE(
+      monitor.update(SimTime{200}, serving_at(-100), {neighbor_at(2, -90)})
+          .empty());
+  EXPECT_TRUE(
+      monitor.update(SimTime{400}, serving_at(-100), {neighbor_at(2, -90)})
+          .empty());
+  EXPECT_EQ(
+      monitor.update(SimTime{500}, serving_at(-100), {neighbor_at(2, -90)})
+          .size(),
+      1u);
+}
+
+TEST(EventMonitor, HysteresisPreventsFlapping) {
+  auto ev = make_event(EventType::kA3);
+  ev.offset_db = 0.0;
+  ev.hysteresis_db = 2.0;
+  ev.time_to_trigger = 0;
+  EventMonitor monitor(ev);
+  // Neighbour hovering within +/- hysteresis: entry never satisfied.
+  for (Millis t = 0; t < 1000; t += 100) {
+    const double nb = (t / 100) % 2 == 0 ? -99.0 : -101.0;
+    EXPECT_TRUE(
+        monitor.update(SimTime{t}, serving_at(-100), {neighbor_at(2, nb)})
+            .empty());
+  }
+}
+
+TEST(EventMonitor, ReportAmountCapsReports) {
+  auto ev = make_event(EventType::kA2);
+  ev.threshold1 = -100.0;
+  ev.hysteresis_db = 0.0;
+  ev.report_amount = 2;
+  ev.report_interval = 200;
+  EventMonitor monitor(ev);
+  int fired = 0;
+  for (Millis t = 0; t <= 2000; t += 100)
+    fired += static_cast<int>(
+        monitor.update(SimTime{t}, serving_at(-110), {}).size());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventMonitor, ReportIntervalPacesReports) {
+  auto ev = make_event(EventType::kA2);
+  ev.threshold1 = -100.0;
+  ev.hysteresis_db = 0.0;
+  ev.report_amount = 10;
+  ev.report_interval = 500;
+  EventMonitor monitor(ev);
+  std::vector<Millis> fire_times;
+  for (Millis t = 0; t <= 2000; t += 100)
+    if (!monitor.update(SimTime{t}, serving_at(-110), {}).empty())
+      fire_times.push_back(t);
+  ASSERT_GE(fire_times.size(), 3u);
+  for (std::size_t i = 1; i < fire_times.size(); ++i)
+    EXPECT_GE(fire_times[i] - fire_times[i - 1], 500);
+}
+
+TEST(EventMonitor, TracksMultipleNeighborsIndependently) {
+  auto ev = make_event(EventType::kA3);
+  ev.offset_db = 3.0;
+  ev.hysteresis_db = 0.0;
+  ev.time_to_trigger = 200;
+  EventMonitor monitor(ev);
+  // Neighbour 2 enters at t=0, neighbour 3 at t=100.
+  EXPECT_TRUE(monitor
+                  .update(SimTime{0}, serving_at(-100),
+                          {neighbor_at(2, -90), neighbor_at(3, -110)})
+                  .empty());
+  EXPECT_TRUE(monitor
+                  .update(SimTime{100}, serving_at(-100),
+                          {neighbor_at(2, -90), neighbor_at(3, -90)})
+                  .empty());
+  const auto at200 = monitor.update(SimTime{200}, serving_at(-100),
+                                    {neighbor_at(2, -90), neighbor_at(3, -90)});
+  ASSERT_EQ(at200.size(), 1u);
+  EXPECT_EQ(at200[0].neighbor_cell_id, 2u);
+  const auto at300 = monitor.update(SimTime{300}, serving_at(-100),
+                                    {neighbor_at(2, -90), neighbor_at(3, -90)});
+  ASSERT_EQ(at300.size(), 1u);
+  EXPECT_EQ(at300[0].neighbor_cell_id, 3u);
+}
+
+TEST(EventMonitor, InterRatEventIgnoresLteNeighbors) {
+  auto ev = make_event(EventType::kB1);
+  ev.threshold1 = -100.0;
+  ev.hysteresis_db = 0.0;
+  EventMonitor monitor(ev);
+  // Strong LTE neighbour must not fire an inter-RAT event...
+  EXPECT_TRUE(
+      monitor.update(SimTime{0}, serving_at(-120), {neighbor_at(2, -80)})
+          .empty());
+  // ...but a UMTS one does.
+  CellMeas umts{9, {spectrum::Rat::kUmts, 4435}, -90.0, -10.0};
+  EXPECT_EQ(monitor.update(SimTime{100}, serving_at(-120), {umts}).size(), 1u);
+}
+
+TEST(EventMonitor, IntraRatEventIgnoresLegacyNeighbors) {
+  auto ev = make_event(EventType::kA3);
+  ev.offset_db = 0.0;
+  ev.hysteresis_db = 0.0;
+  EventMonitor monitor(ev);
+  CellMeas umts{9, {spectrum::Rat::kUmts, 4435}, -60.0, -5.0};
+  EXPECT_TRUE(monitor.update(SimTime{0}, serving_at(-120), {umts}).empty());
+}
+
+TEST(EventMonitor, RsrqMetricUsed) {
+  auto ev = make_event(EventType::kA5);
+  ev.metric = SignalMetric::kRsrq;
+  ev.threshold1 = -14.0;  // serving RSRQ below
+  ev.threshold2 = -12.0;  // candidate RSRQ above
+  ev.hysteresis_db = 0.0;
+  EventMonitor monitor(ev);
+  CellMeas serving{1, {spectrum::Rat::kLte, 850}, -80.0, -16.0};
+  CellMeas nb{2, {spectrum::Rat::kLte, 850}, -120.0, -8.0};
+  // RSRP says serving is fine and neighbour terrible; RSRQ says switch.
+  EXPECT_EQ(monitor.update(SimTime{0}, serving, {nb}).size(), 1u);
+}
+
+TEST(EventMonitor, ResetClearsState) {
+  auto ev = make_event(EventType::kA3);
+  ev.offset_db = 3.0;
+  ev.hysteresis_db = 0.0;
+  ev.time_to_trigger = 200;
+  EventMonitor monitor(ev);
+  monitor.update(SimTime{0}, serving_at(-100), {neighbor_at(2, -90)});
+  monitor.reset();
+  // After reset the TTT countdown starts over.
+  EXPECT_TRUE(
+      monitor.update(SimTime{200}, serving_at(-100), {neighbor_at(2, -90)})
+          .empty());
+}
+
+}  // namespace
+}  // namespace mmlab::ue

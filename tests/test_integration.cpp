@@ -1,0 +1,194 @@
+// End-to-end pipeline test: generate world -> crawl via diag -> extract ->
+// analyze, asserting the paper's headline *shapes* hold on a scaled-down
+// dataset.  This is the test that guarantees the fig-benches aren't reading
+// tea leaves.
+#include <gtest/gtest.h>
+
+#include "mmlab/core/analysis.hpp"
+#include "mmlab/core/extractor.hpp"
+#include "mmlab/core/misconfig.hpp"
+#include "mmlab/netgen/generator.hpp"
+#include "mmlab/sim/crawl.hpp"
+
+namespace mmlab::core {
+namespace {
+
+using config::ParamId;
+
+struct Pipeline {
+  netgen::GeneratedWorld world;
+  ConfigDatabase db;
+};
+
+const Pipeline& pipeline() {
+  static Pipeline p = [] {
+    Pipeline out{netgen::generate_world({.seed = 42, .scale = 0.08}), {}};
+    sim::CrawlOptions copts;
+    auto crawl = sim::run_crawl(out.world, copts);
+    for (const auto& log : crawl.logs)
+      extract_configs(log.acronym, log.diag_log, out.db);
+    return out;
+  }();
+  return p;
+}
+
+TEST(Integration, DatasetShapeMatchesFig12) {
+  const auto& db = pipeline().db;
+  // All 30 carriers present; AT&T the largest; samples >> cells.
+  EXPECT_EQ(db.carriers().size(), 30u);
+  std::size_t att = db.cell_count("A");
+  for (const auto& [carrier, cells] : db.carriers())
+    EXPECT_LE(cells.size(), att) << carrier;
+  EXPECT_GT(db.total_samples(), db.total_cells() * 20);
+}
+
+TEST(Integration, HsSingleValuedDminDominated) {
+  const auto& db = pipeline().db;
+  // Fig 14: Hs fixed at 4 dB; ∆min dominated by -122.
+  const auto hs = db.values("A", config::lte_param(ParamId::kQHyst));
+  EXPECT_EQ(hs.richness(), 1u);
+  EXPECT_DOUBLE_EQ(hs.mode(), 4.0);
+  const auto dmin = db.values("A", config::lte_param(ParamId::kQRxLevMin));
+  EXPECT_DOUBLE_EQ(dmin.mode(), -122.0);
+  EXPECT_GT(dmin.fraction(-122.0), 0.95);
+}
+
+TEST(Integration, AttA3OffsetDominatedBy3) {
+  const auto& db = pipeline().db;
+  const auto a3 = db.values("A", config::lte_param(ParamId::kA3Offset));
+  EXPECT_DOUBLE_EQ(a3.mode(), 3.0);
+  // Range [0, 5] per Fig 5a.
+  EXPECT_GE(a3.counts().begin()->first, 0.0);
+  EXPECT_LE(a3.counts().rbegin()->first, 5.0);
+}
+
+TEST(Integration, TmobileA3RangeWiderWithNegatives) {
+  const auto& db = pipeline().db;
+  const auto a3 = db.values("T", config::lte_param(ParamId::kA3Offset));
+  EXPECT_LE(a3.counts().begin()->first, -1.0);   // negative offsets observed
+  EXPECT_GE(a3.counts().rbegin()->first, 10.0);  // and large ones
+}
+
+TEST(Integration, SkTelecomLeastDiverse) {
+  const auto& db = pipeline().db;
+  // Fig 17: SK single-valued on the representative parameters.
+  for (const auto id : {ParamId::kServingPriority, ParamId::kQRxLevMin,
+                        ParamId::kThreshServingLow, ParamId::kA3Offset}) {
+    const auto vc = db.values("SK", config::lte_param(id));
+    EXPECT_LE(vc.richness(), 2u) << param_name(config::lte_param(id));
+    EXPECT_LT(vc.simpson_index(), 0.1);
+  }
+  // AT&T meanwhile is diverse on Θ(s)lower.
+  EXPECT_GT(db.values("A", config::lte_param(ParamId::kThreshServingLow))
+                .simpson_index(),
+            0.3);
+}
+
+TEST(Integration, DiversityOrderingAcrossRats) {
+  const auto& db = pipeline().db;
+  // Fig 22: LTE/WCDMA clearly more diverse than EVDO/GSM.
+  auto median_simpson = [&](const std::string& carrier, spectrum::Rat rat) {
+    const auto diversity = diversity_by_param(db, carrier, rat);
+    std::vector<double> values;
+    for (const auto& d : diversity) values.push_back(d.measures.simpson);
+    if (values.empty()) return 0.0;
+    return stats::quantile(values, 0.75);  // upper quartile, as boxplots show
+  };
+  const double lte = median_simpson("A", spectrum::Rat::kLte);
+  const double umts = median_simpson("A", spectrum::Rat::kUmts);
+  const double evdo = median_simpson("S", spectrum::Rat::kEvdo);
+  const double gsm = median_simpson("A", spectrum::Rat::kGsm);
+  EXPECT_GT(lte, 0.3);
+  EXPECT_GT(umts, 0.2);
+  EXPECT_LT(evdo, umts);
+  EXPECT_LT(gsm, umts);
+}
+
+TEST(Integration, Fig11GapsHold) {
+  const auto& db = pipeline().db;
+  const auto gaps = measurement_decision_gaps(db, "A");
+  ASSERT_GT(gaps.intra_minus_nonintra.size(), 100u);
+  // Θintra − Θnonintra >= 0 for AT&T (no swapped carriers there)...
+  for (const double g : gaps.intra_minus_nonintra) EXPECT_GE(g, 0.0);
+  // ...with some exact-zero cases (the paper's ~5 %).
+  std::size_t zeros = 0;
+  for (const double g : gaps.intra_minus_nonintra) zeros += g == 0.0;
+  EXPECT_GT(zeros, 0u);
+  // Θintra − Θ(s)low > 30 dB in the vast majority of cells (paper: 95 %).
+  std::size_t big = 0;
+  for (const double g : gaps.intra_minus_slow) big += g > 30.0;
+  EXPECT_GT(static_cast<double>(big) / gaps.intra_minus_slow.size(), 0.8);
+}
+
+TEST(Integration, Fig18PriorityPolicies) {
+  const auto& db = pipeline().db;
+  const auto by_channel = priority_by_channel(db, "A", false);
+  // Band 12/17 channels pinned to priority 2; band 30 gets the top value.
+  ASSERT_TRUE(by_channel.count(5110));
+  EXPECT_DOUBLE_EQ(by_channel.at(5110).mode(), 2.0);
+  ASSERT_TRUE(by_channel.count(5780));
+  EXPECT_DOUBLE_EQ(by_channel.at(5780).mode(), 2.0);
+  ASSERT_TRUE(by_channel.count(9820));
+  EXPECT_DOUBLE_EQ(by_channel.at(9820).mode(), 5.0);
+  // Multi-valued channels exist (the conflict story), on a small share of
+  // cells overall.
+  const double conflicted = multi_priority_cell_fraction(db, "A");
+  EXPECT_GT(conflicted, 0.01);
+  EXPECT_LT(conflicted, 0.25);
+}
+
+TEST(Integration, Fig20ChicagoDiffers) {
+  const auto& p = pipeline();
+  const auto by_city =
+      priority_by_city(p.db, "A", p.world.network.cities());
+  ASSERT_TRUE(by_city.count(0));  // Chicago
+  ASSERT_TRUE(by_city.count(2));  // Indianapolis
+  // Chicago's heavier band-30/band-12 mix shifts its priority distribution.
+  const double chicago_p5 = by_city.at(0).fraction(5.0);
+  const double indy_p5 = by_city.at(2).fraction(5.0);
+  EXPECT_GT(chicago_p5, indy_p5 + 0.05);
+}
+
+TEST(Integration, Fig21TmobileSpatiallyFlat) {
+  const auto& p = pipeline();
+  const auto& cities = p.world.network.cities();
+  const auto key = config::lte_param(ParamId::kThreshServingLow);
+  const auto att =
+      spatial_diversity(p.db, "A", key, cities[2], 1000.0);
+  const auto tmo =
+      spatial_diversity(p.db, "T", key, cities[2], 1000.0);
+  ASSERT_FALSE(att.empty());
+  ASSERT_FALSE(tmo.empty());
+  const double att_mean = stats::mean(att);
+  const double tmo_mean = stats::mean(tmo);
+  // T-Mobile near zero (tract borders leak a little at this radius);
+  // AT&T clearly diverse locally.
+  EXPECT_LT(tmo_mean, 0.08);
+  EXPECT_GT(att_mean, tmo_mean + 0.08);
+}
+
+TEST(Integration, Fig13TemporalShape) {
+  const auto& db = pipeline().db;
+  const auto ts = temporal_dynamics(db, "A");
+  // Roughly half the cells observed more than once (Fig 13a: 48.1 %).
+  EXPECT_GT(ts.fraction_multi_sample, 0.3);
+  EXPECT_LT(ts.fraction_multi_sample, 0.65);
+  // Active-state parameters updated far more often than idle-state ones.
+  EXPECT_GT(ts.active_update_fraction, ts.idle_update_fraction * 3.0);
+  EXPECT_LT(ts.idle_update_fraction, 0.05);
+}
+
+TEST(Integration, MisconfigDetectorsFireOnRealisticWorld) {
+  const auto& db = pipeline().db;
+  const auto summary = summarize(detect_misconfigurations(db));
+  // The generator plants all of these in the world; the detectors must
+  // recover them from crawled data alone.
+  EXPECT_GT(summary.count(FindingKind::kPrematureMeasurement), 0u);
+  EXPECT_GT(summary.count(FindingKind::kPriorityConflict), 0u);
+  EXPECT_GT(summary.count(FindingKind::kNoServingRequirement), 0u);
+  EXPECT_GT(summary.count(FindingKind::kUnsupportedTopPriority), 0u);
+  EXPECT_GT(summary.count(FindingKind::kNegativeA3Offset), 0u);
+}
+
+}  // namespace
+}  // namespace mmlab::core

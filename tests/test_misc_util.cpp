@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "mmlab/config/events.hpp"
+#include "mmlab/util/clock.hpp"
+#include "mmlab/util/result.hpp"
+
+namespace mmlab {
+namespace {
+
+TEST(Clock, Arithmetic) {
+  SimTime t{1'000};
+  EXPECT_EQ((t + 500).ms, 1'500);
+  EXPECT_EQ((t - 400).ms, 600);
+  EXPECT_EQ(SimTime{2'000} - SimTime{500}, 1'500);
+  t += 250;
+  EXPECT_EQ(t.ms, 1'250);
+}
+
+TEST(Clock, Conversions) {
+  EXPECT_DOUBLE_EQ(SimTime{1'500}.seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::from_seconds(2.5).ms, 2'500);
+  EXPECT_DOUBLE_EQ(SimTime::from_days(1.0).ms, 86'400'000);
+  EXPECT_DOUBLE_EQ(SimTime{86'400'000}.days(), 1.0);
+  EXPECT_EQ(kMillisPerMinute, 60'000);
+  EXPECT_EQ(kMillisPerDay, 24 * kMillisPerHour);
+}
+
+TEST(Clock, Ordering) {
+  EXPECT_LT(SimTime{1}, SimTime{2});
+  EXPECT_EQ(SimTime{5}, SimTime{5});
+}
+
+TEST(Result, ValueAccess) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_TRUE(ok.error_message().empty());
+}
+
+TEST(Result, ErrorAccess) {
+  auto err = Result<int>::error("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error_message(), "boom");
+  EXPECT_THROW(err.value(), std::logic_error);
+}
+
+TEST(Result, Take) {
+  Result<std::string> ok(std::string("payload"));
+  const std::string moved = std::move(ok).take();
+  EXPECT_EQ(moved, "payload");
+  EXPECT_THROW(std::move(Result<std::string>::error("x")).take(),
+               std::logic_error);
+}
+
+TEST(Events, Names) {
+  using config::EventType;
+  EXPECT_EQ(config::event_name(EventType::kA3), "A3");
+  EXPECT_EQ(config::event_name(EventType::kB2), "B2");
+  EXPECT_EQ(config::event_name(EventType::kPeriodic), "P");
+}
+
+TEST(Events, NeighborInvolvement) {
+  using config::EventType;
+  EXPECT_FALSE(config::event_involves_neighbor(EventType::kA1));
+  EXPECT_FALSE(config::event_involves_neighbor(EventType::kA2));
+  EXPECT_TRUE(config::event_involves_neighbor(EventType::kA3));
+  EXPECT_TRUE(config::event_involves_neighbor(EventType::kA5));
+  EXPECT_TRUE(config::event_involves_neighbor(EventType::kB1));
+  EXPECT_TRUE(config::event_involves_neighbor(EventType::kPeriodic));
+}
+
+TEST(Events, InterRatClassification) {
+  using config::EventType;
+  EXPECT_TRUE(config::event_is_inter_rat(EventType::kB1));
+  EXPECT_TRUE(config::event_is_inter_rat(EventType::kB2));
+  EXPECT_FALSE(config::event_is_inter_rat(EventType::kA3));
+  EXPECT_FALSE(config::event_is_inter_rat(EventType::kA5));
+}
+
+TEST(Events, MetricNames) {
+  EXPECT_EQ(config::metric_name(config::SignalMetric::kRsrp), "RSRP");
+  EXPECT_EQ(config::metric_name(config::SignalMetric::kRsrq), "RSRQ");
+}
+
+}  // namespace
+}  // namespace mmlab

@@ -1,0 +1,125 @@
+#include "mmlab/config/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mmlab::config {
+namespace {
+
+CellConfig sample_config() {
+  CellConfig cfg;
+  cfg.serving.priority = 5;
+  cfg.q_offset_equal_db = 4.0;
+  NeighborFreqConfig nf;
+  nf.channel = {spectrum::Rat::kLte, 5110};
+  cfg.neighbor_freqs.push_back(nf);
+  nf.channel = {spectrum::Rat::kUmts, 4435};
+  cfg.neighbor_freqs.push_back(nf);
+  EventConfig a3;
+  a3.type = EventType::kA3;
+  a3.offset_db = 3.0;
+  a3.time_to_trigger = 320;
+  cfg.report_configs.push_back(a3);
+  EventConfig a5;
+  a5.type = EventType::kA5;
+  a5.threshold1 = -44.0;
+  a5.threshold2 = -114.0;
+  cfg.report_configs.push_back(a5);
+  return cfg;
+}
+
+TEST(Params, ServingParametersExtracted) {
+  const auto obs = extract_parameters(sample_config());
+  auto value_of = [&](ParamId id) -> std::vector<double> {
+    std::vector<double> out;
+    for (const auto& o : obs)
+      if (o.key == lte_param(id)) out.push_back(o.value);
+    return out;
+  };
+  EXPECT_EQ(value_of(ParamId::kServingPriority), std::vector<double>{5.0});
+  EXPECT_EQ(value_of(ParamId::kQOffsetEqual), std::vector<double>{4.0});
+  EXPECT_EQ(value_of(ParamId::kA3Offset), std::vector<double>{3.0});
+  EXPECT_EQ(value_of(ParamId::kA5Threshold1), std::vector<double>{-44.0});
+  EXPECT_EQ(value_of(ParamId::kA5Threshold2), std::vector<double>{-114.0});
+  // Two neighbour frequencies -> two observations of each per-freq param.
+  EXPECT_EQ(value_of(ParamId::kNeighborPriority).size(), 2u);
+  EXPECT_EQ(value_of(ParamId::kThreshXHigh).size(), 2u);
+}
+
+TEST(Params, EventParamsOnlyForConfiguredEvents) {
+  CellConfig cfg;
+  const auto obs = extract_parameters(cfg);
+  for (const auto& o : obs) {
+    EXPECT_NE(o.key, lte_param(ParamId::kA3Offset));
+    EXPECT_NE(o.key, lte_param(ParamId::kA5Threshold1));
+  }
+}
+
+TEST(Params, PeriodicEventEmitsInterval) {
+  CellConfig cfg;
+  EventConfig p;
+  p.type = EventType::kPeriodic;
+  p.report_interval = 2048;
+  cfg.report_configs.push_back(p);
+  const auto obs = extract_parameters(cfg);
+  bool found = false;
+  for (const auto& o : obs)
+    if (o.key == lte_param(ParamId::kPeriodicInterval)) {
+      found = true;
+      EXPECT_DOUBLE_EQ(o.value, 2048.0);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Params, LegacyExtraction) {
+  LegacyCellConfig cfg;
+  cfg.rat = spectrum::Rat::kUmts;
+  cfg.priority = 2;
+  cfg.extra_params = {1.0, 2.5, -3.0};
+  const auto obs = extract_parameters(cfg);
+  ASSERT_EQ(obs.size(), 7u);  // 4 semantic + 3 extras
+  EXPECT_EQ(obs[0].key, (ParamKey{spectrum::Rat::kUmts, 0}));
+  EXPECT_DOUBLE_EQ(obs[0].value, 2.0);
+  EXPECT_EQ(obs[6].key, (ParamKey{spectrum::Rat::kUmts, 6}));
+  EXPECT_DOUBLE_EQ(obs[6].value, -3.0);
+}
+
+TEST(Params, NamesAreUniqueForLte) {
+  std::set<std::string> names;
+  for (std::uint16_t i = 0; i < kLteParamCount; ++i)
+    names.insert(param_name(ParamKey{spectrum::Rat::kLte, i}));
+  EXPECT_EQ(names.size(), kLteParamCount);
+}
+
+TEST(Params, KnownNames) {
+  EXPECT_EQ(param_name(lte_param(ParamId::kServingPriority)), "Ps");
+  EXPECT_EQ(param_name(lte_param(ParamId::kQHyst)), "Hs");
+  EXPECT_EQ(param_name(lte_param(ParamId::kA5Threshold1)), "ThA5S");
+  EXPECT_EQ(param_name(ParamKey{spectrum::Rat::kUmts, 0}), "umts.prio");
+  EXPECT_EQ(param_name(ParamKey{spectrum::Rat::kGsm, 7}), "gsm[7]");
+}
+
+TEST(Params, ActiveIdleSplit) {
+  // SIB parameters are idle-state; measConfig (events) are active-state.
+  EXPECT_FALSE(is_active_state_param(lte_param(ParamId::kServingPriority)));
+  EXPECT_FALSE(is_active_state_param(lte_param(ParamId::kThreshServingLow)));
+  EXPECT_FALSE(is_active_state_param(lte_param(ParamId::kQOffsetFreq)));
+  EXPECT_TRUE(is_active_state_param(lte_param(ParamId::kA3Offset)));
+  EXPECT_TRUE(is_active_state_param(lte_param(ParamId::kA5Ttt)));
+  EXPECT_TRUE(is_active_state_param(lte_param(ParamId::kReportInterval)));
+  EXPECT_FALSE(
+      is_active_state_param(ParamKey{spectrum::Rat::kUmts, 10}));
+}
+
+TEST(Params, ObservationCountScalesWithConfig) {
+  CellConfig cfg = sample_config();
+  const auto base = extract_parameters(cfg).size();
+  NeighborFreqConfig nf;
+  nf.channel = {spectrum::Rat::kGsm, 190};
+  cfg.neighbor_freqs.push_back(nf);
+  EXPECT_EQ(extract_parameters(cfg).size(), base + 7);  // 7 per-freq params
+}
+
+}  // namespace
+}  // namespace mmlab::config

@@ -1,0 +1,98 @@
+// Additional property sweeps: statistical invariants under random data and
+// file-based dataset round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "mmlab/core/dataset_io.hpp"
+#include "mmlab/stats/cdf.hpp"
+#include "mmlab/stats/descriptive.hpp"
+#include "mmlab/util/rng.hpp"
+
+namespace mmlab {
+namespace {
+
+class RandomDataSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::vector<double> random_samples(std::size_t n) {
+    Rng rng(GetParam());
+    std::vector<double> xs(n);
+    for (auto& x : xs) x = rng.normal(rng.uniform(-50, 50), rng.uniform(1, 20));
+    return xs;
+  }
+};
+
+TEST_P(RandomDataSweep, BoxplotOrderingInvariants) {
+  const auto xs = random_samples(500);
+  const auto b = stats::boxplot(xs);
+  EXPECT_LE(b.whisker_low, b.q1);
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+  EXPECT_LE(b.q3, b.whisker_high);
+  EXPECT_GE(b.whisker_low, stats::min_of(xs));
+  EXPECT_LE(b.whisker_high, stats::max_of(xs));
+  EXPECT_EQ(b.n, xs.size());
+}
+
+TEST_P(RandomDataSweep, QuantileMonotone) {
+  const auto xs = random_samples(300);
+  double prev = stats::quantile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double v = stats::quantile(xs, q);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+TEST_P(RandomDataSweep, CdfQuantileGalois) {
+  // F(Q(q)) >= q and Q(F(x)) <= x-ish: the Galois connection between the
+  // empirical CDF and its inverse (within interpolation slack).
+  const auto xs = random_samples(400);
+  stats::EmpiricalCdf cdf(xs);
+  for (double q = 0.05; q < 1.0; q += 0.1) {
+    const double x = cdf.quantile(q);
+    EXPECT_GE(cdf.at(x) + 1e-9, q - 1.0 / 400.0);
+  }
+}
+
+TEST_P(RandomDataSweep, VarianceShiftInvariant) {
+  auto xs = random_samples(200);
+  const double v1 = stats::variance(xs);
+  for (auto& x : xs) x += 123.456;
+  EXPECT_NEAR(stats::variance(xs), v1, 1e-6 * std::max(1.0, v1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDataSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+TEST(DatasetIoFile, FilePathRoundTrip) {
+  core::ConfigDatabase db;
+  db.add_snapshot("A", 1, spectrum::Rat::kLte, 850, {12.5, -7.25}, SimTime{99},
+                  {{config::lte_param(config::ParamId::kServingPriority), 3.0,
+                    -1}});
+  const std::string path = ::testing::TempDir() + "/mmlab_ds_roundtrip.csv";
+  core::save_dataset(db, path);
+  core::ConfigDatabase loaded;
+  const auto stats = core::load_dataset(path, loaded);
+  ASSERT_TRUE(stats.ok()) << stats.error_message();
+  ASSERT_EQ(loaded.total_cells(), 1u);
+  const auto& rec = loaded.cells_of("A")->at(1);
+  EXPECT_DOUBLE_EQ(rec.position.x, 12.5);
+  EXPECT_DOUBLE_EQ(rec.position.y, -7.25);
+  EXPECT_EQ(rec.observations.at(0).t, SimTime{99});
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoFile, MissingFileIsError) {
+  core::ConfigDatabase db;
+  EXPECT_FALSE(core::load_dataset("/nonexistent/path/x.csv", db).ok());
+}
+
+TEST(DatasetIoFile, SaveToUnwritablePathThrows) {
+  core::ConfigDatabase db;
+  EXPECT_THROW(core::save_dataset(db, "/nonexistent/dir/out.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mmlab

@@ -1,0 +1,117 @@
+#include "mmlab/config/quant.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmlab::config::quant {
+namespace {
+
+TEST(Quant, QRxLevMinGrid) {
+  EXPECT_EQ(encode_q_rxlevmin(-140.0), 0u);
+  EXPECT_EQ(encode_q_rxlevmin(-122.0), 9u);
+  EXPECT_DOUBLE_EQ(decode_q_rxlevmin(9), -122.0);
+  EXPECT_DOUBLE_EQ(decode_q_rxlevmin(encode_q_rxlevmin(-44.0)), -44.0);
+  EXPECT_THROW(encode_q_rxlevmin(-121.0), std::invalid_argument);  // odd
+  EXPECT_THROW(encode_q_rxlevmin(-142.0), std::invalid_argument);  // below
+}
+
+TEST(Quant, RsrpThreshold) {
+  EXPECT_DOUBLE_EQ(decode_rsrp_threshold(encode_rsrp_threshold(-44.0)), -44.0);
+  EXPECT_DOUBLE_EQ(decode_rsrp_threshold(encode_rsrp_threshold(-114.0)),
+                   -114.0);
+  EXPECT_THROW(encode_rsrp_threshold(-141.0), std::invalid_argument);
+  EXPECT_THROW(encode_rsrp_threshold(-42.0), std::invalid_argument);
+  EXPECT_THROW(encode_rsrp_threshold(-100.5), std::invalid_argument);
+}
+
+TEST(Quant, RsrqThreshold) {
+  EXPECT_DOUBLE_EQ(decode_rsrq_threshold(encode_rsrq_threshold(-19.5)), -19.5);
+  EXPECT_DOUBLE_EQ(decode_rsrq_threshold(encode_rsrq_threshold(-11.5)), -11.5);
+  EXPECT_DOUBLE_EQ(decode_rsrq_threshold(encode_rsrq_threshold(-3.0)), -3.0);
+  EXPECT_THROW(encode_rsrq_threshold(-19.75), std::invalid_argument);
+}
+
+TEST(Quant, Hysteresis) {
+  EXPECT_DOUBLE_EQ(decode_hysteresis(encode_hysteresis(0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(decode_hysteresis(encode_hysteresis(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(decode_hysteresis(encode_hysteresis(15.0)), 15.0);
+  EXPECT_THROW(encode_hysteresis(-0.5), std::invalid_argument);
+  EXPECT_THROW(encode_hysteresis(15.5), std::invalid_argument);
+}
+
+TEST(Quant, A3OffsetCoversPaperRange) {
+  // The paper observes [-1, 15] dB in T-Mobile and [0, 5] in AT&T.
+  for (double v : {-15.0, -1.0, 0.0, 3.0, 5.0, 12.0, 15.0})
+    EXPECT_DOUBLE_EQ(decode_a3_offset(encode_a3_offset(v)), v) << v;
+  EXPECT_THROW(encode_a3_offset(-15.5), std::invalid_argument);
+  EXPECT_THROW(encode_a3_offset(15.5), std::invalid_argument);
+}
+
+TEST(Quant, SearchThreshold) {
+  // The paper's common instance: Θintra = 62 dB, Θnonintra = 28 dB.
+  EXPECT_DOUBLE_EQ(decode_search_threshold(encode_search_threshold(62.0)),
+                   62.0);
+  EXPECT_DOUBLE_EQ(decode_search_threshold(encode_search_threshold(28.0)),
+                   28.0);
+  EXPECT_THROW(encode_search_threshold(63.0), std::invalid_argument);
+  EXPECT_THROW(encode_search_threshold(64.0), std::invalid_argument);
+}
+
+TEST(Quant, TReselection) {
+  EXPECT_EQ(decode_t_reselection(encode_t_reselection(0)), 0);
+  EXPECT_EQ(decode_t_reselection(encode_t_reselection(7000)), 7000);
+  EXPECT_THROW(encode_t_reselection(1500), std::invalid_argument);
+  EXPECT_THROW(encode_t_reselection(8000), std::invalid_argument);
+  EXPECT_THROW(decode_t_reselection(8), std::invalid_argument);
+}
+
+class GridRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridRoundTrip, QHyst) {
+  const double v = GetParam();
+  EXPECT_DOUBLE_EQ(decode_q_hyst(encode_q_hyst(v)), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(QHystGrid, GridRoundTrip,
+                         ::testing::ValuesIn(q_hyst_grid()));
+
+TEST(Quant, QHystOffGrid) {
+  EXPECT_THROW(encode_q_hyst(7.0), std::invalid_argument);
+  EXPECT_THROW(decode_q_hyst(16), std::invalid_argument);
+}
+
+TEST(Quant, TttFullGrid) {
+  for (const auto ms : ttt_grid())
+    EXPECT_EQ(decode_ttt(encode_ttt(ms)), ms) << ms;
+  EXPECT_THROW(encode_ttt(100'000), std::invalid_argument);
+  EXPECT_THROW(encode_ttt(41), std::invalid_argument);
+}
+
+TEST(Quant, ReportIntervalFullGrid) {
+  for (const auto ms : report_interval_grid())
+    EXPECT_EQ(decode_report_interval(encode_report_interval(ms)), ms) << ms;
+  EXPECT_THROW(encode_report_interval(1000), std::invalid_argument);
+}
+
+TEST(Quant, QOffsetFullGrid) {
+  for (const auto v : q_offset_grid())
+    EXPECT_DOUBLE_EQ(decode_q_offset(encode_q_offset(v)), v) << v;
+  EXPECT_THROW(encode_q_offset(7.0), std::invalid_argument);   // gap in grid
+  EXPECT_THROW(encode_q_offset(-26.0), std::invalid_argument);
+}
+
+TEST(Quant, MeasBandwidthFullGrid) {
+  for (const auto v : meas_bandwidth_grid())
+    EXPECT_DOUBLE_EQ(decode_meas_bandwidth(encode_meas_bandwidth(v)), v) << v;
+  EXPECT_THROW(encode_meas_bandwidth(7.0), std::invalid_argument);
+}
+
+TEST(Quant, GridSizesFitTheirBitFields) {
+  EXPECT_LE(q_hyst_grid().size(), 16u);          // 4 bits
+  EXPECT_LE(ttt_grid().size(), 16u);             // 4 bits
+  EXPECT_LE(report_interval_grid().size(), 16u); // 4 bits
+  EXPECT_LE(q_offset_grid().size(), 32u);        // 5 bits
+  EXPECT_LE(meas_bandwidth_grid().size(), 8u);   // 3 bits
+}
+
+}  // namespace
+}  // namespace mmlab::config::quant

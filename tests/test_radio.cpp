@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "mmlab/radio/link.hpp"
+
+namespace mmlab::radio {
+namespace {
+
+TEST(PathLoss, FsplKnownValue) {
+  // FSPL at 1 km, 2000 MHz: 32.45 + 20 log10(2000) = 98.47 dB.
+  EXPECT_NEAR(fspl_db(2000.0, 1000.0), 98.47, 0.01);
+}
+
+TEST(PathLoss, MonotoneInDistance) {
+  PathLossModel pl{3.5, 100.0};
+  double prev = pl.loss_db(2000.0, 100.0);
+  for (double d = 200.0; d <= 10'000.0; d *= 2.0) {
+    const double loss = pl.loss_db(2000.0, d);
+    EXPECT_GT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(PathLoss, MonotoneInFrequency) {
+  PathLossModel pl{3.5, 100.0};
+  EXPECT_LT(pl.loss_db(700.0, 1000.0), pl.loss_db(2300.0, 1000.0));
+}
+
+TEST(PathLoss, ExponentSlope) {
+  PathLossModel pl{3.5, 100.0};
+  // Every decade of distance adds 10*n dB.
+  const double delta = pl.loss_db(2000.0, 10'000.0) - pl.loss_db(2000.0, 1000.0);
+  EXPECT_NEAR(delta, 35.0, 1e-9);
+}
+
+TEST(PathLoss, ClampsBelowReferenceDistance) {
+  PathLossModel pl{3.5, 100.0};
+  EXPECT_DOUBLE_EQ(pl.loss_db(2000.0, 10.0), pl.loss_db(2000.0, 100.0));
+}
+
+TEST(Shadowing, Deterministic) {
+  ShadowingField field(42, 7.0, 50.0);
+  const double a = field.sample_db(1, {123.4, 567.8});
+  const double b = field.sample_db(1, {123.4, 567.8});
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Shadowing, DiffersAcrossCells) {
+  ShadowingField field(42, 7.0, 50.0);
+  EXPECT_NE(field.sample_db(1, {100, 100}), field.sample_db(2, {100, 100}));
+}
+
+TEST(Shadowing, ApproximatesConfiguredSigma) {
+  ShadowingField field(7, 7.0, 50.0);
+  double sum = 0.0, sq = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    // Sample far apart so draws are effectively independent.
+    const double v =
+        field.sample_db(9, {i * 1000.0, (i % 7) * 1337.0});
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sq / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.5);
+  EXPECT_NEAR(sd, 7.0, 0.7);
+}
+
+TEST(Shadowing, SpatiallyCorrelated) {
+  ShadowingField field(7, 7.0, 50.0);
+  // Nearby points (5 m apart, one decorrelation-distance tenth) must differ
+  // far less than the marginal sigma.
+  double acc = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const geo::Point p{i * 311.0, i * 173.0};
+    const double d =
+        field.sample_db(3, p) - field.sample_db(3, {p.x + 5.0, p.y});
+    acc += d * d;
+  }
+  EXPECT_LT(std::sqrt(acc / n), 3.0);
+}
+
+TEST(Link, RsrpDecreasesWithDistance) {
+  PathLossModel pl{3.5, 100.0};
+  ShadowingField zero_shadow(1, 0.0, 50.0);
+  Transmitter tx{1, {0, 0}, 15.0, 2000.0};
+  const double near = rsrp_dbm(tx, {200, 0}, pl, zero_shadow);
+  const double far = rsrp_dbm(tx, {2000, 0}, pl, zero_shadow);
+  EXPECT_GT(near, far);
+}
+
+TEST(Link, SinrNoiseLimited) {
+  // No interference: SINR = RSRP - noise floor.
+  EXPECT_NEAR(sinr_db(-100.0, {}), -100.0 - kNoisePerReDbm, 1e-9);
+}
+
+TEST(Link, SinrInterferenceLimited) {
+  // Equal-power interferer dominates noise: SINR ~ 0 dB.
+  EXPECT_NEAR(sinr_db(-80.0, {-80.0}), 0.0, 0.1);
+}
+
+TEST(Link, SinrMonotoneInInterference) {
+  const double clean = sinr_db(-90.0, {});
+  const double dirty = sinr_db(-90.0, {-95.0});
+  const double dirtier = sinr_db(-90.0, {-95.0, -95.0});
+  EXPECT_GT(clean, dirty);
+  EXPECT_GT(dirty, dirtier);
+}
+
+TEST(Link, RsrqInRange) {
+  for (double serving = -130.0; serving <= -60.0; serving += 10.0) {
+    for (int interferers = 0; interferers <= 4; ++interferers) {
+      std::vector<double> interference(interferers, serving - 3.0);
+      const double rsrq = rsrq_db(serving, interference);
+      EXPECT_GE(rsrq, -19.5);
+      EXPECT_LE(rsrq, -3.0);
+    }
+  }
+}
+
+TEST(Link, RsrqDegradesWithInterference) {
+  EXPECT_GT(rsrq_db(-90.0, {}), rsrq_db(-90.0, {-88.0}));
+}
+
+TEST(L3Filter, FirstSamplePassesThrough) {
+  L3Filter f(4);
+  EXPECT_DOUBLE_EQ(f.update(-100.0), -100.0);
+  EXPECT_TRUE(f.initialized());
+}
+
+TEST(L3Filter, K4IsHalfHalf) {
+  L3Filter f(4);  // a = 1/2
+  f.update(-100.0);
+  EXPECT_DOUBLE_EQ(f.update(-90.0), -95.0);
+}
+
+TEST(L3Filter, K0IsPassThrough) {
+  L3Filter f(0);  // a = 1
+  f.update(-100.0);
+  EXPECT_DOUBLE_EQ(f.update(-80.0), -80.0);
+}
+
+TEST(L3Filter, ConvergesToConstant) {
+  L3Filter f(4);
+  for (int i = 0; i < 40; ++i) f.update(-87.0);
+  EXPECT_NEAR(f.value(), -87.0, 1e-6);
+}
+
+TEST(L3Filter, Reset) {
+  L3Filter f(4);
+  f.update(-100.0);
+  f.reset();
+  EXPECT_FALSE(f.initialized());
+  EXPECT_DOUBLE_EQ(f.update(-80.0), -80.0);
+}
+
+TEST(MeasurementNoise, ZeroSigmaIsSilent) {
+  MeasurementNoise noise(1, 0.0);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(noise.next(), 0.0);
+}
+
+TEST(MeasurementNoise, StationaryVariance) {
+  MeasurementNoise noise(5, 1.5, 0.8);
+  double sq = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = noise.next();
+    sq += v * v;
+  }
+  // AR(1) with the sqrt(1-rho^2) innovation scaling keeps marginal sigma.
+  EXPECT_NEAR(std::sqrt(sq / n), 1.5, 0.1);
+}
+
+}  // namespace
+}  // namespace mmlab::radio

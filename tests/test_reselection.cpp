@@ -1,0 +1,176 @@
+#include "mmlab/ue/reselection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmlab::ue {
+namespace {
+
+config::CellConfig serving_config() {
+  config::CellConfig cfg;
+  cfg.serving.priority = 4;
+  cfg.serving.s_intrasearch_db = 62.0;
+  cfg.serving.s_nonintrasearch_db = 8.0;
+  cfg.serving.thresh_serving_low_db = 6.0;
+  cfg.serving.t_reselection = 1000;
+  cfg.q_offset_equal_db = 4.0;
+  config::NeighborFreqConfig high;
+  high.channel = {spectrum::Rat::kLte, 9820};
+  high.priority = 6;
+  high.thresh_high_db = 10.0;
+  cfg.neighbor_freqs.push_back(high);
+  config::NeighborFreqConfig low;
+  low.channel = {spectrum::Rat::kUmts, 4435};
+  low.priority = 2;
+  low.thresh_low_db = 4.0;
+  cfg.neighbor_freqs.push_back(low);
+  return cfg;
+}
+
+RankedCandidate cand(std::uint32_t id, spectrum::Channel ch, int priority,
+                     double srxlev) {
+  return RankedCandidate{id, ch, priority, srxlev};
+}
+
+// --- Eq. 1: measurement gating ----------------------------------------------
+
+TEST(MeasurementGate, IntraGate) {
+  const auto cfg = serving_config().serving;
+  EXPECT_TRUE(evaluate_measurement_gate(cfg, 62.0).measure_intra);
+  EXPECT_FALSE(evaluate_measurement_gate(cfg, 62.1).measure_intra);
+}
+
+TEST(MeasurementGate, NonIntraGate) {
+  const auto cfg = serving_config().serving;
+  EXPECT_TRUE(evaluate_measurement_gate(cfg, 8.0).measure_nonintra);
+  EXPECT_FALSE(evaluate_measurement_gate(cfg, 8.1).measure_nonintra);
+}
+
+TEST(MeasurementGate, HigherPriorityAlwaysMeasured) {
+  const auto cfg = serving_config().serving;
+  EXPECT_TRUE(evaluate_measurement_gate(cfg, 100.0).measure_higher_priority);
+}
+
+TEST(MeasurementGate, PrematureMeasurementConfig) {
+  // The paper's §4.2 instance: Θintra = 62 means intra-freq measurements run
+  // almost always, even where the serving cell is strong.
+  const auto cfg = serving_config().serving;
+  // Serving at -60 dBm with ∆min = -122: Srxlev = 62 -> still measuring.
+  EXPECT_TRUE(evaluate_measurement_gate(cfg, 62.0).measure_intra);
+  // Non-intra at the same spot: long since gated off.
+  EXPECT_FALSE(evaluate_measurement_gate(cfg, 62.0).measure_nonintra);
+}
+
+// --- Eq. 3: ranking ----------------------------------------------------------
+
+TEST(Ranking, HigherPriorityUsesAbsoluteThreshold) {
+  const auto cfg = serving_config();
+  const auto c = cand(9, {spectrum::Rat::kLte, 9820}, 6, 10.5);
+  EXPECT_TRUE(ranks_higher(cfg, 4, /*serving=*/50.0, c));
+  // Below Θ(c)higher: never wins, regardless of how weak serving is.
+  const auto weak = cand(9, {spectrum::Rat::kLte, 9820}, 6, 9.5);
+  EXPECT_FALSE(ranks_higher(cfg, 4, 1.0, weak));
+}
+
+TEST(Ranking, HigherPriorityMayPickWeakerCell) {
+  // The Fig 10 finding: a higher-priority target only needs to clear its
+  // absolute threshold — it can be weaker than the serving cell.
+  const auto cfg = serving_config();
+  const auto c = cand(9, {spectrum::Rat::kLte, 9820}, 6, 12.0);
+  EXPECT_TRUE(ranks_higher(cfg, 4, /*serving srxlev=*/40.0, c));
+}
+
+TEST(Ranking, EqualPriorityNeedsOffsetMargin) {
+  const auto cfg = serving_config();
+  const spectrum::Channel ch{spectrum::Rat::kLte, 850};
+  EXPECT_TRUE(ranks_higher(cfg, 4, 20.0, cand(9, ch, 4, 24.5)));
+  EXPECT_FALSE(ranks_higher(cfg, 4, 20.0, cand(9, ch, 4, 24.0)));  // == margin
+  EXPECT_FALSE(ranks_higher(cfg, 4, 20.0, cand(9, ch, 4, 21.0)));
+}
+
+TEST(Ranking, LowerPriorityNeedsBothConditions) {
+  const auto cfg = serving_config();
+  const spectrum::Channel umts{spectrum::Rat::kUmts, 4435};
+  // Serving below Θ(s)lower AND candidate above Θ(c)lower.
+  EXPECT_TRUE(ranks_higher(cfg, 4, 5.0, cand(9, umts, 2, 8.0)));
+  EXPECT_FALSE(ranks_higher(cfg, 4, 7.0, cand(9, umts, 2, 8.0)));  // serving ok
+  EXPECT_FALSE(ranks_higher(cfg, 4, 5.0, cand(9, umts, 2, 3.0)));  // cand weak
+}
+
+TEST(Ranking, UnlistedFrequencyUsesDefaults) {
+  config::CellConfig cfg = serving_config();
+  cfg.neighbor_freqs.clear();
+  const auto c = cand(9, {spectrum::Rat::kLte, 1234}, 6, 11.0);
+  EXPECT_TRUE(ranks_higher(cfg, 4, 50.0, c));  // default Θhigher = 10
+}
+
+// --- Treselection persistence -------------------------------------------------
+
+TEST(IdleReselection, RequiresPersistence) {
+  IdleReselection resel;
+  resel.configure(serving_config());
+  const spectrum::Channel ch{spectrum::Rat::kLte, 850};
+  const std::vector<RankedCandidate> cands{cand(9, ch, 4, 40.0)};
+  EXPECT_FALSE(resel.update(SimTime{0}, 20.0, cands).has_value());
+  EXPECT_FALSE(resel.update(SimTime{500}, 20.0, cands).has_value());
+  const auto winner = resel.update(SimTime{1000}, 20.0, cands);
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_EQ(*winner, 9u);
+}
+
+TEST(IdleReselection, ConditionBreakRestartsTimer) {
+  IdleReselection resel;
+  resel.configure(serving_config());
+  const spectrum::Channel ch{spectrum::Rat::kLte, 850};
+  EXPECT_FALSE(resel.update(SimTime{0}, 20.0, {cand(9, ch, 4, 40.0)}));
+  // Margin lost at t=500.
+  EXPECT_FALSE(resel.update(SimTime{500}, 20.0, {cand(9, ch, 4, 21.0)}));
+  // Regained at t=600: the 1 s clock restarts.
+  EXPECT_FALSE(resel.update(SimTime{600}, 20.0, {cand(9, ch, 4, 40.0)}));
+  EXPECT_FALSE(resel.update(SimTime{1000}, 20.0, {cand(9, ch, 4, 40.0)}));
+  EXPECT_TRUE(resel.update(SimTime{1600}, 20.0, {cand(9, ch, 4, 40.0)}));
+}
+
+TEST(IdleReselection, PrefersHigherPriorityAmongMatured) {
+  IdleReselection resel;
+  resel.configure(serving_config());
+  const std::vector<RankedCandidate> cands{
+      cand(8, {spectrum::Rat::kLte, 850}, 4, 60.0),    // equal prio, stronger
+      cand(9, {spectrum::Rat::kLte, 9820}, 6, 12.0)};  // higher prio, weaker
+  resel.update(SimTime{0}, 20.0, cands);
+  const auto winner = resel.update(SimTime{1000}, 20.0, cands);
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_EQ(*winner, 9u);  // priority beats signal strength
+}
+
+TEST(IdleReselection, PrefersStrongerAmongEqualPriority) {
+  IdleReselection resel;
+  resel.configure(serving_config());
+  const spectrum::Channel ch{spectrum::Rat::kLte, 850};
+  const std::vector<RankedCandidate> cands{cand(8, ch, 4, 40.0),
+                                           cand(9, ch, 4, 50.0)};
+  resel.update(SimTime{0}, 20.0, cands);
+  const auto winner = resel.update(SimTime{1000}, 20.0, cands);
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_EQ(*winner, 9u);
+}
+
+TEST(IdleReselection, ConfigureResetsState) {
+  IdleReselection resel;
+  resel.configure(serving_config());
+  const spectrum::Channel ch{spectrum::Rat::kLte, 850};
+  resel.update(SimTime{0}, 20.0, {cand(9, ch, 4, 40.0)});
+  resel.configure(serving_config());  // camped on a new cell
+  EXPECT_FALSE(resel.update(SimTime{1000}, 20.0, {cand(9, ch, 4, 40.0)}));
+}
+
+TEST(IdleReselection, ZeroTreselectionImmediate) {
+  auto cfg = serving_config();
+  cfg.serving.t_reselection = 0;
+  IdleReselection resel;
+  resel.configure(cfg);
+  const spectrum::Channel ch{spectrum::Rat::kLte, 850};
+  EXPECT_TRUE(resel.update(SimTime{0}, 20.0, {cand(9, ch, 4, 40.0)}));
+}
+
+}  // namespace
+}  // namespace mmlab::ue

@@ -1,0 +1,141 @@
+#include "mmlab/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mmlab {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkDeterministicFromSameState) {
+  Rng parent1(7), parent2(7);
+  Rng child1 = parent1.fork(3);
+  Rng child2 = parent2.fork(3);
+  EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng parent(7), reference(7);
+  (void)parent.fork(3);
+  EXPECT_EQ(parent.next_u64(), reference.next_u64());
+}
+
+TEST(Rng, ForkSaltsDiffer) {
+  Rng parent(7);
+  Rng a = parent.fork(1), b = parent.fork(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMean) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowBounds) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    const auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(11);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 2'000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= v == -3;
+    hi_seen |= v == 3;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40'000; ++i) ++counts[rng.weighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, WeightedRejectsInvalid) {
+  Rng rng(21);
+  EXPECT_THROW(rng.weighted({}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::multiset<int> a(v.begin(), v.end()), b(w.begin(), w.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace mmlab

@@ -1,0 +1,250 @@
+#include "mmlab/rrc/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmlab/config/quant.hpp"
+#include "mmlab/util/rng.hpp"
+
+namespace mmlab::rrc {
+namespace {
+
+using config::EventConfig;
+using config::EventType;
+using config::SignalMetric;
+
+template <typename T>
+T round_trip(const T& msg) {
+  const auto bytes = encode(Message{msg});
+  auto decoded = decode(bytes);
+  EXPECT_TRUE(decoded.ok()) << decoded.error_message();
+  const T* out = std::get_if<T>(&decoded.value());
+  EXPECT_NE(out, nullptr);
+  return out ? *out : T{};
+}
+
+TEST(RrcCodec, Sib1RoundTrip) {
+  Sib1 sib1;
+  sib1.cell_identity = 0x0ABCDEF;
+  sib1.tracking_area = 1234;
+  sib1.earfcn = 9820;
+  sib1.q_rxlevmin_dbm = -122.0;
+  sib1.bandwidth_prbs = 100;
+  EXPECT_EQ(round_trip(sib1), sib1);
+}
+
+TEST(RrcCodec, Sib3RoundTrip) {
+  Sib3 sib3;
+  sib3.serving.priority = 3;
+  sib3.serving.q_hyst_db = 4.0;
+  sib3.serving.q_rxlevmin_dbm = -122.0;
+  sib3.serving.s_intrasearch_db = 62.0;
+  sib3.serving.s_nonintrasearch_db = 8.0;
+  sib3.serving.thresh_serving_low_db = 6.0;
+  sib3.serving.t_reselection = 2000;
+  sib3.serving.t_higher_meas = 60'000;
+  sib3.q_offset_equal_db = 4.0;
+  EXPECT_EQ(round_trip(sib3), sib3);
+}
+
+TEST(RrcCodec, Sib4RoundTrip) {
+  Sib4 sib4;
+  sib4.forbidden_cells = {1, 0x0FFFFFFF, 42};
+  EXPECT_EQ(round_trip(sib4), sib4);
+  EXPECT_EQ(round_trip(Sib4{}), Sib4{});
+}
+
+TEST(RrcCodec, Sib5RoundTrip) {
+  Sib5 sib5;
+  sib5.target_rat = spectrum::Rat::kLte;
+  config::NeighborFreqConfig nf;
+  nf.channel = {spectrum::Rat::kLte, 5110};
+  nf.priority = 2;
+  nf.q_rxlevmin_dbm = -124.0;
+  nf.thresh_high_db = 10.0;
+  nf.thresh_low_db = 4.0;
+  nf.q_offset_freq_db = -2.0;
+  nf.meas_bandwidth_mhz = 20.0;
+  nf.t_reselection = 1000;
+  sib5.freqs.push_back(nf);
+  nf.channel.number = 9820;
+  nf.priority = 5;
+  sib5.freqs.push_back(nf);
+  EXPECT_EQ(round_trip(sib5), sib5);
+}
+
+TEST(RrcCodec, Sib6ThroughSib8RoundTrip) {
+  config::NeighborFreqConfig nf;
+  nf.channel = {spectrum::Rat::kUmts, 4435};
+  Sib6 sib6;
+  sib6.target_rat = spectrum::Rat::kUmts;
+  sib6.freqs.push_back(nf);
+  EXPECT_EQ(round_trip(sib6), sib6);
+
+  Sib7 sib7;
+  sib7.target_rat = spectrum::Rat::kGsm;
+  nf.channel = {spectrum::Rat::kGsm, 190};
+  sib7.freqs.push_back(nf);
+  EXPECT_EQ(round_trip(sib7), sib7);
+
+  Sib8 sib8;
+  sib8.target_rat = spectrum::Rat::kEvdo;
+  nf.channel = {spectrum::Rat::kEvdo, 283};
+  sib8.freqs.push_back(nf);
+  EXPECT_EQ(round_trip(sib8), sib8);
+}
+
+EventConfig make_a3(double offset) {
+  EventConfig ev;
+  ev.type = EventType::kA3;
+  ev.offset_db = offset;
+  ev.hysteresis_db = 1.0;
+  ev.time_to_trigger = 320;
+  ev.report_amount = 2;
+  ev.report_interval = 480;
+  return ev;
+}
+
+TEST(RrcCodec, ReconfigurationRoundTrip) {
+  RrcConnectionReconfiguration reconf;
+  reconf.report_configs.push_back(make_a3(3.0));
+  EventConfig a5;
+  a5.type = EventType::kA5;
+  a5.metric = SignalMetric::kRsrq;
+  a5.threshold1 = -11.5;
+  a5.threshold2 = -14.0;
+  a5.hysteresis_db = 0.5;
+  a5.time_to_trigger = 640;
+  reconf.report_configs.push_back(a5);
+  EXPECT_EQ(round_trip(reconf), reconf);
+}
+
+TEST(RrcCodec, ReconfigurationWithMobility) {
+  RrcConnectionReconfiguration cmd;
+  cmd.mobility = MobilityControlInfo{401, {spectrum::Rat::kLte, 5780}};
+  EXPECT_EQ(round_trip(cmd), cmd);
+}
+
+TEST(RrcCodec, NegativeA3OffsetSurvives) {
+  RrcConnectionReconfiguration reconf;
+  reconf.report_configs.push_back(make_a3(-1.0));  // T-Mobile's negative case
+  EXPECT_EQ(round_trip(reconf), reconf);
+}
+
+TEST(RrcCodec, MeasurementReportRoundTrip) {
+  MeasurementReport report;
+  report.trigger = EventType::kA3;
+  report.serving_pci = 101;
+  report.serving_rsrp_dbm = -97.0;
+  report.serving_rsrq_db = -12.5;
+  NeighborMeasurement nb;
+  nb.pci = 205;
+  nb.channel = {spectrum::Rat::kLte, 1975};
+  nb.rsrp_dbm = -91.0;
+  nb.rsrq_db = -10.0;
+  report.neighbors.push_back(nb);
+  EXPECT_EQ(round_trip(report), report);
+}
+
+TEST(RrcCodec, MeasurementValuesQuantized) {
+  MeasurementReport report;
+  report.serving_rsrp_dbm = -97.4;  // rounds to -97
+  report.serving_rsrq_db = -12.3;   // rounds to -12.5
+  const auto out = round_trip(report);
+  EXPECT_DOUBLE_EQ(out.serving_rsrp_dbm, -97.0);
+  EXPECT_DOUBLE_EQ(out.serving_rsrq_db, -12.5);
+}
+
+TEST(RrcCodec, MeasurementValuesClamped) {
+  MeasurementReport report;
+  report.serving_rsrp_dbm = -170.0;
+  report.serving_rsrq_db = 0.0;
+  const auto out = round_trip(report);
+  EXPECT_DOUBLE_EQ(out.serving_rsrp_dbm, -140.0);
+  EXPECT_DOUBLE_EQ(out.serving_rsrq_db, -3.0);
+}
+
+TEST(RrcCodec, LegacySystemInfoRoundTrip) {
+  LegacySystemInfo info;
+  info.config.rat = spectrum::Rat::kUmts;
+  info.config.priority = 2;
+  info.config.q_rxlevmin_dbm = -115.0;
+  info.config.q_hyst_db = 4.0;
+  info.config.t_reselection = 2000;
+  info.config.extra_params = {1.25, -20.0, 69.5};
+  info.cell_identity = 777;
+  info.channel = 4435;
+  EXPECT_EQ(round_trip(info), info);
+}
+
+TEST(RrcCodec, EncodeRejectsOffGridConfig) {
+  Sib3 sib3;
+  sib3.serving.q_rxlevmin_dbm = -121.0;  // not on the 2 dB grid
+  EXPECT_THROW(encode(Message{sib3}), std::invalid_argument);
+}
+
+TEST(RrcCodec, EncodeRejectsOversizedLists) {
+  Sib4 sib4;
+  sib4.forbidden_cells.assign(64, 1u);
+  EXPECT_THROW(encode(Message{sib4}), std::invalid_argument);
+}
+
+TEST(RrcCodec, DecodeEmptyBufferFails) {
+  EXPECT_FALSE(decode(nullptr, 0).ok());
+}
+
+TEST(RrcCodec, DecodeUnknownTypeFails) {
+  const std::uint8_t bad[] = {0xEE, 0x00, 0x00};
+  const auto result = decode(bad, sizeof(bad));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(RrcCodec, DecodeTruncatedFails) {
+  Sib1 sib1;
+  sib1.earfcn = 850;
+  auto bytes = encode(Message{sib1});
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(decode(bytes).ok());
+}
+
+TEST(RrcCodec, DecodeNeverThrowsOnGarbage) {
+  Rng rng(1234);
+  for (int i = 0; i < 2'000; ++i) {
+    std::vector<std::uint8_t> junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_NO_THROW({ auto r = decode(junk); (void)r; });
+  }
+}
+
+TEST(RrcCodec, MessageTypeNames) {
+  EXPECT_STREQ(message_type_name(MessageType::kSib3), "SIB3");
+  EXPECT_STREQ(message_type_name(MessageType::kMeasurementReport),
+               "MeasurementReport");
+  EXPECT_EQ(message_type(Message{Sib3{}}), MessageType::kSib3);
+}
+
+// Property sweep: random on-grid SIB3s round-trip exactly.
+class Sib3Fuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sib3Fuzz, RandomOnGridRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Sib3 sib3;
+    sib3.serving.priority = static_cast<int>(rng.below(8));
+    sib3.serving.q_hyst_db =
+        config::quant::q_hyst_grid()[rng.below(16)];
+    sib3.serving.q_rxlevmin_dbm = -140.0 + 2.0 * rng.below(49);
+    sib3.serving.s_intrasearch_db = 2.0 * rng.below(32);
+    sib3.serving.s_nonintrasearch_db = 2.0 * rng.below(32);
+    sib3.serving.thresh_serving_low_db = 2.0 * rng.below(32);
+    sib3.serving.t_reselection = 1000 * static_cast<Millis>(rng.below(8));
+    sib3.serving.t_higher_meas = 1000 * static_cast<Millis>(rng.below(256));
+    sib3.q_offset_equal_db =
+        config::quant::q_offset_grid()[rng.below(31)];
+    EXPECT_EQ(round_trip(sib3), sib3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Sib3Fuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mmlab::rrc

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "mmlab/stats/cdf.hpp"
+#include "mmlab/stats/descriptive.hpp"
+#include "mmlab/stats/discrete.hpp"
+
+namespace mmlab::stats {
+namespace {
+
+TEST(Descriptive, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({-5}), -5.0);
+}
+
+TEST(Descriptive, VarianceIsPopulation) {
+  EXPECT_DOUBLE_EQ(variance({1, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({0, 2}), 1.0);  // population: ((1)^2+(1)^2)/2
+  EXPECT_DOUBLE_EQ(stddev({0, 2}), 1.0);
+}
+
+TEST(Descriptive, MinMax) {
+  EXPECT_DOUBLE_EQ(min_of({3, -1, 2}), -1.0);
+  EXPECT_DOUBLE_EQ(max_of({3, -1, 2}), 3.0);
+}
+
+TEST(Descriptive, EmptyThrows) {
+  EXPECT_THROW(mean({}), std::invalid_argument);
+  EXPECT_THROW(variance({}), std::invalid_argument);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(boxplot({}), std::invalid_argument);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+  EXPECT_THROW(quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Descriptive, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(quantile({40, 10, 30, 20}, 0.5), 25.0);
+}
+
+TEST(Descriptive, BoxplotFiveNumbers) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 9; ++i) xs.push_back(i);
+  const auto b = boxplot(xs);
+  EXPECT_EQ(b.n, 9u);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 7.0);
+  EXPECT_DOUBLE_EQ(b.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 9.0);
+}
+
+TEST(Descriptive, BoxplotWhiskersExcludeOutliers) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 100};
+  const auto b = boxplot(xs);
+  EXPECT_LT(b.whisker_high, 100.0);  // 100 is beyond q3 + 1.5 IQR
+}
+
+TEST(Cdf, BasicFractions) {
+  EmpiricalCdf cdf({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+}
+
+TEST(Cdf, AddThenQuery) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  cdf.add(5.0);
+  cdf.add(1.0);
+  cdf.add(3.0);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+}
+
+TEST(Cdf, QuantileInverse) {
+  EmpiricalCdf cdf({0, 10});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_THROW(EmpiricalCdf{}.quantile(0.5), std::logic_error);
+}
+
+TEST(Cdf, SeriesMonotone) {
+  EmpiricalCdf cdf({1, 2, 2, 3, 7, 9});
+  const auto series = cdf.series(11);
+  ASSERT_EQ(series.size(), 11u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i - 1].first, series[i].first);
+    EXPECT_LE(series[i - 1].second, series[i].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Discrete, FixedAlwaysSame) {
+  auto d = Discrete<int>::fixed(7);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(d.sample(rng), 7);
+}
+
+TEST(Discrete, EmptyThrows) {
+  Discrete<int> d;
+  Rng rng(1);
+  EXPECT_THROW(d.sample(rng), std::logic_error);
+}
+
+TEST(Discrete, WeightsRespected) {
+  Discrete<std::string> d{{"a", 1.0}, {"b", 4.0}};
+  Rng rng(3);
+  int b_count = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i)
+    if (d.sample(rng) == "b") ++b_count;
+  EXPECT_NEAR(static_cast<double>(b_count) / n, 0.8, 0.02);
+}
+
+TEST(Discrete, NegativeWeightRejected) {
+  Discrete<int> d;
+  EXPECT_THROW(d.add(1, -0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmlab::stats

@@ -1,0 +1,216 @@
+// Behavioural UE tests beyond the happy path: radio link failure and
+// recovery, the handoff execution gap, the prohibit timer, report re-arming
+// under network rejection, and detach semantics.
+#include <gtest/gtest.h>
+
+#include "mmlab/rrc/codec.hpp"
+#include "mmlab/ue/ue.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlab::ue {
+namespace {
+
+UeOptions opts_with(std::uint64_t seed, bool active = true) {
+  UeOptions opts;
+  opts.seed = seed;
+  opts.carrier = 0;
+  opts.active_mode = active;
+  opts.log_radio_snapshots = true;
+  opts.measurement_noise_db = 0.5;
+  return opts;
+}
+
+TEST(UeBehavior, RadioLinkFailureRecovery) {
+  // One lonely cell; drive far away until RLF, then come back.
+  net::Deployment net;
+  net.set_shadowing(1, 0.0, 50.0);
+  net.add_carrier({0, "X", "X", "US"});
+  geo::City city;
+  city.origin = {-1000, -20'000};
+  city.extent_m = 40'000;
+  net.add_city(city);
+  net.add_cell(test::lte_cell(1, 0, {0, 0}, 850, test::basic_lte_config()));
+
+  Ue device(net, opts_with(1));
+  // Outbound: 0 -> 14 km (far past the -134 dBm RLF threshold).
+  for (Millis t = 0; t <= 600'000; t += 100) {
+    const double x = 14'000.0 * static_cast<double>(t) / 600'000.0;
+    device.step({x, 0}, SimTime{t});
+  }
+  EXPECT_GE(device.radio_link_failures(), 1u);
+  // Inbound: service returns.
+  for (Millis t = 600'000; t <= 1'200'000; t += 100) {
+    const double x =
+        14'000.0 * (1.0 - static_cast<double>(t - 600'000) / 600'000.0);
+    device.step({x, 0}, SimTime{t});
+  }
+  ASSERT_NE(device.serving_cell(), nullptr);
+  EXPECT_EQ(device.serving_cell()->id, 1u);
+  EXPECT_GT(device.link_tick().sinr_db, 0.0);
+}
+
+TEST(UeBehavior, InterruptionFlagDuringExecution) {
+  auto net = test::two_cell_corridor(test::a3_event(3.0));
+  Ue device(net, opts_with(2));
+  std::size_t interrupted_ticks = 0;
+  for (Millis t = 0; t <= 180'000; t += 100) {
+    const double x = 2000.0 * static_cast<double>(t) / 180'000.0;
+    device.step({x, 0}, SimTime{t});
+    interrupted_ticks += device.link_tick().interrupted;
+  }
+  ASSERT_GE(device.handoffs().size(), 1u);
+  // Each handoff interrupts ~50 ms = at most one 100 ms tick, and the flag
+  // must actually appear.
+  EXPECT_GE(interrupted_ticks, device.handoffs().size() / 2);
+  EXPECT_LE(interrupted_ticks, device.handoffs().size() * 2);
+}
+
+TEST(UeBehavior, ProhibitTimerSpacesHandoffs) {
+  auto net = test::two_cell_corridor(test::a3_event(0.0, 0, 0.0));
+  UeOptions opts = opts_with(3);
+  opts.handoff_prohibit_ms = 5'000;
+  Ue device(net, opts);
+  // Park exactly between the cells: with zero offset/hysteresis/TTT the A3
+  // condition flaps on noise, so only the prohibit timer limits churn.
+  for (Millis t = 0; t <= 120'000; t += 100)
+    device.step({1000, 0}, SimTime{t});
+  for (std::size_t i = 1; i < device.handoffs().size(); ++i)
+    EXPECT_GE(device.handoffs()[i].exec_time -
+                  device.handoffs()[i - 1].exec_time,
+              5'000);
+}
+
+TEST(UeBehavior, SanityRejectedA5EventuallyHandsOff) {
+  // AT&T's no-serving-requirement A5: the far cell satisfies the event from
+  // the start of the drive, gets sanity-rejected while clearly weaker, yet
+  // the handoff must still happen once the cells become comparable — this
+  // is what the report re-arm mechanism guarantees.
+  config::EventConfig a5;
+  a5.type = config::EventType::kA5;
+  a5.threshold1 = -44.0;
+  a5.threshold2 = -114.0;
+  a5.hysteresis_db = 1.0;
+  a5.time_to_trigger = 320;
+  auto net = test::two_cell_corridor(a5);
+  Ue device(net, opts_with(4));
+  for (Millis t = 0; t <= 180'000; t += 100) {
+    const double x = 2000.0 * static_cast<double>(t) / 180'000.0;
+    device.step({x, 0}, SimTime{t});
+  }
+  bool reached = false;
+  for (const auto& ho : device.handoffs()) reached |= ho.to == 2u;
+  EXPECT_TRUE(reached);
+  ASSERT_NE(device.serving_cell(), nullptr);
+  EXPECT_EQ(device.serving_cell()->id, 2u);
+}
+
+TEST(UeBehavior, DetachThenStepReattaches) {
+  auto net = test::two_cell_corridor(test::a3_event(3.0));
+  Ue device(net, opts_with(5));
+  device.step({100, 0}, SimTime{0});
+  ASSERT_NE(device.serving_cell(), nullptr);
+  device.detach();
+  EXPECT_EQ(device.serving_cell(), nullptr);
+  device.step({100, 0}, SimTime{100});
+  ASSERT_NE(device.serving_cell(), nullptr);
+  EXPECT_EQ(device.serving_cell()->id, 1u);
+}
+
+TEST(UeBehavior, NoServiceLinkTickWhenOutOfCoverage) {
+  auto net = test::two_cell_corridor(test::a3_event(3.0));
+  Ue device(net, opts_with(6));
+  device.step({900'000, 900'000}, SimTime{0});
+  EXPECT_EQ(device.serving_cell(), nullptr);
+  EXPECT_TRUE(device.link_tick().interrupted);
+  EXPECT_EQ(device.link_tick().bandwidth_prbs, 0);
+}
+
+TEST(UeBehavior, IdleModeSendsNoReports) {
+  auto net = test::two_cell_corridor(test::a3_event(3.0));
+  Ue device(net, opts_with(7, /*active=*/false));
+  for (Millis t = 0; t <= 180'000; t += 100) {
+    const double x = 2000.0 * static_cast<double>(t) / 180'000.0;
+    device.step({x, 0}, SimTime{t});
+  }
+  diag::Parser parser(device.diag_log().bytes());
+  diag::Record rec;
+  while (parser.next(rec)) {
+    if (rec.code != diag::LogCode::kLteRrcOta) continue;
+    auto msg = rrc::decode(rec.payload);
+    ASSERT_TRUE(msg.ok());
+    EXPECT_FALSE(
+        std::holds_alternative<rrc::MeasurementReport>(msg.value()));
+    EXPECT_FALSE(std::holds_alternative<rrc::RrcConnectionReconfiguration>(
+        msg.value()));
+  }
+}
+
+TEST(UeBehavior, PeriodicReportAmount16IsUnbounded) {
+  config::EventConfig periodic;
+  periodic.type = config::EventType::kPeriodic;
+  periodic.report_interval = 1024;
+  periodic.report_amount = 16;
+  EventMonitor monitor(periodic);
+  const CellMeas serving{1, {spectrum::Rat::kLte, 850}, -100.0, -10.0};
+  int fired = 0;
+  for (Millis t = 0; t <= 60'000; t += 100)
+    fired += static_cast<int>(monitor.update(SimTime{t}, serving, {}).size());
+  // ~58 reports over a minute at 1024 ms pacing — far beyond 16.
+  EXPECT_GT(fired, 40);
+}
+
+TEST(UeBehavior, L3FilterKnobChangesDynamics) {
+  // With heavy filtering the measured serving RSRP series is smoother:
+  // compare tick-to-tick deltas of the logged radio snapshots.
+  auto measure_roughness = [](int k) {
+    auto net = test::two_cell_corridor(test::a3_event(3.0));
+    UeOptions opts = opts_with(8);
+    opts.measurement_noise_db = 2.0;
+    opts.l3_filter_k = k;
+    Ue device(net, opts);
+    std::vector<double> series;
+    for (Millis t = 0; t <= 60'000; t += 100) {
+      device.step({500, 0}, SimTime{t});
+    }
+    diag::Parser parser(device.diag_log().bytes());
+    diag::Record rec;
+    while (parser.next(rec)) {
+      if (rec.code != diag::LogCode::kRadioMeasurement) continue;
+      diag::RadioSnapshot snap;
+      if (decode_radio_snapshot(rec.payload, snap))
+        series.push_back(static_cast<double>(snap.rsrp_cdbm) / 100.0);
+    }
+    double acc = 0.0;
+    for (std::size_t i = 1; i < series.size(); ++i)
+      acc += std::abs(series[i] - series[i - 1]);
+    return acc / static_cast<double>(series.size() - 1);
+  };
+  EXPECT_LT(measure_roughness(8), measure_roughness(0));
+}
+
+}  // namespace
+}  // namespace mmlab::ue
+
+namespace mmlab::ue {
+namespace {
+
+TEST(UeBehavior, ForbiddenCellNeverSelected) {
+  // Corridor where the serving cell blacklists the far cell (SIB4): the UE
+  // must not hand off to it even when it becomes much stronger.
+  auto base = test::basic_lte_config();
+  base.forbidden_cells = {2};
+  auto net = test::two_cell_corridor(test::a3_event(3.0), base);
+  UeOptions opts;
+  opts.seed = 11;
+  opts.carrier = 0;
+  opts.active_mode = true;
+  Ue device(net, opts);
+  for (Millis t = 0; t <= 180'000; t += 100) {
+    const double x = 2000.0 * static_cast<double>(t) / 180'000.0;
+    device.step({x, 0}, SimTime{t});
+  }
+  for (const auto& ho : device.handoffs()) EXPECT_NE(ho.to, 2u);
+}
+
+}  // namespace
+}  // namespace mmlab::ue

@@ -1,0 +1,69 @@
+#include "mmlab/util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmlab {
+namespace {
+
+TEST(Units, DbArithmetic) {
+  EXPECT_DOUBLE_EQ((Db{3.0} + Db{4.0}).value(), 7.0);
+  EXPECT_DOUBLE_EQ((Db{3.0} - Db{4.0}).value(), -1.0);
+  EXPECT_DOUBLE_EQ((-Db{2.5}).value(), -2.5);
+  EXPECT_DOUBLE_EQ((Db{2.0} * 3.0).value(), 6.0);
+}
+
+TEST(Units, DbmDbAlgebra) {
+  const Dbm p{-100.0};
+  EXPECT_DOUBLE_EQ((p + Db{3.0}).value(), -97.0);
+  EXPECT_DOUBLE_EQ((p - Db{3.0}).value(), -103.0);
+  EXPECT_DOUBLE_EQ((Dbm{-90.0} - Dbm{-100.0}).value(), 10.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Dbm p{-100.0};
+  p += Db{5.0};
+  EXPECT_DOUBLE_EQ(p.value(), -95.0);
+  p -= Db{10.0};
+  EXPECT_DOUBLE_EQ(p.value(), -105.0);
+  Db d{1.0};
+  d += Db{2.0};
+  EXPECT_DOUBLE_EQ(d.value(), 3.0);
+}
+
+TEST(Units, LinearConversions) {
+  EXPECT_NEAR(Db{3.0103}.linear(), 2.0, 1e-4);
+  EXPECT_NEAR(Dbm{0.0}.milliwatts(), 1.0, 1e-12);
+  EXPECT_NEAR(Dbm::from_milliwatts(2.0).value(), 3.0103, 1e-4);
+}
+
+TEST(Units, Ordering) {
+  EXPECT_LT(Dbm{-110.0}, Dbm{-100.0});
+  EXPECT_GT(Db{4.0}, Db{3.5});
+  EXPECT_EQ(Dbm{-90.0}, Dbm{-90.0});
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ((3.5_dB).value(), 3.5);
+  EXPECT_DOUBLE_EQ((4_dB).value(), 4.0);
+  EXPECT_DOUBLE_EQ((-1.0 * (100_dBm - 97_dBm).value()), -3.0);
+}
+
+TEST(Units, RsrpClamping) {
+  EXPECT_EQ(clamp_rsrp(Dbm{-150.0}), kMinRsrp);
+  EXPECT_EQ(clamp_rsrp(Dbm{-20.0}), kMaxRsrp);
+  EXPECT_EQ(clamp_rsrp(Dbm{-100.0}), Dbm{-100.0});
+}
+
+TEST(Units, RsrqClamping) {
+  EXPECT_EQ(clamp_rsrq(Db{-25.0}), kMinRsrq);
+  EXPECT_EQ(clamp_rsrq(Db{0.0}), kMaxRsrq);
+  EXPECT_EQ(clamp_rsrq(Db{-10.0}), Db{-10.0});
+}
+
+TEST(Units, ToString) {
+  EXPECT_EQ(to_string(Db{4.0}), "4.0dB");
+  EXPECT_EQ(to_string(Dbm{-101.5}), "-101.5dBm");
+}
+
+}  // namespace
+}  // namespace mmlab

@@ -1,0 +1,179 @@
+// mmlab_cli — command-line front end for the library.
+//
+//   mmlab_cli crawl   <out.csv> [scale]   generate a world, crawl it, save
+//                                         the configuration dataset
+//   mmlab_cli report  <in.csv> [carrier]  dataset summary + diversity report
+//   mmlab_cli verify  <in.csv>            run the misconfiguration detectors
+//   mmlab_cli drive   [carrier-acr]       one instrumented drive; print the
+//                                         handoff instances from the diag log
+//
+// The CSV format is core/dataset_io.hpp's release format.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "mmlab/core/analysis.hpp"
+#include "mmlab/core/dataset_io.hpp"
+#include "mmlab/core/extractor.hpp"
+#include "mmlab/core/handoff_extract.hpp"
+#include "mmlab/core/misconfig.hpp"
+#include "mmlab/core/stability.hpp"
+#include "mmlab/sim/crawl.hpp"
+#include "mmlab/sim/drive_test.hpp"
+#include "mmlab/util/table.hpp"
+
+namespace {
+
+using namespace mmlab;
+
+int cmd_crawl(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: mmlab_cli crawl <out.csv> [scale]\n");
+    return 2;
+  }
+  const char* path = argv[0];
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  netgen::WorldOptions wopts;
+  wopts.seed = 42;
+  wopts.scale = scale;
+  auto world = netgen::generate_world(wopts);
+  std::printf("crawling %zu cells (scale %.2f)...\n",
+              world.network.cells().size(), scale);
+  sim::CrawlOptions copts;
+  auto crawl = sim::run_crawl(world, copts);
+  core::ConfigDatabase db;
+  for (const auto& log : crawl.logs)
+    core::extract_configs(log.acronym, log.diag_log, db);
+  core::save_dataset(db, path);
+  std::printf("wrote %zu observations from %zu cells to %s\n",
+              db.total_samples(), db.total_cells(), path);
+  return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: mmlab_cli report <in.csv> [carrier]\n");
+    return 2;
+  }
+  core::ConfigDatabase db;
+  const auto stats = core::load_dataset(argv[0], db);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error: %s\n", stats.error_message().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu rows (%zu bad) -> %zu cells, %zu carriers\n\n",
+              stats.value().rows, stats.value().bad_rows, db.total_cells(),
+              db.carriers().size());
+  TablePrinter table({"Carrier", "Cells", "Samples", "LTE params observed"});
+  for (const auto& [carrier, cells] : db.carriers()) {
+    std::size_t lte_params = 0;
+    for (const auto& key : db.observed_params(carrier))
+      lte_params += key.rat == spectrum::Rat::kLte;
+    table.add_row({carrier, std::to_string(cells.size()),
+                   std::to_string(db.sample_count(carrier)),
+                   std::to_string(lte_params)});
+  }
+  table.print();
+
+  const std::string carrier = argc > 1 ? argv[1] : db.carriers().begin()->first;
+  std::printf("\ndiversity report for %s (sorted by Simpson index):\n",
+              carrier.c_str());
+  TablePrinter diversity({"Param", "richness", "D", "Cv"});
+  for (const auto& d :
+       core::diversity_by_param(db, carrier, spectrum::Rat::kLte))
+    diversity.add_row({config::param_name(d.key),
+                       std::to_string(d.measures.richness),
+                       fmt_double(d.measures.simpson, 3),
+                       fmt_double(d.measures.cv, 3)});
+  diversity.print();
+  return 0;
+}
+
+int cmd_verify(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: mmlab_cli verify <in.csv>\n");
+    return 2;
+  }
+  core::ConfigDatabase db;
+  const auto stats = core::load_dataset(argv[0], db);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error: %s\n", stats.error_message().c_str());
+    return 1;
+  }
+  const auto findings = core::detect_misconfigurations(db);
+  std::printf("%zu findings:\n", findings.size());
+  for (const auto& [kind, count] : core::summarize(findings))
+    std::printf("  %-26s %zu\n", core::finding_kind_name(kind), count);
+  std::printf("\nobserved reconfigurations (first 20):\n");
+  std::size_t shown = 0;
+  for (const auto& [carrier, cells] : db.carriers()) {
+    for (const auto& [id, rec] : cells) {
+      for (const auto& change : core::describe_changes(rec)) {
+        if (shown++ >= 20) break;
+        std::printf("  %s cell %u: %s %.1f -> %.1f (day %.0f, %s)\n",
+                    carrier.c_str(), id,
+                    config::param_name(change.key).c_str(), change.from,
+                    change.to, change.changed_at.days(),
+                    change.active_state ? "active-state" : "idle-state");
+      }
+      if (shown >= 20) break;
+    }
+    if (shown >= 20) break;
+  }
+  std::printf("\npriority loops (handoff-instability risk):\n");
+  for (const auto& [carrier, cells] : db.carriers()) {
+    for (const auto& loop : core::detect_priority_loops(db, carrier))
+      std::printf("  %s: channels %u <-> %u (%zu + %zu cells disagree)\n",
+                  carrier.c_str(), loop.channel_a, loop.channel_b,
+                  loop.cells_a, loop.cells_b);
+  }
+  return findings.empty() ? 0 : 3;
+}
+
+int cmd_drive(int argc, char** argv) {
+  const std::string acr = argc > 0 ? argv[0] : "A";
+  netgen::WorldOptions wopts;
+  wopts.seed = 42;
+  wopts.scale = 0.1;
+  auto world = netgen::generate_world(wopts);
+  net::CarrierId carrier = 0;
+  for (const auto& c : world.network.carriers())
+    if (c.acronym == acr) carrier = c.id;
+  Rng rng(5);
+  const auto route = mobility::manhattan_drive(
+      rng, world.network.cities()[2], mobility::kph(40),
+      10 * kMillisPerMinute);
+  sim::DriveTestOptions opts;
+  opts.carrier = carrier;
+  opts.workload = sim::Workload::kSpeedtest;
+  const auto result = run_drive_test(world.network, route, opts);
+  const auto instances = core::extract_handoffs(result.diag_log);
+  std::printf("%s drive: %.1f km, %zu handoff instances (from diag log)\n",
+              acr.c_str(), result.route_length_m / 1000.0, instances.size());
+  for (const auto& inst : instances)
+    std::printf("  %8.1fs  %-3s %u -> %u  (report->exec %lld ms)\n",
+                inst.exec_time.seconds(),
+                std::string(config::event_name(inst.trigger)).c_str(),
+                inst.from_cell, inst.to_cell,
+                static_cast<long long>(inst.report_to_exec_ms()));
+  const auto pp = core::analyze_pingpong(instances);
+  std::printf("ping-pong fraction: %.1f%%\n", 100.0 * pp.pingpong_fraction());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: mmlab_cli <crawl|report|verify|drive> [args...]\n");
+    return 2;
+  }
+  const char* cmd = argv[1];
+  if (!std::strcmp(cmd, "crawl")) return cmd_crawl(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "report")) return cmd_report(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "verify")) return cmd_verify(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "drive")) return cmd_drive(argc - 2, argv + 2);
+  std::fprintf(stderr, "unknown command: %s\n", cmd);
+  return 2;
+}
