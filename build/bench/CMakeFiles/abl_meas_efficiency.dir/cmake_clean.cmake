@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_meas_efficiency.dir/abl_meas_efficiency.cpp.o"
+  "CMakeFiles/abl_meas_efficiency.dir/abl_meas_efficiency.cpp.o.d"
+  "CMakeFiles/abl_meas_efficiency.dir/common.cpp.o"
+  "CMakeFiles/abl_meas_efficiency.dir/common.cpp.o.d"
+  "abl_meas_efficiency"
+  "abl_meas_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_meas_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sanity_guard.dir/abl_sanity_guard.cpp.o"
+  "CMakeFiles/abl_sanity_guard.dir/abl_sanity_guard.cpp.o.d"
+  "CMakeFiles/abl_sanity_guard.dir/common.cpp.o"
+  "CMakeFiles/abl_sanity_guard.dir/common.cpp.o.d"
+  "abl_sanity_guard"
+  "abl_sanity_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sanity_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

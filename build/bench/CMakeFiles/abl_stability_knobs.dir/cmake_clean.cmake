@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_stability_knobs.dir/abl_stability_knobs.cpp.o"
+  "CMakeFiles/abl_stability_knobs.dir/abl_stability_knobs.cpp.o.d"
+  "CMakeFiles/abl_stability_knobs.dir/common.cpp.o"
+  "CMakeFiles/abl_stability_knobs.dir/common.cpp.o.d"
+  "abl_stability_knobs"
+  "abl_stability_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_stability_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

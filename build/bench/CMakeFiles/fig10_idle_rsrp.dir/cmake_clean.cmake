@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_idle_rsrp.dir/common.cpp.o"
+  "CMakeFiles/fig10_idle_rsrp.dir/common.cpp.o.d"
+  "CMakeFiles/fig10_idle_rsrp.dir/fig10_idle_rsrp.cpp.o"
+  "CMakeFiles/fig10_idle_rsrp.dir/fig10_idle_rsrp.cpp.o.d"
+  "fig10_idle_rsrp"
+  "fig10_idle_rsrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_idle_rsrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

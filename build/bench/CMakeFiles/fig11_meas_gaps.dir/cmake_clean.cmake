@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_meas_gaps.dir/common.cpp.o"
+  "CMakeFiles/fig11_meas_gaps.dir/common.cpp.o.d"
+  "CMakeFiles/fig11_meas_gaps.dir/fig11_meas_gaps.cpp.o"
+  "CMakeFiles/fig11_meas_gaps.dir/fig11_meas_gaps.cpp.o.d"
+  "fig11_meas_gaps"
+  "fig11_meas_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_meas_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dataset.dir/common.cpp.o"
+  "CMakeFiles/fig12_dataset.dir/common.cpp.o.d"
+  "CMakeFiles/fig12_dataset.dir/fig12_dataset.cpp.o"
+  "CMakeFiles/fig12_dataset.dir/fig12_dataset.cpp.o.d"
+  "fig12_dataset"
+  "fig12_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_temporal.dir/common.cpp.o"
+  "CMakeFiles/fig13_temporal.dir/common.cpp.o.d"
+  "CMakeFiles/fig13_temporal.dir/fig13_temporal.cpp.o"
+  "CMakeFiles/fig13_temporal.dir/fig13_temporal.cpp.o.d"
+  "fig13_temporal"
+  "fig13_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_param_dist.dir/common.cpp.o"
+  "CMakeFiles/fig14_param_dist.dir/common.cpp.o.d"
+  "CMakeFiles/fig14_param_dist.dir/fig14_param_dist.cpp.o"
+  "CMakeFiles/fig14_param_dist.dir/fig14_param_dist.cpp.o.d"
+  "fig14_param_dist"
+  "fig14_param_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_param_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

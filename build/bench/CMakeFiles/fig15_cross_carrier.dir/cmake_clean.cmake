@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cross_carrier.dir/common.cpp.o"
+  "CMakeFiles/fig15_cross_carrier.dir/common.cpp.o.d"
+  "CMakeFiles/fig15_cross_carrier.dir/fig15_cross_carrier.cpp.o"
+  "CMakeFiles/fig15_cross_carrier.dir/fig15_cross_carrier.cpp.o.d"
+  "fig15_cross_carrier"
+  "fig15_cross_carrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cross_carrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

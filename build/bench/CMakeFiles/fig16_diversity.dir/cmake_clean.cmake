@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_diversity.dir/common.cpp.o"
+  "CMakeFiles/fig16_diversity.dir/common.cpp.o.d"
+  "CMakeFiles/fig16_diversity.dir/fig16_diversity.cpp.o"
+  "CMakeFiles/fig16_diversity.dir/fig16_diversity.cpp.o.d"
+  "fig16_diversity"
+  "fig16_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

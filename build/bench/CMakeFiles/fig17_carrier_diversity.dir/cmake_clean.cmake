@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_carrier_diversity.dir/common.cpp.o"
+  "CMakeFiles/fig17_carrier_diversity.dir/common.cpp.o.d"
+  "CMakeFiles/fig17_carrier_diversity.dir/fig17_carrier_diversity.cpp.o"
+  "CMakeFiles/fig17_carrier_diversity.dir/fig17_carrier_diversity.cpp.o.d"
+  "fig17_carrier_diversity"
+  "fig17_carrier_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_carrier_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

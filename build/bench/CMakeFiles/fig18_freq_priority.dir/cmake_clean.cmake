@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_freq_priority.dir/common.cpp.o"
+  "CMakeFiles/fig18_freq_priority.dir/common.cpp.o.d"
+  "CMakeFiles/fig18_freq_priority.dir/fig18_freq_priority.cpp.o"
+  "CMakeFiles/fig18_freq_priority.dir/fig18_freq_priority.cpp.o.d"
+  "fig18_freq_priority"
+  "fig18_freq_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_freq_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

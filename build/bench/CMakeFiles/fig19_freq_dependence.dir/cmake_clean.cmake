@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_freq_dependence.dir/common.cpp.o"
+  "CMakeFiles/fig19_freq_dependence.dir/common.cpp.o.d"
+  "CMakeFiles/fig19_freq_dependence.dir/fig19_freq_dependence.cpp.o"
+  "CMakeFiles/fig19_freq_dependence.dir/fig19_freq_dependence.cpp.o.d"
+  "fig19_freq_dependence"
+  "fig19_freq_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_freq_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

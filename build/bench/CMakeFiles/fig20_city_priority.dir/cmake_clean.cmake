@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_city_priority.dir/common.cpp.o"
+  "CMakeFiles/fig20_city_priority.dir/common.cpp.o.d"
+  "CMakeFiles/fig20_city_priority.dir/fig20_city_priority.cpp.o"
+  "CMakeFiles/fig20_city_priority.dir/fig20_city_priority.cpp.o.d"
+  "fig20_city_priority"
+  "fig20_city_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_city_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

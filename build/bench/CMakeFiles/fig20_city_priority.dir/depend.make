@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_city_priority.
+# This may be replaced when dependencies are built.

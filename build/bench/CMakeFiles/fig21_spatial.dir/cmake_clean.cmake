@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_spatial.dir/common.cpp.o"
+  "CMakeFiles/fig21_spatial.dir/common.cpp.o.d"
+  "CMakeFiles/fig21_spatial.dir/fig21_spatial.cpp.o"
+  "CMakeFiles/fig21_spatial.dir/fig21_spatial.cpp.o.d"
+  "fig21_spatial"
+  "fig21_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

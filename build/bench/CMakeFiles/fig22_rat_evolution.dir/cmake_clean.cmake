@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_rat_evolution.dir/common.cpp.o"
+  "CMakeFiles/fig22_rat_evolution.dir/common.cpp.o.d"
+  "CMakeFiles/fig22_rat_evolution.dir/fig22_rat_evolution.cpp.o"
+  "CMakeFiles/fig22_rat_evolution.dir/fig22_rat_evolution.cpp.o.d"
+  "fig22_rat_evolution"
+  "fig22_rat_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_rat_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

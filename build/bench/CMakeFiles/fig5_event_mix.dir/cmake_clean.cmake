@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_event_mix.dir/common.cpp.o"
+  "CMakeFiles/fig5_event_mix.dir/common.cpp.o.d"
+  "CMakeFiles/fig5_event_mix.dir/fig5_event_mix.cpp.o"
+  "CMakeFiles/fig5_event_mix.dir/fig5_event_mix.cpp.o.d"
+  "fig5_event_mix"
+  "fig5_event_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_event_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

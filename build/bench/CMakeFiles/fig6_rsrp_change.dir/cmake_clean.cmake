@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_rsrp_change.dir/common.cpp.o"
+  "CMakeFiles/fig6_rsrp_change.dir/common.cpp.o.d"
+  "CMakeFiles/fig6_rsrp_change.dir/fig6_rsrp_change.cpp.o"
+  "CMakeFiles/fig6_rsrp_change.dir/fig6_rsrp_change.cpp.o.d"
+  "fig6_rsrp_change"
+  "fig6_rsrp_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_rsrp_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

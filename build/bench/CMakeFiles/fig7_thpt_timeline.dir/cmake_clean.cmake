@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_thpt_timeline.dir/common.cpp.o"
+  "CMakeFiles/fig7_thpt_timeline.dir/common.cpp.o.d"
+  "CMakeFiles/fig7_thpt_timeline.dir/fig7_thpt_timeline.cpp.o"
+  "CMakeFiles/fig7_thpt_timeline.dir/fig7_thpt_timeline.cpp.o.d"
+  "fig7_thpt_timeline"
+  "fig7_thpt_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_thpt_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

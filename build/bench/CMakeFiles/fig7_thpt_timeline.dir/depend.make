@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_thpt_timeline.
+# This may be replaced when dependencies are built.

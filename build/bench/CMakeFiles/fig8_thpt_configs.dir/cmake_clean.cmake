@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_thpt_configs.dir/common.cpp.o"
+  "CMakeFiles/fig8_thpt_configs.dir/common.cpp.o.d"
+  "CMakeFiles/fig8_thpt_configs.dir/fig8_thpt_configs.cpp.o"
+  "CMakeFiles/fig8_thpt_configs.dir/fig8_thpt_configs.cpp.o.d"
+  "fig8_thpt_configs"
+  "fig8_thpt_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_thpt_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_radio_impact.dir/common.cpp.o"
+  "CMakeFiles/fig9_radio_impact.dir/common.cpp.o.d"
+  "CMakeFiles/fig9_radio_impact.dir/fig9_radio_impact.cpp.o"
+  "CMakeFiles/fig9_radio_impact.dir/fig9_radio_impact.cpp.o.d"
+  "fig9_radio_impact"
+  "fig9_radio_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_radio_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

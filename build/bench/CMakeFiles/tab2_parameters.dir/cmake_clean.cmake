@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_parameters.dir/common.cpp.o"
+  "CMakeFiles/tab2_parameters.dir/common.cpp.o.d"
+  "CMakeFiles/tab2_parameters.dir/tab2_parameters.cpp.o"
+  "CMakeFiles/tab2_parameters.dir/tab2_parameters.cpp.o.d"
+  "tab2_parameters"
+  "tab2_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_carriers.dir/common.cpp.o"
+  "CMakeFiles/tab3_carriers.dir/common.cpp.o.d"
+  "CMakeFiles/tab3_carriers.dir/tab3_carriers.cpp.o"
+  "CMakeFiles/tab3_carriers.dir/tab3_carriers.cpp.o.d"
+  "tab3_carriers"
+  "tab3_carriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_carriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

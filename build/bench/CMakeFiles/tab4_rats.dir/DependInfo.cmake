@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common.cpp" "bench/CMakeFiles/tab4_rats.dir/common.cpp.o" "gcc" "bench/CMakeFiles/tab4_rats.dir/common.cpp.o.d"
+  "/root/repo/bench/tab4_rats.cpp" "bench/CMakeFiles/tab4_rats.dir/tab4_rats.cpp.o" "gcc" "bench/CMakeFiles/tab4_rats.dir/tab4_rats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmlab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_ue.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_rrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_rats.dir/common.cpp.o"
+  "CMakeFiles/tab4_rats.dir/common.cpp.o.d"
+  "CMakeFiles/tab4_rats.dir/tab4_rats.cpp.o"
+  "CMakeFiles/tab4_rats.dir/tab4_rats.cpp.o.d"
+  "tab4_rats"
+  "tab4_rats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_rats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/band30_outage.dir/band30_outage.cpp.o"
+  "CMakeFiles/band30_outage.dir/band30_outage.cpp.o.d"
+  "band30_outage"
+  "band30_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/band30_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_crawler.dir/config_crawler.cpp.o"
+  "CMakeFiles/config_crawler.dir/config_crawler.cpp.o.d"
+  "config_crawler"
+  "config_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handoff_predictor.dir/handoff_predictor.cpp.o"
+  "CMakeFiles/handoff_predictor.dir/handoff_predictor.cpp.o.d"
+  "handoff_predictor"
+  "handoff_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handoff_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_config.dir/mmlab/config/params.cpp.o"
+  "CMakeFiles/mmlab_config.dir/mmlab/config/params.cpp.o.d"
+  "CMakeFiles/mmlab_config.dir/mmlab/config/quant.cpp.o"
+  "CMakeFiles/mmlab_config.dir/mmlab/config/quant.cpp.o.d"
+  "libmmlab_config.a"
+  "libmmlab_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

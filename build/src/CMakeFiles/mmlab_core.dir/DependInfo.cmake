@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmlab/core/analysis.cpp" "src/CMakeFiles/mmlab_core.dir/mmlab/core/analysis.cpp.o" "gcc" "src/CMakeFiles/mmlab_core.dir/mmlab/core/analysis.cpp.o.d"
+  "/root/repo/src/mmlab/core/database.cpp" "src/CMakeFiles/mmlab_core.dir/mmlab/core/database.cpp.o" "gcc" "src/CMakeFiles/mmlab_core.dir/mmlab/core/database.cpp.o.d"
+  "/root/repo/src/mmlab/core/dataset_io.cpp" "src/CMakeFiles/mmlab_core.dir/mmlab/core/dataset_io.cpp.o" "gcc" "src/CMakeFiles/mmlab_core.dir/mmlab/core/dataset_io.cpp.o.d"
+  "/root/repo/src/mmlab/core/extractor.cpp" "src/CMakeFiles/mmlab_core.dir/mmlab/core/extractor.cpp.o" "gcc" "src/CMakeFiles/mmlab_core.dir/mmlab/core/extractor.cpp.o.d"
+  "/root/repo/src/mmlab/core/handoff_extract.cpp" "src/CMakeFiles/mmlab_core.dir/mmlab/core/handoff_extract.cpp.o" "gcc" "src/CMakeFiles/mmlab_core.dir/mmlab/core/handoff_extract.cpp.o.d"
+  "/root/repo/src/mmlab/core/misconfig.cpp" "src/CMakeFiles/mmlab_core.dir/mmlab/core/misconfig.cpp.o" "gcc" "src/CMakeFiles/mmlab_core.dir/mmlab/core/misconfig.cpp.o.d"
+  "/root/repo/src/mmlab/core/predictor.cpp" "src/CMakeFiles/mmlab_core.dir/mmlab/core/predictor.cpp.o" "gcc" "src/CMakeFiles/mmlab_core.dir/mmlab/core/predictor.cpp.o.d"
+  "/root/repo/src/mmlab/core/stability.cpp" "src/CMakeFiles/mmlab_core.dir/mmlab/core/stability.cpp.o" "gcc" "src/CMakeFiles/mmlab_core.dir/mmlab/core/stability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_ue.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_rrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_core.dir/mmlab/core/analysis.cpp.o"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/analysis.cpp.o.d"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/database.cpp.o"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/database.cpp.o.d"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/dataset_io.cpp.o"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/dataset_io.cpp.o.d"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/extractor.cpp.o"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/extractor.cpp.o.d"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/handoff_extract.cpp.o"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/handoff_extract.cpp.o.d"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/misconfig.cpp.o"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/misconfig.cpp.o.d"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/predictor.cpp.o"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/predictor.cpp.o.d"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/stability.cpp.o"
+  "CMakeFiles/mmlab_core.dir/mmlab/core/stability.cpp.o.d"
+  "libmmlab_core.a"
+  "libmmlab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

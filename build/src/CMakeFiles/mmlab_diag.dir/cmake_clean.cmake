@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_diag.dir/mmlab/diag/log.cpp.o"
+  "CMakeFiles/mmlab_diag.dir/mmlab/diag/log.cpp.o.d"
+  "libmmlab_diag.a"
+  "libmmlab_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

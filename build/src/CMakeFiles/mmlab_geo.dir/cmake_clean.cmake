@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_geo.dir/mmlab/geo/grid_index.cpp.o"
+  "CMakeFiles/mmlab_geo.dir/mmlab/geo/grid_index.cpp.o.d"
+  "CMakeFiles/mmlab_geo.dir/mmlab/geo/region.cpp.o"
+  "CMakeFiles/mmlab_geo.dir/mmlab/geo/region.cpp.o.d"
+  "libmmlab_geo.a"
+  "libmmlab_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

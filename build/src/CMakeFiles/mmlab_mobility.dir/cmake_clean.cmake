@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_mobility.dir/mmlab/mobility/route.cpp.o"
+  "CMakeFiles/mmlab_mobility.dir/mmlab/mobility/route.cpp.o.d"
+  "libmmlab_mobility.a"
+  "libmmlab_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

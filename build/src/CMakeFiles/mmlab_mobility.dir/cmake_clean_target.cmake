@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmlab_mobility.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_net.dir/mmlab/net/deployment.cpp.o"
+  "CMakeFiles/mmlab_net.dir/mmlab/net/deployment.cpp.o.d"
+  "libmmlab_net.a"
+  "libmmlab_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

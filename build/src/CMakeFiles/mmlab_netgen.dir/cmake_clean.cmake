@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_netgen.dir/mmlab/netgen/generator.cpp.o"
+  "CMakeFiles/mmlab_netgen.dir/mmlab/netgen/generator.cpp.o.d"
+  "CMakeFiles/mmlab_netgen.dir/mmlab/netgen/profiles.cpp.o"
+  "CMakeFiles/mmlab_netgen.dir/mmlab/netgen/profiles.cpp.o.d"
+  "libmmlab_netgen.a"
+  "libmmlab_netgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

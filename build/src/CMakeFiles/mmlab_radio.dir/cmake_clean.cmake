@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_radio.dir/mmlab/radio/link.cpp.o"
+  "CMakeFiles/mmlab_radio.dir/mmlab/radio/link.cpp.o.d"
+  "CMakeFiles/mmlab_radio.dir/mmlab/radio/propagation.cpp.o"
+  "CMakeFiles/mmlab_radio.dir/mmlab/radio/propagation.cpp.o.d"
+  "libmmlab_radio.a"
+  "libmmlab_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

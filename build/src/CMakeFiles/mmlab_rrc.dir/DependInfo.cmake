@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmlab/rrc/codec.cpp" "src/CMakeFiles/mmlab_rrc.dir/mmlab/rrc/codec.cpp.o" "gcc" "src/CMakeFiles/mmlab_rrc.dir/mmlab/rrc/codec.cpp.o.d"
+  "/root/repo/src/mmlab/rrc/describe.cpp" "src/CMakeFiles/mmlab_rrc.dir/mmlab/rrc/describe.cpp.o" "gcc" "src/CMakeFiles/mmlab_rrc.dir/mmlab/rrc/describe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmlab_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

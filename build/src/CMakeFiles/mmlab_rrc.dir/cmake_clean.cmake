@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_rrc.dir/mmlab/rrc/codec.cpp.o"
+  "CMakeFiles/mmlab_rrc.dir/mmlab/rrc/codec.cpp.o.d"
+  "CMakeFiles/mmlab_rrc.dir/mmlab/rrc/describe.cpp.o"
+  "CMakeFiles/mmlab_rrc.dir/mmlab/rrc/describe.cpp.o.d"
+  "libmmlab_rrc.a"
+  "libmmlab_rrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_rrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

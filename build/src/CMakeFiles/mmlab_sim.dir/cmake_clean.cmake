@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_sim.dir/mmlab/sim/crawl.cpp.o"
+  "CMakeFiles/mmlab_sim.dir/mmlab/sim/crawl.cpp.o.d"
+  "CMakeFiles/mmlab_sim.dir/mmlab/sim/drive_test.cpp.o"
+  "CMakeFiles/mmlab_sim.dir/mmlab/sim/drive_test.cpp.o.d"
+  "libmmlab_sim.a"
+  "libmmlab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

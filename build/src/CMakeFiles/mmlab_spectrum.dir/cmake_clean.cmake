@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_spectrum.dir/mmlab/spectrum/bands.cpp.o"
+  "CMakeFiles/mmlab_spectrum.dir/mmlab/spectrum/bands.cpp.o.d"
+  "libmmlab_spectrum.a"
+  "libmmlab_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

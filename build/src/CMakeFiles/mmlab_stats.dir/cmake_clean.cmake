@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_stats.dir/mmlab/stats/cdf.cpp.o"
+  "CMakeFiles/mmlab_stats.dir/mmlab/stats/cdf.cpp.o.d"
+  "CMakeFiles/mmlab_stats.dir/mmlab/stats/descriptive.cpp.o"
+  "CMakeFiles/mmlab_stats.dir/mmlab/stats/descriptive.cpp.o.d"
+  "CMakeFiles/mmlab_stats.dir/mmlab/stats/diversity.cpp.o"
+  "CMakeFiles/mmlab_stats.dir/mmlab/stats/diversity.cpp.o.d"
+  "libmmlab_stats.a"
+  "libmmlab_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_traffic.dir/mmlab/traffic/apps.cpp.o"
+  "CMakeFiles/mmlab_traffic.dir/mmlab/traffic/apps.cpp.o.d"
+  "CMakeFiles/mmlab_traffic.dir/mmlab/traffic/link_adaptation.cpp.o"
+  "CMakeFiles/mmlab_traffic.dir/mmlab/traffic/link_adaptation.cpp.o.d"
+  "libmmlab_traffic.a"
+  "libmmlab_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

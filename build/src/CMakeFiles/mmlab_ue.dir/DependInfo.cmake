@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmlab/ue/broadcast.cpp" "src/CMakeFiles/mmlab_ue.dir/mmlab/ue/broadcast.cpp.o" "gcc" "src/CMakeFiles/mmlab_ue.dir/mmlab/ue/broadcast.cpp.o.d"
+  "/root/repo/src/mmlab/ue/event_engine.cpp" "src/CMakeFiles/mmlab_ue.dir/mmlab/ue/event_engine.cpp.o" "gcc" "src/CMakeFiles/mmlab_ue.dir/mmlab/ue/event_engine.cpp.o.d"
+  "/root/repo/src/mmlab/ue/reselection.cpp" "src/CMakeFiles/mmlab_ue.dir/mmlab/ue/reselection.cpp.o" "gcc" "src/CMakeFiles/mmlab_ue.dir/mmlab/ue/reselection.cpp.o.d"
+  "/root/repo/src/mmlab/ue/ue.cpp" "src/CMakeFiles/mmlab_ue.dir/mmlab/ue/ue.cpp.o" "gcc" "src/CMakeFiles/mmlab_ue.dir/mmlab/ue/ue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmlab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_rrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

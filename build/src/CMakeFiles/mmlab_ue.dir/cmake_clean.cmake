@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_ue.dir/mmlab/ue/broadcast.cpp.o"
+  "CMakeFiles/mmlab_ue.dir/mmlab/ue/broadcast.cpp.o.d"
+  "CMakeFiles/mmlab_ue.dir/mmlab/ue/event_engine.cpp.o"
+  "CMakeFiles/mmlab_ue.dir/mmlab/ue/event_engine.cpp.o.d"
+  "CMakeFiles/mmlab_ue.dir/mmlab/ue/reselection.cpp.o"
+  "CMakeFiles/mmlab_ue.dir/mmlab/ue/reselection.cpp.o.d"
+  "CMakeFiles/mmlab_ue.dir/mmlab/ue/ue.cpp.o"
+  "CMakeFiles/mmlab_ue.dir/mmlab/ue/ue.cpp.o.d"
+  "libmmlab_ue.a"
+  "libmmlab_ue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_ue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

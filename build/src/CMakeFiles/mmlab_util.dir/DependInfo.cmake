@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmlab/util/bitio.cpp" "src/CMakeFiles/mmlab_util.dir/mmlab/util/bitio.cpp.o" "gcc" "src/CMakeFiles/mmlab_util.dir/mmlab/util/bitio.cpp.o.d"
+  "/root/repo/src/mmlab/util/crc.cpp" "src/CMakeFiles/mmlab_util.dir/mmlab/util/crc.cpp.o" "gcc" "src/CMakeFiles/mmlab_util.dir/mmlab/util/crc.cpp.o.d"
+  "/root/repo/src/mmlab/util/rng.cpp" "src/CMakeFiles/mmlab_util.dir/mmlab/util/rng.cpp.o" "gcc" "src/CMakeFiles/mmlab_util.dir/mmlab/util/rng.cpp.o.d"
+  "/root/repo/src/mmlab/util/table.cpp" "src/CMakeFiles/mmlab_util.dir/mmlab/util/table.cpp.o" "gcc" "src/CMakeFiles/mmlab_util.dir/mmlab/util/table.cpp.o.d"
+  "/root/repo/src/mmlab/util/units.cpp" "src/CMakeFiles/mmlab_util.dir/mmlab/util/units.cpp.o" "gcc" "src/CMakeFiles/mmlab_util.dir/mmlab/util/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

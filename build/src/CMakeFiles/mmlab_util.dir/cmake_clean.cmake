@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_util.dir/mmlab/util/bitio.cpp.o"
+  "CMakeFiles/mmlab_util.dir/mmlab/util/bitio.cpp.o.d"
+  "CMakeFiles/mmlab_util.dir/mmlab/util/crc.cpp.o"
+  "CMakeFiles/mmlab_util.dir/mmlab/util/crc.cpp.o.d"
+  "CMakeFiles/mmlab_util.dir/mmlab/util/rng.cpp.o"
+  "CMakeFiles/mmlab_util.dir/mmlab/util/rng.cpp.o.d"
+  "CMakeFiles/mmlab_util.dir/mmlab/util/table.cpp.o"
+  "CMakeFiles/mmlab_util.dir/mmlab/util/table.cpp.o.d"
+  "CMakeFiles/mmlab_util.dir/mmlab/util/units.cpp.o"
+  "CMakeFiles/mmlab_util.dir/mmlab/util/units.cpp.o.d"
+  "libmmlab_util.a"
+  "libmmlab_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_bitio.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_bitio.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_bitio.cpp.o.d"
+  "/root/repo/tests/test_core_db.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_core_db.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_core_db.cpp.o.d"
+  "/root/repo/tests/test_crc_table.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_crc_table.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_crc_table.cpp.o.d"
+  "/root/repo/tests/test_dataset_io_stability.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_dataset_io_stability.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_dataset_io_stability.cpp.o.d"
+  "/root/repo/tests/test_describe_properties.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_describe_properties.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_describe_properties.cpp.o.d"
+  "/root/repo/tests/test_diag.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_diag.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_diag.cpp.o.d"
+  "/root/repo/tests/test_diversity.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_diversity.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_diversity.cpp.o.d"
+  "/root/repo/tests/test_event_engine.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_event_engine.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_event_engine.cpp.o.d"
+  "/root/repo/tests/test_geo.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_geo.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_geo.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_misc_util.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_misc_util.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_misc_util.cpp.o.d"
+  "/root/repo/tests/test_misconfig_predictor.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_misconfig_predictor.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_misconfig_predictor.cpp.o.d"
+  "/root/repo/tests/test_mobility_traffic.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_mobility_traffic.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_mobility_traffic.cpp.o.d"
+  "/root/repo/tests/test_more_coverage.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_more_coverage.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_more_coverage.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_netgen.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_netgen.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_netgen.cpp.o.d"
+  "/root/repo/tests/test_netgen_profiles.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_netgen_profiles.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_netgen_profiles.cpp.o.d"
+  "/root/repo/tests/test_params.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_params.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_params.cpp.o.d"
+  "/root/repo/tests/test_property_extras.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_property_extras.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_property_extras.cpp.o.d"
+  "/root/repo/tests/test_quant.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_quant.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_quant.cpp.o.d"
+  "/root/repo/tests/test_radio.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_radio.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_radio.cpp.o.d"
+  "/root/repo/tests/test_reselection.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_reselection.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_reselection.cpp.o.d"
+  "/root/repo/tests/test_reselection_sweep.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_reselection_sweep.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_reselection_sweep.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rrc_codec.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_rrc_codec.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_rrc_codec.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_spectrum.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_spectrum.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_spectrum.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_ue.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_ue.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_ue.cpp.o.d"
+  "/root/repo/tests/test_ue_behaviors.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_ue_behaviors.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_ue_behaviors.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/mmlab_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/mmlab_tests.dir/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmlab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_ue.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_rrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmlab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlab_cli.dir/mmlab_cli.cpp.o"
+  "CMakeFiles/mmlab_cli.dir/mmlab_cli.cpp.o.d"
+  "mmlab_cli"
+  "mmlab_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlab_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
