@@ -25,6 +25,14 @@ int env_drives() {
   return 4;
 }
 
+unsigned env_threads() {
+  if (const char* env = std::getenv("MMLAB_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 0;  // hardware concurrency
+}
+
 D2Data build_d2(double scale, double mean_rounds) {
   D2Data data;
   netgen::WorldOptions wopts;
@@ -35,8 +43,8 @@ D2Data build_d2(double scale, double mean_rounds) {
   copts.mean_rounds = mean_rounds;
   auto crawl = sim::run_crawl(data.world, copts);
   data.camps = crawl.total_camps;
-  for (const auto& log : crawl.logs)
-    core::extract_configs(log.acronym, log.diag_log, data.db);
+  data.extract =
+      core::extract_configs_parallel(crawl.logs, data.db, env_threads());
   return data;
 }
 

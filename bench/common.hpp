@@ -1,7 +1,8 @@
 // Shared bench harness: builds the D2 crawl dataset and D1 drive campaigns
-// the figure benches consume, honouring two environment knobs:
-//   MMLAB_SCALE  — world scale (default 1.0 = the paper's ~32k cells)
-//   MMLAB_DRIVES — city drives per city for D1 campaigns (default 4)
+// the figure benches consume, honouring three environment knobs:
+//   MMLAB_SCALE   — world scale (default 1.0 = the paper's ~32k cells)
+//   MMLAB_DRIVES  — city drives per city for D1 campaigns (default 4)
+//   MMLAB_THREADS — extraction worker threads (default: hardware concurrency)
 // Every bench prints the paper-style rows to stdout and mirrors them to
 // bench_out/<name>.csv.
 #pragma once
@@ -10,6 +11,7 @@
 
 #include "mmlab/core/analysis.hpp"
 #include "mmlab/core/extractor.hpp"
+#include "mmlab/core/parallel_extract.hpp"
 #include "mmlab/sim/crawl.hpp"
 #include "mmlab/sim/drive_test.hpp"
 #include "mmlab/stats/cdf.hpp"
@@ -19,11 +21,13 @@ namespace mmlab::bench {
 
 double env_scale();
 int env_drives();
+unsigned env_threads();
 
 struct D2Data {
   netgen::GeneratedWorld world;
   core::ConfigDatabase db;
   std::size_t camps = 0;
+  core::ParallelExtractStats extract;  ///< throughput of the D2 extraction
 };
 
 /// Generate the world, run the Type-I crawl, extract into the database.

@@ -16,5 +16,10 @@ int main() {
   std::printf("\ntotal: %zu cells, %zu samples, %zu camps "
               "(paper: 32,033 cells, 7,996,149 samples)\n",
               data.db.total_cells(), data.db.total_samples(), data.camps);
+  std::printf("extraction: %u threads, %.2fs decode + %.2fs merge, "
+              "%.0f records/s, %.1f MB/s\n",
+              data.extract.threads, data.extract.extract_seconds,
+              data.extract.merge_seconds, data.extract.records_per_second(),
+              data.extract.bytes_per_second() / 1e6);
   return 0;
 }

@@ -46,5 +46,8 @@ int main() {
   horizon.print();
   std::printf("\npaper: idle 0.4-1.6%%, active 21.2-24.1%% — idle params far "
               "more static than active ones\n");
+  std::printf("(D2 extraction: %u threads, %.2fs wall, %.0f records/s)\n",
+              data.extract.threads, data.extract.wall_seconds(),
+              data.extract.records_per_second());
   return 0;
 }

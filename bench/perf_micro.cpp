@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "mmlab/core/extractor.hpp"
+#include "mmlab/core/parallel_extract.hpp"
 #include "mmlab/rrc/codec.hpp"
 #include "mmlab/ue/event_engine.hpp"
 #include "mmlab/ue/reselection.hpp"
@@ -125,6 +126,54 @@ void BM_CrawlExtractPipeline(benchmark::State& state) {
                           static_cast<std::int64_t>(log.size()));
 }
 BENCHMARK(BM_CrawlExtractPipeline);
+
+// End-to-end D2-scale extraction (all carriers' crawl logs), serial vs the
+// worker-pool pipeline.  Compare bytes/second between the two; the
+// acceptance bar is >1.8x at 4 threads.
+const std::vector<sim::CarrierLog>& d2_scale_logs() {
+  static const auto logs = [] {
+    auto world = netgen::generate_world({.seed = 1, .scale = 0.05});
+    sim::CrawlOptions copts;
+    copts.mean_rounds = 5.5;
+    return sim::run_crawl(world, copts).logs;
+  }();
+  return logs;
+}
+
+std::int64_t total_log_bytes(const std::vector<sim::CarrierLog>& logs) {
+  std::int64_t n = 0;
+  for (const auto& log : logs) n += static_cast<std::int64_t>(log.diag_log.size());
+  return n;
+}
+
+void BM_ExtractEndToEndSerial(benchmark::State& state) {
+  const auto& logs = d2_scale_logs();
+  for (auto _ : state) {
+    core::ConfigDatabase db;
+    for (const auto& log : logs)
+      benchmark::DoNotOptimize(core::extract_configs(log.acronym, log.diag_log, db));
+    benchmark::DoNotOptimize(db.total_samples());
+  }
+  state.SetBytesProcessed(state.iterations() * total_log_bytes(logs));
+}
+BENCHMARK(BM_ExtractEndToEndSerial)->Unit(benchmark::kMillisecond);
+
+void BM_ExtractEndToEndParallel(benchmark::State& state) {
+  const auto& logs = d2_scale_logs();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    core::ConfigDatabase db;
+    benchmark::DoNotOptimize(core::extract_configs_parallel(logs, db, threads));
+    benchmark::DoNotOptimize(db.total_samples());
+  }
+  state.SetBytesProcessed(state.iterations() * total_log_bytes(logs));
+}
+BENCHMARK(BM_ExtractEndToEndParallel)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_UeStepDense(benchmark::State& state) {
   static auto world = netgen::generate_world({.seed = 2, .scale = 0.2});

@@ -7,8 +7,8 @@
 #include <cstdlib>
 
 #include "mmlab/core/analysis.hpp"
-#include "mmlab/core/extractor.hpp"
 #include "mmlab/core/misconfig.hpp"
+#include "mmlab/core/parallel_extract.hpp"
 #include "mmlab/sim/crawl.hpp"
 
 int main(int argc, char** argv) {
@@ -26,15 +26,12 @@ int main(int argc, char** argv) {
   auto crawl = sim::run_crawl(world, copts);
 
   core::ConfigDatabase db;
-  std::size_t rrc_messages = 0, bytes = 0;
-  for (const auto& log : crawl.logs) {
-    const auto stats = core::extract_configs(log.acronym, log.diag_log, db);
-    rrc_messages += stats.rrc_messages;
-    bytes += log.diag_log.size();
-  }
-  std::printf("parsed %.1f MB of diag logs, %zu RRC messages -> "
-              "%zu cells, %zu configuration samples\n\n",
-              static_cast<double>(bytes) / 1e6, rrc_messages, db.total_cells(),
+  const auto pstats = core::extract_configs_parallel(crawl.logs, db);
+  std::printf("parsed %.1f MB of diag logs, %zu RRC messages on %u threads "
+              "(%.0f records/s) -> %zu cells, %zu configuration samples\n\n",
+              static_cast<double>(pstats.totals.bytes) / 1e6,
+              pstats.totals.rrc_messages, pstats.threads,
+              pstats.records_per_second(), db.total_cells(),
               db.total_samples());
 
   // Most diverse parameters of the biggest carrier.

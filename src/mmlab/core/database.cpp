@@ -50,6 +50,34 @@ void ConfigDatabase::add_snapshot(
     rec.observations.push_back({p.key, p.value, t, p.context});
 }
 
+void ConfigDatabase::merge(ConfigDatabase&& other) {
+  for (auto& [carrier, cells] : other.carriers_) {
+    CellMap& dst = carriers_[carrier];
+    for (auto& [id, rec] : cells) {
+      auto [it, inserted] = dst.try_emplace(id, std::move(rec));
+      if (inserted) continue;
+      CellRecord& mine = it->second;
+      if (rec.observations.empty()) continue;
+      if (mine.observations.empty() ||
+          rec.observations.front().t < mine.observations.front().t) {
+        // The shard saw this cell first; its camp metadata wins, as it would
+        // have under serial extraction.
+        mine.rat = rec.rat;
+        mine.channel = rec.channel;
+        mine.position = rec.position;
+      }
+      mine.observations.insert(mine.observations.end(),
+                               std::make_move_iterator(rec.observations.begin()),
+                               std::make_move_iterator(rec.observations.end()));
+      std::stable_sort(mine.observations.begin(), mine.observations.end(),
+                       [](const Observation& a, const Observation& b) {
+                         return a.t < b.t;
+                       });
+    }
+  }
+  other.carriers_.clear();
+}
+
 const ConfigDatabase::CellMap* ConfigDatabase::cells_of(
     const std::string& carrier) const {
   const auto it = carriers_.find(carrier);

@@ -28,6 +28,8 @@ struct Observation {
   double value = 0.0;
   SimTime t;
   std::int64_t context = -1;  ///< see config::ParamObservation::context
+
+  bool operator==(const Observation&) const = default;
 };
 
 struct CellRecord {
@@ -44,6 +46,8 @@ struct CellRecord {
   std::optional<double> latest(config::ParamKey key) const;
   /// Number of observations of `key` (the Fig 13a per-cell sample count).
   std::size_t sample_count(config::ParamKey key) const;
+
+  bool operator==(const CellRecord&) const = default;
 };
 
 class ConfigDatabase {
@@ -55,6 +59,17 @@ class ConfigDatabase {
                     spectrum::Rat rat, std::uint32_t channel,
                     geo::Point position, SimTime t,
                     const std::vector<config::ParamObservation>& params);
+
+  /// Absorb another database (a parallel extraction worker's private shard),
+  /// leaving `other` empty.  Deterministic: carriers and cells land in key
+  /// order regardless of which worker produced them, and when both sides
+  /// observed the same cell its observations are re-ordered by timestamp
+  /// (stable, so same-timestamp observations keep this-before-other order).
+  /// Cell identity metadata (rat/channel/position) follows the earliest
+  /// observation, matching what serial extraction would have recorded first.
+  void merge(ConfigDatabase&& other);
+
+  bool operator==(const ConfigDatabase&) const = default;
 
   const std::map<std::string, CellMap>& carriers() const { return carriers_; }
   const CellMap* cells_of(const std::string& carrier) const;

@@ -1,5 +1,6 @@
 #include "mmlab/core/extractor.hpp"
 
+#include <array>
 #include <optional>
 
 #include "mmlab/diag/log.hpp"
@@ -14,11 +15,16 @@ struct PendingCell {
   diag::CampEvent camp;
   SimTime camp_time;
   config::CellConfig cfg;
+  /// Neighbour-frequency lists keyed by source SIB (0 = SIB5 .. 3 = SIB8).
+  /// Cells re-broadcast SIBs periodically; keeping the latest copy per SIB
+  /// makes re-receptions within one camp idempotent instead of appending
+  /// duplicate entries (which inflated Fig 18's candidate-priority counts).
+  std::array<std::vector<config::NeighborFreqConfig>, 4> sib_neighbors;
   bool saw_sib3 = false;
   std::optional<config::LegacyCellConfig> legacy;
 
   void flush(const std::string& carrier, ConfigDatabase& db,
-             std::size_t& snapshots) const {
+             std::size_t& snapshots) {
     const geo::Point pos{static_cast<double>(camp.x_dm) / 10.0,
                          static_cast<double>(camp.y_dm) / 10.0};
     if (legacy) {
@@ -29,6 +35,10 @@ struct PendingCell {
       return;
     }
     if (!saw_sib3) return;  // partial capture; nothing trustworthy to file
+    cfg.neighbor_freqs.clear();
+    for (const auto& list : sib_neighbors)
+      cfg.neighbor_freqs.insert(cfg.neighbor_freqs.end(), list.begin(),
+                                list.end());
     db.add_snapshot(carrier, camp.cell_identity,
                     static_cast<spectrum::Rat>(camp.rat), camp.channel, pos,
                     camp_time, config::extract_parameters(cfg));
@@ -83,17 +93,13 @@ ExtractStats extract_configs(const std::string& carrier,
         } else if (const auto* sib4 = std::get_if<rrc::Sib4>(&msg)) {
           pending->cfg.forbidden_cells = sib4->forbidden_cells;
         } else if (const auto* sib5 = std::get_if<rrc::Sib5>(&msg)) {
-          for (const auto& nf : sib5->freqs)
-            pending->cfg.neighbor_freqs.push_back(nf);
+          pending->sib_neighbors[0] = sib5->freqs;
         } else if (const auto* sib6 = std::get_if<rrc::Sib6>(&msg)) {
-          for (const auto& nf : sib6->freqs)
-            pending->cfg.neighbor_freqs.push_back(nf);
+          pending->sib_neighbors[1] = sib6->freqs;
         } else if (const auto* sib7 = std::get_if<rrc::Sib7>(&msg)) {
-          for (const auto& nf : sib7->freqs)
-            pending->cfg.neighbor_freqs.push_back(nf);
+          pending->sib_neighbors[2] = sib7->freqs;
         } else if (const auto* sib8 = std::get_if<rrc::Sib8>(&msg)) {
-          for (const auto& nf : sib8->freqs)
-            pending->cfg.neighbor_freqs.push_back(nf);
+          pending->sib_neighbors[3] = sib8->freqs;
         } else if (const auto* reconf =
                        std::get_if<rrc::RrcConnectionReconfiguration>(&msg)) {
           if (!reconf->report_configs.empty())
@@ -110,9 +116,22 @@ ExtractStats extract_configs(const std::string& carrier,
     }
   }
   if (pending) pending->flush(carrier, db, stats.snapshots);
+  stats.bytes = size;
   stats.crc_failures = parser.stats().crc_failures;
   stats.malformed += parser.stats().malformed;
   return stats;
+}
+
+ExtractStats& ExtractStats::operator+=(const ExtractStats& o) {
+  bytes += o.bytes;
+  records += o.records;
+  camps += o.camps;
+  snapshots += o.snapshots;
+  rrc_messages += o.rrc_messages;
+  rrc_errors += o.rrc_errors;
+  crc_failures += o.crc_failures;
+  malformed += o.malformed;
+  return *this;
 }
 
 }  // namespace mmlab::core

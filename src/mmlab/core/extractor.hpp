@@ -15,6 +15,7 @@
 namespace mmlab::core {
 
 struct ExtractStats {
+  std::size_t bytes = 0;          ///< raw diag bytes consumed
   std::size_t records = 0;        ///< diag records parsed
   std::size_t camps = 0;          ///< camping events seen
   std::size_t snapshots = 0;      ///< configuration snapshots filed
@@ -22,6 +23,9 @@ struct ExtractStats {
   std::size_t rrc_errors = 0;     ///< undecodable RRC payloads (skipped)
   std::size_t crc_failures = 0;   ///< diag frames dropped by CRC
   std::size_t malformed = 0;      ///< diag frames dropped by framing
+
+  bool operator==(const ExtractStats&) const = default;
+  ExtractStats& operator+=(const ExtractStats& o);
 };
 
 /// Replay one diag log recorded on a device subscribed to `carrier`.

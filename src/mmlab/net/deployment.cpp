@@ -1,7 +1,7 @@
 #include "mmlab/net/deployment.hpp"
 
+#include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace mmlab::net {
 
@@ -10,7 +10,13 @@ Deployment::Deployment()
                                                          50.0)) {}
 
 CarrierId Deployment::add_carrier(Carrier carrier) {
-  carrier.id = static_cast<CarrierId>(carriers_.size());
+  if (carrier_pos_.count(carrier.id)) {
+    CarrierId next = 0;
+    for (const auto& c : carriers_)
+      next = std::max<CarrierId>(next, static_cast<CarrierId>(c.id + 1));
+    carrier.id = next;
+  }
+  carrier_pos_[carrier.id] = carriers_.size();
   carriers_.push_back(std::move(carrier));
   index_per_carrier_.push_back(std::make_unique<geo::GridIndex>(2000.0));
   return carriers_.back().id;
@@ -25,10 +31,11 @@ void Deployment::set_shadowing(std::uint64_t seed, double sigma_db,
 }
 
 void Deployment::add_cell(Cell cell) {
-  if (cell.carrier >= carriers_.size())
+  const std::size_t pos = carrier_position(cell.carrier);
+  if (pos == kNoCarrier)
     throw std::invalid_argument("Deployment: unknown carrier");
   const auto index = static_cast<std::uint32_t>(cells_.size());
-  index_per_carrier_[cell.carrier]->insert(index, cell.position);
+  index_per_carrier_[pos]->insert(index, cell.position);
   cells_.push_back(std::move(cell));
 }
 
@@ -49,7 +56,13 @@ const Cell* Deployment::find_cell(CellId id) const {
 }
 
 const Carrier* Deployment::find_carrier(CarrierId id) const {
-  return id < carriers_.size() ? &carriers_[id] : nullptr;
+  const std::size_t pos = carrier_position(id);
+  return pos == kNoCarrier ? nullptr : &carriers_[pos];
+}
+
+std::size_t Deployment::carrier_position(CarrierId id) const {
+  const auto it = carrier_pos_.find(id);
+  return it == carrier_pos_.end() ? kNoCarrier : it->second;
 }
 
 const geo::City* Deployment::find_city(geo::CityId id) const {
@@ -60,8 +73,9 @@ const geo::City* Deployment::find_city(geo::CityId id) const {
 
 std::vector<std::uint32_t> Deployment::cells_near(geo::Point p, double radius_m,
                                                   CarrierId carrier) const {
-  if (carrier >= index_per_carrier_.size()) return {};
-  return index_per_carrier_[carrier]->query(p, radius_m);
+  const std::size_t pos = carrier_position(carrier);
+  if (pos == kNoCarrier) return {};
+  return index_per_carrier_[pos]->query(p, radius_m);
 }
 
 radio::Transmitter Deployment::transmitter_of(const Cell& cell) const {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mmlab/config/cell_config.hpp"
@@ -51,6 +52,10 @@ class Deployment {
   Deployment();
 
   // --- construction ---
+  /// Registers a carrier and returns its id.  The caller's id is preserved
+  /// when not already taken (ids need NOT be dense or equal to the carrier's
+  /// position in carriers()); a colliding id is replaced by one larger than
+  /// every existing id.
   CarrierId add_carrier(Carrier carrier);
   void add_city(geo::City city);
   /// Adds the cell and indexes it. Cell ids must be unique.
@@ -69,6 +74,12 @@ class Deployment {
   const Cell* find_cell(CellId id) const;
   const Carrier* find_carrier(CarrierId id) const;
   const geo::City* find_city(geo::CityId id) const;
+
+  /// Position of carrier `id` within carriers(), or kNoCarrier if unknown.
+  /// Carrier ids are opaque labels; anything indexing a per-carrier array
+  /// must go through this instead of using the id directly.
+  static constexpr std::size_t kNoCarrier = static_cast<std::size_t>(-1);
+  std::size_t carrier_position(CarrierId id) const;
 
   /// Indices (into cells()) of one carrier's cells within radius of p.
   std::vector<std::uint32_t> cells_near(geo::Point p, double radius_m,
@@ -94,8 +105,10 @@ class Deployment {
   radio::Transmitter transmitter_of(const Cell& cell) const;
 
   std::vector<Carrier> carriers_;
+  std::unordered_map<CarrierId, std::size_t> carrier_pos_;  ///< id -> position
   std::vector<geo::City> cities_;
   std::vector<Cell> cells_;
+  /// Index-aligned with carriers() (NOT indexed by carrier id).
   std::vector<std::unique_ptr<geo::GridIndex>> index_per_carrier_;
   radio::PathLossModel pathloss_{3.5, 100.0};
   std::unique_ptr<radio::ShadowingField> shadowing_;

@@ -1,6 +1,7 @@
 #include "mmlab/sim/crawl.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "mmlab/ue/ue.hpp"
 
@@ -45,7 +46,10 @@ CrawlResult run_crawl(netgen::GeneratedWorld& world,
   std::sort(visits.begin(), visits.end(),
             [](const Visit& a, const Visit& b) { return a.day < b.day; });
 
-  // One crawling UE per carrier, pooling all its volunteers' logs.
+  // One crawling UE per carrier, pooling all its volunteers' logs.  The
+  // vector is aligned with network.carriers() *positions* — carrier ids are
+  // opaque labels and need not be dense, so every id-keyed lookup below goes
+  // through carrier_position().
   std::vector<std::unique_ptr<ue::Ue>> crawlers;
   for (const auto& carrier : network.carriers()) {
     ue::UeOptions opts;
@@ -70,15 +74,21 @@ CrawlResult run_crawl(netgen::GeneratedWorld& world,
     }
     const net::Cell& cell = network.cells()[visit.cell_index];
     const SimTime t = SimTime::from_days(visit.day);
-    crawlers[cell.carrier]->force_camp(cell.id, cell.position, t);
+    const std::size_t pos = network.carrier_position(cell.carrier);
+    if (pos == net::Deployment::kNoCarrier)
+      throw std::logic_error("run_crawl: cell references unknown carrier");
+    crawlers[pos]->force_camp(cell.id, cell.position, t);
     ++result.total_camps;
   }
 
-  for (const auto& carrier : network.carriers()) {
+  // Log handoff: one pooled diag log per carrier, in carriers() order — the
+  // order extract_configs_parallel() preserves when merging shards.
+  for (std::size_t pos = 0; pos < network.carriers().size(); ++pos) {
+    const net::Carrier& carrier = network.carriers()[pos];
     CarrierLog log;
     log.carrier = carrier.id;
     log.acronym = carrier.acronym;
-    log.diag_log = crawlers[carrier.id]->take_diag_log();
+    log.diag_log = crawlers[pos]->take_diag_log();
     result.logs.push_back(std::move(log));
   }
   return result;

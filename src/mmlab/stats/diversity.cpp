@@ -1,6 +1,7 @@
 #include "mmlab/stats/diversity.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace mmlab::stats {
@@ -31,7 +32,8 @@ double ValueCounts::coefficient_of_variation() const {
   for (const auto& [value, count] : counts_)
     var += (value - m) * (value - m) * static_cast<double>(count);
   var /= static_cast<double>(total_);
-  if (m == 0.0) return 0.0;
+  if (var == 0.0) return 0.0;  // single value — no dispersion, mean-zero or not
+  if (m == 0.0) return std::numeric_limits<double>::quiet_NaN();
   return std::sqrt(var) / std::abs(m);
 }
 
@@ -80,12 +82,17 @@ double dependence_measure(const std::map<long, ValueCounts>& groups,
   const double pooled_measure = metric == DiversityMetric::kSimpson
                                     ? pooled.simpson_index()
                                     : pooled.coefficient_of_variation();
+  if (!std::isfinite(pooled_measure))
+    return std::numeric_limits<double>::quiet_NaN();
   double acc = 0.0;
   for (const auto& [factor, vc] : groups) {
     if (vc.empty()) continue;
     const double group_measure = metric == DiversityMetric::kSimpson
                                      ? vc.simpson_index()
                                      : vc.coefficient_of_variation();
+    // Groups where the measure is undefined (zero-mean Cv) carry no signal
+    // about the factor; skip them rather than poisoning the expectation.
+    if (!std::isfinite(group_measure)) continue;
     const double weight =
         static_cast<double>(vc.total()) / static_cast<double>(total);
     acc += weight * std::abs(group_measure - pooled_measure);

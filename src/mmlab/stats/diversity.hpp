@@ -31,9 +31,11 @@ class ValueCounts {
   /// spread over many values. Empty input returns 0.
   double simpson_index() const;
 
-  /// Coefficient of variation, Eq. 4 right. Zero-mean data returns 0 (the
-  /// measure is undefined there; the paper's parameters never have exactly
-  /// zero mean in the diverse cases).
+  /// Coefficient of variation, Eq. 4 right.  A single repeated value (zero
+  /// variance) returns 0 even when that value is 0; dispersed data with an
+  /// exactly-zero mean (e.g. signed offsets straddling 0) is *undefined* and
+  /// returns quiet NaN — callers must skip or propagate it, never read it as
+  /// "perfectly uniform".  Empty input returns 0.
   double coefficient_of_variation() const;
 
   /// (value, count) pairs in increasing value order.
@@ -68,7 +70,9 @@ enum class DiversityMetric { kSimpson, kCv };
 /// Eq. 5: mean absolute deviation of the per-group measure from the pooled
 /// measure, weighted by group size (expectation over observations).
 /// `groups` maps factor value -> observations of the parameter within that
-/// factor level. Returns 0 for empty input.
+/// factor level. Returns 0 for empty input.  Under kCv, groups whose Cv is
+/// undefined (NaN) are skipped; an undefined pooled Cv makes the whole
+/// measure NaN.
 double dependence_measure(const std::map<long, ValueCounts>& groups,
                           DiversityMetric metric);
 

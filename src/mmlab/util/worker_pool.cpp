@@ -1,0 +1,82 @@
+#include "mmlab/util/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace mmlab {
+
+unsigned WorkerPool::default_thread_count() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+WorkerPool::WorkerPool(unsigned threads) {
+  if (threads == 0) threads = default_thread_count();
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  work_ready_.notify_one();
+}
+
+void WorkerPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ set and nothing left to do
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    try {
+      job();
+    } catch (...) {
+      std::lock_guard relock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  }
+}
+
+void parallel_for_index(unsigned threads, std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads == 0) threads = WorkerPool::default_thread_count();
+  if (threads == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  WorkerPool pool(std::min<std::size_t>(threads, n));
+  for (std::size_t i = 0; i < n; ++i)
+    pool.submit([&fn, i] { fn(i); });
+  pool.wait_idle();
+}
+
+}  // namespace mmlab

@@ -4,6 +4,8 @@
 
 #include "mmlab/core/extractor.hpp"
 #include "mmlab/core/handoff_extract.hpp"
+#include "mmlab/diag/log.hpp"
+#include "mmlab/rrc/codec.hpp"
 #include "mmlab/sim/crawl.hpp"
 #include "mmlab/sim/drive_test.hpp"
 #include "mmlab/ue/ue.hpp"
@@ -188,6 +190,80 @@ TEST(Extractor, LegacyCellsExtracted) {
         EXPECT_EQ(keys.size(), 64u);
       }
   EXPECT_TRUE(umts_seen);
+}
+
+TEST(Extractor, SibRebroadcastIsIdempotentPerCamp) {
+  // A cell periodically re-broadcasts its SIBs; receiving the same SIB5
+  // twice while camped must not duplicate neighbor-frequency observations
+  // (it used to double Fig 18's candidate-priority sample counts).
+  diag::Writer w;
+  diag::CampEvent ev;
+  ev.cell_identity = 42;
+  ev.rat = static_cast<std::uint8_t>(spectrum::Rat::kLte);
+  ev.channel = 850;
+  w.append({diag::LogCode::kServingCellInfo, SimTime{0},
+            diag::encode_camp_event(ev)});
+
+  rrc::Sib3 sib3;
+  w.append({diag::LogCode::kLteRrcOta, SimTime{1},
+            rrc::encode(rrc::Message{sib3})});
+
+  rrc::Sib5 sib5;
+  sib5.target_rat = spectrum::Rat::kLte;
+  config::NeighborFreqConfig nf1;
+  nf1.channel = {spectrum::Rat::kLte, 1975};
+  nf1.priority = 5;
+  config::NeighborFreqConfig nf2;
+  nf2.channel = {spectrum::Rat::kLte, 9820};
+  nf2.priority = 2;
+  sib5.freqs = {nf1, nf2};
+  w.append({diag::LogCode::kLteRrcOta, SimTime{2},
+            rrc::encode(rrc::Message{sib5})});
+  // Same SIB again, same camp — the periodic re-broadcast.
+  w.append({diag::LogCode::kLteRrcOta, SimTime{3},
+            rrc::encode(rrc::Message{sib5})});
+
+  ConfigDatabase db;
+  const auto stats = extract_configs("X", w.bytes(), db);
+  EXPECT_EQ(stats.snapshots, 1u);
+  const auto& rec = db.cells_of("X")->at(42);
+  const auto key = config::lte_param(ParamId::kNeighborPriority);
+  EXPECT_EQ(rec.sample_count(key), 2u);  // one per frequency, not per copy
+  EXPECT_EQ(rec.unique_values(key), (std::vector<double>{5.0, 2.0}));
+}
+
+TEST(Extractor, SibRebroadcastWithNewContentReplaces) {
+  // A mid-camp reconfiguration re-broadcasts SIB5 with different values:
+  // the latest copy wins outright instead of accumulating alongside the old.
+  diag::Writer w;
+  diag::CampEvent ev;
+  ev.cell_identity = 7;
+  ev.rat = static_cast<std::uint8_t>(spectrum::Rat::kLte);
+  ev.channel = 850;
+  w.append({diag::LogCode::kServingCellInfo, SimTime{0},
+            diag::encode_camp_event(ev)});
+  w.append({diag::LogCode::kLteRrcOta, SimTime{1},
+            rrc::encode(rrc::Message{rrc::Sib3{}})});
+
+  rrc::Sib5 sib5;
+  sib5.target_rat = spectrum::Rat::kLte;
+  config::NeighborFreqConfig nf;
+  nf.channel = {spectrum::Rat::kLte, 1975};
+  nf.priority = 5;
+  sib5.freqs = {nf};
+  w.append({diag::LogCode::kLteRrcOta, SimTime{2},
+            rrc::encode(rrc::Message{sib5})});
+  nf.priority = 1;  // reconfigured
+  sib5.freqs = {nf};
+  w.append({diag::LogCode::kLteRrcOta, SimTime{3},
+            rrc::encode(rrc::Message{sib5})});
+
+  ConfigDatabase db;
+  extract_configs("X", w.bytes(), db);
+  const auto& rec = db.cells_of("X")->at(7);
+  const auto key = config::lte_param(ParamId::kNeighborPriority);
+  EXPECT_EQ(rec.sample_count(key), 1u);
+  EXPECT_EQ(rec.unique_values(key), (std::vector<double>{1.0}));
 }
 
 // --- handoff extraction -------------------------------------------------------

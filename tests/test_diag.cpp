@@ -113,6 +113,72 @@ TEST(Diag, GarbageBetweenFramesResyncs) {
   EXPECT_EQ(out[1], make_record(2));
 }
 
+TEST(Diag, BadEscapeMidFrameResyncs) {
+  // An escape byte followed by an invalid code (neither 0x5E nor 0x5D) must
+  // drop just that frame and pick up at the next terminator.
+  Writer w1, w2, w3;
+  w1.append(make_record(1));
+  w2.append(make_record(2));
+  w3.append(make_record(3));
+  std::vector<std::uint8_t> bytes = w1.bytes();
+  auto middle = w2.bytes();
+  const std::uint8_t bad[] = {0x7D, 0x01};  // invalid escape sequence
+  middle.insert(middle.begin() + 4, bad, bad + sizeof(bad));
+  bytes.insert(bytes.end(), middle.begin(), middle.end());
+  const auto tail = w3.bytes();
+  bytes.insert(bytes.end(), tail.begin(), tail.end());
+
+  Parser p(bytes);
+  const auto out = p.all();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], make_record(1));
+  EXPECT_EQ(out[1], make_record(3));
+  EXPECT_EQ(p.stats().malformed, 1u);
+  EXPECT_EQ(p.stats().crc_failures, 0u);
+}
+
+TEST(Diag, TruncatedInsideEscapeCounted) {
+  // Log cut right after an escape lead byte: the dangling frame is counted
+  // as malformed and parsing stops cleanly.
+  Writer w;
+  w.append(make_record(1));
+  auto bytes = w.bytes();
+  const std::uint8_t tail[] = {0x01, 0x7D};
+  bytes.insert(bytes.end(), tail, tail + sizeof(tail));
+
+  Parser p(bytes);
+  const auto out = p.all();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], make_record(1));
+  EXPECT_EQ(p.stats().malformed, 1u);
+
+  // Even a lone trailing escape (empty body) counts: the write was cut.
+  const std::vector<std::uint8_t> lone = {0x7D};
+  Parser p2(lone);
+  Record rec;
+  EXPECT_FALSE(p2.next(rec));
+  EXPECT_EQ(p2.stats().malformed, 1u);
+}
+
+TEST(Diag, CorruptionSpanningTerminatorResyncs) {
+  // Overwriting a frame's terminator fuses it with the next frame; the fused
+  // body fails CRC as a single frame, and the one after is recovered.
+  Writer w;
+  w.append(make_record(1));
+  w.append(make_record(2));
+  w.append(make_record(3));
+  auto bytes = w.bytes();
+  const std::size_t frame_len = bytes.size() / 3;  // equal-length frames
+  ASSERT_EQ(bytes[frame_len - 1], 0x7E);
+  bytes[frame_len - 1] = 0x55;  // neither terminator nor escape
+
+  Parser p(bytes);
+  const auto out = p.all();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], make_record(3));
+  EXPECT_EQ(p.stats().crc_failures + p.stats().malformed, 1u);
+}
+
 TEST(Diag, RandomCorruptionNeverThrows) {
   Writer w;
   for (std::uint16_t i = 0; i < 50; ++i) w.append(make_record(i));

@@ -60,6 +60,42 @@ TEST(Diversity, CvUsesAbsoluteMean) {
   EXPECT_NEAR(vc.coefficient_of_variation(), 1.0 / 3.0, 1e-12);
 }
 
+TEST(Diversity, CvZeroMeanWithSpreadIsNaN) {
+  // {-5, +5}: mean 0 but sd 5 — "no variation" (0.0) would be flat wrong,
+  // so the undefined ratio is reported as NaN.
+  ValueCounts vc;
+  vc.add(-5.0, 1);
+  vc.add(5.0, 1);
+  EXPECT_TRUE(std::isnan(vc.coefficient_of_variation()));
+}
+
+TEST(Diversity, CvZeroMeanWithoutSpreadIsZero) {
+  // All-zero samples: zero dispersion wins over the zero mean.
+  ValueCounts vc;
+  vc.add(0.0, 5);
+  EXPECT_DOUBLE_EQ(vc.coefficient_of_variation(), 0.0);
+}
+
+TEST(Dependence, SkipsUndefinedGroupCv) {
+  // One group has zero-mean spread (Cv undefined); it must be skipped, not
+  // poison the expectation over groups.
+  std::map<long, ValueCounts> groups;
+  groups[0].add(2.0, 1);
+  groups[0].add(4.0, 1);
+  groups[1].add(-5.0, 1);
+  groups[1].add(5.0, 1);
+  // Pooled {2, 4, -5, 5} has mean 1.5, so the pooled Cv is finite.
+  EXPECT_TRUE(std::isfinite(dependence_measure(groups, DiversityMetric::kCv)));
+}
+
+TEST(Dependence, UndefinedPooledCvIsNaN) {
+  std::map<long, ValueCounts> groups;
+  groups[0].add(-5.0, 1);
+  groups[1].add(5.0, 1);
+  // Pooled mean is 0 with spread: there is no baseline to compare against.
+  EXPECT_TRUE(std::isnan(dependence_measure(groups, DiversityMetric::kCv)));
+}
+
 TEST(Diversity, ModeAndFraction) {
   ValueCounts vc;
   vc.add(3.0, 80);

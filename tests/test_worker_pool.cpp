@@ -1,0 +1,103 @@
+#include "mmlab/util/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mmlab {
+namespace {
+
+TEST(WorkerPool, RunsEveryJob) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(WorkerPool, ReusableAfterWaitIdle) {
+  WorkerPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i)
+      pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(WorkerPool, WaitIdleOnEmptyPoolReturns) {
+  WorkerPool pool(2);
+  pool.wait_idle();  // must not deadlock
+}
+
+TEST(WorkerPool, JobsMaySubmitJobs) {
+  WorkerPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 5; ++i)
+    pool.submit([&pool, &counter] {
+      counter.fetch_add(1);
+      pool.submit([&counter] { counter.fetch_add(1); });
+    });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(WorkerPool, FirstExceptionRethrownOnWaitIdle) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&ran] { ran.fetch_add(1); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // remaining jobs still ran
+  // The error is consumed; the pool keeps working.
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(WorkerPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    WorkerPool pool(2);
+    for (int i = 0; i < 20; ++i)
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1);
+      });
+  }  // destructor must run all pending jobs before joining
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(WorkerPool, DefaultThreadCountPositive) {
+  EXPECT_GE(WorkerPool::default_thread_count(), 1u);
+  WorkerPool pool;  // 0 = default
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelForIndex, CoversEachIndexOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for_index(4, hits.size(),
+                     [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForIndex, ZeroItemsIsNoop) {
+  parallel_for_index(4, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelForIndex, SingleThreadRunsInline) {
+  std::vector<int> hits(8, 0);  // no atomics needed: threads == 1
+  parallel_for_index(1, hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace mmlab

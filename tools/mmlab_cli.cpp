@@ -1,7 +1,8 @@
 // mmlab_cli — command-line front end for the library.
 //
-//   mmlab_cli crawl   <out.csv> [scale]   generate a world, crawl it, save
-//                                         the configuration dataset
+//   mmlab_cli crawl   <out.csv> [scale] [--threads N]
+//                                         generate a world, crawl it, extract
+//                                         in parallel, save the dataset
 //   mmlab_cli report  <in.csv> [carrier]  dataset summary + diversity report
 //   mmlab_cli verify  <in.csv>            run the misconfiguration detectors
 //   mmlab_cli drive   [carrier-acr]       one instrumented drive; print the
@@ -11,12 +12,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "mmlab/core/analysis.hpp"
 #include "mmlab/core/dataset_io.hpp"
 #include "mmlab/core/extractor.hpp"
 #include "mmlab/core/handoff_extract.hpp"
 #include "mmlab/core/misconfig.hpp"
+#include "mmlab/core/parallel_extract.hpp"
 #include "mmlab/core/stability.hpp"
 #include "mmlab/sim/crawl.hpp"
 #include "mmlab/sim/drive_test.hpp"
@@ -27,12 +30,27 @@ namespace {
 using namespace mmlab;
 
 int cmd_crawl(int argc, char** argv) {
-  if (argc < 1) {
-    std::fprintf(stderr, "usage: mmlab_cli crawl <out.csv> [scale]\n");
+  // Positional args with an optional --threads N anywhere after the path.
+  unsigned threads = 0;  // 0 = hardware_concurrency
+  std::vector<const char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--threads")) {
+      if (i + 1 >= argc || std::atoi(argv[i + 1]) <= 0) {
+        std::fprintf(stderr, "error: --threads needs a positive integer\n");
+        return 2;
+      }
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: mmlab_cli crawl <out.csv> [scale] [--threads N]\n");
     return 2;
   }
-  const char* path = argv[0];
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  const char* path = positional[0];
+  const double scale = positional.size() > 1 ? std::atof(positional[1]) : 0.1;
   netgen::WorldOptions wopts;
   wopts.seed = 42;
   wopts.scale = scale;
@@ -42,8 +60,13 @@ int cmd_crawl(int argc, char** argv) {
   sim::CrawlOptions copts;
   auto crawl = sim::run_crawl(world, copts);
   core::ConfigDatabase db;
-  for (const auto& log : crawl.logs)
-    core::extract_configs(log.acronym, log.diag_log, db);
+  const auto pstats = core::extract_configs_parallel(crawl.logs, db, threads);
+  std::printf("extracted %zu records (%.1f MB) on %u threads: "
+              "%.2fs decode + %.2fs merge, %.0f records/s, %.1f MB/s\n",
+              pstats.totals.records,
+              static_cast<double>(pstats.totals.bytes) / 1e6, pstats.threads,
+              pstats.extract_seconds, pstats.merge_seconds,
+              pstats.records_per_second(), pstats.bytes_per_second() / 1e6);
   core::save_dataset(db, path);
   std::printf("wrote %zu observations from %zu cells to %s\n",
               db.total_samples(), db.total_cells(), path);
