@@ -1,11 +1,13 @@
 #include "common.hpp"
 
+#include "mmlab/core/dataset_io.hpp"
 #include "mmlab/mobility/route.hpp"
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
+#include <string_view>
 
 namespace mmlab::bench {
 
@@ -39,12 +41,35 @@ D2Data build_d2(double scale, double mean_rounds) {
   wopts.seed = 42;
   wopts.scale = scale;
   data.world = netgen::generate_world(wopts);
+
+  // Dataset replay: MMLAB_DATASET points at a saved crawl (CSV or MMDS
+  // binary).  An existing file short-circuits the crawl — at D2 scale the
+  // binary load is orders of magnitude faster than re-crawling.
+  const char* dataset = std::getenv("MMLAB_DATASET");
+  if (dataset && std::filesystem::exists(dataset)) {
+    const auto stats = core::load_dataset_any(dataset, data.db, env_threads());
+    if (!stats.ok())
+      throw std::runtime_error("MMLAB_DATASET: " + stats.error_message());
+    std::fprintf(stderr, "[bench] replayed %zu observations from %s\n",
+                 stats.value().rows, dataset);
+    return data;
+  }
+
   sim::CrawlOptions copts;
   copts.mean_rounds = mean_rounds;
   auto crawl = sim::run_crawl(data.world, copts);
   data.camps = crawl.total_camps;
   data.extract =
       core::extract_configs_parallel(crawl.logs, data.db, env_threads());
+
+  if (dataset) {
+    const bool binary = std::string_view(dataset).ends_with(".mmds");
+    core::save_dataset(data.db, dataset,
+                       binary ? core::DatasetFormat::kBinary
+                              : core::DatasetFormat::kCsv);
+    std::fprintf(stderr, "[bench] saved dataset to %s (%s)\n", dataset,
+                 binary ? "MMDS v1" : "csv");
+  }
   return data;
 }
 

@@ -1,8 +1,14 @@
 // Shared bench harness: builds the D2 crawl dataset and D1 drive campaigns
-// the figure benches consume, honouring three environment knobs:
+// the figure benches consume, honouring these environment knobs:
 //   MMLAB_SCALE   — world scale (default 1.0 = the paper's ~32k cells)
 //   MMLAB_DRIVES  — city drives per city for D1 campaigns (default 4)
 //   MMLAB_THREADS — extraction worker threads (default: hardware concurrency)
+//   MMLAB_DATASET — path of a saved dataset (CSV or MMDS binary, sniffed):
+//                   if the file exists, build_d2 replays it instead of
+//                   re-running the crawl+extract; if it does not exist yet,
+//                   the freshly built database is saved there (binary when
+//                   the path ends in .mmds, CSV otherwise), so the first
+//                   bench of a session pays the crawl and the rest replay.
 // Every bench prints the paper-style rows to stdout and mirrors them to
 // bench_out/<name>.csv.
 #pragma once

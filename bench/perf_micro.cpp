@@ -1,8 +1,11 @@
 // google-benchmark microbenches for the hot paths: RRC codec, diag framing,
-// event evaluation, reselection ranking, and the end-to-end extract
-// pipeline.
+// event evaluation, reselection ranking, the end-to-end extract pipeline,
+// and dataset I/O (CSV vs the MMDS v1 binary format at ~1M rows).
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
+#include "mmlab/core/dataset_io.hpp"
 #include "mmlab/core/extractor.hpp"
 #include "mmlab/core/parallel_extract.hpp"
 #include "mmlab/rrc/codec.hpp"
@@ -173,6 +176,175 @@ BENCHMARK(BM_ExtractEndToEndParallel)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- dataset I/O: CSV vs MMDS v1 binary at ~1M rows --------------------------
+
+// Synthetic D2-shaped database: 4 carriers x 2,500 cells x 100 observations
+// = 1M rows, with the real mix of params, timestamps, and contexts.
+const core::ConfigDatabase& dataset_db() {
+  static const auto db = [] {
+    core::ConfigDatabase out;
+    const config::ParamId params[] = {
+        config::ParamId::kServingPriority, config::ParamId::kQHyst,
+        config::ParamId::kA3Offset,        config::ParamId::kA3Ttt,
+        config::ParamId::kNeighborPriority};
+    for (const char* carrier : {"A", "B", "C", "D"}) {
+      for (std::uint32_t cell = 1; cell <= 2'500; ++cell) {
+        auto& rec = out.upsert_cell(carrier, cell);
+        rec.cell_id = cell;
+        rec.rat = spectrum::Rat::kLte;
+        rec.channel = 1975 + (cell % 5) * 100;
+        rec.position = {cell * 13.7, cell * 7.3};
+        rec.observations.reserve(100);
+        for (int i = 0; i < 100; ++i) {
+          const auto key = config::lte_param(params[i % 5]);
+          const double value = (cell % 7) + i * 0.25;
+          const std::int64_t context = (i % 5 == 4) ? 2000 + (i % 3) : -1;
+          rec.observations.push_back(
+              {key, value, SimTime{i * 3'600'000LL + cell}, context});
+        }
+      }
+    }
+    return out;
+  }();
+  return db;
+}
+
+const std::string& dataset_csv() {
+  static const auto text = [] {
+    std::ostringstream out;
+    core::save_dataset(dataset_db(), out);
+    return out.str();
+  }();
+  return text;
+}
+
+const std::vector<std::uint8_t>& dataset_bin() {
+  static const auto bytes = [] {
+    std::vector<std::uint8_t> out;
+    core::save_dataset_binary(dataset_db(), out);
+    return out;
+  }();
+  return bytes;
+}
+
+// The pre-MMDS CSV loader (stringstream row split, stod/stoul fields),
+// frozen here as the baseline the binary format is measured against.
+core::LoadStats legacy_load_csv(std::istream& in, core::ConfigDatabase& db) {
+  std::string line;
+  std::getline(in, line);  // header
+  core::LoadStats stats;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++stats.rows;
+    std::stringstream row(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(row, field, ',')) fields.push_back(field);
+    if (fields.size() != 10) {
+      ++stats.bad_rows;
+      continue;
+    }
+    const auto key = config::parse_param_name(fields[7]);
+    if (!key) {
+      ++stats.bad_rows;
+      continue;
+    }
+    try {
+      const int rat_raw = std::stoi(fields[2]);
+      if (rat_raw < 0 || rat_raw > 4) {
+        ++stats.bad_rows;
+        continue;
+      }
+      config::ParamObservation obs;
+      obs.key = *key;
+      obs.value = std::stod(fields[8]);
+      obs.context = std::stoll(fields[9]);
+      db.add_snapshot(
+          fields[0], static_cast<std::uint32_t>(std::stoul(fields[1])),
+          static_cast<spectrum::Rat>(rat_raw),
+          static_cast<std::uint32_t>(std::stoul(fields[3])),
+          {std::stod(fields[4]), std::stod(fields[5])},
+          SimTime{std::stoll(fields[6])}, {obs});
+    } catch (const std::exception&) {
+      ++stats.bad_rows;
+    }
+  }
+  return stats;
+}
+
+void BM_DatasetSaveCsv(benchmark::State& state) {
+  const auto& db = dataset_db();
+  for (auto _ : state) {
+    std::ostringstream out;
+    core::save_dataset(db, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(db.total_samples()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dataset_csv().size()));
+}
+BENCHMARK(BM_DatasetSaveCsv)->Unit(benchmark::kMillisecond);
+
+void BM_DatasetLoadCsvLegacy(benchmark::State& state) {
+  for (auto _ : state) {
+    std::istringstream in(dataset_csv());
+    core::ConfigDatabase db;
+    benchmark::DoNotOptimize(legacy_load_csv(in, db));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(dataset_db().total_samples()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dataset_csv().size()));
+}
+BENCHMARK(BM_DatasetLoadCsvLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_DatasetLoadCsv(benchmark::State& state) {
+  for (auto _ : state) {
+    std::istringstream in(dataset_csv());
+    core::ConfigDatabase db;
+    benchmark::DoNotOptimize(core::load_dataset(in, db));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(dataset_db().total_samples()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dataset_csv().size()));
+}
+BENCHMARK(BM_DatasetLoadCsv)->Unit(benchmark::kMillisecond);
+
+void BM_DatasetSaveBin(benchmark::State& state) {
+  const auto& db = dataset_db();
+  for (auto _ : state) {
+    std::vector<std::uint8_t> out;
+    core::save_dataset_binary(db, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(db.total_samples()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dataset_bin().size()));
+}
+BENCHMARK(BM_DatasetSaveBin)->Unit(benchmark::kMillisecond);
+
+void BM_DatasetLoadBin(benchmark::State& state) {
+  const auto& bytes = dataset_bin();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    core::ConfigDatabase db;
+    benchmark::DoNotOptimize(
+        core::load_dataset_binary(bytes.data(), bytes.size(), db, threads));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(dataset_db().total_samples()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_DatasetLoadBin)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
 void BM_UeStepDense(benchmark::State& state) {

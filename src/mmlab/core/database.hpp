@@ -60,6 +60,14 @@ class ConfigDatabase {
                     geo::Point position, SimTime t,
                     const std::vector<config::ParamObservation>& params);
 
+  /// Bulk-load entry point for dataset deserializers: the (possibly fresh)
+  /// record for (carrier, cell_id), for appending observations directly
+  /// without per-observation map lookups.  Callers must fill the identity
+  /// fields of a fresh record themselves (add_snapshot's first-camp rule).
+  CellRecord& upsert_cell(const std::string& carrier, std::uint32_t cell_id) {
+    return carriers_[carrier][cell_id];
+  }
+
   /// Absorb another database (a parallel extraction worker's private shard),
   /// leaving `other` empty.  Deterministic: carriers and cells land in key
   /// order regardless of which worker produced them, and when both sides

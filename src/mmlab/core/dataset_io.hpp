@@ -1,31 +1,98 @@
-// Dataset persistence: save a crawled ConfigDatabase to a CSV file and load
-// it back — the release format of the paper's appendix ("our codes and
-// datasets will be released").
+// Dataset persistence: save a crawled ConfigDatabase and load it back — the
+// release artifact of the paper's appendix ("our codes and datasets will be
+// released").  Two formats share one loader interface:
 //
-// One row per observation:
+// CSV (release format, human-readable), one row per observation:
 //   carrier,cell_id,rat,channel,x_m,y_m,t_ms,param,value,context
 // `param` is the registry name (config::param_name); loading resolves names
-// back to keys, so the file is stable across enum reordering.
+// back to keys, so the file is stable across enum reordering.  Doubles are
+// written in shortest round-trip form (std::to_chars), so save -> load ->
+// save is byte-identical and every value/position survives exactly.
+//
+// MMDS v1 (binary, for D2-scale replay), little-endian throughout:
+//   [4]  magic "MMDS"
+//   [1]  version (= 1)
+//   [1]  flags (reserved, 0)
+//   carrier table:  varint N, then N x (varint len + bytes)
+//   param table:    varint P, then P x (varint len + bytes)   registry names
+//   carrier blocks, one per table entry, in table order:
+//     varint carrier_index        index into the carrier table
+//     varint block_length         byte length of the body that follows
+//     body: varint cell_count, then per cell (ascending id):
+//       varint cell_id, u8 rat, varint channel, f64 x, f64 y,
+//       varint n_obs, then per observation (stored order):
+//         svarint delta_t_ms      vs. previous observation (first vs. 0)
+//         varint  param_index     index into the param table
+//         f64     value           raw IEEE-754 bits — exact round trip
+//         svarint context
+//   [2]  CRC-16/CCITT (util/crc) over every preceding byte
+// varint = LEB128; svarint = zigzag varint; f64 = little-endian IEEE-754.
+// The trailing CRC means truncated or corrupted files fail loudly instead
+// of half-loading.  Versioning policy: the version byte bumps on any layout
+// change; loaders reject versions they don't know (no silent best-effort).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "mmlab/core/database.hpp"
 #include "mmlab/util/result.hpp"
 
 namespace mmlab::core {
 
+inline constexpr std::uint8_t kMmdsMagic[4] = {'M', 'M', 'D', 'S'};
+inline constexpr std::uint8_t kMmdsVersion = 1;
+
+struct LoadStats {
+  std::size_t rows = 0;      ///< observations parsed (including rejected)
+  std::size_t bad_rows = 0;  ///< CSV only: skipped rows (wrong arity,
+                             ///< unknown parameter, out-of-range numerics,
+                             ///< non-finite values)
+};
+
+enum class DatasetFormat { kCsv, kBinary };
+
+// --- CSV ---------------------------------------------------------------------
+
 void save_dataset(const ConfigDatabase& db, std::ostream& out);
 /// Convenience: write to a file path. Throws std::runtime_error on I/O error.
 void save_dataset(const ConfigDatabase& db, const std::string& path);
 
-struct LoadStats {
-  std::size_t rows = 0;
-  std::size_t bad_rows = 0;  ///< skipped (wrong arity / unknown parameter)
-};
-
 Result<LoadStats> load_dataset(std::istream& in, ConfigDatabase& db);
 Result<LoadStats> load_dataset(const std::string& path, ConfigDatabase& db);
+
+// --- MMDS v1 binary ----------------------------------------------------------
+
+/// Serialize into `out` (replacing its contents), CRC trailer included.
+void save_dataset_binary(const ConfigDatabase& db,
+                         std::vector<std::uint8_t>& out);
+/// Stream to a file (buffered; the full image is never held in memory).
+/// Throws std::runtime_error on I/O error.
+void save_dataset_binary(const ConfigDatabase& db, const std::string& path);
+
+/// Parse an MMDS image. Structural damage (bad magic/version, CRC mismatch,
+/// truncation, out-of-range table index) fails the whole load — `db` may
+/// hold partially merged data only on the single-threaded path, and no
+/// error is ever silent.  `threads` != 1 shards per-carrier blocks over a
+/// WorkerPool (0 = hardware concurrency); results are deterministic and
+/// identical to the serial load.
+Result<LoadStats> load_dataset_binary(const std::uint8_t* data,
+                                      std::size_t size, ConfigDatabase& db,
+                                      unsigned threads = 1);
+Result<LoadStats> load_dataset_binary(const std::string& path,
+                                      ConfigDatabase& db, unsigned threads = 1);
+
+// --- format dispatch ---------------------------------------------------------
+
+/// Sniff a file's magic: kBinary iff it starts with "MMDS".
+DatasetFormat detect_dataset_format(const std::string& path);
+
+void save_dataset(const ConfigDatabase& db, const std::string& path,
+                  DatasetFormat format);
+/// Load either format, chosen by magic sniffing.
+Result<LoadStats> load_dataset_any(const std::string& path, ConfigDatabase& db,
+                                   unsigned threads = 1);
 
 }  // namespace mmlab::core

@@ -2,21 +2,56 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 namespace mmlab::stats {
 
 EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
-    : samples_(std::move(samples)), sorted_(false) {}
+    : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end());
+}
+
+EmpiricalCdf::EmpiricalCdf(const EmpiricalCdf& other)
+    : samples_(other.samples_) {
+  // kSorting in the source means a reader is mid-sort over there, which is
+  // already a read/write race on `other`; treat anything but kSorted as
+  // dirty here.
+  sort_state_.store(other.sort_state_.load(std::memory_order_acquire) ==
+                            kSorted
+                        ? kSorted
+                        : kDirty,
+                    std::memory_order_relaxed);
+}
+
+EmpiricalCdf& EmpiricalCdf::operator=(const EmpiricalCdf& other) {
+  if (this == &other) return *this;
+  samples_ = other.samples_;
+  sort_state_.store(other.sort_state_.load(std::memory_order_acquire) ==
+                            kSorted
+                        ? kSorted
+                        : kDirty,
+                    std::memory_order_relaxed);
+  return *this;
+}
 
 void EmpiricalCdf::add(double x) {
   samples_.push_back(x);
-  sorted_ = false;
+  sort_state_.store(kDirty, std::memory_order_release);
 }
 
 void EmpiricalCdf::ensure_sorted() const {
-  if (!sorted_) {
+  int state = sort_state_.load(std::memory_order_acquire);
+  if (state == kSorted) return;
+  int expected = kDirty;
+  if (sort_state_.compare_exchange_strong(expected, kSorting,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
     std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+    sort_state_.store(kSorted, std::memory_order_release);
+  } else {
+    // Another reader won the CAS and is sorting; wait for its commit.
+    while (sort_state_.load(std::memory_order_acquire) != kSorted)
+      std::this_thread::yield();
   }
 }
 

@@ -1,7 +1,14 @@
 // Empirical cumulative distribution functions, the workhorse of Figs 6, 10
 // and 11: F(x) = fraction of samples <= x.
+//
+// Thread-safety contract: concurrent const access (at/quantile/min/max/
+// series) is safe — the lazy sort behind those accessors commits through a
+// lock-free atomic state machine, so many bench threads may read one CDF.
+// Mutation (add) requires exclusive access, like any standard container:
+// callers must not add() while another thread reads.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -10,7 +17,14 @@ namespace mmlab::stats {
 class EmpiricalCdf {
  public:
   EmpiricalCdf() = default;
+  /// Sorts eagerly, so a CDF built in one shot is ready for concurrent reads
+  /// without ever hitting the lazy-sort path.
   explicit EmpiricalCdf(std::vector<double> samples);
+
+  // std::atomic members are neither copyable nor movable; carry the samples
+  // and re-derive the sort state.
+  EmpiricalCdf(const EmpiricalCdf& other);
+  EmpiricalCdf& operator=(const EmpiricalCdf& other);
 
   void add(double x);
   /// Fraction of samples <= x, in [0, 1]. Empty CDF returns 0.
@@ -18,7 +32,7 @@ class EmpiricalCdf {
   /// Inverse CDF; q in [0, 1].
   double quantile(double q) const;
 
-  std::size_t size() const { return sorted_ ? samples_.size() : samples_.size(); }
+  std::size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
   double min() const;
   double max() const;
@@ -28,9 +42,16 @@ class EmpiricalCdf {
   std::vector<std::pair<double, double>> series(std::size_t points = 21) const;
 
  private:
+  enum SortState : int { kDirty = 0, kSorting = 1, kSorted = 2 };
+
   void ensure_sorted() const;
+
   mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  /// Lock-free sorted commit: the first reader to CAS kDirty -> kSorting
+  /// sorts and publishes kSorted (release); racing readers spin until they
+  /// observe kSorted (acquire) — no mutex, no std::once_flag (which could
+  /// not be re-armed by add()).
+  mutable std::atomic<int> sort_state_{kSorted};
 };
 
 }  // namespace mmlab::stats

@@ -1,0 +1,141 @@
+// Byte-granular serialization for the MMDS binary dataset format.
+//
+// Complements util/bitio (bit-packed, for the RRC codec) with the byte-level
+// primitives a file format wants: LEB128 varints, zigzag-mapped signed
+// varints, raw little-endian scalars, and buffered file streaming with an
+// incremental CRC-16 so multi-hundred-MB datasets never need a full
+// in-memory copy on the write path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmlab {
+
+/// Error thrown when a read runs past the end of the buffer or hits a
+/// malformed (over-long) varint.
+class ByteUnderflow : public std::runtime_error {
+ public:
+  explicit ByteUnderflow(const char* what) : std::runtime_error(what) {}
+  ByteUnderflow() : std::runtime_error("byte buffer underflow") {}
+};
+
+/// Zigzag mapping: interleaves negative and positive values so small-
+/// magnitude signed integers get small varints (-1 -> 1, 1 -> 2, ...).
+constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t zigzag_decode(std::uint64_t u) {
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+/// Append-only in-memory byte buffer with varint/scalar encoders.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16le(std::uint16_t v);
+  /// Raw IEEE-754 bit pattern, little-endian — bit-exact round trip for
+  /// every double including NaN payloads and signed zero.
+  void f64le(double v);
+  /// LEB128: 7 value bits per byte, high bit = continuation. 1..10 bytes.
+  void varint(std::uint64_t v);
+  void svarint(std::int64_t v) { varint(zigzag_encode(v)); }
+  void raw(const void* data, std::size_t size);
+  /// varint length prefix + bytes.
+  void str(std::string_view s);
+
+  std::size_t size() const { return bytes_.size(); }
+  const std::vector<std::uint8_t>& buffer() const { return bytes_; }
+  std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+  void clear() { bytes_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential reader over a caller-owned byte span. Throws ByteUnderflow on
+/// truncation or malformed varints; the dataset loader converts that into a
+/// load error instead of a silent partial load.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16le();
+  double f64le();
+  std::uint64_t varint();
+  std::int64_t svarint() { return zigzag_decode(varint()); }
+  /// Borrow `size` bytes (no copy); the view aliases the underlying span.
+  const std::uint8_t* raw(std::size_t size);
+  /// Inverse of ByteWriter::str.
+  std::string_view str();
+  void skip(std::size_t n);
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Buffered sequential file writer that maintains a running CRC-16/CCITT
+/// over every byte written. The dataset saver streams carrier blocks
+/// through it and appends crc16() as the file trailer.
+class BufferedFileWriter {
+ public:
+  /// Throws std::runtime_error if the file cannot be opened.
+  explicit BufferedFileWriter(const std::string& path,
+                              std::size_t buffer_size = 256 * 1024);
+  ~BufferedFileWriter();
+  BufferedFileWriter(const BufferedFileWriter&) = delete;
+  BufferedFileWriter& operator=(const BufferedFileWriter&) = delete;
+
+  void write(const void* data, std::size_t size);
+  /// CRC-16/CCITT of everything written so far.
+  std::uint16_t crc16() const;
+  /// Flush buffered bytes to the OS; throws on write failure.
+  void flush();
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t fill_ = 0;
+  std::uint16_t crc_state_;
+};
+
+/// Buffered sequential file reader.
+class BufferedFileReader {
+ public:
+  /// Throws std::runtime_error if the file cannot be opened.
+  explicit BufferedFileReader(const std::string& path,
+                              std::size_t buffer_size = 256 * 1024);
+  ~BufferedFileReader();
+  BufferedFileReader(const BufferedFileReader&) = delete;
+  BufferedFileReader& operator=(const BufferedFileReader&) = delete;
+
+  /// Read up to `size` bytes; returns the number actually read (short only
+  /// at end of file).
+  std::size_t read(void* out, std::size_t size);
+
+ private:
+  std::FILE* file_;
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Slurp a whole file. Returns false if the file cannot be opened/read.
+bool read_file_bytes(const std::string& path, std::vector<std::uint8_t>& out);
+bool read_file_text(const std::string& path, std::string& out);
+
+}  // namespace mmlab

@@ -21,11 +21,16 @@ constexpr auto kTable = make_table();
 
 }  // namespace
 
-std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t size) {
-  std::uint16_t crc = 0xFFFF;
+std::uint16_t crc16_ccitt_update(std::uint16_t state, const std::uint8_t* data,
+                                 std::size_t size) {
   for (std::size_t i = 0; i < size; ++i)
-    crc = static_cast<std::uint16_t>((crc >> 8) ^ kTable[(crc ^ data[i]) & 0xFF]);
-  return static_cast<std::uint16_t>(crc ^ 0xFFFF);
+    state = static_cast<std::uint16_t>((state >> 8) ^
+                                       kTable[(state ^ data[i]) & 0xFF]);
+  return state;
+}
+
+std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t size) {
+  return crc16_ccitt_finalize(crc16_ccitt_update(kCrc16CcittInit, data, size));
 }
 
 }  // namespace mmlab

@@ -10,4 +10,14 @@ namespace mmlab {
 
 std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t size);
 
+// Incremental interface for streaming writers (util/byteio): thread the
+// state through successive update calls, then finalize once.  Equivalent to
+// crc16_ccitt over the concatenated chunks.
+inline constexpr std::uint16_t kCrc16CcittInit = 0xFFFF;
+std::uint16_t crc16_ccitt_update(std::uint16_t state, const std::uint8_t* data,
+                                 std::size_t size);
+constexpr std::uint16_t crc16_ccitt_finalize(std::uint16_t state) {
+  return static_cast<std::uint16_t>(state ^ 0xFFFF);
+}
+
 }  // namespace mmlab

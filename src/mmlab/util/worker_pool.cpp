@@ -1,6 +1,7 @@
 #include "mmlab/util/worker_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace mmlab {
 
@@ -23,6 +24,23 @@ WorkerPool::~WorkerPool() {
   }
   work_ready_.notify_all();
   for (auto& t : threads_) t.join();
+  // A destructor must not throw, but a job failure must not vanish either:
+  // if the owner never called wait_idle() after the failing job, surface the
+  // stored exception on stderr instead of silently dropping it.
+  if (first_error_) {
+    try {
+      std::rethrow_exception(first_error_);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "WorkerPool: destroyed with an unobserved job failure "
+                   "(call wait_idle() to rethrow it): %s\n",
+                   e.what());
+    } catch (...) {
+      std::fprintf(stderr,
+                   "WorkerPool: destroyed with an unobserved non-standard "
+                   "job exception (call wait_idle() to rethrow it)\n");
+    }
+  }
 }
 
 void WorkerPool::submit(std::function<void()> job) {

@@ -24,7 +24,10 @@ class WorkerPool {
   /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
   /// (itself clamped to at least 1).
   explicit WorkerPool(unsigned threads = 0);
-  /// Drains the queue, then joins all workers.
+  /// Drains the queue, then joins all workers.  If a job failed and
+  /// wait_idle() was never called afterwards, the stored exception is
+  /// logged to stderr (a destructor cannot rethrow it) so failures never
+  /// vanish silently.
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;

@@ -1,0 +1,170 @@
+#include "mmlab/util/byteio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <string>
+
+#include "mmlab/util/crc.hpp"
+
+namespace mmlab {
+namespace {
+
+TEST(Zigzag, InterleavesSmallMagnitudes) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+}
+
+TEST(Zigzag, RoundTripsExtremes) {
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max(), std::int64_t{-123456789},
+        std::int64_t{987654321}}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v) << v;
+  }
+}
+
+TEST(ByteIo, VarintRoundTripsBoundaryValues) {
+  ByteWriter w;
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ull << 32) - 1,
+                                  1ull << 32,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (const auto v : values) w.varint(v);
+  ByteReader r(w.buffer());
+  for (const auto v : values) EXPECT_EQ(r.varint(), v);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteIo, VarintUsesMinimalBytes) {
+  ByteWriter w;
+  w.varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.varint(128);
+  EXPECT_EQ(w.size(), 3u);  // +2
+  w.varint(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(w.size(), 13u);  // +10
+}
+
+TEST(ByteIo, ScalarsAndStringsRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16le(0xBEEF);
+  w.f64le(-0.0);
+  w.f64le(std::numeric_limits<double>::quiet_NaN());
+  w.f64le(1e308);
+  w.svarint(-42);
+  w.str("hello");
+  w.str("");
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16le(), 0xBEEF);
+  const double neg_zero = r.f64le();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_TRUE(std::isnan(r.f64le()));
+  EXPECT_EQ(r.f64le(), 1e308);
+  EXPECT_EQ(r.svarint(), -42);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteIo, ReaderThrowsPastEnd) {
+  ByteWriter w;
+  w.u8(1);
+  ByteReader r(w.buffer());
+  r.u8();
+  EXPECT_THROW(r.u8(), ByteUnderflow);
+  ByteReader r2(w.buffer());
+  EXPECT_THROW(r2.f64le(), ByteUnderflow);
+  EXPECT_THROW(r2.u16le(), ByteUnderflow);
+  EXPECT_THROW(r2.skip(2), ByteUnderflow);
+}
+
+TEST(ByteIo, ReaderRejectsTruncatedVarint) {
+  const std::uint8_t dangling[] = {0x80};  // continuation bit, then EOF
+  ByteReader r(dangling, sizeof(dangling));
+  EXPECT_THROW(r.varint(), ByteUnderflow);
+}
+
+TEST(ByteIo, ReaderRejectsOverlongVarint) {
+  // 11 continuation bytes can't encode a 64-bit value.
+  const std::uint8_t overlong[] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                                   0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  ByteReader r(overlong, sizeof(overlong));
+  EXPECT_THROW(r.varint(), ByteUnderflow);
+}
+
+TEST(ByteIo, ReaderRejectsTruncatedString) {
+  ByteWriter w;
+  w.varint(100);  // claims 100 bytes follow
+  w.u8('x');
+  ByteReader r(w.buffer());
+  EXPECT_THROW(r.str(), ByteUnderflow);
+}
+
+TEST(ByteIo, BufferedFileRoundTripWithCrc) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mmlab_byteio_test.bin")
+          .string();
+  std::string payload;
+  for (int i = 0; i < 100'000; ++i) payload.push_back(static_cast<char>(i));
+  std::uint16_t crc;
+  {
+    BufferedFileWriter out(path, 4096);  // small buffer: force refills
+    out.write(payload.data(), payload.size());
+    crc = out.crc16();
+    out.flush();
+  }
+  EXPECT_EQ(crc, crc16_ccitt(
+                     reinterpret_cast<const std::uint8_t*>(payload.data()),
+                     payload.size()));
+
+  std::string reread(payload.size(), '\0');
+  BufferedFileReader in(path, 4096);
+  EXPECT_EQ(in.read(reread.data(), reread.size()), payload.size());
+  EXPECT_EQ(in.read(reread.data(), 1), 0u);  // EOF
+  EXPECT_EQ(reread, payload);
+
+  std::vector<std::uint8_t> slurped;
+  ASSERT_TRUE(read_file_bytes(path, slurped));
+  EXPECT_EQ(slurped.size(), payload.size());
+  std::string text;
+  ASSERT_TRUE(read_file_text(path, text));
+  EXPECT_EQ(text, payload);
+  std::filesystem::remove(path);
+}
+
+TEST(ByteIo, FileHelpersFailOnMissingFile) {
+  std::vector<std::uint8_t> bytes;
+  EXPECT_FALSE(read_file_bytes("/nonexistent/path/x.bin", bytes));
+  EXPECT_THROW(BufferedFileReader("/nonexistent/path/x.bin"),
+               std::runtime_error);
+  EXPECT_THROW(BufferedFileWriter("/nonexistent/dir/x.bin"),
+               std::runtime_error);
+}
+
+TEST(Crc, IncrementalMatchesOneShot) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::uint16_t state = kCrc16CcittInit;
+  state = crc16_ccitt_update(state, data, 3);
+  state = crc16_ccitt_update(state, data + 3, 6);
+  EXPECT_EQ(crc16_ccitt_finalize(state), crc16_ccitt(data, sizeof(data)));
+}
+
+}  // namespace
+}  // namespace mmlab

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "mmlab/core/dataset_io.hpp"
@@ -81,6 +82,51 @@ TEST(DatasetIo, SaveLoadRoundTrip) {
   EXPECT_EQ(orig.size(), redo.size());
 }
 
+TEST(DatasetIo, RoundTripIsExact) {
+  // Stronger than statistics agreement: the reloaded database equals the
+  // crawled one field for field (values and positions are written in
+  // shortest round-trip form, so nothing drifts).
+  const auto db = crawled_db();
+  std::stringstream buffer;
+  save_dataset(db, buffer);
+  ConfigDatabase loaded;
+  const auto stats = load_dataset(buffer, loaded);
+  ASSERT_TRUE(stats.ok()) << stats.error_message();
+  EXPECT_EQ(stats.value().bad_rows, 0u);
+  EXPECT_EQ(loaded, db);
+}
+
+TEST(DatasetIo, ResaveIsByteIdentical) {
+  const auto db = crawled_db();
+  std::stringstream first;
+  save_dataset(db, first);
+  ConfigDatabase loaded;
+  ASSERT_TRUE(load_dataset(first, loaded).ok());
+  std::stringstream second;
+  save_dataset(loaded, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(DatasetIo, ExtremeDoublesRoundTripExactly) {
+  ConfigDatabase db;
+  const auto ps = config::lte_param(ParamId::kServingPriority);
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           -1.7976931348623157e308,
+                           2.2250738585072014e-308,
+                           std::numeric_limits<double>::denorm_min(),
+                           123456789.123456789};
+  std::uint32_t cell = 1;
+  for (const double v : values)
+    db.add_snapshot("A", cell++, spectrum::Rat::kLte, 1975,
+                    {8.7e307, -8.7e307}, SimTime{0}, {{ps, v, -1}});
+  std::stringstream buffer;
+  save_dataset(db, buffer);
+  ConfigDatabase loaded;
+  ASSERT_TRUE(load_dataset(buffer, loaded).ok());
+  EXPECT_EQ(loaded, db);
+}
+
 TEST(DatasetIo, LoadRejectsBadHeader) {
   std::stringstream buffer("not,a,header\n1,2,3\n");
   ConfigDatabase db;
@@ -100,6 +146,28 @@ TEST(DatasetIo, LoadSkipsMalformedRows) {
   EXPECT_EQ(stats.value().rows, 4u);
   EXPECT_EQ(stats.value().bad_rows, 3u);
   EXPECT_EQ(db.total_samples(), 1u);
+}
+
+TEST(DatasetIo, LoadRejectsOutOfRangeAndNonFinite) {
+  // Negative ids used to wrap through std::stoul into huge cell ids, and
+  // nan/inf values used to enter the database silently; all are bad rows.
+  std::stringstream buffer;
+  buffer << "carrier,cell_id,rat,channel,x_m,y_m,t_ms,param,value,context\n"
+         << "A,-5,0,850,0,0,0,Ps,3,-1\n"          // negative cell_id
+         << "A,1,0,-850,0,0,0,Ps,3,-1\n"          // negative channel
+         << "A,1,0,850,0,0,0,Ps,nan,-1\n"         // non-finite value
+         << "A,1,0,850,0,0,0,Ps,inf,-1\n"         // non-finite value
+         << "A,1,0,850,nan,0,0,Ps,3,-1\n"         // non-finite position
+         << "A,99999999999,0,850,0,0,0,Ps,3,-1\n" // cell_id > 2^32
+         << "A,1,0,850,0,0,0,Ps,3,-1\n";          // control: fine
+  ConfigDatabase db;
+  const auto stats = load_dataset(buffer, db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().rows, 7u);
+  EXPECT_EQ(stats.value().bad_rows, 6u);
+  EXPECT_EQ(db.total_samples(), 1u);
+  ASSERT_NE(db.cells_of("A"), nullptr);
+  EXPECT_EQ(db.cells_of("A")->count(1), 1u);
 }
 
 // --- stability ---------------------------------------------------------------

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "mmlab/stats/cdf.hpp"
 #include "mmlab/stats/descriptive.hpp"
 #include "mmlab/stats/discrete.hpp"
@@ -77,6 +81,40 @@ TEST(Cdf, AddThenQuery) {
   EXPECT_DOUBLE_EQ(cdf.at(2.0), 1.0 / 3.0);
   EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
   EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+}
+
+TEST(Cdf, ConcurrentReadsAfterAddAreConsistent) {
+  // The lazy sort commits through a lock-free state machine, so many
+  // threads may hit the first read simultaneously (under TSan this is the
+  // regression test for the old mutate-from-const data race).
+  EmpiricalCdf cdf;
+  for (int i = 999; i >= 0; --i) cdf.add(static_cast<double>(i));
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&cdf, &failures] {
+      for (int i = 0; i < 100; ++i) {
+        if (cdf.at(499.5) != 0.5) failures.fetch_add(1);
+        if (cdf.quantile(0.0) != 0.0) failures.fetch_add(1);
+        if (cdf.min() != 0.0 || cdf.max() != 999.0) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Cdf, CopyPreservesSamplesAndSortState) {
+  EmpiricalCdf cdf;
+  cdf.add(3.0);
+  cdf.add(1.0);
+  const EmpiricalCdf copy(cdf);  // copied while still unsorted
+  EXPECT_DOUBLE_EQ(copy.min(), 1.0);
+  EXPECT_DOUBLE_EQ(copy.max(), 3.0);
+  EmpiricalCdf assigned;
+  assigned = copy;  // copied after the source sorted itself
+  EXPECT_DOUBLE_EQ(assigned.at(2.0), 0.5);
+  EXPECT_EQ(assigned.size(), 2u);
 }
 
 TEST(Cdf, QuantileInverse) {

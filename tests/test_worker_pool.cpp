@@ -63,6 +63,28 @@ TEST(WorkerPool, FirstExceptionRethrownOnWaitIdle) {
   EXPECT_EQ(ran.load(), 9);
 }
 
+TEST(WorkerPool, DestructorLogsUnobservedError) {
+  ::testing::internal::CaptureStderr();
+  {
+    WorkerPool pool(2);
+    pool.submit([] { throw std::runtime_error("lost-boom"); });
+    // No wait_idle(): the pool is destroyed with the exception still stored.
+  }
+  const std::string log = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("unobserved job failure"), std::string::npos) << log;
+  EXPECT_NE(log.find("lost-boom"), std::string::npos) << log;
+}
+
+TEST(WorkerPool, DestructorSilentAfterWaitIdleObservedError) {
+  ::testing::internal::CaptureStderr();
+  {
+    WorkerPool pool(2);
+    pool.submit([] { throw std::runtime_error("seen-boom"); });
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  }
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
 TEST(WorkerPool, DestructorDrainsQueue) {
   std::atomic<int> counter{0};
   {

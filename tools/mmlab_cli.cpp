@@ -1,17 +1,23 @@
 // mmlab_cli — command-line front end for the library.
 //
-//   mmlab_cli crawl   <out.csv> [scale] [--threads N]
-//                                         generate a world, crawl it, extract
-//                                         in parallel, save the dataset
-//   mmlab_cli report  <in.csv> [carrier]  dataset summary + diversity report
-//   mmlab_cli verify  <in.csv>            run the misconfiguration detectors
-//   mmlab_cli drive   [carrier-acr]       one instrumented drive; print the
-//                                         handoff instances from the diag log
+//   mmlab_cli crawl   <out> [scale] [--threads N] [--format csv|bin]
+//                                      generate a world, crawl it, extract
+//                                      in parallel, save the dataset
+//   mmlab_cli report  <in> [carrier] [--format csv|bin]
+//                                      dataset summary + diversity report
+//   mmlab_cli verify  <in> [--format csv|bin]
+//                                      run the misconfiguration detectors
+//   mmlab_cli drive   [carrier-acr]    one instrumented drive; print the
+//                                      handoff instances from the diag log
 //
-// The CSV format is core/dataset_io.hpp's release format.
+// Datasets are core/dataset_io.hpp's release CSV or the MMDS v1 binary
+// format; on load the format is sniffed from the file magic, so --format is
+// only needed to force a choice (e.g. a CSV that happens to start "MMDS").
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "mmlab/core/analysis.hpp"
@@ -29,24 +35,63 @@ namespace {
 
 using namespace mmlab;
 
-int cmd_crawl(int argc, char** argv) {
-  // Positional args with an optional --threads N anywhere after the path.
-  unsigned threads = 0;  // 0 = hardware_concurrency
+/// Flags shared by the dataset commands, accepted anywhere after the
+/// command: --threads N and --format csv|bin. Everything else stays
+/// positional.  ok == false means a malformed flag was already reported.
+struct CliOptions {
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+  std::optional<core::DatasetFormat> format;  ///< unset = sniff / default
   std::vector<const char*> positional;
+  bool ok = true;
+};
+
+CliOptions parse_options(int argc, char** argv) {
+  CliOptions opts;
   for (int i = 0; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--threads")) {
       if (i + 1 >= argc || std::atoi(argv[i + 1]) <= 0) {
         std::fprintf(stderr, "error: --threads needs a positive integer\n");
-        return 2;
+        opts.ok = false;
+        return opts;
       }
-      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      opts.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--format")) {
+      if (i + 1 < argc && !std::strcmp(argv[i + 1], "csv"))
+        opts.format = core::DatasetFormat::kCsv;
+      else if (i + 1 < argc && !std::strcmp(argv[i + 1], "bin"))
+        opts.format = core::DatasetFormat::kBinary;
+      else {
+        std::fprintf(stderr, "error: --format needs 'csv' or 'bin'\n");
+        opts.ok = false;
+        return opts;
+      }
+      ++i;
     } else {
-      positional.push_back(argv[i]);
+      opts.positional.push_back(argv[i]);
     }
   }
+  return opts;
+}
+
+/// Load either dataset format: forced by --format, sniffed otherwise.
+Result<core::LoadStats> load_for_cli(const char* path,
+                                           const CliOptions& opts,
+                                           core::ConfigDatabase& db) {
+  if (!opts.format) return core::load_dataset_any(path, db, opts.threads);
+  if (*opts.format == core::DatasetFormat::kBinary)
+    return core::load_dataset_binary(path, db, opts.threads);
+  return core::load_dataset(path, db);
+}
+
+int cmd_crawl(int argc, char** argv) {
+  const CliOptions opts = parse_options(argc, argv);
+  if (!opts.ok) return 2;
+  const unsigned threads = opts.threads;
+  const auto& positional = opts.positional;
   if (positional.empty()) {
     std::fprintf(stderr,
-                 "usage: mmlab_cli crawl <out.csv> [scale] [--threads N]\n");
+                 "usage: mmlab_cli crawl <out> [scale] [--threads N] "
+                 "[--format csv|bin]\n");
     return 2;
   }
   const char* path = positional[0];
@@ -67,19 +112,24 @@ int cmd_crawl(int argc, char** argv) {
               static_cast<double>(pstats.totals.bytes) / 1e6, pstats.threads,
               pstats.extract_seconds, pstats.merge_seconds,
               pstats.records_per_second(), pstats.bytes_per_second() / 1e6);
-  core::save_dataset(db, path);
-  std::printf("wrote %zu observations from %zu cells to %s\n",
-              db.total_samples(), db.total_cells(), path);
+  core::save_dataset(db, path,
+                     opts.format.value_or(core::DatasetFormat::kCsv));
+  std::printf("wrote %zu observations from %zu cells to %s (%s)\n",
+              db.total_samples(), db.total_cells(), path,
+              opts.format == core::DatasetFormat::kBinary ? "MMDS v1" : "csv");
   return 0;
 }
 
 int cmd_report(int argc, char** argv) {
-  if (argc < 1) {
-    std::fprintf(stderr, "usage: mmlab_cli report <in.csv> [carrier]\n");
+  const CliOptions opts = parse_options(argc, argv);
+  if (!opts.ok) return 2;
+  if (opts.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: mmlab_cli report <in> [carrier] [--format csv|bin]\n");
     return 2;
   }
   core::ConfigDatabase db;
-  const auto stats = core::load_dataset(argv[0], db);
+  const auto stats = load_for_cli(opts.positional[0], opts, db);
   if (!stats.ok()) {
     std::fprintf(stderr, "error: %s\n", stats.error_message().c_str());
     return 1;
@@ -98,7 +148,9 @@ int cmd_report(int argc, char** argv) {
   }
   table.print();
 
-  const std::string carrier = argc > 1 ? argv[1] : db.carriers().begin()->first;
+  const std::string carrier = opts.positional.size() > 1
+                                  ? opts.positional[1]
+                                  : db.carriers().begin()->first;
   std::printf("\ndiversity report for %s (sorted by Simpson index):\n",
               carrier.c_str());
   TablePrinter diversity({"Param", "richness", "D", "Cv"});
@@ -113,12 +165,14 @@ int cmd_report(int argc, char** argv) {
 }
 
 int cmd_verify(int argc, char** argv) {
-  if (argc < 1) {
-    std::fprintf(stderr, "usage: mmlab_cli verify <in.csv>\n");
+  const CliOptions opts = parse_options(argc, argv);
+  if (!opts.ok) return 2;
+  if (opts.positional.empty()) {
+    std::fprintf(stderr, "usage: mmlab_cli verify <in> [--format csv|bin]\n");
     return 2;
   }
   core::ConfigDatabase db;
-  const auto stats = core::load_dataset(argv[0], db);
+  const auto stats = load_for_cli(opts.positional[0], opts, db);
   if (!stats.ok()) {
     std::fprintf(stderr, "error: %s\n", stats.error_message().c_str());
     return 1;
