@@ -8,6 +8,10 @@
 #include "mmlab/core/dataset_io.hpp"
 #include "mmlab/core/extractor.hpp"
 #include "mmlab/core/parallel_extract.hpp"
+#include "mmlab/diag/stream_parser.hpp"
+#include "mmlab/ingest/replay.hpp"
+#include "mmlab/ingest/service.hpp"
+#include "mmlab/sim/fleet.hpp"
 #include "mmlab/rrc/codec.hpp"
 #include "mmlab/ue/event_engine.hpp"
 #include "mmlab/ue/reselection.hpp"
@@ -76,6 +80,53 @@ void BM_DiagWriteParse(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 16);
 }
 BENCHMARK(BM_DiagWriteParse);
+
+// Batch Parser vs StreamParser over the same carrier-scale log: the
+// incremental state machine should stay within a small factor of the batch
+// scan.  range(0) is the feed-chunk size for the streaming side.
+void BM_DiagParseBatch(benchmark::State& state) {
+  static const auto log = [] {
+    auto world = netgen::generate_world({.seed = 1, .scale = 0.01});
+    sim::CrawlOptions copts;
+    return sim::run_crawl(world, copts).logs.front().diag_log;
+  }();
+  std::size_t records = 0;
+  for (auto _ : state) {
+    diag::Parser parser(log);
+    diag::Record rec;
+    records = 0;
+    while (parser.next(rec)) ++records;
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(log.size()));
+}
+BENCHMARK(BM_DiagParseBatch);
+
+void BM_DiagParseStreaming(benchmark::State& state) {
+  static const auto log = [] {
+    auto world = netgen::generate_world({.seed = 1, .scale = 0.01});
+    sim::CrawlOptions copts;
+    return sim::run_crawl(world, copts).logs.front().diag_log;
+  }();
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  std::size_t records = 0;
+  for (auto _ : state) {
+    diag::StreamParser parser;
+    diag::Record rec;
+    records = 0;
+    for (std::size_t off = 0; off < log.size(); off += chunk) {
+      parser.feed(log.data() + off, std::min(chunk, log.size() - off));
+      while (parser.next(rec)) ++records;
+    }
+    parser.finish();
+    while (parser.next(rec)) ++records;
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(log.size()));
+}
+BENCHMARK(BM_DiagParseStreaming)->Arg(64)->Arg(4096)->Arg(1 << 20);
 
 void BM_EventMonitorUpdate(benchmark::State& state) {
   config::EventConfig a3;
@@ -175,6 +226,63 @@ BENCHMARK(BM_ExtractEndToEndParallel)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// End-to-end streaming ingest at D2 scale: the crawl re-cut into 8 devices
+// per carrier, replayed as interleaved 4 KiB chunk uploads through the
+// Service, drained to a ConfigDatabase.  Sweep the decode-worker count to
+// measure thread scaling (recorded in EXPERIMENTS.md).
+void BM_IngestEndToEnd(benchmark::State& state) {
+  const auto& logs = d2_scale_logs();
+  static const auto uploads = sim::split_crawl_uploads(logs, 8);
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    ingest::Service::Options opts;
+    opts.workers = threads;
+    ingest::Service service(opts);
+    ingest::ReplayOptions ropts;
+    ropts.chunk_bytes = 4096;
+    ingest::replay_uploads(service, uploads, ropts);
+    core::ConfigDatabase db = service.drain();
+    benchmark::DoNotOptimize(db.total_samples());
+    service.stop();
+  }
+  state.SetBytesProcessed(state.iterations() * total_log_bytes(logs));
+}
+BENCHMARK(BM_IngestEndToEnd)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Same pipeline, sweeping the fleet size (devices per carrier) at a fixed
+// worker count: more devices = more, smaller sessions = more queue/session
+// overhead per byte but also more parallelizable strands.
+void BM_IngestDeviceScaling(benchmark::State& state) {
+  const auto& logs = d2_scale_logs();
+  const auto devices = static_cast<unsigned>(state.range(0));
+  const auto uploads = sim::split_crawl_uploads(logs, devices);
+  for (auto _ : state) {
+    ingest::Service::Options opts;
+    opts.workers = 4;
+    ingest::Service service(opts);
+    ingest::ReplayOptions ropts;
+    ropts.chunk_bytes = 4096;
+    ingest::replay_uploads(service, uploads, ropts);
+    core::ConfigDatabase db = service.drain();
+    benchmark::DoNotOptimize(db.total_samples());
+    service.stop();
+  }
+  state.SetBytesProcessed(state.iterations() * total_log_bytes(logs));
+}
+BENCHMARK(BM_IngestDeviceScaling)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -2,16 +2,14 @@
 
 #include <array>
 #include <optional>
+#include <stdexcept>
 
-#include "mmlab/diag/log.hpp"
 #include "mmlab/rrc/codec.hpp"
 
 namespace mmlab::core {
 
-namespace {
-
 /// Configuration parts accumulated while camped on one cell.
-struct PendingCell {
+struct StreamExtractor::Pending {
   diag::CampEvent camp;
   SimTime camp_time;
   config::CellConfig cfg;
@@ -46,76 +44,93 @@ struct PendingCell {
   }
 };
 
-}  // namespace
+StreamExtractor::StreamExtractor(std::string carrier, ConfigDatabase& db)
+    : carrier_(std::move(carrier)), db_(db) {}
+
+StreamExtractor::~StreamExtractor() = default;
+
+bool StreamExtractor::finished() const { return finished_; }
+
+void StreamExtractor::on_record(const diag::Record& rec) {
+  if (finished_)
+    throw std::logic_error("StreamExtractor: on_record after finish");
+  ++stats_.records;
+  switch (rec.code) {
+    case diag::LogCode::kServingCellInfo: {
+      diag::CampEvent ev;
+      if (!decode_camp_event(rec.payload, ev)) {
+        ++stats_.malformed;
+        break;
+      }
+      if (pending_) pending_->flush(carrier_, db_, stats_.snapshots);
+      pending_ = std::make_unique<Pending>();
+      pending_->camp = ev;
+      pending_->camp_time = rec.timestamp;
+      ++stats_.camps;
+      break;
+    }
+    case diag::LogCode::kLteRrcOta:
+    case diag::LogCode::kLegacyRrcOta: {
+      auto decoded = rrc::decode(rec.payload);
+      if (!decoded) {
+        ++stats_.rrc_errors;
+        break;
+      }
+      ++stats_.rrc_messages;
+      if (!pending_) break;  // message before any camp: unattributable
+      const rrc::Message& msg = decoded.value();
+      if (const auto* sib1 = std::get_if<rrc::Sib1>(&msg)) {
+        // q-RxLevMin also appears in SIB1; SIB3's copy wins if present.
+        if (!pending_->saw_sib3)
+          pending_->cfg.serving.q_rxlevmin_dbm = sib1->q_rxlevmin_dbm;
+      } else if (const auto* sib3 = std::get_if<rrc::Sib3>(&msg)) {
+        pending_->cfg.serving = sib3->serving;
+        pending_->cfg.q_offset_equal_db = sib3->q_offset_equal_db;
+        pending_->saw_sib3 = true;
+      } else if (const auto* sib4 = std::get_if<rrc::Sib4>(&msg)) {
+        pending_->cfg.forbidden_cells = sib4->forbidden_cells;
+      } else if (const auto* sib5 = std::get_if<rrc::Sib5>(&msg)) {
+        pending_->sib_neighbors[0] = sib5->freqs;
+      } else if (const auto* sib6 = std::get_if<rrc::Sib6>(&msg)) {
+        pending_->sib_neighbors[1] = sib6->freqs;
+      } else if (const auto* sib7 = std::get_if<rrc::Sib7>(&msg)) {
+        pending_->sib_neighbors[2] = sib7->freqs;
+      } else if (const auto* sib8 = std::get_if<rrc::Sib8>(&msg)) {
+        pending_->sib_neighbors[3] = sib8->freqs;
+      } else if (const auto* reconf =
+                     std::get_if<rrc::RrcConnectionReconfiguration>(&msg)) {
+        if (!reconf->report_configs.empty())
+          pending_->cfg.report_configs = reconf->report_configs;
+      } else if (const auto* legacy =
+                     std::get_if<rrc::LegacySystemInfo>(&msg)) {
+        pending_->legacy = legacy->config;
+      }
+      // MeasurementReports carry no configuration.
+      break;
+    }
+    case diag::LogCode::kRadioMeasurement:
+      break;  // not configuration
+  }
+}
+
+void StreamExtractor::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (pending_) {
+    pending_->flush(carrier_, db_, stats_.snapshots);
+    pending_.reset();
+  }
+}
 
 ExtractStats extract_configs(const std::string& carrier,
                              const std::uint8_t* data, std::size_t size,
                              ConfigDatabase& db) {
-  ExtractStats stats;
   diag::Parser parser(data, size);
-  std::optional<PendingCell> pending;
-
+  StreamExtractor extractor(carrier, db);
   diag::Record rec;
-  while (parser.next(rec)) {
-    ++stats.records;
-    switch (rec.code) {
-      case diag::LogCode::kServingCellInfo: {
-        diag::CampEvent ev;
-        if (!decode_camp_event(rec.payload, ev)) {
-          ++stats.malformed;
-          break;
-        }
-        if (pending) pending->flush(carrier, db, stats.snapshots);
-        pending = PendingCell{};
-        pending->camp = ev;
-        pending->camp_time = rec.timestamp;
-        ++stats.camps;
-        break;
-      }
-      case diag::LogCode::kLteRrcOta:
-      case diag::LogCode::kLegacyRrcOta: {
-        auto decoded = rrc::decode(rec.payload);
-        if (!decoded) {
-          ++stats.rrc_errors;
-          break;
-        }
-        ++stats.rrc_messages;
-        if (!pending) break;  // message before any camp: unattributable
-        const rrc::Message& msg = decoded.value();
-        if (const auto* sib1 = std::get_if<rrc::Sib1>(&msg)) {
-          // q-RxLevMin also appears in SIB1; SIB3's copy wins if present.
-          if (!pending->saw_sib3)
-            pending->cfg.serving.q_rxlevmin_dbm = sib1->q_rxlevmin_dbm;
-        } else if (const auto* sib3 = std::get_if<rrc::Sib3>(&msg)) {
-          pending->cfg.serving = sib3->serving;
-          pending->cfg.q_offset_equal_db = sib3->q_offset_equal_db;
-          pending->saw_sib3 = true;
-        } else if (const auto* sib4 = std::get_if<rrc::Sib4>(&msg)) {
-          pending->cfg.forbidden_cells = sib4->forbidden_cells;
-        } else if (const auto* sib5 = std::get_if<rrc::Sib5>(&msg)) {
-          pending->sib_neighbors[0] = sib5->freqs;
-        } else if (const auto* sib6 = std::get_if<rrc::Sib6>(&msg)) {
-          pending->sib_neighbors[1] = sib6->freqs;
-        } else if (const auto* sib7 = std::get_if<rrc::Sib7>(&msg)) {
-          pending->sib_neighbors[2] = sib7->freqs;
-        } else if (const auto* sib8 = std::get_if<rrc::Sib8>(&msg)) {
-          pending->sib_neighbors[3] = sib8->freqs;
-        } else if (const auto* reconf =
-                       std::get_if<rrc::RrcConnectionReconfiguration>(&msg)) {
-          if (!reconf->report_configs.empty())
-            pending->cfg.report_configs = reconf->report_configs;
-        } else if (const auto* legacy =
-                       std::get_if<rrc::LegacySystemInfo>(&msg)) {
-          pending->legacy = legacy->config;
-        }
-        // MeasurementReports carry no configuration.
-        break;
-      }
-      case diag::LogCode::kRadioMeasurement:
-        break;  // not configuration
-    }
-  }
-  if (pending) pending->flush(carrier, db, stats.snapshots);
+  while (parser.next(rec)) extractor.on_record(rec);
+  extractor.finish();
+  ExtractStats stats = extractor.stats();
   stats.bytes = size;
   stats.crc_failures = parser.stats().crc_failures;
   stats.malformed += parser.stats().malformed;

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "mmlab/core/database.hpp"
+#include "mmlab/diag/log.hpp"
 
 namespace mmlab::core {
 
@@ -26,6 +28,49 @@ struct ExtractStats {
 
   bool operator==(const ExtractStats&) const = default;
   ExtractStats& operator+=(const ExtractStats& o);
+};
+
+/// Record-at-a-time configuration extraction — the incremental core of
+/// extract_configs(), exposed for the streaming ingestion service, which
+/// decodes a device's diag records as its upload chunks arrive instead of
+/// replaying a complete in-memory log.
+///
+/// Feed every parsed record in stream order via on_record(), then call
+/// finish() exactly once at end-of-stream to flush the in-progress cell
+/// (mirroring extract_configs()'s final flush).  The sequence
+///     for each record: on_record(rec);  finish();
+/// files byte-identical snapshots into `db` as extract_configs() over the
+/// same log — extract_configs() is itself implemented on this class.
+///
+/// stats() covers the record-level counters only (records, camps,
+/// snapshots, rrc_messages, rrc_errors, and payload-decode malformed);
+/// `bytes` and the framing-level crc_failures/malformed belong to whichever
+/// parser produced the records and are the caller's to add.
+///
+/// Not thread-safe; `db` must outlive the extractor.
+class StreamExtractor {
+ public:
+  StreamExtractor(std::string carrier, ConfigDatabase& db);
+  ~StreamExtractor();
+
+  StreamExtractor(const StreamExtractor&) = delete;
+  StreamExtractor& operator=(const StreamExtractor&) = delete;
+
+  void on_record(const diag::Record& rec);
+  /// Flush the pending cell. Idempotent; on_record() afterwards throws.
+  void finish();
+  bool finished() const;
+
+  const ExtractStats& stats() const { return stats_; }
+
+ private:
+  struct Pending;  // accumulator for the currently-camped cell
+
+  std::string carrier_;
+  ConfigDatabase& db_;
+  ExtractStats stats_;
+  std::unique_ptr<Pending> pending_;
+  bool finished_ = false;
 };
 
 /// Replay one diag log recorded on a device subscribed to `carrier`.

@@ -1,5 +1,6 @@
 #include "mmlab/diag/log.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -9,10 +10,10 @@ namespace mmlab::diag {
 
 namespace {
 
-constexpr std::uint8_t kTerminator = 0x7E;
-constexpr std::uint8_t kEscape = 0x7D;
-constexpr std::uint8_t kEscTerminator = 0x5E;  // 0x7E ^ 0x20
-constexpr std::uint8_t kEscEscape = 0x5D;      // 0x7D ^ 0x20
+using detail::kEscape;
+using detail::kEscEscape;
+using detail::kEscTerminator;
+using detail::kTerminator;
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v & 0xFF));
@@ -57,13 +58,20 @@ void Writer::append(const Record& record) {
   if (record.payload.size() > 0xFFFF)
     throw std::invalid_argument("diag: payload too large");
   std::vector<std::uint8_t> body;
-  body.reserve(12 + record.payload.size());
+  body.reserve(14 + record.payload.size());  // header + payload + CRC
   put_u16(body, static_cast<std::uint16_t>(record.code));
   put_i64(body, record.timestamp.ms);
   put_u16(body, static_cast<std::uint16_t>(record.payload.size()));
   body.insert(body.end(), record.payload.begin(), record.payload.end());
   const std::uint16_t crc = crc16_ccitt(body.data(), body.size());
   put_u16(body, crc);
+  // Worst case every body byte needs escaping, plus the terminator: one
+  // up-front reservation instead of O(frame) push_back growth.  Grow by at
+  // least 2x so repeated appends keep amortized O(1) (a bare reserve(need)
+  // would reallocate on every append).
+  const std::size_t need = buffer_.size() + 2 * body.size() + 1;
+  if (need > buffer_.capacity())
+    buffer_.reserve(std::max(need, buffer_.capacity() * 2));
   for (std::uint8_t b : body) {
     if (b == kTerminator) {
       buffer_.push_back(kEscape);
@@ -125,29 +133,35 @@ bool Parser::next(Record& out) {
       continue;
     }
     if (body.empty()) continue;  // stray terminator between frames
-    if (body.size() < 14) {      // 12-byte header + 2-byte CRC
-      ++stats_.malformed;
-      continue;
-    }
-    const std::size_t crc_pos = body.size() - 2;
-    const std::uint16_t want = get_u16(body.data() + crc_pos);
-    const std::uint16_t got = crc16_ccitt(body.data(), crc_pos);
-    if (want != got) {
-      ++stats_.crc_failures;
-      continue;
-    }
-    const std::uint16_t len = get_u16(body.data() + 10);
-    if (static_cast<std::size_t>(len) + 14 != body.size()) {
-      ++stats_.malformed;
-      continue;
-    }
-    out.code = static_cast<LogCode>(get_u16(body.data()));
-    out.timestamp = SimTime{get_i64(body.data() + 2)};
-    out.payload.assign(body.begin() + 12, body.begin() + 12 + len);
-    ++stats_.records;
-    return true;
+    if (detail::finalize_frame(body.data(), body.size(), out, stats_))
+      return true;
   }
   return false;
+}
+
+bool detail::finalize_frame(const std::uint8_t* body, std::size_t size,
+                            Record& out, ParseStats& stats) {
+  if (size < 14) {  // 12-byte header + 2-byte CRC
+    ++stats.malformed;
+    return false;
+  }
+  const std::size_t crc_pos = size - 2;
+  const std::uint16_t want = get_u16(body + crc_pos);
+  const std::uint16_t got = crc16_ccitt(body, crc_pos);
+  if (want != got) {
+    ++stats.crc_failures;
+    return false;
+  }
+  const std::uint16_t len = get_u16(body + 10);
+  if (static_cast<std::size_t>(len) + 14 != size) {
+    ++stats.malformed;
+    return false;
+  }
+  out.code = static_cast<LogCode>(get_u16(body));
+  out.timestamp = SimTime{get_i64(body + 2)};
+  out.payload.assign(body + 12, body + 12 + len);
+  ++stats.records;
+  return true;
 }
 
 std::vector<Record> Parser::all() {

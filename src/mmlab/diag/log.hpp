@@ -59,6 +59,17 @@ struct ParseStats {
 };
 
 /// Parses a framed byte stream back into records.
+///
+/// Trailing-truncation contract (streaming consumers rely on this): a log
+/// cut mid-frame — any unterminated non-empty tail, including one ending in
+/// a dangling escape byte — counts as **exactly one** `malformed` frame, at
+/// the moment the end of the buffer is first reached.  A tail of zero bytes
+/// (the stream ends exactly on a frame boundary) counts nothing.  Once
+/// exhausted, further next() calls return false without recounting, so the
+/// tail can never loop or double-count.  This is the distinction
+/// StreamParser uses to tell "incomplete, wait for more bytes" (no
+/// terminator *yet*) from "corrupt" (no terminator *ever*, i.e. at
+/// end-of-stream).
 class Parser {
  public:
   Parser(const std::uint8_t* data, std::size_t size)
@@ -124,5 +135,23 @@ bool decode_camp_event(const std::vector<std::uint8_t>& payload, CampEvent& out)
 std::vector<std::uint8_t> encode_radio_snapshot(const RadioSnapshot& snap);
 bool decode_radio_snapshot(const std::vector<std::uint8_t>& payload,
                            RadioSnapshot& out);
+
+// Framing internals shared by Parser and StreamParser -----------------------
+
+namespace detail {
+
+inline constexpr std::uint8_t kTerminator = 0x7E;
+inline constexpr std::uint8_t kEscape = 0x7D;
+inline constexpr std::uint8_t kEscTerminator = 0x5E;  // 0x7E ^ 0x20
+inline constexpr std::uint8_t kEscEscape = 0x5D;      // 0x7D ^ 0x20
+
+/// Validate one complete unescaped frame body (header + payload + CRC) and
+/// either fill `out` (and bump `stats.records`) or bump the matching error
+/// counter.  Returns true iff `out` now holds a record.  Both parsers funnel
+/// every terminated frame through here so their accounting cannot diverge.
+bool finalize_frame(const std::uint8_t* body, std::size_t size, Record& out,
+                    ParseStats& stats);
+
+}  // namespace detail
 
 }  // namespace mmlab::diag

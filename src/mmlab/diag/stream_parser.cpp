@@ -1,0 +1,78 @@
+#include "mmlab/diag/stream_parser.hpp"
+
+#include <stdexcept>
+
+namespace mmlab::diag {
+
+using detail::kEscape;
+using detail::kEscEscape;
+using detail::kEscTerminator;
+using detail::kTerminator;
+
+void StreamParser::feed(const std::uint8_t* data, std::size_t size) {
+  if (finished_) throw std::logic_error("StreamParser: feed after finish");
+  bytes_fed_ += size;
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::uint8_t b = data[i];
+    switch (state_) {
+      case State::kSkipBad:
+        // Resyncing after a bad escape: the whole frame is lost; count it
+        // once when its terminator finally shows up (possibly chunks later).
+        if (b == kTerminator) {
+          ++stats_.malformed;
+          state_ = State::kBody;
+        }
+        break;
+      case State::kEscape:
+        // Note a terminator here is *consumed* as the (invalid) escape code,
+        // exactly as batch Parser does — the skip then runs to the next one.
+        if (b == kEscTerminator) {
+          body_.push_back(kTerminator);
+          state_ = State::kBody;
+        } else if (b == kEscEscape) {
+          body_.push_back(kEscape);
+          state_ = State::kBody;
+        } else {
+          body_.clear();
+          state_ = State::kSkipBad;
+        }
+        break;
+      case State::kBody:
+        if (b == kTerminator) {
+          if (!body_.empty()) {  // empty = stray terminator between frames
+            Record rec;
+            if (detail::finalize_frame(body_.data(), body_.size(), rec,
+                                       stats_))
+              ready_.push_back(std::move(rec));
+            body_.clear();
+          }
+        } else if (b == kEscape) {
+          state_ = State::kEscape;
+        } else {
+          body_.push_back(b);
+        }
+        break;
+    }
+  }
+}
+
+bool StreamParser::next(Record& out) {
+  if (ready_.empty()) return false;
+  out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+void StreamParser::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // Parser's trailing-truncation contract: an unterminated tail counts as
+  // exactly one malformed frame — whether it is plain bytes, a dangling
+  // escape, or an unfinished bad-escape resync — and an empty tail counts
+  // nothing.
+  if (state_ != State::kBody || !body_.empty()) ++stats_.malformed;
+  body_.clear();
+  state_ = State::kBody;
+}
+
+}  // namespace mmlab::diag

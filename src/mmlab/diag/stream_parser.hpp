@@ -1,0 +1,69 @@
+// Incremental diag-stream parser — the framing layer of the ingest service.
+//
+// Parser (log.hpp) needs the whole log in memory; devices upload byte chunks
+// cut at arbitrary offsets.  StreamParser accepts those chunks one feed() at
+// a time and carries all framing state across the boundaries: a partial
+// frame is buffered (not counted — more bytes may still arrive), an escape
+// sequence split across two chunks is reassembled, and a bad-escape resync
+// in progress keeps discarding into the next chunk until the terminator.
+//
+// Equivalence guarantee: for any chunking of a byte stream,
+//     feed(chunk_0) ... feed(chunk_n); finish()
+// yields record-for-record and stat-for-stat exactly what
+//     Parser(concatenation).all()
+// yields.  finish() marks the true end of the stream and applies Parser's
+// trailing-truncation contract: a non-empty unterminated tail (or a dangling
+// escape) counts as exactly one `malformed`; an empty tail counts nothing.
+// Before finish(), an incomplete tail is merely "waiting for bytes".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mmlab/diag/log.hpp"
+
+namespace mmlab::diag {
+
+class StreamParser {
+ public:
+  /// Consume one chunk; any frames it completes become ready for next().
+  /// Throws std::logic_error if called after finish().
+  void feed(const std::uint8_t* data, std::size_t size);
+  void feed(const std::vector<std::uint8_t>& chunk) {
+    feed(chunk.data(), chunk.size());
+  }
+
+  /// Pop the oldest completed record. False when none is ready (which after
+  /// finish() means the stream is exhausted).
+  bool next(Record& out);
+
+  /// End of stream: applies the trailing-truncation rule (see header
+  /// comment).  Idempotent; feed() afterwards throws.
+  void finish();
+  bool finished() const { return finished_; }
+
+  /// Identical to what batch Parser::stats() would report over the bytes fed
+  /// so far (plus finish()'s tail accounting once called).
+  const ParseStats& stats() const { return stats_; }
+
+  std::size_t bytes_fed() const { return bytes_fed_; }
+  /// Completed records not yet retrieved via next().
+  std::size_t ready() const { return ready_.size(); }
+
+ private:
+  enum class State {
+    kBody,     ///< accumulating unescaped frame bytes
+    kEscape,   ///< saw 0x7D, waiting for the escape code byte
+    kSkipBad,  ///< bad escape seen; discarding until the next terminator
+  };
+
+  State state_ = State::kBody;
+  std::vector<std::uint8_t> body_;  ///< partial unescaped frame
+  std::deque<Record> ready_;
+  ParseStats stats_;
+  std::size_t bytes_fed_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace mmlab::diag

@@ -1,0 +1,108 @@
+// Bounded MPMC FIFO with blocking backpressure — the admission valve of the
+// ingest service.
+//
+// Producers (device upload handlers) push chunks; decode workers pop them.
+// When the queue is full a push *blocks* instead of growing the buffer, so a
+// fleet of fast uploaders cannot run the server out of memory: the slowdown
+// propagates back to the producers (and, on a real deployment, into TCP
+// flow control).  The queue measures its own pressure — the high-water mark
+// and the cumulative time producers spent blocked — so the service's
+// metrics can show *when* the decode stage is the bottleneck.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace mmlab::ingest {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0)
+      throw std::invalid_argument("BoundedQueue: capacity must be > 0");
+  }
+
+  /// Block until there is room (or the queue closes), then enqueue.
+  /// Returns false — with `item` dropped — iff the queue was closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    if (closed_) return false;
+    if (items_.size() >= capacity_) {
+      const auto blocked_at = std::chrono::steady_clock::now();
+      not_full_.wait(lock, [this] {
+        return closed_ || items_.size() < capacity_;
+      });
+      stall_seconds_ += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - blocked_at)
+                            .count();
+      if (closed_) return false;
+    }
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available (or the queue closes and drains),
+  /// then dequeue.  Returns false iff closed *and* empty — close() lets
+  /// already-queued items drain.
+  bool pop(T& out) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Wake every blocked producer and consumer. Pushes fail from now on;
+  /// pops keep succeeding until the queue is drained.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  /// Largest size() the queue ever reached (bounded by capacity()).
+  std::size_t high_water() const {
+    std::lock_guard lock(mutex_);
+    return high_water_;
+  }
+
+  /// Total wall time producers spent blocked in push().
+  double producer_stall_seconds() const {
+    std::lock_guard lock(mutex_);
+    return stall_seconds_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  double stall_seconds_ = 0.0;
+  bool closed_ = false;
+};
+
+}  // namespace mmlab::ingest

@@ -1,0 +1,41 @@
+// Observability surface of the ingest service.
+//
+// Metrics is a plain snapshot struct — Service::metrics() assembles one from
+// its internal atomic counters and the chunk queue's own pressure gauges —
+// so callers (CLI, tests, a future scrape endpoint) get a consistent,
+// copyable view with no locking discipline of their own.
+#pragma once
+
+#include <cstddef>
+
+#include "mmlab/util/table.hpp"
+
+namespace mmlab::ingest {
+
+struct Metrics {
+  // Sessions.
+  std::size_t sessions_opened = 0;
+  std::size_t sessions_closed = 0;  ///< end-of-stream fully decoded (sealed)
+
+  // Upload volume (counted at offer time).
+  std::size_t chunks = 0;
+  std::size_t bytes = 0;
+
+  // Decode results (counted as chunks are drained).
+  std::size_t records = 0;
+  std::size_t snapshots = 0;     ///< configuration snapshots filed
+  std::size_t crc_failures = 0;  ///< diag frames dropped by CRC
+  std::size_t malformed = 0;     ///< framing + payload-decode drops
+
+  // Backpressure.
+  std::size_t queue_capacity = 0;
+  std::size_t queue_high_water = 0;
+  double producer_stall_seconds = 0.0;
+
+  unsigned workers = 0;
+};
+
+/// Render as the CLI's two-column table.
+TablePrinter metrics_table(const Metrics& m);
+
+}  // namespace mmlab::ingest

@@ -1,0 +1,83 @@
+#include "mmlab/ingest/replay.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace mmlab::ingest {
+
+namespace {
+
+/// Stream one producer's share of the uploads: round-robin one chunk per
+/// session per pass, so chunks from different sessions interleave on the
+/// queue the way independent phones would.
+void produce(Service& service, const std::vector<sim::DeviceUpload>& uploads,
+             const std::vector<SessionId>& sessions, std::size_t first,
+             std::size_t stride, std::size_t chunk_bytes) {
+  struct Cursor {
+    std::size_t upload;
+    std::size_t offset = 0;
+    bool closed = false;
+  };
+  std::vector<Cursor> cursors;
+  for (std::size_t i = first; i < uploads.size(); i += stride)
+    cursors.push_back(Cursor{i});
+
+  bool live = true;
+  while (live) {
+    live = false;
+    for (auto& cur : cursors) {
+      if (cur.closed) continue;
+      const auto& data = uploads[cur.upload].diag_log;
+      if (cur.offset < data.size()) {
+        const std::size_t n = std::min(chunk_bytes, data.size() - cur.offset);
+        service.offer(sessions[cur.upload],
+                      std::vector<std::uint8_t>(
+                          data.begin() + static_cast<std::ptrdiff_t>(cur.offset),
+                          data.begin() +
+                              static_cast<std::ptrdiff_t>(cur.offset + n)));
+        cur.offset += n;
+      }
+      if (cur.offset >= data.size()) {
+        service.close_session(sessions[cur.upload]);
+        cur.closed = true;
+      } else {
+        live = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ReplayResult replay_uploads(Service& service,
+                            const std::vector<sim::DeviceUpload>& uploads,
+                            const ReplayOptions& opts) {
+  ReplayResult result;
+  result.sessions.reserve(uploads.size());
+  for (const auto& upload : uploads)
+    result.sessions.push_back(service.open_session(upload.carrier));
+
+  const std::size_t chunk_bytes = std::max<std::size_t>(opts.chunk_bytes, 1);
+  const std::size_t producers =
+      std::min<std::size_t>(std::max(opts.producer_threads, 1u),
+                            std::max<std::size_t>(uploads.size(), 1));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (producers <= 1) {
+    produce(service, uploads, result.sessions, 0, 1, chunk_bytes);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p)
+      threads.emplace_back([&, p] {
+        produce(service, uploads, result.sessions, p, producers, chunk_bytes);
+      });
+    for (auto& t : threads) t.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace mmlab::ingest

@@ -1,0 +1,38 @@
+// Fleet replay driver: push a set of device uploads through an ingest
+// Service the way a live deployment would — concurrently, in chunks, with
+// uploads interleaved rather than sequential.
+//
+// Sessions are opened on the calling thread in upload order (so session ids
+// — the deterministic merge order — always match the upload order), then
+// producer threads stream the chunks.  Each producer owns a disjoint subset
+// of the sessions and round-robins one chunk at a time across them, which
+// interleaves chunk arrival across sessions while preserving the one
+// producer-per-session ordering contract.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mmlab/ingest/service.hpp"
+#include "mmlab/sim/fleet.hpp"
+
+namespace mmlab::ingest {
+
+struct ReplayOptions {
+  std::size_t chunk_bytes = 4096;  ///< upload chunk size (clamped to >= 1)
+  unsigned producer_threads = 8;   ///< clamped to the number of uploads
+};
+
+struct ReplayResult {
+  std::vector<SessionId> sessions;  ///< index-aligned with the uploads
+  double seconds = 0.0;             ///< wall time offering + closing
+};
+
+/// Open one session per upload, stream every chunk, close every session.
+/// Blocks until all bytes are *offered* (not necessarily decoded — call
+/// Service::drain()/wait_quiescent() for that).
+ReplayResult replay_uploads(Service& service,
+                            const std::vector<sim::DeviceUpload>& uploads,
+                            const ReplayOptions& opts = {});
+
+}  // namespace mmlab::ingest

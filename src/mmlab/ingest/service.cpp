@@ -1,0 +1,320 @@
+#include "mmlab/ingest/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmlab::ingest {
+
+/// One device upload in flight.  The decode members (parser, extractor,
+/// shard, stats deltas) are touched only by the worker holding the strand
+/// (`busy == true`), so they need no lock of their own; `mu` guards the
+/// cross-thread surface: the pending-chunk map, the strand flag, and the
+/// stats copy readers take.
+struct Service::Session {
+  SessionId id = 0;
+  std::string carrier;
+
+  std::mutex mu;
+  std::map<std::uint64_t, Chunk> pending;  ///< parked out-of-order chunks
+  std::uint64_t next_offer_seq = 0;   ///< producer side (assigned in offer)
+  std::uint64_t next_decode_seq = 0;  ///< consumer side (strand cursor)
+  bool busy = false;                  ///< a worker owns the strand
+  IngestStats stats;                  ///< read via session_stats() under mu
+
+  // Strand-owned decode state.
+  diag::StreamParser parser;
+  core::ConfigDatabase shard;
+  std::unique_ptr<core::StreamExtractor> extractor;
+  core::ExtractStats last_reported;  ///< for global-counter deltas
+};
+
+struct Service::Stripe {
+  std::mutex mu;
+  std::vector<std::pair<SessionId, core::ConfigDatabase>> sealed;
+};
+
+Service::Service() : Service(Options()) {}
+
+Service::Service(const Options& opts)
+    : opts_(opts),
+      workers_configured_(opts.workers == 0
+                              ? std::max(1u, std::thread::hardware_concurrency())
+                              : opts.workers),
+      queue_(opts.queue_capacity) {
+  if (opts_.shard_stripes == 0)
+    throw std::invalid_argument("ingest::Service: shard_stripes must be > 0");
+  stripes_.reserve(opts_.shard_stripes);
+  for (std::size_t i = 0; i < opts_.shard_stripes; ++i)
+    stripes_.push_back(std::make_unique<Stripe>());
+  if (opts_.autostart) start();
+}
+
+Service::~Service() { stop(); }
+
+void Service::start() {
+  std::lock_guard lock(lifecycle_mu_);
+  if (started_ || stopped_) return;
+  started_ = true;
+  workers_.reserve(workers_configured_);
+  for (unsigned i = 0; i < workers_configured_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void Service::stop() {
+  std::lock_guard lock(lifecycle_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  queue_.close();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+}
+
+SessionId Service::open_session(std::string carrier) {
+  auto session = std::make_shared<Session>();
+  session->carrier = std::move(carrier);
+  session->extractor = std::make_unique<core::StreamExtractor>(
+      session->carrier, session->shard);
+  SessionId id;
+  {
+    std::lock_guard lock(sessions_mu_);
+    id = next_id_++;
+    session->id = id;
+    session->stats.id = id;
+    session->stats.carrier = session->carrier;
+    sessions_.emplace(id, std::move(session));
+  }
+  {
+    std::lock_guard lock(idle_mu_);
+    ++open_sessions_;
+  }
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::shared_ptr<Service::Session> Service::find_session(SessionId id) const {
+  std::lock_guard lock(sessions_mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end())
+    throw std::logic_error("ingest: unknown session id " + std::to_string(id));
+  return it->second;
+}
+
+void Service::offer(SessionId id, std::vector<std::uint8_t> chunk) {
+  const auto session = find_session(id);
+  Chunk c;
+  c.session = id;
+  c.bytes = std::move(chunk);
+  {
+    std::lock_guard lock(session->mu);
+    if (session->stats.closed)
+      throw std::logic_error("ingest: offer on closed session " +
+                             std::to_string(id));
+    c.seq = session->next_offer_seq++;
+  }
+  chunks_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(c.bytes.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard lock(idle_mu_);
+    ++undecoded_;
+  }
+  if (!queue_.push(std::move(c))) {
+    note_done_one();
+    throw std::runtime_error("ingest: service stopped");
+  }
+}
+
+void Service::close_session(SessionId id) {
+  const auto session = find_session(id);
+  Chunk c;
+  c.session = id;
+  c.end = true;
+  {
+    std::lock_guard lock(session->mu);
+    if (session->stats.closed)
+      throw std::logic_error("ingest: close_session twice on " +
+                             std::to_string(id));
+    session->stats.closed = true;
+    c.seq = session->next_offer_seq++;
+  }
+  {
+    std::lock_guard lock(idle_mu_);
+    ++undecoded_;
+    --open_sessions_;
+  }
+  if (!queue_.push(std::move(c))) {
+    note_done_one();
+    throw std::runtime_error("ingest: service stopped");
+  }
+}
+
+void Service::note_done_one() {
+  std::lock_guard lock(idle_mu_);
+  --undecoded_;
+  if (undecoded_ == 0) idle_cv_.notify_all();
+}
+
+void Service::worker_loop() {
+  Chunk chunk;
+  while (queue_.pop(chunk)) {
+    const auto session = find_session(chunk.session);
+    Session& s = *session;
+    {
+      std::lock_guard lock(s.mu);
+      s.pending.emplace(chunk.seq, std::move(chunk));
+      if (s.busy) {
+        // The strand owner will pick this chunk up; parking it here already
+        // counts as progress for quiescence only once decoded, so nothing
+        // to decrement — the owner decrements per decoded chunk.
+        continue;
+      }
+      s.busy = true;
+    }
+    decode_strand(s);
+  }
+}
+
+void Service::decode_strand(Session& s) {
+  for (;;) {
+    Chunk chunk;
+    {
+      std::lock_guard lock(s.mu);
+      const auto it = s.pending.find(s.next_decode_seq);
+      if (it == s.pending.end()) {
+        s.busy = false;
+        return;
+      }
+      chunk = std::move(it->second);
+      s.pending.erase(it);
+      ++s.next_decode_seq;
+    }
+    decode_chunk(s, std::move(chunk));
+    note_done_one();
+  }
+}
+
+void Service::decode_chunk(Session& s, Chunk&& chunk) {
+  // Strand-exclusive: only one worker runs this for a given session.
+  if (chunk.end) {
+    s.parser.finish();
+  } else {
+    s.parser.feed(chunk.bytes);
+  }
+  diag::Record rec;
+  while (s.parser.next(rec)) s.extractor->on_record(rec);
+  if (chunk.end) s.extractor->finish();
+
+  // Aggregate exactly like extract_configs(): extractor counters, plus the
+  // parser's framing-level CRC/malformed, plus raw bytes.
+  core::ExtractStats now = s.extractor->stats();
+  now.bytes = s.parser.bytes_fed();
+  now.crc_failures = s.parser.stats().crc_failures;
+  now.malformed += s.parser.stats().malformed;
+
+  records_.fetch_add(now.records - s.last_reported.records,
+                     std::memory_order_relaxed);
+  snapshots_.fetch_add(now.snapshots - s.last_reported.snapshots,
+                       std::memory_order_relaxed);
+  crc_failures_.fetch_add(now.crc_failures - s.last_reported.crc_failures,
+                          std::memory_order_relaxed);
+  malformed_.fetch_add(now.malformed - s.last_reported.malformed,
+                       std::memory_order_relaxed);
+  s.last_reported = now;
+
+  {
+    std::lock_guard lock(s.mu);
+    s.stats.extract = now;
+    if (chunk.end) {
+      s.stats.sealed = true;
+    } else {
+      ++s.stats.chunks;
+      s.stats.bytes += chunk.bytes.size();
+    }
+  }
+
+  if (chunk.end) {
+    Stripe& stripe = *stripes_[s.id % stripes_.size()];
+    {
+      std::lock_guard lock(stripe.mu);
+      stripe.sealed.emplace_back(s.id, std::move(s.shard));
+    }
+    sessions_sealed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Service::wait_quiescent() {
+  std::unique_lock lock(idle_mu_);
+  if (open_sessions_ != 0)
+    throw std::logic_error(
+        "ingest: wait_quiescent with open sessions (close them first)");
+  idle_cv_.wait(lock, [this] { return undecoded_ == 0; });
+}
+
+core::ConfigDatabase Service::drain() {
+  wait_quiescent();
+  std::vector<std::pair<SessionId, core::ConfigDatabase>> shards;
+  for (auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    for (auto& entry : stripe->sealed) shards.push_back(std::move(entry));
+    stripe->sealed.clear();
+  }
+  std::sort(shards.begin(), shards.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  core::ConfigDatabase db;
+  for (auto& [id, shard] : shards) db.merge(std::move(shard));
+  return db;
+}
+
+core::ConfigDatabase Service::snapshot() const {
+  std::vector<std::pair<SessionId, core::ConfigDatabase>> shards;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    for (const auto& [id, shard] : stripe->sealed)
+      shards.emplace_back(id, shard);  // copy; the store is undisturbed
+  }
+  std::sort(shards.begin(), shards.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  core::ConfigDatabase db;
+  for (auto& [id, shard] : shards) db.merge(std::move(shard));
+  return db;
+}
+
+Metrics Service::metrics() const {
+  Metrics m;
+  m.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  m.sessions_closed = sessions_sealed_.load(std::memory_order_relaxed);
+  m.chunks = chunks_.load(std::memory_order_relaxed);
+  m.bytes = bytes_.load(std::memory_order_relaxed);
+  m.records = records_.load(std::memory_order_relaxed);
+  m.snapshots = snapshots_.load(std::memory_order_relaxed);
+  m.crc_failures = crc_failures_.load(std::memory_order_relaxed);
+  m.malformed = malformed_.load(std::memory_order_relaxed);
+  m.queue_capacity = queue_.capacity();
+  m.queue_high_water = queue_.high_water();
+  m.producer_stall_seconds = queue_.producer_stall_seconds();
+  m.workers = workers_configured_;
+  return m;
+}
+
+IngestStats Service::session_stats(SessionId id) const {
+  const auto session = find_session(id);
+  std::lock_guard lock(session->mu);
+  return session->stats;
+}
+
+std::vector<IngestStats> Service::all_session_stats() const {
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard lock(sessions_mu_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [id, s] : sessions_) sessions.push_back(s);
+  }
+  std::vector<IngestStats> out;
+  out.reserve(sessions.size());
+  for (const auto& s : sessions) {
+    std::lock_guard lock(s->mu);
+    out.push_back(s->stats);
+  }
+  return out;
+}
+
+}  // namespace mmlab::ingest

@@ -1,0 +1,179 @@
+// Streaming multi-device ingestion service — the crowdsourcing front end
+// the paper's D2 dataset implies: thousands of volunteer phones continuously
+// uploading diag bytes, folded into one live ConfigDatabase.
+//
+// Shape of the pipeline:
+//
+//   producers (device uploads)      decode workers             snapshot/drain
+//   offer(session, chunk) ──► BoundedQueue ──► per-session strand ──► sealed
+//        blocks when full          (MPMC)      StreamParser +          shard
+//        (backpressure)                        StreamExtractor         store
+//                                              -> private shard     (striped)
+//
+// Concurrency model: the unit of parallelism is the *session*.  Each session
+// owns its framing/extraction state (a diag::StreamParser cursor and a
+// core::StreamExtractor) plus a private ConfigDatabase shard, so decoding
+// needs no cross-session locks.  Chunks of one session carry sequence
+// numbers; whichever worker pops a chunk parks it in the session's pending
+// map, and a single worker at a time (the `busy` strand flag) drains the map
+// in sequence order — out-of-order pops across workers reorder nothing.
+//
+// Determinism: session ids are handed out in open order, every session is
+// decoded strictly in chunk order, and snapshot()/drain() merge the sealed
+// per-session shards in session-id order.  The result is therefore a pure
+// function of (session contents, open order) — chunk sizes, worker count,
+// queue capacity, and scheduling cannot change a single byte of it.  When
+// the sessions partition a crawl's carrier logs at camp boundaries (see
+// sim::split_crawl_uploads), that function equals serial extract_configs()
+// over the original logs, because ConfigDatabase::merge re-orders each
+// cell's observations by their (monotone) camp timestamps.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mmlab/core/extractor.hpp"
+#include "mmlab/diag/stream_parser.hpp"
+#include "mmlab/ingest/bounded_queue.hpp"
+#include "mmlab/ingest/metrics.hpp"
+
+namespace mmlab::ingest {
+
+using SessionId = std::uint64_t;
+
+/// Per-session accounting, readable at any time via session_stats().
+struct IngestStats {
+  SessionId id = 0;
+  std::string carrier;
+  std::size_t chunks = 0;  ///< data chunks decoded (end marker excluded)
+  std::size_t bytes = 0;   ///< diag bytes decoded
+  bool closed = false;     ///< close_session() called
+  bool sealed = false;     ///< end-of-stream decoded; shard in the store
+  /// Combined parser + extractor counters, aggregated exactly like
+  /// extract_configs() aggregates them for a whole log.
+  core::ExtractStats extract;
+};
+
+class Service {
+ public:
+  struct Options {
+    unsigned workers = 0;  ///< decode threads; 0 = hardware concurrency
+    std::size_t queue_capacity = 256;  ///< chunks admitted before blocking
+    std::size_t shard_stripes = 16;    ///< lock stripes of the shard store
+    /// Tests set this false to control exactly when decoding begins (e.g.
+    /// to fill the queue and observe producer backpressure first).
+    bool autostart = true;
+  };
+
+  Service();
+  explicit Service(const Options& opts);
+  /// Stops accepting work, drains nothing further, joins the workers.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Launch the decode workers. Idempotent; a no-op after the first call.
+  void start();
+
+  /// Register a device upload session for `carrier`. Ids are dense and
+  /// handed out in call order — they define the deterministic merge order.
+  SessionId open_session(std::string carrier);
+
+  /// Append one chunk of diag bytes to a session's stream.  Blocks while
+  /// the chunk queue is full (backpressure).  One producer thread per
+  /// session: chunk order is the stream order.  Throws std::logic_error on
+  /// an unknown/closed session, std::runtime_error after stop().
+  void offer(SessionId id, std::vector<std::uint8_t> chunk);
+
+  /// End a session's stream. The trailing partial frame (if any) is
+  /// accounted per the diag truncation contract, the in-progress cell is
+  /// flushed, and the session's shard moves into the sealed store.
+  void close_session(SessionId id);
+
+  /// Block until every offered chunk is decoded and every closed session is
+  /// sealed. Throws std::logic_error if a session is still open — a live
+  /// stream has no deterministic cut point.
+  void wait_quiescent();
+
+  /// wait_quiescent(), then move the sealed shards out, merged in
+  /// session-id order. The service keeps running; later sessions start a
+  /// fresh accumulation.
+  core::ConfigDatabase drain();
+
+  /// Deterministic merged copy of the *sealed* shards only (open sessions'
+  /// partial shards are excluded). Does not disturb the store.
+  core::ConfigDatabase snapshot() const;
+
+  Metrics metrics() const;
+  IngestStats session_stats(SessionId id) const;
+  /// Stats of every session ever opened, in session-id order.
+  std::vector<IngestStats> all_session_stats() const;
+
+  /// Close the intake and join the workers. offer() fails afterwards.
+  void stop();
+
+  unsigned worker_count() const { return workers_configured_; }
+
+ private:
+  struct Chunk {
+    SessionId session = 0;
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> bytes;
+    bool end = false;
+  };
+
+  struct Session;
+  struct Stripe;
+
+  void worker_loop();
+  void decode_strand(Session& s);
+  void decode_chunk(Session& s, Chunk&& chunk);
+  std::shared_ptr<Session> find_session(SessionId id) const;
+  void note_done_one();
+
+  Options opts_;
+  unsigned workers_configured_ = 0;
+
+  BoundedQueue<Chunk> queue_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<SessionId, std::shared_ptr<Session>> sessions_;
+  SessionId next_id_ = 0;
+
+  /// Lock-striped sealed-shard store: stripe = id % stripes. Sealing only
+  /// contends within a stripe; snapshot()/drain() gather all stripes and
+  /// order by session id, so striping never shows in the output.
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  // Quiescence accounting.
+  mutable std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::size_t undecoded_ = 0;     ///< chunks offered (incl. end markers) not
+                                  ///< yet decoded
+  std::size_t open_sessions_ = 0;
+
+  // Global counters (see Metrics).
+  std::atomic<std::size_t> chunks_{0};
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::size_t> records_{0};
+  std::atomic<std::size_t> snapshots_{0};
+  std::atomic<std::size_t> crc_failures_{0};
+  std::atomic<std::size_t> malformed_{0};
+  std::atomic<std::size_t> sessions_opened_{0};
+  std::atomic<std::size_t> sessions_sealed_{0};
+
+  std::mutex lifecycle_mu_;  ///< guards start()/stop() transitions
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace mmlab::ingest

@@ -1,0 +1,39 @@
+#include "mmlab/sim/fleet.hpp"
+
+#include <algorithm>
+
+#include "mmlab/diag/log.hpp"
+
+namespace mmlab::sim {
+
+std::vector<DeviceUpload> split_crawl_uploads(
+    const std::vector<CarrierLog>& logs, unsigned devices) {
+  devices = std::max(devices, 1u);
+  std::vector<DeviceUpload> uploads;
+  for (const auto& log : logs) {
+    std::vector<diag::Writer> writers(devices);
+    diag::Parser parser(log.diag_log);
+    diag::Record rec;
+    // Records before the first camp belong to no phone in particular; give
+    // them to device 0 so nothing is dropped.
+    std::size_t device = 0;
+    long camp_index = -1;
+    while (parser.next(rec)) {
+      if (rec.code == diag::LogCode::kServingCellInfo) {
+        ++camp_index;
+        device = static_cast<std::size_t>(camp_index) % devices;
+      }
+      writers[device].append(rec);
+    }
+    for (auto& writer : writers) {
+      if (writer.record_count() == 0) continue;
+      DeviceUpload upload;
+      upload.carrier = log.acronym;
+      upload.diag_log = std::move(writer).take();
+      uploads.push_back(std::move(upload));
+    }
+  }
+  return uploads;
+}
+
+}  // namespace mmlab::sim

@@ -1,0 +1,38 @@
+// Crowdsource fleet model: one carrier's pooled crawl log, re-cut into the
+// per-device upload streams that actually produced it.
+//
+// run_crawl() pools every volunteer's records into one log per carrier (the
+// batch pipeline's input).  The ingestion service sees the opposite shape:
+// K devices per carrier, each uploading its own diag stream in chunks.
+// split_crawl_uploads() reconstructs that: it walks a carrier log's records,
+// groups them into camps (a kServingCellInfo record plus everything logged
+// until the next one — the unit a single phone contributes), and deals camps
+// round-robin onto `devices` per-device logs, re-framed with diag::Writer.
+//
+// Because camps are dealt whole and camp timestamps are monotone within a
+// crawl log, ingesting all device streams and merging per-session yields the
+// same ConfigDatabase as serial extraction of the pooled log — the property
+// the ingest integration test asserts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mmlab/sim/crawl.hpp"
+
+namespace mmlab::sim {
+
+/// One device's upload stream: a camp-aligned slice of a carrier crawl log.
+struct DeviceUpload {
+  std::string carrier;  ///< carrier acronym (the session attribution)
+  std::vector<std::uint8_t> diag_log;
+};
+
+/// Split each carrier log across up to `devices` devices (camps dealt
+/// round-robin; records before the first camp stay with device 0).  Devices
+/// that end up with no records are omitted, so carriers with fewer camps
+/// than `devices` produce fewer uploads.  `devices` == 0 is clamped to 1.
+std::vector<DeviceUpload> split_crawl_uploads(
+    const std::vector<CarrierLog>& logs, unsigned devices);
+
+}  // namespace mmlab::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
 namespace mmlab {
 
@@ -16,7 +17,7 @@ WorkerPool::WorkerPool(unsigned threads) {
     threads_.emplace_back([this] { worker_loop(); });
 }
 
-WorkerPool::~WorkerPool() {
+void WorkerPool::shutdown() {
   {
     std::unique_lock lock(mutex_);
     idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
@@ -24,6 +25,11 @@ WorkerPool::~WorkerPool() {
   }
   work_ready_.notify_all();
   for (auto& t : threads_) t.join();
+  threads_.clear();  // makes a second shutdown() a no-op
+}
+
+WorkerPool::~WorkerPool() {
+  shutdown();
   // A destructor must not throw, but a job failure must not vanish either:
   // if the owner never called wait_idle() after the failing job, surface the
   // stored exception on stderr instead of silently dropping it.
@@ -46,6 +52,9 @@ WorkerPool::~WorkerPool() {
 void WorkerPool::submit(std::function<void()> job) {
   {
     std::lock_guard lock(mutex_);
+    if (stop_)
+      throw std::runtime_error(
+          "WorkerPool: submit after shutdown (the job would never run)");
     queue_.push_back(std::move(job));
   }
   work_ready_.notify_one();

@@ -34,7 +34,18 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   /// Enqueue one job. Thread-safe; may be called from jobs themselves.
+  /// Throws std::runtime_error once shutdown has begun (see shutdown()):
+  /// a job accepted then would never run, so the pool refuses it loudly
+  /// instead of dropping it on the floor.
   void submit(std::function<void()> job);
+
+  /// Drain the queue, join every worker, and permanently stop the pool.
+  /// Idempotent, and what the destructor runs first.  Jobs submitting
+  /// further jobs *during* the drain are safe — shutdown only flips to
+  /// rejecting once the queue is empty and no job is in flight; after that
+  /// point submit() throws.  wait_idle() remains callable (and trivially
+  /// returns) after shutdown.
+  void shutdown();
 
   /// Block until the queue is empty and no job is running.  If any job threw,
   /// rethrows the first captured exception (remaining jobs still ran).

@@ -160,6 +160,44 @@ TEST(Diag, TruncatedInsideEscapeCounted) {
   EXPECT_EQ(p2.stats().malformed, 1u);
 }
 
+TEST(Diag, TruncatedTailCountedExactlyOnce) {
+  // The truncation contract: an unterminated non-empty tail is exactly one
+  // malformed frame, charged when next() first hits end-of-buffer — and
+  // never again, no matter how often next() is re-called.
+  Writer w;
+  w.append(make_record(1));
+  w.append(make_record(2));
+  auto bytes = w.bytes();
+  bytes.resize(bytes.size() - 1);  // drop only the final terminator
+  Parser p(bytes);
+  Record out;
+  ASSERT_TRUE(p.next(out));
+  EXPECT_EQ(out, make_record(1));
+  EXPECT_FALSE(p.next(out));
+  EXPECT_EQ(p.stats().malformed, 1u);
+  EXPECT_FALSE(p.next(out));
+  EXPECT_FALSE(p.next(out));
+  EXPECT_EQ(p.stats().malformed, 1u);  // no double count, no loop
+  EXPECT_EQ(p.stats().records, 1u);
+}
+
+TEST(Diag, CleanlyTerminatedLogCountsNoTail) {
+  // An empty tail (log ends right after a terminator) is NOT truncation.
+  Writer w;
+  w.append(make_record(1));
+  Parser p(w.bytes());
+  Record out;
+  ASSERT_TRUE(p.next(out));
+  EXPECT_FALSE(p.next(out));
+  EXPECT_FALSE(p.next(out));
+  EXPECT_EQ(p.stats().malformed, 0u);
+
+  const std::vector<std::uint8_t> none;
+  Parser empty(none);
+  EXPECT_FALSE(empty.next(out));
+  EXPECT_EQ(empty.stats().malformed, 0u);
+}
+
 TEST(Diag, CorruptionSpanningTerminatorResyncs) {
   // Overwriting a frame's terminator fuses it with the next frame; the fused
   // body fails CRC as a single frame, and the one after is recovered.

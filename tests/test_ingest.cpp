@@ -1,0 +1,325 @@
+#include "mmlab/ingest/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "mmlab/core/extractor.hpp"
+#include "mmlab/ingest/bounded_queue.hpp"
+#include "mmlab/ingest/replay.hpp"
+#include "mmlab/netgen/generator.hpp"
+#include "mmlab/sim/crawl.hpp"
+#include "mmlab/sim/fleet.hpp"
+
+namespace mmlab::ingest {
+namespace {
+
+// --- BoundedQueue ------------------------------------------------------------
+
+TEST(BoundedQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+}
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.high_water(), 3u);
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 3);
+  EXPECT_EQ(q.producer_stall_seconds(), 0.0);  // never blocked
+}
+
+TEST(BoundedQueue, PushBlocksWhenFullAndRecordsStall) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  EXPECT_EQ(q.high_water(), q.capacity());
+
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(3));  // full: must block until a pop frees a slot
+    third_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());  // still blocked — backpressure works
+
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_GT(q.producer_stall_seconds(), 0.0);
+  EXPECT_EQ(q.high_water(), q.capacity());  // bounded: never beyond capacity
+}
+
+TEST(BoundedQueue, CloseDrainsThenStops) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // closed intake
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));  // queued items still drain
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.pop(v));  // closed + empty
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(q.push(2));  // blocked-then-closed: rejected, not stuck
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+// --- fleet split -------------------------------------------------------------
+
+const std::vector<sim::CarrierLog>& crawl_logs() {
+  static const auto logs = [] {
+    auto world = netgen::generate_world({.seed = 1, .scale = 0.01});
+    sim::CrawlOptions copts;
+    return sim::run_crawl(world, copts).logs;
+  }();
+  return logs;
+}
+
+core::ConfigDatabase serial_reference() {
+  core::ConfigDatabase db;
+  for (const auto& log : crawl_logs())
+    core::extract_configs(log.acronym, log.diag_log, db);
+  return db;
+}
+
+TEST(Fleet, SingleDeviceUploadIsByteIdentical) {
+  // Writer framing is canonical, so re-cutting a log onto one device must
+  // reproduce the original bytes exactly.
+  const auto uploads = sim::split_crawl_uploads(crawl_logs(), 1);
+  ASSERT_EQ(uploads.size(), crawl_logs().size());
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    EXPECT_EQ(uploads[i].carrier, crawl_logs()[i].acronym);
+    EXPECT_EQ(uploads[i].diag_log, crawl_logs()[i].diag_log);
+  }
+}
+
+TEST(Fleet, SplitPreservesEveryRecord) {
+  std::size_t batch_records = 0;
+  for (const auto& log : crawl_logs()) {
+    diag::Parser parser(log.diag_log);
+    batch_records += parser.all().size();
+  }
+  const auto uploads = sim::split_crawl_uploads(crawl_logs(), 7);
+  EXPECT_GT(uploads.size(), crawl_logs().size());
+  std::size_t split_records = 0;
+  for (const auto& upload : uploads) {
+    diag::Parser parser(upload.diag_log);
+    split_records += parser.all().size();
+    EXPECT_EQ(parser.stats().crc_failures, 0u);
+    EXPECT_EQ(parser.stats().malformed, 0u);
+  }
+  EXPECT_EQ(split_records, batch_records);
+}
+
+// --- Service: determinism ----------------------------------------------------
+
+core::ConfigDatabase ingest_crawl(unsigned devices, std::size_t chunk_bytes,
+                                  unsigned workers, Metrics* metrics = nullptr,
+                                  std::size_t queue_capacity = 256) {
+  const auto uploads = sim::split_crawl_uploads(crawl_logs(), devices);
+  Service::Options opts;
+  opts.workers = workers;
+  opts.queue_capacity = queue_capacity;
+  Service service(opts);
+  ReplayOptions ropts;
+  ropts.chunk_bytes = chunk_bytes;
+  replay_uploads(service, uploads, ropts);
+  core::ConfigDatabase db = service.drain();
+  if (metrics) *metrics = service.metrics();
+  return db;
+}
+
+TEST(Ingest, MatchesSerialExtractionAcrossConfigurations) {
+  // The acceptance-criteria invariant: the drained database is identical to
+  // serial extraction for ANY device count, chunk size, and worker count.
+  const core::ConfigDatabase reference = serial_reference();
+  ASSERT_GT(reference.total_samples(), 0u);
+  struct Case {
+    unsigned devices;
+    std::size_t chunk_bytes;
+    unsigned workers;
+  };
+  const Case cases[] = {
+      {1, 4096, 1}, {4, 997, 2}, {8, 64, 4}, {3, 1 << 20, 8}, {16, 333, 3}};
+  for (const auto& c : cases) {
+    const auto db = ingest_crawl(c.devices, c.chunk_bytes, c.workers);
+    EXPECT_EQ(db, reference) << "devices=" << c.devices
+                             << " chunk=" << c.chunk_bytes
+                             << " workers=" << c.workers;
+  }
+}
+
+TEST(Ingest, TinyQueueStaysBoundedAndCorrect) {
+  const core::ConfigDatabase reference = serial_reference();
+  Metrics metrics;
+  const auto db = ingest_crawl(8, 512, 4, &metrics, /*queue_capacity=*/2);
+  EXPECT_EQ(db, reference);
+  EXPECT_EQ(metrics.queue_capacity, 2u);
+  EXPECT_LE(metrics.queue_high_water, 2u);  // memory stayed bounded
+}
+
+TEST(Ingest, MetricsMatchSerialTotals) {
+  core::ExtractStats serial;
+  core::ConfigDatabase scratch;
+  for (const auto& log : crawl_logs())
+    serial += core::extract_configs(log.acronym, log.diag_log, scratch);
+
+  Metrics metrics;
+  ingest_crawl(6, 2048, 4, &metrics);
+  EXPECT_EQ(metrics.bytes, serial.bytes);
+  EXPECT_EQ(metrics.records, serial.records);
+  EXPECT_EQ(metrics.snapshots, serial.snapshots);
+  EXPECT_EQ(metrics.crc_failures, serial.crc_failures);
+  EXPECT_EQ(metrics.malformed, serial.malformed);
+  EXPECT_EQ(metrics.sessions_opened, metrics.sessions_closed);
+  EXPECT_EQ(metrics.workers, 4u);
+}
+
+TEST(Ingest, SessionStatsMatchBatchExtractor) {
+  // devices=1: each session is exactly one carrier log, so its stats must
+  // equal what extract_configs reports for that log.
+  const auto uploads = sim::split_crawl_uploads(crawl_logs(), 1);
+  Service::Options opts;
+  opts.workers = 2;
+  Service service(opts);
+  ReplayOptions ropts;
+  ropts.chunk_bytes = 777;
+  const auto replay = replay_uploads(service, uploads, ropts);
+  service.wait_quiescent();
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    core::ConfigDatabase scratch;
+    const auto expected = core::extract_configs(
+        uploads[i].carrier, uploads[i].diag_log, scratch);
+    const IngestStats stats = service.session_stats(replay.sessions[i]);
+    EXPECT_EQ(stats.carrier, uploads[i].carrier);
+    EXPECT_TRUE(stats.closed);
+    EXPECT_TRUE(stats.sealed);
+    EXPECT_EQ(stats.bytes, uploads[i].diag_log.size());
+    EXPECT_EQ(stats.extract, expected) << "session " << i;
+  }
+  const auto all = service.all_session_stats();
+  ASSERT_EQ(all.size(), uploads.size());
+  for (std::size_t i = 0; i < all.size(); ++i)
+    EXPECT_EQ(all[i].id, replay.sessions[i]);
+}
+
+TEST(Ingest, DrainResetsForTheNextBatch) {
+  const core::ConfigDatabase reference = serial_reference();
+  const auto uploads = sim::split_crawl_uploads(crawl_logs(), 4);
+  Service service;
+  ReplayOptions ropts;
+  ropts.chunk_bytes = 4096;
+  replay_uploads(service, uploads, ropts);
+  EXPECT_EQ(service.drain(), reference);
+  // The store is now empty; a second round accumulates afresh.
+  EXPECT_EQ(service.snapshot().total_samples(), 0u);
+  replay_uploads(service, uploads, ropts);
+  EXPECT_EQ(service.drain(), reference);
+}
+
+// --- Service: backpressure + lifecycle --------------------------------------
+
+TEST(Ingest, ProducerBlocksUntilWorkersStart) {
+  // autostart=false keeps the queue un-drained, so the producer observably
+  // blocks on a full queue — deterministic proof of offer() backpressure.
+  Service::Options opts;
+  opts.workers = 2;
+  opts.queue_capacity = 4;
+  opts.autostart = false;
+  Service service(opts);
+  const SessionId id = service.open_session("A");
+  const std::vector<std::uint8_t> chunk(64, 0x00);
+  for (int i = 0; i < 4; ++i) service.offer(id, chunk);  // fills the queue
+
+  std::atomic<bool> fifth_offered{false};
+  std::thread producer([&] {
+    service.offer(id, chunk);  // must block: nothing is draining
+    fifth_offered.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(fifth_offered.load());
+  EXPECT_EQ(service.metrics().queue_high_water, 4u);
+
+  service.start();  // workers drain; the blocked producer completes
+  producer.join();
+  EXPECT_TRUE(fifth_offered.load());
+  service.close_session(id);
+  service.wait_quiescent();
+  const Metrics metrics = service.metrics();
+  EXPECT_GT(metrics.producer_stall_seconds, 0.0);
+  EXPECT_EQ(metrics.queue_high_water, 4u);
+  EXPECT_EQ(metrics.chunks, 5u);
+}
+
+TEST(Ingest, RejectsBadSessionUsage) {
+  Service::Options opts;
+  opts.workers = 1;
+  Service service(opts);
+  EXPECT_THROW(service.offer(99, {0x01}), std::logic_error);
+  EXPECT_THROW(service.session_stats(99), std::logic_error);
+  const SessionId id = service.open_session("A");
+  EXPECT_THROW(service.wait_quiescent(), std::logic_error);  // still open
+  service.close_session(id);
+  EXPECT_THROW(service.offer(id, {0x01}), std::logic_error);  // closed
+  EXPECT_THROW(service.close_session(id), std::logic_error);  // closed twice
+  service.wait_quiescent();
+}
+
+TEST(Ingest, OfferAfterStopThrows) {
+  Service::Options opts;
+  opts.workers = 1;
+  Service service(opts);
+  const SessionId id = service.open_session("A");
+  service.stop();
+  EXPECT_THROW(service.offer(id, {0x01}), std::runtime_error);
+}
+
+TEST(Ingest, SnapshotExcludesOpenSessions) {
+  const auto uploads = sim::split_crawl_uploads(crawl_logs(), 1);
+  ASSERT_GE(uploads.size(), 2u);
+  Service::Options opts;
+  opts.workers = 2;
+  Service service(opts);
+  // Seal only the first upload; leave a second session open mid-stream.
+  const SessionId sealed = service.open_session(uploads[0].carrier);
+  service.offer(sealed, uploads[0].diag_log);
+  service.close_session(sealed);
+  const SessionId open = service.open_session(uploads[1].carrier);
+  service.offer(open, uploads[1].diag_log);
+  while (!service.session_stats(sealed).sealed)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  core::ConfigDatabase expected;
+  core::extract_configs(uploads[0].carrier, uploads[0].diag_log, expected);
+  EXPECT_EQ(service.snapshot(), expected);  // open session's shard excluded
+  service.close_session(open);
+}
+
+}  // namespace
+}  // namespace mmlab::ingest

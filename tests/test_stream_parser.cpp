@@ -1,0 +1,203 @@
+#include "mmlab/diag/stream_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "mmlab/diag/log.hpp"
+#include "mmlab/util/rng.hpp"
+
+namespace mmlab::diag {
+namespace {
+
+Record make_record(std::uint16_t salt) {
+  Record rec;
+  rec.code = LogCode::kLteRrcOta;
+  rec.timestamp = SimTime{1000 + salt};
+  rec.payload = {static_cast<std::uint8_t>(salt),
+                 static_cast<std::uint8_t>(salt >> 8), 0x7E, 0x7D, 0xAA};
+  return rec;
+}
+
+struct ParseResult {
+  std::vector<Record> records;
+  ParseStats stats;
+};
+
+ParseResult run_batch(const std::vector<std::uint8_t>& bytes) {
+  Parser parser(bytes);
+  ParseResult out;
+  out.records = parser.all();
+  out.stats = parser.stats();
+  return out;
+}
+
+/// Feed the stream split at the given offsets (each offset starts a new
+/// chunk), then finish().
+ParseResult run_stream(const std::vector<std::uint8_t>& bytes,
+                       const std::vector<std::size_t>& splits) {
+  StreamParser parser;
+  std::size_t start = 0;
+  Record rec;
+  ParseResult out;
+  auto drain = [&] {
+    while (parser.next(rec)) out.records.push_back(rec);
+  };
+  for (std::size_t split : splits) {
+    parser.feed(bytes.data() + start, split - start);
+    drain();
+    start = split;
+  }
+  parser.feed(bytes.data() + start, bytes.size() - start);
+  parser.finish();
+  drain();
+  out.stats = parser.stats();
+  EXPECT_EQ(parser.bytes_fed(), bytes.size());
+  return out;
+}
+
+void expect_equal(const ParseResult& stream, const ParseResult& batch,
+                  const char* what, std::size_t at) {
+  ASSERT_EQ(stream.records.size(), batch.records.size())
+      << what << " split at " << at;
+  for (std::size_t i = 0; i < batch.records.size(); ++i)
+    EXPECT_EQ(stream.records[i], batch.records[i])
+        << what << " split at " << at << ", record " << i;
+  EXPECT_EQ(stream.stats.records, batch.stats.records)
+      << what << " split at " << at;
+  EXPECT_EQ(stream.stats.crc_failures, batch.stats.crc_failures)
+      << what << " split at " << at;
+  EXPECT_EQ(stream.stats.malformed, batch.stats.malformed)
+      << what << " split at " << at;
+}
+
+/// The core satellite check: split `bytes` at EVERY byte offset (two chunks)
+/// and require record-for-record, stat-for-stat equality with batch parsing.
+void expect_equivalent_at_every_offset(const std::vector<std::uint8_t>& bytes,
+                                       const char* what) {
+  const ParseResult batch = run_batch(bytes);
+  for (std::size_t off = 0; off <= bytes.size(); ++off)
+    expect_equal(run_stream(bytes, {off}), batch, what, off);
+}
+
+std::vector<std::uint8_t> clean_stream(int n) {
+  Writer w;
+  for (std::uint16_t i = 0; i < n; ++i) w.append(make_record(i));
+  return std::move(w).take();
+}
+
+TEST(StreamParser, EveryOffsetSplitMatchesBatchClean) {
+  expect_equivalent_at_every_offset(clean_stream(5), "clean");
+}
+
+TEST(StreamParser, EveryOffsetSplitMatchesBatchCrcCorrupted) {
+  auto bytes = clean_stream(5);
+  bytes[bytes.size() / 2] ^= 0xFF;  // mid-stream bit flip
+  expect_equivalent_at_every_offset(bytes, "crc-corrupted");
+}
+
+TEST(StreamParser, EveryOffsetSplitMatchesBatchBadEscape) {
+  auto bytes = clean_stream(3);
+  const std::uint8_t bad[] = {0x7D, 0x01};  // invalid escape sequence
+  bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(bytes.size() / 2),
+               bad, bad + sizeof(bad));
+  expect_equivalent_at_every_offset(bytes, "bad-escape");
+}
+
+TEST(StreamParser, EveryOffsetSplitMatchesBatchGarbageAndStrays) {
+  // Garbage run + stray empty terminators between valid frames.
+  auto bytes = clean_stream(2);
+  const std::uint8_t junk[] = {0x7E, 0x7E, 0x01, 0x02, 0x03, 0x7E, 0x7E};
+  bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(bytes.size() / 2),
+               junk, junk + sizeof(junk));
+  expect_equivalent_at_every_offset(bytes, "garbage");
+}
+
+TEST(StreamParser, EveryOffsetSplitMatchesBatchTruncatedTail) {
+  auto bytes = clean_stream(3);
+  bytes.resize(bytes.size() - 3);  // cut into the last frame
+  expect_equivalent_at_every_offset(bytes, "truncated-tail");
+}
+
+TEST(StreamParser, EveryOffsetSplitMatchesBatchDanglingEscape) {
+  auto bytes = clean_stream(2);
+  bytes.push_back(0x01);
+  bytes.push_back(0x7D);  // stream ends inside an escape sequence
+  expect_equivalent_at_every_offset(bytes, "dangling-escape");
+}
+
+TEST(StreamParser, SmallChunkSweepMatchesBatchOnRandomCorruption) {
+  // Heavily corrupted long stream, re-fed at many fixed chunk sizes —
+  // exercises every state transition across chunk boundaries.
+  Writer w;
+  for (std::uint16_t i = 0; i < 60; ++i) w.append(make_record(i));
+  auto bytes = std::move(w).take();
+  Rng rng(7);
+  for (int flips = 0; flips < 40; ++flips)
+    bytes[rng.below(bytes.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.below(255));
+  const ParseResult batch = run_batch(bytes);
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                            std::size_t{5}, std::size_t{7}, std::size_t{16},
+                            std::size_t{64}, std::size_t{1024}}) {
+    std::vector<std::size_t> splits;
+    for (std::size_t off = chunk; off < bytes.size(); off += chunk)
+      splits.push_back(off);
+    expect_equal(run_stream(bytes, splits), batch, "random-corrupt", chunk);
+  }
+}
+
+TEST(StreamParser, RecordsAvailableIncrementallyBeforeFinish) {
+  const auto bytes = clean_stream(3);
+  StreamParser parser;
+  parser.feed(bytes);
+  EXPECT_EQ(parser.ready(), 3u);
+  EXPECT_FALSE(parser.finished());
+  Record rec;
+  ASSERT_TRUE(parser.next(rec));
+  EXPECT_EQ(rec, make_record(0));
+  parser.finish();
+  EXPECT_TRUE(parser.finished());
+  EXPECT_EQ(parser.stats().malformed, 0u);  // clean tail costs nothing
+}
+
+TEST(StreamParser, PartialFrameNotCountedUntilFinish) {
+  const auto bytes = clean_stream(1);
+  StreamParser parser;
+  // Everything but the terminator: a partial frame still waiting for bytes.
+  parser.feed(bytes.data(), bytes.size() - 1);
+  Record rec;
+  EXPECT_FALSE(parser.next(rec));
+  EXPECT_EQ(parser.stats().malformed, 0u);
+  EXPECT_EQ(parser.stats().records, 0u);
+  // The terminator arrives: the frame completes with no malformed count.
+  parser.feed(bytes.data() + bytes.size() - 1, 1);
+  ASSERT_TRUE(parser.next(rec));
+  EXPECT_EQ(rec, make_record(0));
+  EXPECT_EQ(parser.stats().malformed, 0u);
+}
+
+TEST(StreamParser, FinishIsIdempotentAndFeedAfterFinishThrows) {
+  StreamParser parser;
+  const std::uint8_t tail[] = {0x01};
+  parser.feed(tail, 1);
+  parser.finish();
+  EXPECT_EQ(parser.stats().malformed, 1u);
+  parser.finish();  // idempotent: the tail is not recounted
+  EXPECT_EQ(parser.stats().malformed, 1u);
+  EXPECT_THROW(parser.feed(tail, 1), std::logic_error);
+}
+
+TEST(StreamParser, EmptyStreamFinishCountsNothing) {
+  StreamParser parser;
+  parser.finish();
+  EXPECT_EQ(parser.stats().records, 0u);
+  EXPECT_EQ(parser.stats().malformed, 0u);
+  Record rec;
+  EXPECT_FALSE(parser.next(rec));
+}
+
+}  // namespace
+}  // namespace mmlab::diag

@@ -98,6 +98,26 @@ TEST(WorkerPool, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 20);
 }
 
+TEST(WorkerPool, ShutdownDrainsThenRejectsSubmit) {
+  WorkerPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.shutdown();
+  EXPECT_EQ(counter.load(), 10);  // pending jobs ran before the join
+  EXPECT_THROW(pool.submit([&counter] { counter.fetch_add(1); }),
+               std::runtime_error);
+  EXPECT_EQ(counter.load(), 10);  // the rejected job never ran
+}
+
+TEST(WorkerPool, ShutdownIsIdempotentAndWaitIdleStillWorks) {
+  WorkerPool pool(2);
+  pool.submit([] {});
+  pool.shutdown();
+  pool.shutdown();   // second call is a no-op
+  pool.wait_idle();  // still callable: queue is empty, returns immediately
+}
+
 TEST(WorkerPool, DefaultThreadCountPositive) {
   EXPECT_GE(WorkerPool::default_thread_count(), 1u);
   WorkerPool pool;  // 0 = default

@@ -3,6 +3,11 @@
 //   mmlab_cli crawl   <out> [scale] [--threads N] [--format csv|bin]
 //                                      generate a world, crawl it, extract
 //                                      in parallel, save the dataset
+//   mmlab_cli ingest  <out> [scale] [--devices K] [--chunk-bytes N]
+//                     [--threads N] [--format csv|bin]
+//                                      same world, but replay the crawl as K
+//                                      concurrent chunked device uploads
+//                                      through the streaming ingest service
 //   mmlab_cli report  <in> [carrier] [--format csv|bin]
 //                                      dataset summary + diversity report
 //   mmlab_cli verify  <in> [--format csv|bin]
@@ -27,7 +32,10 @@
 #include "mmlab/core/misconfig.hpp"
 #include "mmlab/core/parallel_extract.hpp"
 #include "mmlab/core/stability.hpp"
+#include "mmlab/ingest/replay.hpp"
+#include "mmlab/ingest/service.hpp"
 #include "mmlab/sim/crawl.hpp"
+#include "mmlab/sim/fleet.hpp"
 #include "mmlab/sim/drive_test.hpp"
 #include "mmlab/util/table.hpp"
 
@@ -40,6 +48,8 @@ using namespace mmlab;
 /// positional.  ok == false means a malformed flag was already reported.
 struct CliOptions {
   unsigned threads = 0;  ///< 0 = hardware concurrency
+  unsigned devices = 8;  ///< ingest: device sessions per carrier
+  std::size_t chunk_bytes = 4096;  ///< ingest: upload chunk size
   std::optional<core::DatasetFormat> format;  ///< unset = sniff / default
   std::vector<const char*> positional;
   bool ok = true;
@@ -55,6 +65,21 @@ CliOptions parse_options(int argc, char** argv) {
         return opts;
       }
       opts.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--devices")) {
+      if (i + 1 >= argc || std::atoi(argv[i + 1]) <= 0) {
+        std::fprintf(stderr, "error: --devices needs a positive integer\n");
+        opts.ok = false;
+        return opts;
+      }
+      opts.devices = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--chunk-bytes")) {
+      if (i + 1 >= argc || std::atol(argv[i + 1]) <= 0) {
+        std::fprintf(stderr,
+                     "error: --chunk-bytes needs a positive integer\n");
+        opts.ok = false;
+        return opts;
+      }
+      opts.chunk_bytes = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (!std::strcmp(argv[i], "--format")) {
       if (i + 1 < argc && !std::strcmp(argv[i + 1], "csv"))
         opts.format = core::DatasetFormat::kCsv;
@@ -112,6 +137,55 @@ int cmd_crawl(int argc, char** argv) {
               static_cast<double>(pstats.totals.bytes) / 1e6, pstats.threads,
               pstats.extract_seconds, pstats.merge_seconds,
               pstats.records_per_second(), pstats.bytes_per_second() / 1e6);
+  core::save_dataset(db, path,
+                     opts.format.value_or(core::DatasetFormat::kCsv));
+  std::printf("wrote %zu observations from %zu cells to %s (%s)\n",
+              db.total_samples(), db.total_cells(), path,
+              opts.format == core::DatasetFormat::kBinary ? "MMDS v1" : "csv");
+  return 0;
+}
+
+int cmd_ingest(int argc, char** argv) {
+  const CliOptions opts = parse_options(argc, argv);
+  if (!opts.ok) return 2;
+  if (opts.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: mmlab_cli ingest <out> [scale] [--devices K] "
+                 "[--chunk-bytes N] [--threads N] [--format csv|bin]\n");
+    return 2;
+  }
+  const char* path = opts.positional[0];
+  const double scale =
+      opts.positional.size() > 1 ? std::atof(opts.positional[1]) : 0.1;
+  netgen::WorldOptions wopts;
+  wopts.seed = 42;
+  wopts.scale = scale;
+  auto world = netgen::generate_world(wopts);
+  std::printf("crawling %zu cells (scale %.2f)...\n",
+              world.network.cells().size(), scale);
+  sim::CrawlOptions copts;
+  auto crawl = sim::run_crawl(world, copts);
+  const auto uploads = sim::split_crawl_uploads(crawl.logs, opts.devices);
+  std::printf("replaying as %zu device uploads (%u devices/carrier, "
+              "%zu-byte chunks)...\n",
+              uploads.size(), opts.devices, opts.chunk_bytes);
+
+  ingest::Service::Options sopts;
+  sopts.workers = opts.threads;
+  ingest::Service service(sopts);
+  ingest::ReplayOptions ropts;
+  ropts.chunk_bytes = opts.chunk_bytes;
+  const auto replay = ingest::replay_uploads(service, uploads, ropts);
+  core::ConfigDatabase db = service.drain();
+  const ingest::Metrics metrics = service.metrics();
+  service.stop();
+
+  ingest::metrics_table(metrics).print();
+  const double mb = static_cast<double>(metrics.bytes) / 1e6;
+  std::printf("\ningested %.1f MB in %.2fs on %u workers: %.1f MB/s, "
+              "%.0f records/s\n",
+              mb, replay.seconds, metrics.workers, mb / replay.seconds,
+              static_cast<double>(metrics.records) / replay.seconds);
   core::save_dataset(db, path,
                      opts.format.value_or(core::DatasetFormat::kCsv));
   std::printf("wrote %zu observations from %zu cells to %s (%s)\n",
@@ -243,11 +317,13 @@ int cmd_drive(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: mmlab_cli <crawl|report|verify|drive> [args...]\n");
+                 "usage: mmlab_cli <crawl|ingest|report|verify|drive> "
+                 "[args...]\n");
     return 2;
   }
   const char* cmd = argv[1];
   if (!std::strcmp(cmd, "crawl")) return cmd_crawl(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "ingest")) return cmd_ingest(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "report")) return cmd_report(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "verify")) return cmd_verify(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "drive")) return cmd_drive(argc - 2, argv + 2);
