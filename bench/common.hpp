@@ -13,9 +13,11 @@
 // bench_out/<name>.csv.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "mmlab/core/analysis.hpp"
+#include "mmlab/core/columnar.hpp"
 #include "mmlab/core/extractor.hpp"
 #include "mmlab/core/parallel_extract.hpp"
 #include "mmlab/sim/crawl.hpp"
@@ -34,6 +36,18 @@ struct D2Data {
   core::ConfigDatabase db;
   std::size_t camps = 0;
   core::ParallelExtractStats extract;  ///< throughput of the D2 extraction
+
+  /// Columnar view over db, built lazily on first use (with env_threads()
+  /// workers) and shared by every figure a bench computes.  Lazy so the
+  /// build happens on the final, settled D2Data object — the view holds
+  /// pointers into db and must never be built before the last move.
+  const core::ColumnarView& view() const {
+    if (!view_) view_ = std::make_unique<core::ColumnarView>(db, env_threads());
+    return *view_;
+  }
+
+ private:
+  mutable std::unique_ptr<core::ColumnarView> view_;
 };
 
 /// Generate the world, run the Type-I crawl, extract into the database.

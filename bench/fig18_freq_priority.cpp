@@ -11,7 +11,7 @@ int main() {
     std::printf("-- %s priorities --\n",
                 candidate ? "candidate (Pc)" : "serving (Ps)");
     const auto by_channel =
-        core::priority_by_channel(data.db, "A", candidate);
+        core::priority_by_channel(data.view(), "A", candidate);
     TablePrinter table({"EARFCN", "band", "cells", "priority values (share)"});
     for (const auto& [channel, counts] : by_channel) {
       const auto band =

@@ -11,7 +11,7 @@ int main() {
 
   TablePrinter table({"Carrier", "City", "cells", "priority shares"});
   for (const char* carrier : {"A", "T", "V", "S"}) {
-    const auto by_city = core::priority_by_city(data.db, carrier, cities);
+    const auto by_city = core::priority_by_city(data.view(), carrier, cities);
     for (const auto& [city_id, counts] : by_city) {
       if (city_id > 4) continue;  // US cities C1..C5 only
       std::string shares;

@@ -15,7 +15,7 @@ int main() {
   for (const char* carrier : {"A", "V", "S", "T"}) {
     for (const double radius : {500.0, 1000.0, 2000.0}) {
       const auto values =
-          core::spatial_diversity(data.db, carrier, key, indy, radius);
+          core::spatial_diversity(data.view(), carrier, key, indy, radius);
       if (values.empty()) continue;
       const auto box = stats::boxplot(values);
       table.add_row({carrier, fmt_double(radius / 1000.0, 1),

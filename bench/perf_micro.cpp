@@ -1,10 +1,12 @@
 // google-benchmark microbenches for the hot paths: RRC codec, diag framing,
 // event evaluation, reselection ranking, the end-to-end extract pipeline,
-// and dataset I/O (CSV vs the MMDS v1 binary format at ~1M rows).
+// dataset I/O (CSV vs the MMDS v1 binary format at ~1M rows), and the
+// analysis query path (legacy ConfigDatabase scans vs the ColumnarView).
 #include <benchmark/benchmark.h>
 
 #include <sstream>
 
+#include "mmlab/core/analysis.hpp"
 #include "mmlab/core/dataset_io.hpp"
 #include "mmlab/core/extractor.hpp"
 #include "mmlab/core/parallel_extract.hpp"
@@ -18,6 +20,7 @@
 #include "mmlab/ue/ue.hpp"
 #include "mmlab/netgen/generator.hpp"
 #include "mmlab/sim/crawl.hpp"
+#include "mmlab/util/crc.hpp"
 
 namespace {
 
@@ -454,6 +457,160 @@ void BM_DatasetLoadBin(benchmark::State& state) {
 }
 BENCHMARK(BM_DatasetLoadBin)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// --- analysis queries: legacy scans vs the columnar view ---------------------
+// Same 1M-row database the dataset-I/O benches use.  The "values sweep" is
+// the repeated values()-style load every figure bench generates (all 4
+// carriers x all 5 params); the "analysis mix" is one full figure pass
+// (fig14/16/18/19/11 shapes) and the columnar side pays the view build
+// inside the timed region, so the reported ratio is the amortized one.
+
+const std::vector<config::ParamKey>& dataset_params() {
+  static const std::vector<config::ParamKey> keys = {
+      config::lte_param(config::ParamId::kServingPriority),
+      config::lte_param(config::ParamId::kQHyst),
+      config::lte_param(config::ParamId::kA3Offset),
+      config::lte_param(config::ParamId::kA3Ttt),
+      config::lte_param(config::ParamId::kNeighborPriority)};
+  return keys;
+}
+
+const core::ColumnarView& dataset_view() {
+  static const core::ColumnarView view(dataset_db());
+  return view;
+}
+
+void BM_ColumnarBuild(benchmark::State& state) {
+  const auto& db = dataset_db();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    core::ColumnarView view(db, threads);
+    benchmark::DoNotOptimize(view.total_observations());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(db.total_samples()));
+}
+BENCHMARK(BM_ColumnarBuild)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_QueryValuesLegacy(benchmark::State& state) {
+  const auto& db = dataset_db();
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const char* carrier : {"A", "B", "C", "D"})
+      for (const auto& key : dataset_params())
+        total += db.values(carrier, key).total();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 20);  // queries
+}
+BENCHMARK(BM_QueryValuesLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_QueryValuesColumnar(benchmark::State& state) {
+  const auto& view = dataset_view();
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const char* carrier : {"A", "B", "C", "D"})
+      for (const auto& key : dataset_params())
+        total += view.values(carrier, key).total();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_QueryValuesColumnar)->Unit(benchmark::kMillisecond);
+
+void BM_QueryValuesColumnarParallel(benchmark::State& state) {
+  const auto& view = dataset_view();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const char* carrier : {"A", "B", "C", "D"})
+      for (const auto& key : dataset_params())
+        total += view.values(carrier, key, threads).total();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_QueryValuesColumnarParallel)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The bench-figure query mix: one pass of each analysis the fig11..fig22
+// binaries run against the shared dataset view (fig12/13 drive other
+// subsystems and fig20/21 need city geometry; both are omitted).
+template <typename Source>
+std::size_t run_analysis_mix(const Source& src) {
+  static const char* const carriers[] = {"A", "B", "C", "D"};
+  std::size_t sink = 0;
+  // fig14: per-parameter distributions on the headline carrier, two panels.
+  for (int pass = 0; pass < 2; ++pass)
+    for (const auto& key : dataset_params()) sink += src.values("A", key).total();
+  // fig15 + fig17: per-carrier per-parameter comparisons.
+  for (const char* carrier : carriers)
+    for (const auto& key : dataset_params())
+      sink += src.values(carrier, key).richness();
+  // fig16 + fig19 + fig22: diversity panels (per carrier, with and without
+  // the RAT filter).
+  for (const char* carrier : carriers) {
+    sink += core::diversity_by_param(src, carrier, spectrum::Rat::kLte).size();
+    sink += core::diversity_by_param(src, carrier).size();
+  }
+  // fig18: frequency-priority split, both candidate modes.
+  sink += core::priority_by_channel(src, "A", /*candidate=*/false).size();
+  sink += core::priority_by_channel(src, "A", /*candidate=*/true).size();
+  // fig19: frequency dependence.
+  sink += core::frequency_dependence(src, "A").size();
+  // fig11: measurement/decision gaps, pooled and per-carrier.
+  sink += core::measurement_decision_gaps(src).intra_minus_nonintra.size();
+  sink += core::measurement_decision_gaps(src, "A").intra_minus_nonintra.size();
+  return sink;
+}
+
+void BM_AnalysisMixLegacy(benchmark::State& state) {
+  const auto& db = dataset_db();
+  for (auto _ : state) benchmark::DoNotOptimize(run_analysis_mix(db));
+}
+BENCHMARK(BM_AnalysisMixLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_AnalysisMixColumnar(benchmark::State& state) {
+  const auto& db = dataset_db();
+  for (auto _ : state) {
+    // View construction inside the timed region: the reported speedup is
+    // the honest build-amortized-over-one-figure-pass number.
+    const core::ColumnarView view(db);
+    benchmark::DoNotOptimize(run_analysis_mix(view));
+  }
+}
+BENCHMARK(BM_AnalysisMixColumnar)->Unit(benchmark::kMillisecond);
+
+// --- CRC-16: slice-by-4 vs the byte-at-a-time oracle -------------------------
+
+void BM_Crc16Bytewise(benchmark::State& state) {
+  std::vector<std::uint8_t> buf(64 * 1024);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<std::uint8_t>(i * 2654435761u >> 13);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crc16_ccitt_update_reference(
+        kCrc16CcittInit, buf.data(), buf.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_Crc16Bytewise);
+
+void BM_Crc16SliceBy4(benchmark::State& state) {
+  std::vector<std::uint8_t> buf(64 * 1024);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<std::uint8_t>(i * 2654435761u >> 13);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        crc16_ccitt_update(kCrc16CcittInit, buf.data(), buf.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_Crc16SliceBy4);
 
 void BM_UeStepDense(benchmark::State& state) {
   static auto world = netgen::generate_world({.seed = 2, .scale = 0.2});

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Run the perf_micro regression harness and emit machine-readable results.
+# Usage: scripts/run_perf.sh [build-dir] [extra benchmark args...]
+#   MMLAB_PERF_OUT   (default bench_out/perf_micro.json) JSON output path
+#   MMLAB_PERF_SYNC  (default 0) when 1, also copy the JSON to
+#                    BENCH_perf_micro.json at the repo root so the committed
+#                    perf trajectory can be refreshed from a trusted machine.
+#
+# Examples:
+#   scripts/run_perf.sh                           # full run
+#   scripts/run_perf.sh build --benchmark_filter='Columnar|QueryValues'
+#   MMLAB_PERF_SYNC=1 scripts/run_perf.sh         # refresh committed baseline
+set -eu
+BUILD=${1:-build}
+shift $(( $# > 0 ? 1 : 0 ))
+OUT=${MMLAB_PERF_OUT:-bench_out/perf_micro.json}
+
+BIN="$BUILD/bench/perf_micro"
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found or not executable (build benches first)" >&2
+  exit 1
+fi
+
+mkdir -p "$(dirname "$OUT")"
+"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json "$@"
+echo "wrote $OUT"
+
+if [ "${MMLAB_PERF_SYNC:-0}" = "1" ]; then
+  cp "$OUT" BENCH_perf_micro.json
+  echo "synced BENCH_perf_micro.json"
+fi

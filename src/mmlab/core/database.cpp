@@ -66,13 +66,27 @@ void ConfigDatabase::merge(ConfigDatabase&& other) {
         mine.channel = rec.channel;
         mine.position = rec.position;
       }
-      mine.observations.insert(mine.observations.end(),
-                               std::make_move_iterator(rec.observations.begin()),
-                               std::make_move_iterator(rec.observations.end()));
-      std::stable_sort(mine.observations.begin(), mine.observations.end(),
-                       [](const Observation& a, const Observation& b) {
-                         return a.t < b.t;
-                       });
+      auto& obs = mine.observations;
+      const auto mid_pos = static_cast<std::ptrdiff_t>(obs.size());
+      obs.insert(obs.end(),
+                 std::make_move_iterator(rec.observations.begin()),
+                 std::make_move_iterator(rec.observations.end()));
+      const auto by_t = [](const Observation& a, const Observation& b) {
+        return a.t < b.t;
+      };
+      const auto mid = obs.begin() + mid_pos;
+      // Extraction appends observations in crawl-time order, so both halves
+      // are already timestamp-sorted and an O(n) merge suffices.
+      // inplace_merge keeps first-range-before-second for equal timestamps
+      // — the same this-before-other stability stable_sort gave.  Hand-built
+      // databases may violate the sorted precondition, so check and fall
+      // back rather than hand inplace_merge UB.
+      if (std::is_sorted(obs.begin(), mid, by_t) &&
+          std::is_sorted(mid, obs.end(), by_t)) {
+        std::inplace_merge(obs.begin(), mid, obs.end(), by_t);
+      } else {
+        std::stable_sort(obs.begin(), obs.end(), by_t);
+      }
     }
   }
   other.carriers_.clear();

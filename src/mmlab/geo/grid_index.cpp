@@ -17,25 +17,7 @@ void GridIndex::insert(std::uint32_t id, Point p) {
 void GridIndex::for_each_in_radius(
     Point center, double radius_m,
     const std::function<void(std::uint32_t)>& fn) const {
-  const auto lo_x = static_cast<std::int64_t>(
-      std::floor((center.x - radius_m) / bucket_m_));
-  const auto hi_x = static_cast<std::int64_t>(
-      std::floor((center.x + radius_m) / bucket_m_));
-  const auto lo_y = static_cast<std::int64_t>(
-      std::floor((center.y - radius_m) / bucket_m_));
-  const auto hi_y = static_cast<std::int64_t>(
-      std::floor((center.y + radius_m) / bucket_m_));
-  const double r2 = radius_m * radius_m;
-  for (std::int64_t cx = lo_x; cx <= hi_x; ++cx) {
-    for (std::int64_t cy = lo_y; cy <= hi_y; ++cy) {
-      const auto it = buckets_.find(Key{cx, cy});
-      if (it == buckets_.end()) continue;
-      for (const auto& [id, p] : it->second) {
-        const double dx = p.x - center.x, dy = p.y - center.y;
-        if (dx * dx + dy * dy <= r2) fn(id);
-      }
-    }
-  }
+  visit_in_radius(center, radius_m, fn);
 }
 
 std::vector<std::uint32_t> GridIndex::query(Point center,

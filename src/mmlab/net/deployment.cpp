@@ -107,12 +107,13 @@ double Deployment::rsrp_at(const Cell& cell, geo::Point p) const {
 std::vector<double> Deployment::cochannel_interference(const Cell& serving,
                                                        geo::Point p) const {
   std::vector<double> out;
-  for (auto idx : cells_near(p, kInterferenceRadiusM, serving.carrier)) {
-    const Cell& other = cells_[idx];
-    if (other.id == serving.id || other.channel != serving.channel) continue;
-    const double rsrp = rsrp_at(other, p);
-    if (rsrp > kDetectionFloorDbm - 10.0) out.push_back(rsrp);
-  }
+  for_each_cell_near(
+      p, kInterferenceRadiusM, serving.carrier, [&](std::uint32_t idx) {
+        const Cell& other = cells_[idx];
+        if (other.id == serving.id || other.channel != serving.channel) return;
+        const double rsrp = rsrp_at(other, p);
+        if (rsrp > kDetectionFloorDbm - 10.0) out.push_back(rsrp);
+      });
   return out;
 }
 

@@ -85,6 +85,18 @@ class Deployment {
   std::vector<std::uint32_t> cells_near(geo::Point p, double radius_m,
                                         CarrierId carrier) const;
 
+  /// Allocation-free cells_near for the per-tick hot path (UE measurement
+  /// and interference scans): invokes fn(index into cells()) per cell in
+  /// range.  cells_near stays for the analysis path.
+  template <typename Fn>
+  void for_each_cell_near(geo::Point p, double radius_m, CarrierId carrier,
+                          Fn&& fn) const {
+    const std::size_t pos = carrier_position(carrier);
+    if (pos == kNoCarrier) return;
+    index_per_carrier_[pos]->visit_in_radius(p, radius_m,
+                                             std::forward<Fn>(fn));
+  }
+
   // --- radio environment ---
   const radio::PathLossModel& pathloss() const { return pathloss_; }
   const radio::ShadowingField& shadowing() const { return *shadowing_; }

@@ -11,6 +11,10 @@ void ValueCounts::add(double value, std::size_t count) {
   total_ += count;
 }
 
+void ValueCounts::merge(const ValueCounts& other) {
+  for (const auto& [value, count] : other.counts_) add(value, count);
+}
+
 double ValueCounts::simpson_index() const {
   if (total_ == 0) return 0.0;
   double sum_sq = 0.0;

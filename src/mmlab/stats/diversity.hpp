@@ -23,6 +23,12 @@ class ValueCounts {
  public:
   void add(double value, std::size_t count = 1);
 
+  /// Absorb another multiset (parallel scan partials merging in partition
+  /// order). Equivalent to add()-ing every (value, count) of `other`.
+  void merge(const ValueCounts& other);
+
+  bool operator==(const ValueCounts&) const = default;
+
   std::size_t total() const { return total_; }
   std::size_t richness() const { return counts_.size(); }
   bool empty() const { return total_ == 0; }
@@ -60,6 +66,8 @@ struct DiversityMeasures {
   double simpson = 0.0;
   double cv = 0.0;
   std::size_t richness = 0;
+
+  bool operator==(const DiversityMeasures&) const = default;
 };
 
 DiversityMeasures measure_diversity(const ValueCounts& vc);

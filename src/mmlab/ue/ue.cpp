@@ -114,29 +114,31 @@ std::vector<CellMeas> Ue::measure_neighbors(geo::Point pos, SimTime t,
   const auto& forbidden = serving_->is_lte()
                               ? serving_->lte_config.forbidden_cells
                               : kNoForbidden;
-  for (auto idx : net_.cells_near(pos, net::kAudibleRadiusM, opts_.carrier)) {
-    const net::Cell& cand = net_.cells()[idx];
-    if (cand.id == serving_->id) continue;
-    if (cand.is_lte() && !opts_.band_support.supports_earfcn(cand.channel.number))
-      continue;
-    // SIB4 access control: blacklisted cells are never candidates.
-    if (std::find(forbidden.begin(), forbidden.end(), cand.id) !=
-        forbidden.end())
-      continue;
-    const int prio = priority_of_candidate(cand);
-    if (prio < 0) continue;
-    const bool intra = cand.channel == serving_->channel;
-    const bool higher = prio > serving_priority;
-    if (!higher) {
-      if (intra && !gate.measure_intra) continue;
-      if (!intra && !gate.measure_nonintra) continue;
-    } else if (!gate.measure_higher_priority) {
-      continue;
-    }
-    const double approx_rsrp = net_.rsrp_at(cand, pos);
-    if (approx_rsrp <= net::kDetectionFloorDbm - 3.0) continue;
-    prescan.emplace_back(approx_rsrp, &cand);
-  }
+  net_.for_each_cell_near(
+      pos, net::kAudibleRadiusM, opts_.carrier, [&](std::uint32_t idx) {
+        const net::Cell& cand = net_.cells()[idx];
+        if (cand.id == serving_->id) return;
+        if (cand.is_lte() &&
+            !opts_.band_support.supports_earfcn(cand.channel.number))
+          return;
+        // SIB4 access control: blacklisted cells are never candidates.
+        if (std::find(forbidden.begin(), forbidden.end(), cand.id) !=
+            forbidden.end())
+          return;
+        const int prio = priority_of_candidate(cand);
+        if (prio < 0) return;
+        const bool intra = cand.channel == serving_->channel;
+        const bool higher = prio > serving_priority;
+        if (!higher) {
+          if (intra && !gate.measure_intra) return;
+          if (!intra && !gate.measure_nonintra) return;
+        } else if (!gate.measure_higher_priority) {
+          return;
+        }
+        const double approx_rsrp = net_.rsrp_at(cand, pos);
+        if (approx_rsrp <= net::kDetectionFloorDbm - 3.0) return;
+        prescan.emplace_back(approx_rsrp, &cand);
+      });
   std::sort(prescan.begin(), prescan.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   if (prescan.size() > kMaxTrackedNeighbors) prescan.resize(kMaxTrackedNeighbors);
@@ -186,21 +188,23 @@ bool Ue::attach(geo::Point pos, SimTime t) {
   const net::Cell* best = nullptr;
   double best_rsrp = net::kDetectionFloorDbm;
   bool best_is_lte = false;
-  for (auto idx : net_.cells_near(pos, net::kAudibleRadiusM, opts_.carrier)) {
-    const net::Cell& cand = net_.cells()[idx];
-    if (cand.is_lte() && !opts_.band_support.supports_earfcn(cand.channel.number))
-      continue;
-    const double rsrp = net_.rsrp_at(cand, pos);
-    if (rsrp <= net::kDetectionFloorDbm) continue;
-    // Prefer any audible LTE cell over any legacy cell.
-    const bool better = (cand.is_lte() && !best_is_lte) ||
-                        (cand.is_lte() == best_is_lte && rsrp > best_rsrp);
-    if (best == nullptr || better) {
-      best = &cand;
-      best_rsrp = rsrp;
-      best_is_lte = cand.is_lte();
-    }
-  }
+  net_.for_each_cell_near(
+      pos, net::kAudibleRadiusM, opts_.carrier, [&](std::uint32_t idx) {
+        const net::Cell& cand = net_.cells()[idx];
+        if (cand.is_lte() &&
+            !opts_.band_support.supports_earfcn(cand.channel.number))
+          return;
+        const double rsrp = net_.rsrp_at(cand, pos);
+        if (rsrp <= net::kDetectionFloorDbm) return;
+        // Prefer any audible LTE cell over any legacy cell.
+        const bool better = (cand.is_lte() && !best_is_lte) ||
+                            (cand.is_lte() == best_is_lte && rsrp > best_rsrp);
+        if (best == nullptr || better) {
+          best = &cand;
+          best_rsrp = rsrp;
+          best_is_lte = cand.is_lte();
+        }
+      });
   if (!best) return false;
   camp_on(*best, pos, t, diag::CampCause::kInitial);
   return true;

@@ -5,28 +5,54 @@
 namespace mmlab {
 namespace {
 
-constexpr std::array<std::uint16_t, 256> make_table() {
-  std::array<std::uint16_t, 256> table{};
-  for (std::uint16_t i = 0; i < 256; ++i) {
-    std::uint16_t crc = i;
+// kTables[0] is the classic one-byte table; kTables[k][i] is the state
+// reached by pushing k further zero bytes through kTables[k-1][i].  Because
+// the CRC update is GF(2)-linear, four bytes then fold in one round:
+//
+//   s' = T3[(s ^ b0) & 0xFF] ^ T2[((s >> 8) ^ b1) & 0xFF] ^ T1[b2] ^ T0[b3]
+//
+// (the 16-bit state only overlaps the first two bytes; b2/b3 enter with
+// zero state so their table lookups need no state mixing).
+constexpr std::array<std::array<std::uint16_t, 256>, 4> make_tables() {
+  std::array<std::array<std::uint16_t, 256>, 4> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint16_t crc = static_cast<std::uint16_t>(i);
     for (int bit = 0; bit < 8; ++bit)
       crc = (crc & 1u) ? static_cast<std::uint16_t>((crc >> 1) ^ 0x8408)
                        : static_cast<std::uint16_t>(crc >> 1);
-    table[i] = crc;
+    t[0][i] = crc;
   }
-  return table;
+  for (std::size_t k = 1; k < 4; ++k)
+    for (std::uint32_t i = 0; i < 256; ++i)
+      t[k][i] = static_cast<std::uint16_t>((t[k - 1][i] >> 8) ^
+                                           t[0][t[k - 1][i] & 0xFF]);
+  return t;
 }
 
-constexpr auto kTable = make_table();
+constexpr auto kTables = make_tables();
 
 }  // namespace
 
-std::uint16_t crc16_ccitt_update(std::uint16_t state, const std::uint8_t* data,
-                                 std::size_t size) {
+std::uint16_t crc16_ccitt_update_reference(std::uint16_t state,
+                                           const std::uint8_t* data,
+                                           std::size_t size) {
   for (std::size_t i = 0; i < size; ++i)
     state = static_cast<std::uint16_t>((state >> 8) ^
-                                       kTable[(state ^ data[i]) & 0xFF]);
+                                       kTables[0][(state ^ data[i]) & 0xFF]);
   return state;
+}
+
+std::uint16_t crc16_ccitt_update(std::uint16_t state, const std::uint8_t* data,
+                                 std::size_t size) {
+  while (size >= 4) {
+    state = static_cast<std::uint16_t>(
+        kTables[3][(state ^ data[0]) & 0xFF] ^
+        kTables[2][((state >> 8) ^ data[1]) & 0xFF] ^ kTables[1][data[2]] ^
+        kTables[0][data[3]]);
+    data += 4;
+    size -= 4;
+  }
+  return crc16_ccitt_update_reference(state, data, size);
 }
 
 std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t size) {

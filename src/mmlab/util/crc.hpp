@@ -16,6 +16,13 @@ std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t size);
 inline constexpr std::uint16_t kCrc16CcittInit = 0xFFFF;
 std::uint16_t crc16_ccitt_update(std::uint16_t state, const std::uint8_t* data,
                                  std::size_t size);
+
+/// The textbook byte-at-a-time update.  crc16_ccitt_update runs a
+/// slice-by-4 variant (4 bytes per table round); this one is kept as the
+/// test oracle the fast path is property-checked against.
+std::uint16_t crc16_ccitt_update_reference(std::uint16_t state,
+                                           const std::uint8_t* data,
+                                           std::size_t size);
 constexpr std::uint16_t crc16_ccitt_finalize(std::uint16_t state) {
   return static_cast<std::uint16_t>(state ^ 0xFFFF);
 }

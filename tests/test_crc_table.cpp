@@ -5,6 +5,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <vector>
+
+#include "mmlab/util/rng.hpp"
 
 namespace mmlab {
 namespace {
@@ -28,6 +31,36 @@ TEST(Crc, SingleBitChangesChecksum) {
     data[i] ^= 0x01;
     EXPECT_NE(crc16_ccitt(data, sizeof(data)), base) << "byte " << i;
     data[i] ^= 0x01;
+  }
+}
+
+TEST(Crc, SliceBy4MatchesBytewiseOracle) {
+  // The shipped update is slice-by-4; the byte-at-a-time table walk is the
+  // oracle.  Sweep every length 0..64 (all tail cases) and random offsets,
+  // from random intermediate states (chunked streaming never starts at the
+  // init value).
+  Rng rng(0xc3c1);
+  std::vector<std::uint8_t> buf(4096);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.below(256));
+  for (std::size_t len = 0; len <= 64; ++len) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto off = static_cast<std::size_t>(rng.below(buf.size() - 64));
+      const auto state = static_cast<std::uint16_t>(rng.below(0x10000));
+      EXPECT_EQ(crc16_ccitt_update(state, buf.data() + off, len),
+                crc16_ccitt_update_reference(state, buf.data() + off, len))
+          << "len " << len << " off " << off << " state " << state;
+    }
+  }
+}
+
+TEST(Crc, SliceBy4MatchesOracleOnLongRandomBuffers) {
+  Rng rng(0xc3c2);
+  for (int trial = 0; trial < 32; ++trial) {
+    std::vector<std::uint8_t> buf(1 + rng.below(100'000));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_EQ(
+        crc16_ccitt_update(kCrc16CcittInit, buf.data(), buf.size()),
+        crc16_ccitt_update_reference(kCrc16CcittInit, buf.data(), buf.size()));
   }
 }
 

@@ -139,6 +139,54 @@ TEST(DatabaseMerge, DeterministicAcrossMergeOrderOfDisjointShards) {
   EXPECT_TRUE(ab1 == ab2);
 }
 
+TEST(DatabaseMerge, EqualTimestampsKeepThisBeforeOtherOrder) {
+  // merge() now uses inplace_merge over the two timestamp-sorted halves;
+  // the stability contract (same-timestamp observations keep this-before-
+  // other order) must survive the change.
+  ConfigDatabase a, b;
+  a.add_snapshot("A", 1, spectrum::Rat::kLte, 850, {0, 0}, SimTime{100},
+                 one_param(1.0));
+  a.add_snapshot("A", 1, spectrum::Rat::kLte, 850, {0, 0}, SimTime{200},
+                 one_param(2.0));
+  b.add_snapshot("A", 1, spectrum::Rat::kLte, 850, {0, 0}, SimTime{100},
+                 one_param(3.0));
+  b.add_snapshot("A", 1, spectrum::Rat::kLte, 850, {0, 0}, SimTime{200},
+                 one_param(4.0));
+  a.merge(std::move(b));
+  const auto& obs = a.cells_of("A")->at(1).observations;
+  ASSERT_EQ(obs.size(), 4u);
+  EXPECT_EQ(obs[0].value, 1.0);  // t=100: a's before b's
+  EXPECT_EQ(obs[1].value, 3.0);
+  EXPECT_EQ(obs[2].value, 2.0);  // t=200: a's before b's
+  EXPECT_EQ(obs[3].value, 4.0);
+}
+
+TEST(DatabaseMerge, UnsortedHandBuiltShardsStillSortStably) {
+  // Hand-built databases (upsert_cell with out-of-order appends) violate
+  // the both-halves-sorted precondition of the O(n) merge; merge() must
+  // detect that and fall back to the stable full sort.
+  ConfigDatabase a, b;
+  auto& ra = a.upsert_cell("A", 1);
+  ra.observations = {{config::lte_param(ParamId::kServingPriority), 1.0,
+                      SimTime{300}, -1},
+                     {config::lte_param(ParamId::kServingPriority), 2.0,
+                      SimTime{100}, -1}};
+  auto& rb = b.upsert_cell("A", 1);
+  rb.observations = {{config::lte_param(ParamId::kServingPriority), 3.0,
+                      SimTime{200}, -1},
+                     {config::lte_param(ParamId::kServingPriority), 4.0,
+                      SimTime{100}, -1}};
+  a.merge(std::move(b));
+  const auto& obs = a.cells_of("A")->at(1).observations;
+  ASSERT_EQ(obs.size(), 4u);
+  // Timestamp-sorted, with the stable tie-break preserving concatenation
+  // order at t=100 (a's 2.0 before b's 4.0).
+  EXPECT_EQ(obs[0].value, 2.0);
+  EXPECT_EQ(obs[1].value, 4.0);
+  EXPECT_EQ(obs[2].value, 3.0);
+  EXPECT_EQ(obs[3].value, 1.0);
+}
+
 // --- crawl with non-dense carrier ids ---------------------------------------
 
 TEST(Crawl, SurvivesNonDenseCarrierIds) {

@@ -211,10 +211,13 @@ int cmd_report(int argc, char** argv) {
   std::printf("loaded %zu rows (%zu bad) -> %zu cells, %zu carriers\n\n",
               stats.value().rows, stats.value().bad_rows, db.total_cells(),
               db.carriers().size());
+  // One columnar build serves every query below (and any future report
+  // section) instead of re-scanning the database per table.
+  const core::ColumnarView view(db, opts.threads);
   TablePrinter table({"Carrier", "Cells", "Samples", "LTE params observed"});
   for (const auto& [carrier, cells] : db.carriers()) {
     std::size_t lte_params = 0;
-    for (const auto& key : db.observed_params(carrier))
+    for (const auto& key : view.observed_params(carrier))
       lte_params += key.rat == spectrum::Rat::kLte;
     table.add_row({carrier, std::to_string(cells.size()),
                    std::to_string(db.sample_count(carrier)),
@@ -229,7 +232,7 @@ int cmd_report(int argc, char** argv) {
               carrier.c_str());
   TablePrinter diversity({"Param", "richness", "D", "Cv"});
   for (const auto& d :
-       core::diversity_by_param(db, carrier, spectrum::Rat::kLte))
+       core::diversity_by_param(view, carrier, spectrum::Rat::kLte))
     diversity.add_row({config::param_name(d.key),
                        std::to_string(d.measures.richness),
                        fmt_double(d.measures.simpson, 3),
