@@ -57,6 +57,7 @@ D2Data build_d2(double scale, double mean_rounds) {
 
   sim::CrawlOptions copts;
   copts.mean_rounds = mean_rounds;
+  copts.threads = env_threads();
   auto crawl = sim::run_crawl(data.world, copts);
   data.camps = crawl.total_camps;
   data.extract =
@@ -90,6 +91,7 @@ sim::CampaignResult build_d1(const net::Deployment& net,
   opts.city_drives_per_city = env_drives();
   opts.highway_drives_per_city = 2;
   opts.city_drive_duration = 15 * kMillisPerMinute;
+  opts.threads = env_threads();
   return sim::run_campaign(net, opts);
 }
 

@@ -2,7 +2,9 @@
 // the figure benches consume, honouring these environment knobs:
 //   MMLAB_SCALE   — world scale (default 1.0 = the paper's ~32k cells)
 //   MMLAB_DRIVES  — city drives per city for D1 campaigns (default 4)
-//   MMLAB_THREADS — extraction worker threads (default: hardware concurrency)
+//   MMLAB_THREADS — worker threads for the crawl/campaign simulation AND the
+//                   extraction (default: hardware concurrency); results are
+//                   bit-identical for every value
 //   MMLAB_DATASET — path of a saved dataset (CSV or MMDS binary, sniffed):
 //                   if the file exists, build_d2 replays it instead of
 //                   re-running the crawl+extract; if it does not exist yet,

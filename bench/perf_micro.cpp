@@ -1,7 +1,9 @@
 // google-benchmark microbenches for the hot paths: RRC codec, diag framing,
 // event evaluation, reselection ranking, the end-to-end extract pipeline,
-// dataset I/O (CSV vs the MMDS v1 binary format at ~1M rows), and the
-// analysis query path (legacy ConfigDatabase scans vs the ColumnarView).
+// dataset I/O (CSV vs the MMDS v1 binary format at ~1M rows), the
+// analysis query path (legacy ConfigDatabase scans vs the ColumnarView),
+// and the deterministic parallel simulation engine (crawl + campaign
+// thread scaling).
 #include <benchmark/benchmark.h>
 
 #include <sstream>
@@ -20,6 +22,7 @@
 #include "mmlab/ue/ue.hpp"
 #include "mmlab/netgen/generator.hpp"
 #include "mmlab/sim/crawl.hpp"
+#include "mmlab/sim/drive_test.hpp"
 #include "mmlab/util/crc.hpp"
 
 namespace {
@@ -611,6 +614,71 @@ void BM_Crc16SliceBy4(benchmark::State& state) {
                           static_cast<std::int64_t>(buf.size()));
 }
 BENCHMARK(BM_Crc16SliceBy4);
+
+// --- deterministic parallel simulation: crawl + campaign fan-out -------------
+// run_crawl applies each cell's scheduled reconfigurations as the crawl
+// passes it, mutating the world, so every iteration regenerates the world
+// outside the timed region.  Serial vs scaling ratios go in EXPERIMENTS.md
+// (§ thread scaling); the results are bit-identical across the sweep, which
+// the CrawlParallel/CampaignParallel test suites assert.
+
+void BM_CrawlSerial(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto world = netgen::generate_world({.seed = 1, .scale = 0.05});
+    state.ResumeTiming();
+    sim::CrawlOptions copts;
+    copts.mean_rounds = 5.5;
+    copts.threads = 1;
+    benchmark::DoNotOptimize(sim::run_crawl(world, copts).total_camps);
+  }
+}
+BENCHMARK(BM_CrawlSerial)->Unit(benchmark::kMillisecond);
+
+void BM_CrawlScaling(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto world = netgen::generate_world({.seed = 1, .scale = 0.05});
+    state.ResumeTiming();
+    sim::CrawlOptions copts;
+    copts.mean_rounds = 5.5;
+    copts.threads = threads;
+    benchmark::DoNotOptimize(sim::run_crawl(world, copts).total_camps);
+  }
+}
+BENCHMARK(BM_CrawlScaling)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// D1 campaign fan-out (run_campaign only reads the network, so one static
+// world serves every iteration).  3 cities x (2 city + 2 highway) = 12
+// independent drive jobs.
+void BM_CampaignScaling(benchmark::State& state) {
+  static const auto world = netgen::generate_world({.seed = 3, .scale = 0.05});
+  const auto threads = static_cast<unsigned>(state.range(0));
+  sim::CampaignOptions opts;
+  opts.carrier = world.network.carriers().front().id;
+  opts.cities = {0, 2, 4};
+  opts.city_drives_per_city = 2;
+  opts.highway_drives_per_city = 2;
+  opts.city_drive_duration = 2 * kMillisPerMinute;
+  opts.threads = threads;
+  for (auto _ : state) {
+    const auto result = sim::run_campaign(world.network, opts);
+    benchmark::DoNotOptimize(result.handoffs.size());
+  }
+}
+BENCHMARK(BM_CampaignScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_UeStepDense(benchmark::State& state) {
   static auto world = netgen::generate_world({.seed = 2, .scale = 0.2});

@@ -21,8 +21,30 @@ if [ ! -x "$BIN" ]; then
   exit 1
 fi
 
+# Debug-build numbers are meaningless as a perf trajectory: refuse to sync
+# them into the committed baseline, and warn loudly on ad-hoc runs.
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt" 2>/dev/null || true)
+case "$BUILD_TYPE" in
+  Release|RelWithDebInfo) ;;
+  *)
+    if [ "${MMLAB_PERF_SYNC:-0}" = "1" ]; then
+      echo "error: MMLAB_PERF_SYNC=1 requires a Release or RelWithDebInfo" >&2
+      echo "       build; $BUILD has CMAKE_BUILD_TYPE='${BUILD_TYPE:-unset}'" >&2
+      echo "       (configure with -DCMAKE_BUILD_TYPE=Release)" >&2
+      exit 1
+    fi
+    echo "warning: $BUILD has CMAKE_BUILD_TYPE='${BUILD_TYPE:-unset}' —" \
+         "numbers will not be comparable to the committed baseline" >&2
+    ;;
+esac
+
 mkdir -p "$(dirname "$OUT")"
-"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json "$@"
+# mmlab_build_type records OUR build type in the JSON context.  The stock
+# library_build_type field reflects how libbenchmark itself was compiled
+# (Debian ships a no-NDEBUG build that always reports "debug"), so it says
+# nothing about whether mmlab's code was optimized — this field does.
+"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json \
+       --benchmark_context=mmlab_build_type="${BUILD_TYPE:-unknown}" "$@"
 echo "wrote $OUT"
 
 if [ "${MMLAB_PERF_SYNC:-0}" = "1" ]; then

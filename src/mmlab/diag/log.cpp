@@ -89,7 +89,30 @@ void Writer::append(const Record& record) {
 
 bool Parser::next(Record& out) {
   while (pos_ < size_) {
-    // Collect and unescape bytes up to the next terminator.
+    // Fast path: locate the frame terminator with memchr; when the segment
+    // holds no escape byte (the overwhelmingly common case — only 2 of 256
+    // byte values need escaping) validate it in place, copy-free.
+    const std::uint8_t* base = data_ + pos_;
+    const auto* term = static_cast<const std::uint8_t*>(
+        std::memchr(base, kTerminator, size_ - pos_));
+    if (!term) {
+      // Truncated trailing frame (log cut mid-write): the tail is non-empty
+      // (loop guard) and unterminated, which always counts one malformed.
+      pos_ = size_;
+      ++stats_.malformed;
+      return false;
+    }
+    const std::size_t seg = static_cast<std::size_t>(term - base);
+    if (std::memchr(base, kEscape, seg) == nullptr) {
+      pos_ += seg + 1;  // past the terminator
+      if (seg == 0) continue;  // stray terminator between frames
+      if (detail::finalize_frame(base, seg, out, stats_)) return true;
+      continue;
+    }
+
+    // Escaped segment: collect and unescape bytes up to the next terminator.
+    // (Not bounded by `term`: a 0x7D directly before it consumes the
+    // terminator as its escape code and resyncs at the following one.)
     std::vector<std::uint8_t> body;
     bool saw_terminator = false;
     bool bad_escape = false;

@@ -423,13 +423,16 @@ GeneratedWorld generate_world(const WorldOptions& options) {
   return world;
 }
 
-void apply_config_update(GeneratedWorld& world, std::size_t cell_index,
-                         const ConfigUpdate& update) {
-  net::Cell& cell = world.network.cell_at(cell_index);
-  if (!cell.is_lte()) return;  // legacy configs are static in the model
-  const CarrierProfile& profile = *world.profiles.at(cell.carrier);
-  Rng rng(hash_keys({world.options.seed, profile.seed_salt, 0x09da7eULL,
-                     cell.id,
+namespace {
+
+/// The actual reconfiguration draw.  Takes the target cell by reference and
+/// nothing else mutable — the compiler enforces that an update can write
+/// only that cell, the invariant the parallel crawl engine's per-carrier
+/// sharding is built on (asserted by ApplyConfigUpdate.WritesOnlyTargetCell).
+void apply_config_update_to_cell(net::Cell& cell, const CarrierProfile& profile,
+                                 std::uint64_t world_seed,
+                                 const ConfigUpdate& update) {
+  Rng rng(hash_keys({world_seed, profile.seed_salt, 0x09da7eULL, cell.id,
                      static_cast<std::uint64_t>(update.day * 16.0)}));
   if (update.active_params) {
     const DrawCtx ctx{rng.next_u64()};
@@ -449,6 +452,21 @@ void apply_config_update(GeneratedWorld& world, std::size_t cell_index,
         break;
     }
   }
+}
+
+}  // namespace
+
+void apply_config_update(GeneratedWorld& world, std::size_t cell_index,
+                         const ConfigUpdate& update) {
+  net::Cell& cell = world.network.cell_at(cell_index);
+  if (!cell.is_lte()) return;  // legacy configs are static in the model
+  // profiles is aligned with carriers() *positions*; carrier ids are opaque
+  // labels (need not be dense), so resolve through carrier_position().
+  const std::size_t pos = world.network.carrier_position(cell.carrier);
+  if (pos == net::Deployment::kNoCarrier)
+    throw std::logic_error("apply_config_update: cell references unknown carrier");
+  apply_config_update_to_cell(cell, *world.profiles.at(pos),
+                              world.options.seed, update);
 }
 
 }  // namespace mmlab::netgen

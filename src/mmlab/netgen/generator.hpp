@@ -48,6 +48,13 @@ config::CellConfig make_lte_config(const CarrierProfile& profile,
 
 /// Apply one scheduled reconfiguration to cell `cell_index` of the world.
 /// Deterministic in (world seed, cell, update day).
+///
+/// Writes ONLY the target cell — no other cell, carrier, schedule or world
+/// state is touched.  The parallel crawl engine (sim::run_crawl) relies on
+/// this to apply each carrier's updates from that carrier's shard without
+/// synchronisation; internally the draw is routed through a helper that
+/// takes just the one `net::Cell&` so the compiler enforces the contract
+/// (pinned by ApplyConfigUpdate.WritesOnlyTargetCell).
 void apply_config_update(GeneratedWorld& world, std::size_t cell_index,
                          const ConfigUpdate& update);
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "mmlab/ue/ue.hpp"
+#include "mmlab/util/worker_pool.hpp"
 
 namespace mmlab::sim {
 
@@ -21,19 +22,22 @@ int draw_rounds(Rng& rng, double mean_rounds) {
   return n;
 }
 
+struct Visit {
+  double day;
+  std::uint32_t cell_index;
+};
+
 }  // namespace
 
 CrawlResult run_crawl(netgen::GeneratedWorld& world,
                       const CrawlOptions& options) {
-  CrawlResult result;
   const auto& network = world.network;
   const double window_days = world.options.window_days;
 
-  // Per-cell visit schedules.
-  struct Visit {
-    double day;
-    std::uint32_t cell_index;
-  };
+  // --- Plan phase (serial) --------------------------------------------------
+  // Per-cell visit schedules; draw order is the historical serial one, so
+  // the visit timeline is byte-for-byte what the single-threaded engine
+  // produced.
   Rng rng(options.seed);
   std::vector<Visit> visits;
   visits.reserve(static_cast<std::size_t>(
@@ -46,12 +50,32 @@ CrawlResult run_crawl(netgen::GeneratedWorld& world,
   std::sort(visits.begin(), visits.end(),
             [](const Visit& a, const Visit& b) { return a.day < b.day; });
 
-  // One crawling UE per carrier, pooling all its volunteers' logs.  The
-  // vector is aligned with network.carriers() *positions* — carrier ids are
-  // opaque labels and need not be dense, so every id-keyed lookup below goes
-  // through carrier_position().
-  std::vector<std::unique_ptr<ue::Ue>> crawlers;
-  for (const auto& carrier : network.carriers()) {
+  // Cut the global timeline into per-carrier subsequences (each preserves
+  // the time order).  Carrier ids are opaque labels and need not be dense,
+  // so every id-keyed lookup goes through carrier_position().
+  const std::size_t n_carriers = network.carriers().size();
+  std::vector<std::vector<Visit>> shards(n_carriers);
+  for (const auto& visit : visits) {
+    const net::Cell& cell = network.cells()[visit.cell_index];
+    const std::size_t pos = network.carrier_position(cell.carrier);
+    if (pos == net::Deployment::kNoCarrier)
+      throw std::logic_error("run_crawl: cell references unknown carrier");
+    shards[pos].push_back(visit);
+  }
+
+  // --- Execute phase --------------------------------------------------------
+  // One crawling UE per carrier, pooling all its volunteers' logs.  Each
+  // shard touches only its own carrier's cells (visits, lazy
+  // reconfigurations, camps), so shards run concurrently without
+  // synchronization and the merged result does not depend on scheduling.
+  //
+  // Rng::fork is const — concurrent forks off the (no longer advanced) plan
+  // rng are plain reads, and each seed equals the one the serial walk drew.
+  CrawlResult result;
+  result.logs.resize(n_carriers);
+  std::vector<std::size_t> shard_camps(n_carriers, 0);
+  parallel_for_index(options.threads, n_carriers, [&](std::size_t pos) {
+    const net::Carrier& carrier = network.carriers()[pos];
     ue::UeOptions opts;
     opts.seed = rng.fork(carrier.id).next_u64();
     opts.carrier = carrier.id;
@@ -60,37 +84,34 @@ CrawlResult run_crawl(netgen::GeneratedWorld& world,
     // events, which are signalled — not broadcast).
     opts.active_mode = true;
     opts.log_radio_snapshots = false;
-    crawlers.push_back(std::make_unique<ue::Ue>(network, opts));
-  }
+    ue::Ue crawler(network, opts);
 
-  // Walk visits in time order; apply due reconfigurations lazily per cell.
-  std::vector<std::size_t> next_update(network.cells().size(), 0);
-  for (const auto& visit : visits) {
-    auto& schedule = world.update_schedule[visit.cell_index];
-    auto& cursor = next_update[visit.cell_index];
-    while (cursor < schedule.size() && schedule[cursor].day <= visit.day) {
-      netgen::apply_config_update(world, visit.cell_index, schedule[cursor]);
-      ++cursor;
+    // Walk this carrier's visits in time order; apply due reconfigurations
+    // lazily per cell.  Each cell belongs to exactly one carrier, so the
+    // cursors (and the cells they update) are private to this shard.
+    std::vector<std::size_t> next_update(network.cells().size(), 0);
+    for (const Visit& visit : shards[pos]) {
+      auto& schedule = world.update_schedule[visit.cell_index];
+      auto& cursor = next_update[visit.cell_index];
+      while (cursor < schedule.size() && schedule[cursor].day <= visit.day) {
+        netgen::apply_config_update(world, visit.cell_index, schedule[cursor]);
+        ++cursor;
+      }
+      const net::Cell& cell = network.cells()[visit.cell_index];
+      crawler.force_camp(cell, cell.position, SimTime::from_days(visit.day));
     }
-    const net::Cell& cell = network.cells()[visit.cell_index];
-    const SimTime t = SimTime::from_days(visit.day);
-    const std::size_t pos = network.carrier_position(cell.carrier);
-    if (pos == net::Deployment::kNoCarrier)
-      throw std::logic_error("run_crawl: cell references unknown carrier");
-    crawlers[pos]->force_camp(cell.id, cell.position, t);
-    ++result.total_camps;
-  }
+    shard_camps[pos] = shards[pos].size();
 
-  // Log handoff: one pooled diag log per carrier, in carriers() order — the
-  // order extract_configs_parallel() preserves when merging shards.
-  for (std::size_t pos = 0; pos < network.carriers().size(); ++pos) {
-    const net::Carrier& carrier = network.carriers()[pos];
     CarrierLog log;
     log.carrier = carrier.id;
     log.acronym = carrier.acronym;
-    log.diag_log = crawlers[pos]->take_diag_log();
-    result.logs.push_back(std::move(log));
-  }
+    log.diag_log = crawler.take_diag_log();
+    result.logs[pos] = std::move(log);
+  });
+
+  // Fold the per-shard camp counts in carriers() order — the same total the
+  // serial walk accumulated visit by visit.
+  for (std::size_t camps : shard_camps) result.total_camps += camps;
   return result;
 }
 

@@ -8,6 +8,23 @@
 // cell's scheduled reconfigurations as their day arrives (Fig 13b's temporal
 // dynamics), and emits one diag log per carrier — the exact input MMLab's
 // analyzer consumes.
+//
+// The engine is split into two phases (see DESIGN.md §8):
+//   * plan    — serial and cheap: draw every cell's visit rounds and days
+//               from the crawl Rng exactly as the historical serial walk
+//               did, sort them into one global timeline, and derive the
+//               per-carrier UE seeds via Rng::fork (which is const, so the
+//               seeds are independent of any execution order).
+//   * execute — fan the per-carrier visit subsequences out over
+//               util::WorkerPool.  Each shard owns exactly one carrier: its
+//               crawling UE, its (disjoint) set of cells, and those cells'
+//               reconfiguration schedules, which it applies lazily as its
+//               visits pass them.
+// Because a crawl UE only ever reads the cell it camps on, cells belong to
+// exactly one carrier, and netgen::apply_config_update writes only the
+// target cell, shards share no mutable state — the CrawlResult is
+// bit-identical for every thread count (same contract style as
+// core::extract_configs_parallel; pinned by the CrawlParallel test suite).
 #pragma once
 
 #include <string>
@@ -22,6 +39,10 @@ struct CrawlOptions {
   /// Mean number of visit rounds per cell (paper: 48.1 % of cells have >1
   /// sample, tail up to 20+).
   double mean_rounds = 3.2;
+  /// Worker threads for the execute phase: 0 = one per hardware thread,
+  /// 1 = run the shards inline on the calling thread.  The result is
+  /// bit-identical for every value.
+  unsigned threads = 0;
 };
 
 /// One carrier's pooled diag log (a volunteer's phone knows its operator).

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "mmlab/util/worker_pool.hpp"
+
 namespace mmlab::sim {
 
 DriveTestResult run_drive_test(const net::Deployment& network,
@@ -71,53 +73,101 @@ std::vector<HandoffPerf> annotate_handoffs(const DriveTestResult& result) {
   return out;
 }
 
+namespace {
+
+/// One campaign drive, fully annotated — the unit the fan-out parallelizes.
+struct DriveOutcome {
+  std::vector<HandoffPerf> handoffs;
+  std::size_t radio_link_failures = 0;
+  double km = 0.0;
+};
+
+DriveOutcome run_city_drive(const net::Deployment& network,
+                            const CampaignOptions& options,
+                            const Rng& campaign_rng, const geo::City& city,
+                            int index) {
+  Rng route_rng = campaign_rng.fork(0x1000u + city.id * 64u + index);
+  const auto route = mobility::manhattan_drive(
+      route_rng, city, mobility::kph(40), options.city_drive_duration);
+  DriveTestOptions dopts;
+  dopts.seed = route_rng.next_u64();
+  dopts.carrier = options.carrier;
+  dopts.workload = options.workload;
+  dopts.band_support = options.band_support;
+  const auto drive = run_drive_test(network, route, dopts);
+  return {annotate_handoffs(drive), drive.radio_link_failures,
+          drive.route_length_m / 1000.0};
+}
+
+DriveOutcome run_highway_drive(const net::Deployment& network,
+                               const CampaignOptions& options,
+                               const Rng& campaign_rng, const geo::City& city,
+                               int index) {
+  Rng route_rng = campaign_rng.fork(0x2000u + city.id * 64u + index);
+  // Diagonal crossing at highway speed (90-120 km/h).
+  const double inset = 0.05 * city.extent_m;
+  const geo::Point a{city.origin.x + inset,
+                     city.origin.y + inset +
+                         route_rng.uniform(0.0, 0.3) * city.extent_m};
+  const geo::Point b{city.origin.x + city.extent_m - inset,
+                     city.origin.y + city.extent_m - inset -
+                         route_rng.uniform(0.0, 0.3) * city.extent_m};
+  const auto route = mobility::highway_drive(
+      a, b, mobility::kph(route_rng.uniform(90.0, 120.0)));
+  DriveTestOptions dopts;
+  dopts.seed = route_rng.next_u64();
+  dopts.carrier = options.carrier;
+  dopts.workload = options.workload;
+  dopts.band_support = options.band_support;
+  const auto drive = run_drive_test(network, route, dopts);
+  return {annotate_handoffs(drive), drive.radio_link_failures,
+          drive.route_length_m / 1000.0};
+}
+
+}  // namespace
+
 CampaignResult run_campaign(const net::Deployment& network,
                             const CampaignOptions& options) {
-  CampaignResult result;
-  Rng rng(options.seed);
+  // Plan: enumerate the (city × kind × index) drives in the serial order.
+  // Cities are validated up front so an unknown id throws before any drive
+  // runs, whatever the thread count.
+  struct DriveJob {
+    const geo::City* city;
+    bool highway;
+    int index;
+  };
+  std::vector<DriveJob> jobs;
   for (geo::CityId city_id : options.cities) {
     const geo::City* city = network.find_city(city_id);
     if (!city) throw std::invalid_argument("run_campaign: unknown city");
+    for (int i = 0; i < options.city_drives_per_city; ++i)
+      jobs.push_back({city, false, i});
+    for (int i = 0; i < options.highway_drives_per_city; ++i)
+      jobs.push_back({city, true, i});
+  }
 
-    for (int i = 0; i < options.city_drives_per_city; ++i) {
-      Rng route_rng = rng.fork(0x1000u + city_id * 64u + i);
-      const auto route = mobility::manhattan_drive(
-          route_rng, *city, mobility::kph(40), options.city_drive_duration);
-      DriveTestOptions dopts;
-      dopts.seed = route_rng.next_u64();
-      dopts.carrier = options.carrier;
-      dopts.workload = options.workload;
-      dopts.band_support = options.band_support;
-      const auto drive = run_drive_test(network, route, dopts);
-      for (auto& hp : annotate_handoffs(drive)) result.handoffs.push_back(hp);
-      result.radio_link_failures += drive.radio_link_failures;
-      result.total_km += drive.route_length_m / 1000.0;
-      ++result.drives;
-    }
+  // Execute: each drive is an independent job.  The campaign rng is never
+  // advanced (fork is const), the network is only read, and every job
+  // writes its own pre-allocated slot.
+  const Rng campaign_rng(options.seed);
+  std::vector<DriveOutcome> outcomes(jobs.size());
+  parallel_for_index(options.threads, jobs.size(), [&](std::size_t j) {
+    const DriveJob& job = jobs[j];
+    outcomes[j] = job.highway
+                      ? run_highway_drive(network, options, campaign_rng,
+                                          *job.city, job.index)
+                      : run_city_drive(network, options, campaign_rng,
+                                       *job.city, job.index);
+  });
 
-    for (int i = 0; i < options.highway_drives_per_city; ++i) {
-      Rng route_rng = rng.fork(0x2000u + city_id * 64u + i);
-      // Diagonal crossing at highway speed (90-120 km/h).
-      const double inset = 0.05 * city->extent_m;
-      const geo::Point a{city->origin.x + inset,
-                         city->origin.y + inset +
-                             route_rng.uniform(0.0, 0.3) * city->extent_m};
-      const geo::Point b{city->origin.x + city->extent_m - inset,
-                         city->origin.y + city->extent_m - inset -
-                             route_rng.uniform(0.0, 0.3) * city->extent_m};
-      const auto route = mobility::highway_drive(
-          a, b, mobility::kph(route_rng.uniform(90.0, 120.0)));
-      DriveTestOptions dopts;
-      dopts.seed = route_rng.next_u64();
-      dopts.carrier = options.carrier;
-      dopts.workload = options.workload;
-      dopts.band_support = options.band_support;
-      const auto drive = run_drive_test(network, route, dopts);
-      for (auto& hp : annotate_handoffs(drive)) result.handoffs.push_back(hp);
-      result.radio_link_failures += drive.radio_link_failures;
-      result.total_km += drive.route_length_m / 1000.0;
-      ++result.drives;
-    }
+  // Fold in job (= serial drive) order, so the pooled handoff list and the
+  // floating-point km accumulation match the single-threaded walk exactly.
+  CampaignResult result;
+  for (auto& outcome : outcomes) {
+    for (auto& hp : outcome.handoffs) result.handoffs.push_back(hp);
+    result.radio_link_failures += outcome.radio_link_failures;
+    result.total_km += outcome.km;
+    ++result.drives;
   }
   return result;
 }

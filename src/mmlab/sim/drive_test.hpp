@@ -69,6 +69,10 @@ struct CampaignOptions {
   int highway_drives_per_city = 2;
   Millis city_drive_duration = 20 * kMillisPerMinute;
   spectrum::BandSupport band_support = spectrum::BandSupport::all();
+  /// Worker threads for the drive fan-out: 0 = one per hardware thread,
+  /// 1 = run the drives inline.  The result is bit-identical for every
+  /// value (see run_campaign).
+  unsigned threads = 0;
 };
 
 struct CampaignResult {
@@ -78,6 +82,14 @@ struct CampaignResult {
   std::size_t radio_link_failures = 0;
 };
 
+/// Runs every (city × drive) of the campaign as an independent WorkerPool
+/// job.  Each drive derives its route and UE seeds from Rng::fork of the
+/// campaign seed with a (city, kind, index) salt — never from a shared
+/// advancing stream — and writes into a pre-allocated per-job slot; the
+/// slots are folded in the serial drive order afterwards.  The network is
+/// only read.  Together that makes the CampaignResult (handoff annotations,
+/// km totals, failure counts) bit-identical for every thread count, the
+/// same contract as sim::run_crawl (pinned by the CampaignParallel suite).
 CampaignResult run_campaign(const net::Deployment& network,
                             const CampaignOptions& options);
 

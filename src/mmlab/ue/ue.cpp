@@ -213,8 +213,12 @@ bool Ue::attach(geo::Point pos, SimTime t) {
 bool Ue::force_camp(net::CellId id, geo::Point pos, SimTime t) {
   const net::Cell* cell = net_.find_cell(id);
   if (!cell) return false;
-  camp_on(*cell, pos, t, diag::CampCause::kForcedSwitch);
+  force_camp(*cell, pos, t);
   return true;
+}
+
+void Ue::force_camp(const net::Cell& cell, geo::Point pos, SimTime t) {
+  camp_on(cell, pos, t, diag::CampCause::kForcedSwitch);
 }
 
 void Ue::detach() {

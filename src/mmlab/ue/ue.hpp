@@ -89,7 +89,22 @@ class Ue {
   void step(geo::Point pos, SimTime t);
 
   /// Type-I proactive cell switching: camp on a specific cell directly.
+  /// False if no cell with that id exists.
+  ///
+  /// Thread-safety contract (the parallel crawl engine relies on this):
+  /// force_camp has no cross-UE shared state.  It writes only this Ue's
+  /// members (serving pointer, monitors, diag log) and reads only the
+  /// target Cell object plus the Ue's own immutable options — it draws no
+  /// random numbers and performs no radio measurement, so distinct Ue
+  /// instances may force_camp concurrently as long as nothing else mutates
+  /// the cells they camp on (sim::run_crawl guarantees that by sharding
+  /// per carrier).  The id-keyed overload additionally reads every cell's
+  /// immutable `id` field during lookup.
   bool force_camp(net::CellId id, geo::Point pos, SimTime t);
+  /// Same, with the cell already in hand — skips the O(cells) id lookup
+  /// (the crawl engine visits cells by index, so the lookup is pure
+  /// overhead there).  `cell` must belong to this Ue's deployment.
+  void force_camp(const net::Cell& cell, geo::Point pos, SimTime t);
 
   /// Detach (camp on nothing); next step() will re-attach.
   void detach();

@@ -1,11 +1,14 @@
 // Fixed-size worker pool: N threads draining one FIFO work queue.
 //
-// The extraction pipeline is embarrassingly parallel across diag logs
-// (MobileInsight's offline replayer has the same shape), so all we need is
-// the smallest possible pool: submit() enqueues a job, wait_idle() blocks
-// until the queue is drained and every worker is resting.  No futures, no
-// work stealing, no external dependencies — determinism comes from the
-// callers writing into pre-allocated per-job slots, never from scheduling.
+// Every parallel stage in the repo is embarrassingly parallel across
+// independent shards — diag logs for the extraction pipeline
+// (MobileInsight's offline replayer has the same shape), carriers for the
+// crawl engine, drives for the D1 campaigns, span partitions for the
+// columnar queries — so all we need is the smallest possible pool:
+// submit() enqueues a job, wait_idle() blocks until the queue is drained
+// and every worker is resting.  No futures, no work stealing, no external
+// dependencies — determinism comes from the callers writing into
+// pre-allocated per-job slots, never from scheduling.
 #pragma once
 
 #include <condition_variable>

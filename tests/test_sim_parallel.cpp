@@ -1,0 +1,236 @@
+// Determinism contract of the parallel simulation engine (DESIGN.md §8):
+// sim::run_crawl and sim::run_campaign must produce bit-identical results
+// for every thread count.  Also pins the two invariants the crawl sharding
+// rests on — netgen::apply_config_update writes only the target cell, and
+// carrier ids are treated as opaque labels (non-dense, interleaved ids work).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "mmlab/netgen/generator.hpp"
+#include "mmlab/netgen/profile.hpp"
+#include "mmlab/sim/crawl.hpp"
+#include "mmlab/sim/drive_test.hpp"
+#include "test_helpers.hpp"
+
+namespace mmlab::sim {
+namespace {
+
+// NaN-proof bit equality for doubles (operator== would also pass for
+// -0.0 vs 0.0, which is exactly the kind of drift these tests must catch).
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void expect_same_crawl(const CrawlResult& a, const CrawlResult& b) {
+  EXPECT_EQ(a.total_camps, b.total_camps);
+  ASSERT_EQ(a.logs.size(), b.logs.size());
+  for (std::size_t i = 0; i < a.logs.size(); ++i) {
+    EXPECT_EQ(a.logs[i].carrier, b.logs[i].carrier);
+    EXPECT_EQ(a.logs[i].acronym, b.logs[i].acronym);
+    EXPECT_EQ(a.logs[i].diag_log, b.logs[i].diag_log) << "carrier " << i;
+  }
+}
+
+// run_crawl mutates the world (reconfigurations are applied in place), so
+// every run gets a freshly generated copy.
+CrawlResult crawl_once(unsigned threads, bool reconfig_heavy) {
+  netgen::WorldOptions wopts;
+  wopts.seed = 11;
+  wopts.scale = 0.02;
+  auto world = netgen::generate_world(wopts);
+  if (reconfig_heavy) {
+    // Dense deterministic schedules: every cell reconfigures six times over
+    // the window, alternating SIB and measConfig redraws, so the lazy
+    // per-shard update application is exercised on nearly every visit.
+    for (std::size_t i = 0; i < world.update_schedule.size(); ++i) {
+      auto& schedule = world.update_schedule[i];
+      schedule.clear();
+      for (int k = 0; k < 6; ++k)
+        schedule.push_back({5.0 + 80.0 * k + 0.01 * static_cast<double>(i),
+                            (static_cast<std::size_t>(k) + i) % 2 == 0});
+    }
+  }
+  CrawlOptions copts;
+  copts.threads = threads;
+  return run_crawl(world, copts);
+}
+
+TEST(CrawlParallel, BitIdenticalAcrossThreadCounts) {
+  const auto serial = crawl_once(1, false);
+  EXPECT_GT(serial.total_camps, 0u);
+  for (unsigned threads : {2u, 4u, 0u})  // 0 = hardware concurrency
+    expect_same_crawl(serial, crawl_once(threads, false));
+}
+
+TEST(CrawlParallel, BitIdenticalWithHeavyReconfiguration) {
+  const auto serial = crawl_once(1, true);
+  EXPECT_GT(serial.total_camps, 0u);
+  for (unsigned threads : {2u, 4u, 0u})
+    expect_same_crawl(serial, crawl_once(threads, true));
+}
+
+// A hand-built world whose carrier ids are non-dense (7 and 3) and whose
+// cells interleave between the carriers.  Sharding must key everything off
+// carrier_position(); indexing profiles or shards by raw carrier id would
+// either throw or silently cross-apply another carrier's policy.
+netgen::GeneratedWorld interleaved_world() {
+  netgen::GeneratedWorld world;
+  world.options.seed = 9;
+  world.options.scale = 1.0;
+  world.options.window_days = 540.0;
+
+  auto& net = world.network;
+  net.set_shadowing(3, 0.0, 50.0);
+  net.add_carrier({7, "CarrierSeven", "S", "US"});
+  net.add_carrier({3, "CarrierThree", "T", "US"});
+  geo::City city;
+  city.id = 0;
+  city.name = "Testville";
+  city.code = "T0";
+  city.country = "US";
+  city.origin = {-1000, -1000};
+  city.extent_m = 8000;
+  net.add_city(city);
+
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    const net::CarrierId carrier = (i % 2 == 0) ? 7 : 3;
+    net.add_cell(test::lte_cell(100 + i, carrier,
+                                {static_cast<double>(i) * 400.0,
+                                 (i % 2 == 0) ? 0.0 : 300.0},
+                                850, test::basic_lte_config()));
+  }
+
+  world.update_schedule.assign(net.cells().size(), {});
+  for (std::size_t i = 0; i < net.cells().size(); ++i)
+    world.update_schedule[i] = {
+        {30.0 + static_cast<double>(i), i % 2 == 0},
+        {200.0 + static_cast<double>(i), i % 3 == 0}};
+
+  // Index-aligned with carriers(): position 0 = id 7, position 1 = id 3.
+  const auto& profiles = netgen::standard_carrier_profiles();
+  world.profiles = {&profiles[0], &profiles[1]};
+  return world;
+}
+
+TEST(CrawlParallel, InterleavedCarrierCellIds) {
+  CrawlOptions copts;
+  copts.mean_rounds = 4.0;
+
+  copts.threads = 1;
+  auto world_serial = interleaved_world();
+  const auto serial = run_crawl(world_serial, copts);
+  ASSERT_EQ(serial.logs.size(), 2u);
+  EXPECT_EQ(serial.logs[0].carrier, 7u);
+  EXPECT_EQ(serial.logs[1].carrier, 3u);
+  EXPECT_GT(serial.logs[0].diag_log.size(), 0u);
+  EXPECT_GT(serial.logs[1].diag_log.size(), 0u);
+
+  for (unsigned threads : {2u, 4u, 0u}) {
+    copts.threads = threads;
+    auto world = interleaved_world();
+    expect_same_crawl(serial, run_crawl(world, copts));
+  }
+}
+
+TEST(ApplyConfigUpdate, WritesOnlyTargetCell) {
+  netgen::WorldOptions wopts;
+  wopts.seed = 4;
+  wopts.scale = 0.01;
+  auto world = netgen::generate_world(wopts);
+  const auto& cells = world.network.cells();
+
+  std::size_t target = cells.size();
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    if (cells[i].is_lte()) {
+      target = i;
+      break;
+    }
+  ASSERT_LT(target, cells.size());
+
+  std::vector<config::CellConfig> lte_before;
+  std::vector<config::LegacyCellConfig> legacy_before;
+  for (const auto& cell : cells) {
+    lte_before.push_back(cell.lte_config);
+    legacy_before.push_back(cell.legacy_config);
+  }
+
+  netgen::apply_config_update(world, target, {42.0, true});
+  netgen::apply_config_update(world, target, {43.0, false});
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i == target) continue;
+    EXPECT_EQ(cells[i].lte_config, lte_before[i]) << "cell " << i;
+    EXPECT_EQ(cells[i].legacy_config, legacy_before[i]) << "cell " << i;
+  }
+}
+
+void expect_same_handoff(const HandoffPerf& a, const HandoffPerf& b) {
+  EXPECT_EQ(a.rec.report_time, b.rec.report_time);
+  EXPECT_EQ(a.rec.exec_time, b.rec.exec_time);
+  EXPECT_EQ(a.rec.from, b.rec.from);
+  EXPECT_EQ(a.rec.to, b.rec.to);
+  EXPECT_EQ(a.rec.active_state, b.rec.active_state);
+  EXPECT_EQ(a.rec.trigger, b.rec.trigger);
+  EXPECT_EQ(a.rec.metric, b.rec.metric);
+  EXPECT_EQ(a.rec.decisive_config, b.rec.decisive_config);
+  EXPECT_TRUE(same_bits(a.rec.old_rsrp_dbm, b.rec.old_rsrp_dbm));
+  EXPECT_TRUE(same_bits(a.rec.new_rsrp_dbm, b.rec.new_rsrp_dbm));
+  EXPECT_TRUE(same_bits(a.rec.old_rsrq_db, b.rec.old_rsrq_db));
+  EXPECT_TRUE(same_bits(a.rec.new_rsrq_db, b.rec.new_rsrq_db));
+  EXPECT_EQ(a.rec.from_channel, b.rec.from_channel);
+  EXPECT_EQ(a.rec.to_channel, b.rec.to_channel);
+  EXPECT_EQ(a.rec.serving_priority, b.rec.serving_priority);
+  EXPECT_EQ(a.rec.target_priority, b.rec.target_priority);
+  EXPECT_TRUE(same_bits(a.min_thpt_before_bps, b.min_thpt_before_bps));
+  EXPECT_TRUE(same_bits(a.min_thpt_before_1s_bps, b.min_thpt_before_1s_bps));
+  EXPECT_TRUE(same_bits(a.mean_thpt_after_bps, b.mean_thpt_after_bps));
+}
+
+TEST(CampaignParallel, BitIdenticalAcrossThreadCounts) {
+  // run_campaign only reads the network, so one world serves every run.
+  netgen::WorldOptions wopts;
+  wopts.seed = 6;
+  wopts.scale = 0.02;
+  const auto world = netgen::generate_world(wopts);
+
+  CampaignOptions opts;
+  opts.seed = 21;
+  opts.carrier = world.network.carriers().front().id;
+  opts.cities = {0, 2};
+  opts.city_drives_per_city = 2;
+  opts.highway_drives_per_city = 1;
+  opts.city_drive_duration = 2 * kMillisPerMinute;
+
+  opts.threads = 1;
+  const auto serial = run_campaign(world.network, opts);
+  EXPECT_EQ(serial.drives, 6u);
+  EXPECT_GT(serial.total_km, 0.0);
+
+  for (unsigned threads : {2u, 4u, 0u}) {
+    opts.threads = threads;
+    const auto parallel = run_campaign(world.network, opts);
+    EXPECT_EQ(serial.drives, parallel.drives);
+    EXPECT_EQ(serial.radio_link_failures, parallel.radio_link_failures);
+    EXPECT_TRUE(same_bits(serial.total_km, parallel.total_km));
+    ASSERT_EQ(serial.handoffs.size(), parallel.handoffs.size());
+    for (std::size_t i = 0; i < serial.handoffs.size(); ++i)
+      expect_same_handoff(serial.handoffs[i], parallel.handoffs[i]);
+  }
+}
+
+TEST(CampaignParallel, UnknownCityThrowsBeforeAnyDrive) {
+  netgen::WorldOptions wopts;
+  wopts.seed = 6;
+  wopts.scale = 0.01;
+  const auto world = netgen::generate_world(wopts);
+  CampaignOptions opts;
+  opts.carrier = world.network.carriers().front().id;
+  opts.cities = {0, 9999};
+  EXPECT_THROW(run_campaign(world.network, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmlab::sim

@@ -1,8 +1,10 @@
 // mmlab_cli — command-line front end for the library.
 //
 //   mmlab_cli crawl   <out> [scale] [--threads N] [--format csv|bin]
-//                                      generate a world, crawl it, extract
-//                                      in parallel, save the dataset
+//                                      generate a world, crawl it and extract
+//                                      in parallel (--threads drives both; the
+//                                      dataset is identical either way), save
+//                                      the dataset
 //   mmlab_cli ingest  <out> [scale] [--devices K] [--chunk-bytes N]
 //                     [--threads N] [--format csv|bin]
 //                                      same world, but replay the crawl as K
@@ -128,6 +130,7 @@ int cmd_crawl(int argc, char** argv) {
   std::printf("crawling %zu cells (scale %.2f)...\n",
               world.network.cells().size(), scale);
   sim::CrawlOptions copts;
+  copts.threads = threads;
   auto crawl = sim::run_crawl(world, copts);
   core::ConfigDatabase db;
   const auto pstats = core::extract_configs_parallel(crawl.logs, db, threads);
@@ -164,6 +167,7 @@ int cmd_ingest(int argc, char** argv) {
   std::printf("crawling %zu cells (scale %.2f)...\n",
               world.network.cells().size(), scale);
   sim::CrawlOptions copts;
+  copts.threads = opts.threads;
   auto crawl = sim::run_crawl(world, copts);
   const auto uploads = sim::split_crawl_uploads(crawl.logs, opts.devices);
   std::printf("replaying as %zu device uploads (%u devices/carrier, "
