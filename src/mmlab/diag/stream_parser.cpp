@@ -63,6 +63,15 @@ bool StreamParser::next(Record& out) {
   return true;
 }
 
+void StreamParser::reset() {
+  state_ = State::kBody;
+  body_.clear();
+  ready_.clear();
+  stats_ = ParseStats{};
+  bytes_fed_ = 0;
+  finished_ = false;
+}
+
 void StreamParser::finish() {
   if (finished_) return;
   finished_ = true;

@@ -43,6 +43,13 @@ class StreamParser {
   void finish();
   bool finished() const { return finished_; }
 
+  /// Reset-on-abort contract: return to the freshly-constructed state.  The
+  /// upload died (device disconnected mid-frame), it did not *end* — so the
+  /// partial tail is discarded without the finish() malformed count, buffered
+  /// ready records are dropped, stats and bytes_fed zero, and the parser is
+  /// immediately reusable for a new stream (even after finish()).
+  void reset();
+
   /// Identical to what batch Parser::stats() would report over the bytes fed
   /// so far (plus finish()'s tail accounting once called).
   const ParseStats& stats() const { return stats_; }

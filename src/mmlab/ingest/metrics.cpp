@@ -8,6 +8,9 @@ TablePrinter metrics_table(const Metrics& m) {
   TablePrinter table({"Metric", "Value"});
   table.add_row({"sessions opened", std::to_string(m.sessions_opened)});
   table.add_row({"sessions closed", std::to_string(m.sessions_closed)});
+  table.add_row({"sessions sealed", std::to_string(m.sessions_sealed)});
+  table.add_row({"sessions aborted", std::to_string(m.sessions_aborted)});
+  table.add_row({"sessions live", std::to_string(m.sessions_live)});
   table.add_row({"chunks", std::to_string(m.chunks)});
   table.add_row({"bytes", std::to_string(m.bytes)});
   table.add_row({"records", std::to_string(m.records)});
@@ -15,7 +18,8 @@ TablePrinter metrics_table(const Metrics& m) {
   table.add_row({"crc failures", std::to_string(m.crc_failures)});
   table.add_row({"malformed frames", std::to_string(m.malformed)});
   table.add_row({"decode workers", std::to_string(m.workers)});
-  table.add_row({"queue capacity (chunks)", std::to_string(m.queue_capacity)});
+  table.add_row(
+      {"queue capacity (chunks/shard)", std::to_string(m.queue_capacity)});
   table.add_row({"queue high-water mark", std::to_string(m.queue_high_water)});
   table.add_row(
       {"producer stall", fmt_double(m.producer_stall_seconds, 3) + " s"});

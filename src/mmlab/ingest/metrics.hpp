@@ -13,9 +13,15 @@
 namespace mmlab::ingest {
 
 struct Metrics {
-  // Sessions.
+  // Sessions.  `closed` counts accepted close_session() calls the moment
+  // they are accepted; `sealed` counts end-of-stream markers fully decoded.
+  // A closed-but-not-yet-sealed session is the gap between the two —
+  // conflating them (the pre-hardening bug) made in-flight closes invisible.
   std::size_t sessions_opened = 0;
-  std::size_t sessions_closed = 0;  ///< end-of-stream fully decoded (sealed)
+  std::size_t sessions_closed = 0;   ///< close_session() accepted
+  std::size_t sessions_sealed = 0;   ///< end-of-stream fully decoded
+  std::size_t sessions_aborted = 0;  ///< abort decoded; shard discarded
+  std::size_t sessions_live = 0;     ///< Session objects currently held
 
   // Upload volume (counted at offer time).
   std::size_t chunks = 0;
@@ -27,7 +33,9 @@ struct Metrics {
   std::size_t crc_failures = 0;  ///< diag frames dropped by CRC
   std::size_t malformed = 0;     ///< framing + payload-decode drops
 
-  // Backpressure.
+  // Backpressure, aggregated over the per-worker shard queues: capacity is
+  // per shard, high-water is the max any shard reached, stall is the total
+  // wall time producers spent blocked across all shards.
   std::size_t queue_capacity = 0;
   std::size_t queue_high_water = 0;
   double producer_stall_seconds = 0.0;

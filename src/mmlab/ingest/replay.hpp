@@ -1,16 +1,31 @@
-// Fleet replay driver: push a set of device uploads through an ingest
+// Fleet replay drivers: push a set of device uploads through an ingest
 // Service the way a live deployment would — concurrently, in chunks, with
 // uploads interleaved rather than sequential.
 //
-// Sessions are opened on the calling thread in upload order (so session ids
-// — the deterministic merge order — always match the upload order), then
-// producer threads stream the chunks.  Each producer owns a disjoint subset
-// of the sessions and round-robins one chunk at a time across them, which
-// interleaves chunk arrival across sessions while preserving the one
-// producer-per-session ordering contract.
+// Two drivers share the session-ordering contract (sessions are opened on
+// the calling thread in upload order, so session ids — the deterministic
+// merge order — always match the upload order; each producer thread owns a
+// disjoint subset of the sessions and round-robins one chunk at a time
+// across them):
+//
+// * replay_uploads() — the clean driver: every byte arrives, in order,
+//   every session closes.
+//
+// * replay_uploads_adversarial() — the hostile fleet MobileAtlas-style
+//   probes actually are: devices disconnect mid-varint, reorder their send
+//   buffer, duplicate/resend chunks, stall, and flip bytes in flight.  Every
+//   fault is drawn from a per-device fork of one seed (Rng::fork(upload
+//   index)), so a failing schedule reproduces bit-identically regardless of
+//   producer-thread count or scheduling.  The driver records, per session,
+//   the byte stream it *actually delivered* (exactly what offer() admitted,
+//   in offer order) and whether the session was aborted — which makes the
+//   acceptance oracle mechanical: drain() must equal serial extraction over
+//   the delivered bytes of the sealed sessions only (delivered_reference()).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mmlab/ingest/service.hpp"
@@ -34,5 +49,86 @@ struct ReplayResult {
 ReplayResult replay_uploads(Service& service,
                             const std::vector<sim::DeviceUpload>& uploads,
                             const ReplayOptions& opts = {});
+
+// --- adversarial driver ------------------------------------------------------
+
+/// Per-chunk fault schedule.  Probabilities are independent per chunk; a
+/// disconnect ends the device (abort_session) after delivering a random
+/// truncation of its current chunk — typically mid-frame or mid-varint.
+struct FaultProfile {
+  double disconnect_prob = 0.0;  ///< truncate current chunk, abort session
+  double duplicate_prob = 0.0;   ///< resend the chunk (both copies count)
+  double corrupt_prob = 0.0;     ///< flip one random byte (CRC/terminator/…)
+  double stall_prob = 0.0;       ///< sleep up to stall_max_micros
+  /// Device send-buffer depth: chunks are released from an N-deep window in
+  /// random order, so arrival order differs from stream order (the service
+  /// decodes delivery order — the reorder is what a retransmitting
+  /// transport would have committed, not something to undo).
+  std::size_t reorder_window = 1;  ///< 1 = in-order
+  unsigned stall_max_micros = 500;
+
+  /// The canned hostile mix used by the soak harness and the TSan suites.
+  static FaultProfile aggressive() {
+    FaultProfile p;
+    p.disconnect_prob = 0.02;
+    p.duplicate_prob = 0.05;
+    p.corrupt_prob = 0.08;
+    p.stall_prob = 0.01;
+    p.reorder_window = 4;
+    p.stall_max_micros = 200;
+    return p;
+  }
+};
+
+struct FaultCounts {
+  std::size_t disconnects = 0;
+  std::size_t duplicates = 0;
+  std::size_t corruptions = 0;
+  std::size_t stalls = 0;
+  std::size_t reorders = 0;  ///< chunks released out of window order
+
+  FaultCounts& operator+=(const FaultCounts& o) {
+    disconnects += o.disconnects;
+    duplicates += o.duplicates;
+    corruptions += o.corruptions;
+    stalls += o.stalls;
+    reorders += o.reorders;
+    return *this;
+  }
+};
+
+struct AdversarialOptions {
+  std::uint64_t seed = 1;          ///< forked per device: fork(upload index)
+  std::size_t chunk_bytes = 4096;  ///< base size; actual sizes jitter [1, 2b)
+  unsigned producer_threads = 8;   ///< clamped to the number of uploads
+  FaultProfile faults;
+};
+
+/// What one session actually received, fault effects included.
+struct DeliveredUpload {
+  SessionId session = 0;
+  std::string carrier;
+  std::vector<std::uint8_t> bytes;  ///< exactly the bytes offered, in order
+  bool aborted = false;             ///< disconnected; excluded from drain()
+  FaultCounts faults;
+};
+
+struct AdversarialReplayResult {
+  std::vector<DeliveredUpload> uploads;  ///< index-aligned with the input
+  FaultCounts faults;                    ///< fleet-wide totals
+  double seconds = 0.0;
+};
+
+/// Stream every upload through `service` under the fault schedule.  Every
+/// session ends in exactly one of close_session (sealed) or abort_session
+/// (discarded); the result records which, plus the delivered bytes.
+AdversarialReplayResult replay_uploads_adversarial(
+    Service& service, const std::vector<sim::DeviceUpload>& uploads,
+    const AdversarialOptions& opts = {});
+
+/// The acceptance oracle: serial extract_configs() over the delivered bytes
+/// of every *sealed* (non-aborted) session, in session-id order.  For any
+/// fault schedule, Service::drain() must equal this database exactly.
+core::ConfigDatabase delivered_reference(const AdversarialReplayResult& result);
 
 }  // namespace mmlab::ingest

@@ -8,8 +8,8 @@ namespace mmlab::ingest {
 /// One device upload in flight.  The decode members (parser, extractor,
 /// shard, stats deltas) are touched only by the worker holding the strand
 /// (`busy == true`), so they need no lock of their own; `mu` guards the
-/// cross-thread surface: the pending-chunk map, the strand flag, and the
-/// stats copy readers take.
+/// cross-thread surface: the pending-chunk map, the strand flag, the offer
+/// cursor, and the stats copy readers take.
 struct Service::Session {
   SessionId id = 0;
   std::string carrier;
@@ -39,10 +39,12 @@ Service::Service(const Options& opts)
     : opts_(opts),
       workers_configured_(opts.workers == 0
                               ? std::max(1u, std::thread::hardware_concurrency())
-                              : opts.workers),
-      queue_(opts.queue_capacity) {
+                              : opts.workers) {
   if (opts_.shard_stripes == 0)
     throw std::invalid_argument("ingest::Service: shard_stripes must be > 0");
+  queues_.reserve(workers_configured_);
+  for (unsigned i = 0; i < workers_configured_; ++i)
+    queues_.push_back(std::make_unique<BoundedQueue<Chunk>>(opts.queue_capacity));
   stripes_.reserve(opts_.shard_stripes);
   for (std::size_t i = 0; i < opts_.shard_stripes; ++i)
     stripes_.push_back(std::make_unique<Stripe>());
@@ -57,14 +59,14 @@ void Service::start() {
   started_ = true;
   workers_.reserve(workers_configured_);
   for (unsigned i = 0; i < workers_configured_; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 void Service::stop() {
   std::lock_guard lock(lifecycle_mu_);
   if (stopped_) return;
   stopped_ = true;
-  queue_.close();
+  for (auto& q : queues_) q->close();
   for (auto& t : workers_) t.join();
   workers_.clear();
 }
@@ -94,8 +96,12 @@ SessionId Service::open_session(std::string carrier) {
 std::shared_ptr<Service::Session> Service::find_session(SessionId id) const {
   std::lock_guard lock(sessions_mu_);
   const auto it = sessions_.find(id);
-  if (it == sessions_.end())
+  if (it == sessions_.end()) {
+    if (finished_stats_.count(id))
+      throw std::logic_error("ingest: session " + std::to_string(id) +
+                             " already finished");
     throw std::logic_error("ingest: unknown session id " + std::to_string(id));
+  }
   return it->second;
 }
 
@@ -104,6 +110,7 @@ void Service::offer(SessionId id, std::vector<std::uint8_t> chunk) {
   Chunk c;
   c.session = id;
   c.bytes = std::move(chunk);
+  const std::size_t chunk_bytes = c.bytes.size();
   {
     std::lock_guard lock(session->mu);
     if (session->stats.closed)
@@ -111,16 +118,23 @@ void Service::offer(SessionId id, std::vector<std::uint8_t> chunk) {
                              std::to_string(id));
     c.seq = session->next_offer_seq++;
   }
-  chunks_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(c.bytes.size(), std::memory_order_relaxed);
   {
     std::lock_guard lock(idle_mu_);
     ++undecoded_;
   }
-  if (!queue_.push(std::move(c))) {
+  if (!queue_for(id).push(std::move(c))) {
+    // Rejected (service stopped): undo every side effect so the strand
+    // cursor stays contiguous — a skipped seq would park all later chunks
+    // forever and hang wait_quiescent().
     note_done_one();
+    {
+      std::lock_guard lock(session->mu);
+      --session->next_offer_seq;
+    }
     throw std::runtime_error("ingest: service stopped");
   }
+  chunks_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(chunk_bytes, std::memory_order_relaxed);
 }
 
 void Service::close_session(SessionId id) {
@@ -141,8 +155,53 @@ void Service::close_session(SessionId id) {
     ++undecoded_;
     --open_sessions_;
   }
-  if (!queue_.push(std::move(c))) {
+  if (!queue_for(id).push(std::move(c))) {
     note_done_one();
+    {
+      std::lock_guard lock(idle_mu_);
+      ++open_sessions_;
+    }
+    {
+      std::lock_guard lock(session->mu);
+      session->stats.closed = false;
+      --session->next_offer_seq;
+    }
+    throw std::runtime_error("ingest: service stopped");
+  }
+  sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Service::abort_session(SessionId id) {
+  const auto session = find_session(id);
+  Chunk c;
+  c.session = id;
+  c.abort = true;
+  {
+    std::lock_guard lock(session->mu);
+    if (session->stats.closed)
+      throw std::logic_error("ingest: abort on closed session " +
+                             std::to_string(id));
+    session->stats.closed = true;
+    session->stats.aborted = true;
+    c.seq = session->next_offer_seq++;
+  }
+  {
+    std::lock_guard lock(idle_mu_);
+    ++undecoded_;
+    --open_sessions_;
+  }
+  if (!queue_for(id).push(std::move(c))) {
+    note_done_one();
+    {
+      std::lock_guard lock(idle_mu_);
+      ++open_sessions_;
+    }
+    {
+      std::lock_guard lock(session->mu);
+      session->stats.closed = false;
+      session->stats.aborted = false;
+      --session->next_offer_seq;
+    }
     throw std::runtime_error("ingest: service stopped");
   }
 }
@@ -153,9 +212,10 @@ void Service::note_done_one() {
   if (undecoded_ == 0) idle_cv_.notify_all();
 }
 
-void Service::worker_loop() {
+void Service::worker_loop(unsigned shard) {
+  BoundedQueue<Chunk>& queue = *queues_[shard];
   Chunk chunk;
-  while (queue_.pop(chunk)) {
+  while (queue.pop(chunk)) {
     const auto session = find_session(chunk.session);
     Session& s = *session;
     {
@@ -194,6 +254,17 @@ void Service::decode_strand(Session& s) {
 
 void Service::decode_chunk(Session& s, Chunk&& chunk) {
   // Strand-exclusive: only one worker runs this for a given session.
+  if (chunk.abort) {
+    // The upload died rather than ended: reset the parser mid-frame (the
+    // diag reset-on-abort contract — no finish(), no trailing-malformed
+    // count) and let the decoded prefix die with the shard.  Nothing is
+    // sealed; drain()/snapshot() never see this session.
+    s.parser.reset();
+    sessions_aborted_.fetch_add(1, std::memory_order_relaxed);
+    evict_session(s);
+    return;
+  }
+
   if (chunk.end) {
     s.parser.finish();
   } else {
@@ -238,7 +309,24 @@ void Service::decode_chunk(Session& s, Chunk&& chunk) {
       stripe.sealed.emplace_back(s.id, std::move(s.shard));
     }
     sessions_sealed_.fetch_add(1, std::memory_order_relaxed);
+    evict_session(s);
   }
+}
+
+void Service::evict_session(Session& s) {
+  // Session lifecycle contract: a finished (sealed or aborted) session's
+  // decode state is dropped immediately; only its compact final stats stay,
+  // so the live map is bounded by the number of open uploads no matter how
+  // long the service runs.  The Session object itself stays alive until the
+  // strand unwinds (worker_loop holds a shared_ptr).
+  IngestStats final_stats;
+  {
+    std::lock_guard lock(s.mu);
+    final_stats = s.stats;
+  }
+  std::lock_guard lock(sessions_mu_);
+  finished_stats_.emplace(s.id, std::move(final_stats));
+  sessions_.erase(s.id);
 }
 
 void Service::wait_quiescent() {
@@ -278,42 +366,68 @@ core::ConfigDatabase Service::snapshot() const {
   return db;
 }
 
+std::size_t Service::live_sessions() const {
+  std::lock_guard lock(sessions_mu_);
+  return sessions_.size();
+}
+
 Metrics Service::metrics() const {
   Metrics m;
   m.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
-  m.sessions_closed = sessions_sealed_.load(std::memory_order_relaxed);
+  m.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  m.sessions_sealed = sessions_sealed_.load(std::memory_order_relaxed);
+  m.sessions_aborted = sessions_aborted_.load(std::memory_order_relaxed);
+  m.sessions_live = live_sessions();
   m.chunks = chunks_.load(std::memory_order_relaxed);
   m.bytes = bytes_.load(std::memory_order_relaxed);
   m.records = records_.load(std::memory_order_relaxed);
   m.snapshots = snapshots_.load(std::memory_order_relaxed);
   m.crc_failures = crc_failures_.load(std::memory_order_relaxed);
   m.malformed = malformed_.load(std::memory_order_relaxed);
-  m.queue_capacity = queue_.capacity();
-  m.queue_high_water = queue_.high_water();
-  m.producer_stall_seconds = queue_.producer_stall_seconds();
+  m.queue_capacity = opts_.queue_capacity;
+  for (const auto& q : queues_) {
+    m.queue_high_water = std::max(m.queue_high_water, q->high_water());
+    m.producer_stall_seconds += q->producer_stall_seconds();
+  }
   m.workers = workers_configured_;
   return m;
 }
 
 IngestStats Service::session_stats(SessionId id) const {
-  const auto session = find_session(id);
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard lock(sessions_mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      const auto fit = finished_stats_.find(id);
+      if (fit != finished_stats_.end()) return fit->second;
+      throw std::logic_error("ingest: unknown session id " +
+                             std::to_string(id));
+    }
+    session = it->second;
+  }
   std::lock_guard lock(session->mu);
   return session->stats;
 }
 
 std::vector<IngestStats> Service::all_session_stats() const {
-  std::vector<std::shared_ptr<Session>> sessions;
+  std::vector<std::shared_ptr<Session>> live;
+  std::vector<IngestStats> out;
   {
     std::lock_guard lock(sessions_mu_);
-    sessions.reserve(sessions_.size());
-    for (const auto& [id, s] : sessions_) sessions.push_back(s);
+    live.reserve(sessions_.size());
+    for (const auto& [id, s] : sessions_) live.push_back(s);
+    out.reserve(sessions_.size() + finished_stats_.size());
+    for (const auto& [id, stats] : finished_stats_) out.push_back(stats);
   }
-  std::vector<IngestStats> out;
-  out.reserve(sessions.size());
-  for (const auto& s : sessions) {
+  for (const auto& s : live) {
     std::lock_guard lock(s->mu);
     out.push_back(s->stats);
   }
+  std::sort(out.begin(), out.end(),
+            [](const IngestStats& a, const IngestStats& b) {
+              return a.id < b.id;
+            });
   return out;
 }
 

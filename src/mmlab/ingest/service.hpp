@@ -4,29 +4,56 @@
 //
 // Shape of the pipeline:
 //
-//   producers (device uploads)      decode workers             snapshot/drain
-//   offer(session, chunk) ──► BoundedQueue ──► per-session strand ──► sealed
-//        blocks when full          (MPMC)      StreamParser +          shard
-//        (backpressure)                        StreamExtractor         store
-//                                              -> private shard     (striped)
+//   producers (device uploads)       decode workers             snapshot/drain
+//   offer(session, chunk) ──► queues_[session % W] ──► per-session ──► sealed
+//        blocks when the       (one BoundedQueue         strand          shard
+//        shard queue is full    per worker: no          StreamParser +   store
+//        (backpressure)         cross-worker            StreamExtractor (striped)
+//                               contention)             -> private shard
 //
-// Concurrency model: the unit of parallelism is the *session*.  Each session
-// owns its framing/extraction state (a diag::StreamParser cursor and a
-// core::StreamExtractor) plus a private ConfigDatabase shard, so decoding
-// needs no cross-session locks.  Chunks of one session carry sequence
-// numbers; whichever worker pops a chunk parks it in the session's pending
-// map, and a single worker at a time (the `busy` strand flag) drains the map
-// in sequence order — out-of-order pops across workers reorder nothing.
+// Concurrency model: the unit of parallelism is the *session*.  Admission is
+// sharded per worker — a session's chunks always land on queue
+// `session % workers`, popped only by worker `workers_[session % workers]` —
+// so the hot path never crosses a shared queue mutex and per-session FIFO is
+// structural.  Each session owns its framing/extraction state (a
+// diag::StreamParser cursor and a core::StreamExtractor) plus a private
+// ConfigDatabase shard, so decoding needs no cross-session locks.  Chunks of
+// one session carry sequence numbers; the pending map + `busy` strand flag
+// keep decode order correct even if a future scheduler lets several workers
+// pop one session's chunks.
+//
+// Session lifecycle (each transition is a queued marker, so it serializes
+// after every previously offered chunk of that session):
+//
+//   open ──offer*──► close_session ──► [end decoded] ──► SEALED: shard into
+//     │                                                  the store, Session
+//     │                                                  evicted, final stats
+//     │                                                  to the sealed map
+//     └──offer*──► abort_session ────► [abort decoded] ─► ABORTED: shard
+//                  (device vanished)                      discarded, parser
+//                                                         reset, Session
+//                                                         evicted likewise
+//
+// Sealed/aborted sessions are *erased* from the live map — a long-running
+// service holds Session state only for currently open uploads, plus one
+// compact IngestStats per finished session so session_stats() still answers.
+//
+// Exception safety: offer()/close_session()/abort_session() assign the
+// session's next sequence number and mutate lifecycle flags *only if the
+// queue push succeeds* — a failed push rolls every side effect back under
+// the session mutex, so the strand cursor can never skip a seq (which would
+// park all later chunks forever and hang wait_quiescent()).
 //
 // Determinism: session ids are handed out in open order, every session is
 // decoded strictly in chunk order, and snapshot()/drain() merge the sealed
 // per-session shards in session-id order.  The result is therefore a pure
 // function of (session contents, open order) — chunk sizes, worker count,
-// queue capacity, and scheduling cannot change a single byte of it.  When
-// the sessions partition a crawl's carrier logs at camp boundaries (see
-// sim::split_crawl_uploads), that function equals serial extract_configs()
-// over the original logs, because ConfigDatabase::merge re-orders each
-// cell's observations by their (monotone) camp timestamps.
+// queue capacity, and scheduling cannot change a single byte of it.  Aborted
+// sessions contribute nothing.  When the sessions partition a crawl's
+// carrier logs at camp boundaries (see sim::split_crawl_uploads), that
+// function equals serial extract_configs() over the original logs, because
+// ConfigDatabase::merge re-orders each cell's observations by their
+// (monotone) camp timestamps.
 #pragma once
 
 #include <atomic>
@@ -48,14 +75,16 @@ namespace mmlab::ingest {
 
 using SessionId = std::uint64_t;
 
-/// Per-session accounting, readable at any time via session_stats().
+/// Per-session accounting, readable at any time via session_stats() — also
+/// after the session finishes and its decode state is evicted.
 struct IngestStats {
   SessionId id = 0;
   std::string carrier;
   std::size_t chunks = 0;  ///< data chunks decoded (end marker excluded)
   std::size_t bytes = 0;   ///< diag bytes decoded
-  bool closed = false;     ///< close_session() called
+  bool closed = false;     ///< close_session()/abort_session() accepted
   bool sealed = false;     ///< end-of-stream decoded; shard in the store
+  bool aborted = false;    ///< abort decoded; shard discarded, nothing sealed
   /// Combined parser + extractor counters, aggregated exactly like
   /// extract_configs() aggregates them for a whole log.
   core::ExtractStats extract;
@@ -65,8 +94,10 @@ class Service {
  public:
   struct Options {
     unsigned workers = 0;  ///< decode threads; 0 = hardware concurrency
-    std::size_t queue_capacity = 256;  ///< chunks admitted before blocking
-    std::size_t shard_stripes = 16;    ///< lock stripes of the shard store
+    /// Chunks admitted per worker shard before a producer blocks.  Total
+    /// queued chunks are bounded by workers * queue_capacity.
+    std::size_t queue_capacity = 256;
+    std::size_t shard_stripes = 16;  ///< lock stripes of the shard store
     /// Tests set this false to control exactly when decoding begins (e.g.
     /// to fill the queue and observe producer backpressure first).
     bool autostart = true;
@@ -88,15 +119,24 @@ class Service {
   SessionId open_session(std::string carrier);
 
   /// Append one chunk of diag bytes to a session's stream.  Blocks while
-  /// the chunk queue is full (backpressure).  One producer thread per
-  /// session: chunk order is the stream order.  Throws std::logic_error on
-  /// an unknown/closed session, std::runtime_error after stop().
+  /// the session's shard queue is full (backpressure).  One producer thread
+  /// per session: chunk order is the stream order.  Throws std::logic_error
+  /// on an unknown/closed/finished session, std::runtime_error after stop()
+  /// — in which case no session state changed (the chunk is simply refused).
   void offer(SessionId id, std::vector<std::uint8_t> chunk);
 
   /// End a session's stream. The trailing partial frame (if any) is
   /// accounted per the diag truncation contract, the in-progress cell is
   /// flushed, and the session's shard moves into the sealed store.
   void close_session(SessionId id);
+
+  /// The device vanished mid-upload (network drop, battery, crash): discard
+  /// the session.  Serializes after everything already offered; the decoded
+  /// prefix is thrown away with the shard — an aborted session contributes
+  /// zero bytes to drain()/snapshot() — and the parser is reset per the
+  /// diag::StreamParser reset-on-abort contract.  Final stats (aborted=true)
+  /// stay queryable.  Same exception contract as close_session().
+  void abort_session(SessionId id);
 
   /// Block until every offered chunk is decoded and every closed session is
   /// sealed. Throws std::logic_error if a session is still open — a live
@@ -117,6 +157,11 @@ class Service {
   /// Stats of every session ever opened, in session-id order.
   std::vector<IngestStats> all_session_stats() const;
 
+  /// Live Session objects currently held (open or decoding) — the quantity
+  /// the lifecycle bounds: finished sessions are evicted, so this tracks
+  /// open uploads, not service age.
+  std::size_t live_sessions() const;
+
   /// Close the intake and join the workers. offer() fails afterwards.
   void stop();
 
@@ -127,25 +172,34 @@ class Service {
     SessionId session = 0;
     std::uint64_t seq = 0;
     std::vector<std::uint8_t> bytes;
-    bool end = false;
+    bool end = false;    ///< close_session marker
+    bool abort = false;  ///< abort_session marker
   };
 
   struct Session;
   struct Stripe;
 
-  void worker_loop();
+  void worker_loop(unsigned shard);
   void decode_strand(Session& s);
   void decode_chunk(Session& s, Chunk&& chunk);
   std::shared_ptr<Session> find_session(SessionId id) const;
+  BoundedQueue<Chunk>& queue_for(SessionId id) {
+    return *queues_[id % queues_.size()];
+  }
   void note_done_one();
+  void evict_session(Session& s);
 
   Options opts_;
   unsigned workers_configured_ = 0;
 
-  BoundedQueue<Chunk> queue_;
+  /// One admission queue per decode worker; a session maps to shard
+  /// `id % workers`, so producers of different shards never share a mutex.
+  std::vector<std::unique_ptr<BoundedQueue<Chunk>>> queues_;
 
   mutable std::mutex sessions_mu_;
-  std::map<SessionId, std::shared_ptr<Session>> sessions_;
+  std::map<SessionId, std::shared_ptr<Session>> sessions_;  ///< live only
+  /// Final stats of sealed/aborted sessions (their Session state is gone).
+  std::map<SessionId, IngestStats> finished_stats_;
   SessionId next_id_ = 0;
 
   /// Lock-striped sealed-shard store: stripe = id % stripes. Sealing only
@@ -156,8 +210,8 @@ class Service {
   // Quiescence accounting.
   mutable std::mutex idle_mu_;
   std::condition_variable idle_cv_;
-  std::size_t undecoded_ = 0;     ///< chunks offered (incl. end markers) not
-                                  ///< yet decoded
+  std::size_t undecoded_ = 0;     ///< chunks offered (incl. lifecycle
+                                  ///< markers) not yet decoded
   std::size_t open_sessions_ = 0;
 
   // Global counters (see Metrics).
@@ -168,7 +222,9 @@ class Service {
   std::atomic<std::size_t> crc_failures_{0};
   std::atomic<std::size_t> malformed_{0};
   std::atomic<std::size_t> sessions_opened_{0};
+  std::atomic<std::size_t> sessions_closed_{0};
   std::atomic<std::size_t> sessions_sealed_{0};
+  std::atomic<std::size_t> sessions_aborted_{0};
 
   std::mutex lifecycle_mu_;  ///< guards start()/stop() transitions
   std::vector<std::thread> workers_;

@@ -90,6 +90,88 @@ TEST(BoundedQueue, CloseWakesBlockedProducer) {
   EXPECT_TRUE(returned.load());
 }
 
+TEST(BoundedQueue, PushRacingCloseNeverLosesAdmittedItems) {
+  // N producers hammer push() while close() lands mid-race: every push that
+  // returned true must come out of the drain, every false one must not, and
+  // the total must add up — no item admitted-then-lost or rejected-then-seen.
+  BoundedQueue<int> q(8);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::atomic<int> admitted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  std::atomic<int> drained{0};
+  std::thread consumer([&] {
+    int v = 0;
+    while (q.pop(v)) drained.fetch_add(1);
+  });
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.push(p * kPerProducer + i))
+          admitted.fetch_add(1);
+        else
+          rejected.fetch_add(1);
+      }
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(admitted.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_EQ(drained.load(), admitted.load());
+  EXPECT_LE(q.high_water(), q.capacity());
+}
+
+TEST(BoundedQueue, HighWaterAndStallAccountingUnderContention) {
+  // Two producers against one slow consumer on a tiny queue: the high-water
+  // mark must saturate at capacity (never beyond), and the cumulative stall
+  // clock must tick — both gauges are read concurrently while the race runs
+  // (the TSan job checks the locking of the gauges themselves).
+  BoundedQueue<int> q(2);
+  std::atomic<bool> done{false};
+  std::thread gauge_reader([&] {
+    while (!done.load()) {
+      EXPECT_LE(q.high_water(), q.capacity());
+      EXPECT_GE(q.producer_stall_seconds(), 0.0);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p)
+    producers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) ASSERT_TRUE(q.push(i));
+    });
+  int v = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    ASSERT_TRUE(q.pop(v));
+  }
+  for (auto& t : producers) t.join();
+  done.store(true);
+  gauge_reader.join();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.high_water(), q.capacity());
+  EXPECT_GT(q.producer_stall_seconds(), 0.0);  // someone measurably blocked
+}
+
+TEST(BoundedQueue, PopAfterCloseDrainsInFifoOrder) {
+  // close() must not disturb the queue discipline: whatever was admitted
+  // before the close comes out in exactly the order it went in.
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.push(i));
+  q.close();
+  EXPECT_FALSE(q.push(99));
+  int v = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.pop(v));  // drained: closed + empty stays terminal
+  EXPECT_FALSE(q.pop(v));
+}
+
 // --- fleet split -------------------------------------------------------------
 
 const std::vector<sim::CarrierLog>& crawl_logs() {
@@ -198,7 +280,36 @@ TEST(Ingest, MetricsMatchSerialTotals) {
   EXPECT_EQ(metrics.crc_failures, serial.crc_failures);
   EXPECT_EQ(metrics.malformed, serial.malformed);
   EXPECT_EQ(metrics.sessions_opened, metrics.sessions_closed);
+  EXPECT_EQ(metrics.sessions_opened, metrics.sessions_sealed);
+  EXPECT_EQ(metrics.sessions_aborted, 0u);
+  EXPECT_EQ(metrics.sessions_live, 0u);  // all sealed sessions evicted
   EXPECT_EQ(metrics.workers, 4u);
+}
+
+TEST(Ingest, ClosedAndSealedAreDistinctCounters) {
+  // The metrics-mislabel regression: `sessions_closed` used to be populated
+  // from the sealed counter, making closed-but-not-yet-decoded sessions
+  // invisible.  With autostart=false nothing decodes, so the gap is
+  // observable: closed ticks at accept time, sealed only once the end
+  // marker is actually decoded.
+  Service::Options opts;
+  opts.workers = 1;
+  opts.autostart = false;
+  Service service(opts);
+  const SessionId id = service.open_session("A");
+  service.offer(id, {0x01, 0x02});
+  service.close_session(id);
+  Metrics before = service.metrics();
+  EXPECT_EQ(before.sessions_closed, 1u);
+  EXPECT_EQ(before.sessions_sealed, 0u);  // end marker still queued
+  EXPECT_EQ(before.sessions_live, 1u);
+
+  service.start();
+  service.wait_quiescent();
+  Metrics after = service.metrics();
+  EXPECT_EQ(after.sessions_closed, 1u);
+  EXPECT_EQ(after.sessions_sealed, 1u);
+  EXPECT_EQ(after.sessions_live, 0u);
 }
 
 TEST(Ingest, SessionStatsMatchBatchExtractor) {
@@ -298,6 +409,72 @@ TEST(Ingest, OfferAfterStopThrows) {
   const SessionId id = service.open_session("A");
   service.stop();
   EXPECT_THROW(service.offer(id, {0x01}), std::runtime_error);
+}
+
+TEST(Ingest, RejectedOfferRollsEverySideEffectBack) {
+  // The strand-wedge regression: a failed queue push used to leave the
+  // session's next_offer_seq incremented, permanently skipping a sequence
+  // number — every later chunk would park forever in the pending map and
+  // wait_quiescent() would hang.  The fix assigns the seq only when the
+  // push succeeds, and rolls back everything else (closed flag, open-session
+  // count, admission counters) too.
+  Service::Options opts;
+  opts.workers = 1;
+  Service service(opts);
+  const SessionId id = service.open_session("A");
+  service.offer(id, {0x01, 0x02, 0x03});
+  service.stop();
+
+  const Metrics before = service.metrics();
+  EXPECT_THROW(service.offer(id, {0x04}), std::runtime_error);
+  EXPECT_THROW(service.offer(id, {0x05}), std::runtime_error);
+  // Admission metrics must not count refused chunks.
+  const Metrics after_offers = service.metrics();
+  EXPECT_EQ(after_offers.chunks, before.chunks);
+  EXPECT_EQ(after_offers.bytes, before.bytes);
+
+  // A refused close/abort leaves the session observably OPEN — not a
+  // half-closed zombie that wait_quiescent() would wait on forever.
+  EXPECT_THROW(service.close_session(id), std::runtime_error);
+  EXPECT_FALSE(service.session_stats(id).closed);
+  EXPECT_THROW(service.abort_session(id), std::runtime_error);
+  EXPECT_FALSE(service.session_stats(id).aborted);
+  EXPECT_EQ(service.metrics().sessions_closed, 0u);
+  // ...and the "still open" state is reported consistently: quiescence is a
+  // contract violation (open session), not a hang on a skipped seq.
+  EXPECT_THROW(service.wait_quiescent(), std::logic_error);
+  // Everything admitted before the stop still drained exactly once.
+  EXPECT_EQ(after_offers.chunks, 1u);
+  EXPECT_EQ(service.session_stats(id).chunks, 1u);
+}
+
+TEST(Ingest, SealedSessionsAreEvictedButStayQueryable) {
+  // The session-leak regression: sessions_ entries used to live forever.
+  // After a full replay every Session must be evicted (live == 0) while
+  // session_stats()/all_session_stats() still answer from the compact
+  // finished-stats ledger, and re-using the id is rejected as "finished".
+  const auto uploads = sim::split_crawl_uploads(crawl_logs(), 3);
+  Service::Options opts;
+  opts.workers = 2;
+  Service service(opts);
+  ReplayOptions ropts;
+  ropts.chunk_bytes = 2048;
+  const auto replay = replay_uploads(service, uploads, ropts);
+  service.wait_quiescent();
+
+  EXPECT_EQ(service.live_sessions(), 0u);
+  EXPECT_EQ(service.metrics().sessions_live, 0u);
+  const auto all = service.all_session_stats();
+  ASSERT_EQ(all.size(), uploads.size());
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    EXPECT_EQ(all[i].id, replay.sessions[i]);
+    EXPECT_TRUE(all[i].sealed);
+    const IngestStats stats = service.session_stats(replay.sessions[i]);
+    EXPECT_EQ(stats.bytes, uploads[i].diag_log.size());
+  }
+  // Offers/closes on a finished session fail loudly, not as "unknown".
+  EXPECT_THROW(service.offer(replay.sessions[0], {0x01}), std::logic_error);
+  EXPECT_THROW(service.close_session(replay.sessions[0]), std::logic_error);
 }
 
 TEST(Ingest, SnapshotExcludesOpenSessions) {

@@ -1,0 +1,220 @@
+// Adversarial-fleet replay suite: the ingest service under devices that
+// disconnect mid-varint, reorder, duplicate, stall, and corrupt bytes in
+// flight.  Runs under TSan in CI (the `Ingest|Adversarial` filter).
+//
+// The acceptance invariant for every fault schedule: drain() equals the
+// delivered-bytes reference — per-session serial extraction over exactly the
+// bytes that were offered to sealed sessions, merged in session-id order —
+// and the session lifecycle stays bounded (finished sessions evicted).
+#include "mmlab/ingest/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "mmlab/core/extractor.hpp"
+#include "mmlab/diag/log.hpp"
+#include "mmlab/ingest/service.hpp"
+#include "mmlab/netgen/generator.hpp"
+#include "mmlab/sim/crawl.hpp"
+#include "mmlab/sim/fleet.hpp"
+
+namespace mmlab::ingest {
+namespace {
+
+const std::vector<sim::DeviceUpload>& fleet_uploads() {
+  static const auto uploads = [] {
+    auto world = netgen::generate_world({.seed = 3, .scale = 0.01});
+    sim::CrawlOptions copts;
+    auto crawl = sim::run_crawl(world, copts);
+    return sim::split_crawl_uploads(crawl.logs, 6);
+  }();
+  return uploads;
+}
+
+AdversarialReplayResult run_schedule(const AdversarialOptions& opts,
+                                     core::ConfigDatabase* drained = nullptr,
+                                     Metrics* metrics = nullptr,
+                                     unsigned workers = 4) {
+  Service::Options sopts;
+  sopts.workers = workers;
+  sopts.queue_capacity = 16;
+  Service service(sopts);
+  auto result = replay_uploads_adversarial(service, fleet_uploads(), opts);
+  if (drained) *drained = service.drain();
+  else service.wait_quiescent();
+  EXPECT_EQ(service.live_sessions(), 0u);  // every session evicted
+  if (metrics) *metrics = service.metrics();
+  return result;
+}
+
+TEST(IngestAdversarial, DrainEqualsDeliveredReferenceAcrossSchedules) {
+  // The tentpole invariant, across seeds and fault mixes: whatever the
+  // faults did to the streams, the drained database equals per-session
+  // serial extraction over the successfully-delivered bytes.
+  struct Case {
+    std::uint64_t seed;
+    FaultProfile faults;
+  };
+  FaultProfile all = FaultProfile::aggressive();
+  FaultProfile reorder_heavy;
+  reorder_heavy.reorder_window = 8;
+  reorder_heavy.duplicate_prob = 0.2;
+  FaultProfile corrupt_heavy;
+  corrupt_heavy.corrupt_prob = 0.5;
+  FaultProfile flaky;
+  flaky.disconnect_prob = 0.1;
+  const Case cases[] = {{1, all}, {2, all}, {7, reorder_heavy},
+                        {11, corrupt_heavy}, {13, flaky}};
+  for (const auto& c : cases) {
+    AdversarialOptions opts;
+    opts.seed = c.seed;
+    opts.chunk_bytes = 512;
+    opts.faults = c.faults;
+    core::ConfigDatabase drained;
+    Metrics m;
+    const auto result = run_schedule(opts, &drained, &m);
+    EXPECT_EQ(drained, delivered_reference(result)) << "seed " << c.seed;
+    // Lifecycle ledger: every opened session ended exactly one way.
+    EXPECT_EQ(m.sessions_opened, m.sessions_sealed + m.sessions_aborted)
+        << "seed " << c.seed;
+    EXPECT_EQ(m.sessions_live, 0u);
+  }
+}
+
+TEST(IngestAdversarial, CleanProfileMatchesSerialExtraction) {
+  // With all fault probabilities zero the adversarial driver degenerates to
+  // the clean one (jittered chunk sizes aside): the drain must equal the
+  // plain serial reference over the original uploads.
+  AdversarialOptions opts;
+  opts.seed = 5;
+  opts.chunk_bytes = 777;
+  core::ConfigDatabase drained;
+  const auto result = run_schedule(opts, &drained);
+  EXPECT_EQ(result.faults.disconnects + result.faults.duplicates +
+                result.faults.corruptions + result.faults.reorders,
+            0u);
+  EXPECT_EQ(drained, delivered_reference(result));
+  core::ConfigDatabase serial;
+  for (const auto& upload : fleet_uploads()) {
+    core::ConfigDatabase shard;
+    core::extract_configs(upload.carrier, upload.diag_log, shard);
+    serial.merge(std::move(shard));
+  }
+  EXPECT_EQ(drained, serial);
+}
+
+TEST(IngestAdversarial, ScheduleReproducesBitIdenticallyAcrossThreading) {
+  // Rng::fork(upload index) makes each device's fault schedule — and thus
+  // its delivered byte stream — a pure function of the seed, independent of
+  // producer-thread count, worker count, and scheduling.
+  AdversarialOptions base;
+  base.seed = 99;
+  base.chunk_bytes = 256;
+  base.faults = FaultProfile::aggressive();
+  base.faults.stall_prob = 0;  // keep the repro run fast
+
+  AdversarialOptions serial = base;
+  serial.producer_threads = 1;
+  AdversarialOptions wide = base;
+  wide.producer_threads = 8;
+
+  core::ConfigDatabase db_serial, db_wide;
+  const auto a = run_schedule(serial, &db_serial, nullptr, /*workers=*/1);
+  const auto b = run_schedule(wide, &db_wide, nullptr, /*workers=*/8);
+  ASSERT_EQ(a.uploads.size(), b.uploads.size());
+  for (std::size_t i = 0; i < a.uploads.size(); ++i) {
+    EXPECT_EQ(a.uploads[i].bytes, b.uploads[i].bytes) << "upload " << i;
+    EXPECT_EQ(a.uploads[i].aborted, b.uploads[i].aborted) << "upload " << i;
+  }
+  EXPECT_EQ(db_serial, db_wide);
+}
+
+TEST(IngestAdversarial, AllDisconnectedDrainsEmpty) {
+  AdversarialOptions opts;
+  opts.seed = 4;
+  opts.faults.disconnect_prob = 1.0;  // every device dies on its first chunk
+  core::ConfigDatabase drained;
+  Metrics m;
+  const auto result = run_schedule(opts, &drained, &m);
+  for (const auto& upload : result.uploads) EXPECT_TRUE(upload.aborted);
+  EXPECT_EQ(drained.total_samples(), 0u);
+  EXPECT_EQ(m.sessions_aborted, m.sessions_opened);
+  EXPECT_EQ(m.sessions_sealed, 0u);
+  EXPECT_EQ(m.sessions_closed, 0u);  // aborts are not graceful closes
+}
+
+TEST(IngestAdversarial, AbortMidFrameDiscardsSessionAndKeepsStats) {
+  // Direct lifecycle check without the driver: a session aborted mid-frame
+  // (classic disconnect-mid-varint) contributes nothing to the store, is
+  // evicted from the live map, and still answers session_stats().
+  ASSERT_FALSE(fleet_uploads().empty());
+  const auto& upload = fleet_uploads()[0];
+  ASSERT_GT(upload.diag_log.size(), 8u);
+
+  Service::Options sopts;
+  sopts.workers = 2;
+  Service service(sopts);
+  const SessionId keep = service.open_session(upload.carrier);
+  service.offer(keep, upload.diag_log);
+  service.close_session(keep);
+
+  const SessionId dropped = service.open_session(upload.carrier);
+  // Cut mid-frame: everything except the last few bytes, then the plug is
+  // pulled.  The decoded prefix must die with the shard.
+  service.offer(dropped, std::vector<std::uint8_t>(
+                             upload.diag_log.begin(),
+                             upload.diag_log.end() - 5));
+  service.abort_session(dropped);
+  EXPECT_THROW(service.offer(dropped, {0x01}), std::logic_error);
+  EXPECT_THROW(service.close_session(dropped), std::logic_error);
+
+  const auto drained = service.drain();
+  core::ConfigDatabase expected;
+  core::extract_configs(upload.carrier, upload.diag_log, expected);
+  EXPECT_EQ(drained, expected);  // only the sealed session counts
+
+  EXPECT_EQ(service.live_sessions(), 0u);
+  const IngestStats stats = service.session_stats(dropped);
+  EXPECT_TRUE(stats.closed);
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_FALSE(stats.sealed);
+  const Metrics m = service.metrics();
+  EXPECT_EQ(m.sessions_aborted, 1u);
+  EXPECT_EQ(m.sessions_sealed, 1u);
+  EXPECT_EQ(m.sessions_closed, 1u);
+}
+
+TEST(IngestAdversarial, SoakBatchesKeepLiveMapBounded) {
+  // Mini-soak in-process: several adversarial batches through ONE service;
+  // after each drain the live map must be empty and the finished-session
+  // ledger complete — the session-leak regression (sessions_ used to grow
+  // forever) stays fixed.
+  Service::Options sopts;
+  sopts.workers = 4;
+  sopts.queue_capacity = 8;
+  Service service(sopts);
+  std::size_t opened = 0;
+  for (std::uint64_t batch = 0; batch < 4; ++batch) {
+    AdversarialOptions opts;
+    opts.seed = 1000 + batch;
+    opts.chunk_bytes = 333;
+    opts.faults = FaultProfile::aggressive();
+    opts.faults.stall_prob = 0;
+    const auto result =
+        replay_uploads_adversarial(service, fleet_uploads(), opts);
+    const auto drained = service.drain();
+    EXPECT_EQ(drained, delivered_reference(result)) << "batch " << batch;
+    EXPECT_EQ(service.live_sessions(), 0u) << "batch " << batch;
+    opened += fleet_uploads().size();
+  }
+  const Metrics m = service.metrics();
+  EXPECT_EQ(m.sessions_opened, opened);
+  EXPECT_EQ(m.sessions_sealed + m.sessions_aborted, opened);
+  EXPECT_EQ(service.all_session_stats().size(), opened);
+}
+
+}  // namespace
+}  // namespace mmlab::ingest

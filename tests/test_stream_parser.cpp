@@ -190,6 +190,51 @@ TEST(StreamParser, FinishIsIdempotentAndFeedAfterFinishThrows) {
   EXPECT_THROW(parser.feed(tail, 1), std::logic_error);
 }
 
+TEST(StreamParser, ResetOnAbortDiscardsPartialStateWithoutCounting) {
+  // The reset-on-abort contract: an aborted upload did not *end*, it died —
+  // so reset() discards the partial tail without finish()'s trailing-
+  // malformed count, drops undelivered ready records, zeroes the counters,
+  // and leaves the parser bit-identical to a fresh one.
+  const auto clean = clean_stream(3);
+  StreamParser parser;
+  parser.feed(clean.data(), clean.size() - 4);  // ends mid-frame
+  EXPECT_GT(parser.ready(), 0u);
+  parser.reset();
+  EXPECT_EQ(parser.ready(), 0u);
+  EXPECT_EQ(parser.bytes_fed(), 0u);
+  EXPECT_EQ(parser.stats().records, 0u);
+  EXPECT_EQ(parser.stats().malformed, 0u);  // the dead tail costs nothing
+  EXPECT_FALSE(parser.finished());
+
+  // Reused for a new stream, it must behave exactly like a fresh parser.
+  parser.feed(clean);
+  parser.finish();
+  Record rec;
+  std::vector<Record> records;
+  while (parser.next(rec)) records.push_back(rec);
+  const ParseResult batch = run_batch(clean);
+  ASSERT_EQ(records.size(), batch.records.size());
+  for (std::size_t i = 0; i < records.size(); ++i)
+    EXPECT_EQ(records[i], batch.records[i]);
+  EXPECT_EQ(parser.stats().records, batch.stats.records);
+  EXPECT_EQ(parser.stats().malformed, batch.stats.malformed);
+}
+
+TEST(StreamParser, ResetMidEscapeAndAfterFinishReenablesFeed) {
+  StreamParser parser;
+  const std::uint8_t dangling[] = {0x01, 0x7D};  // ends inside an escape
+  parser.feed(dangling, 2);
+  parser.reset();
+  parser.finish();  // immediately finishing a reset parser counts nothing
+  EXPECT_EQ(parser.stats().malformed, 0u);
+  parser.reset();  // reset after finish() makes feed() legal again
+  const auto clean = clean_stream(1);
+  parser.feed(clean);
+  Record rec;
+  EXPECT_TRUE(parser.next(rec));
+  EXPECT_EQ(rec, make_record(0));
+}
+
 TEST(StreamParser, EmptyStreamFinishCountsNothing) {
   StreamParser parser;
   parser.finish();

@@ -1,0 +1,247 @@
+// Fleet-scale soak harness for the ingest service.
+//
+//   ingest_soak [--sessions N] [--batch B] [--workers W] [--seed S]
+//               [--chunk-bytes C] [--scale X] [--faults on|off]
+//               [--mem-ceiling-mb M] [--max-stall-seconds T]
+//
+// Runs N device-upload sessions (default 100k) through ONE long-lived
+// ingest::Service in batches, with the adversarial fault schedule enabled by
+// default, and gates — exit code 1 on any violation — on:
+//
+//   1. Correctness: every batch's drain() equals serial extraction over the
+//      bytes actually delivered to its sealed sessions (aborted sessions
+//      contribute nothing).
+//   2. Lifecycle: the live-session map is empty after every drain and never
+//      exceeds the batch size mid-flight — i.e. Session state is bounded by
+//      *open* uploads, not by service age.
+//   3. Memory: peak RSS stays under the ceiling (Linux VmRSS; the gate is
+//      skipped where /proc is unavailable).
+//   4. Backpressure: cumulative producer stall time stays under the bound
+//      (disabled unless --max-stall-seconds is given).
+//
+// The soak reuses a small crawl's uploads as session templates, cycling
+// through them — the point is lifecycle churn at scale, not data volume.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mmlab/core/extractor.hpp"
+#include "mmlab/ingest/metrics.hpp"
+#include "mmlab/ingest/replay.hpp"
+#include "mmlab/ingest/service.hpp"
+#include "mmlab/netgen/generator.hpp"
+#include "mmlab/sim/crawl.hpp"
+#include "mmlab/sim/fleet.hpp"
+#include "mmlab/util/rng.hpp"
+
+namespace {
+
+using namespace mmlab;
+
+struct SoakOptions {
+  std::size_t sessions = 100000;
+  std::size_t batch = 512;
+  unsigned workers = 4;
+  std::uint64_t seed = 1;
+  std::size_t chunk_bytes = 1024;
+  double scale = 0.01;
+  bool faults = true;
+  std::size_t mem_ceiling_mb = 512;
+  double max_stall_seconds = -1.0;  ///< < 0 disables the gate
+};
+
+/// Current resident set in bytes (Linux), or 0 where unsupported.
+std::size_t current_rss_bytes() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof line, f))
+    if (std::sscanf(line, "VmRSS: %zu kB", &kb) == 1) break;
+  std::fclose(f);
+  return kb * 1024;
+#else
+  return 0;
+#endif
+}
+
+bool parse_args(int argc, char** argv, SoakOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    auto want_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ingest_soak: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (!std::strcmp(arg, "--sessions")) {
+      if (!(v = want_value(arg))) return false;
+      opts.sessions = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--batch")) {
+      if (!(v = want_value(arg))) return false;
+      opts.batch = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--workers")) {
+      if (!(v = want_value(arg))) return false;
+      opts.workers = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (!std::strcmp(arg, "--seed")) {
+      if (!(v = want_value(arg))) return false;
+      opts.seed = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--chunk-bytes")) {
+      if (!(v = want_value(arg))) return false;
+      opts.chunk_bytes = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--scale")) {
+      if (!(v = want_value(arg))) return false;
+      opts.scale = std::atof(v);
+    } else if (!std::strcmp(arg, "--faults")) {
+      if (!(v = want_value(arg))) return false;
+      opts.faults = std::strcmp(v, "off") != 0;
+    } else if (!std::strcmp(arg, "--mem-ceiling-mb")) {
+      if (!(v = want_value(arg))) return false;
+      opts.mem_ceiling_mb = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--max-stall-seconds")) {
+      if (!(v = want_value(arg))) return false;
+      opts.max_stall_seconds = std::atof(v);
+    } else {
+      std::fprintf(stderr, "ingest_soak: unknown flag %s\n", arg);
+      return false;
+    }
+  }
+  if (opts.sessions == 0 || opts.batch == 0 || opts.workers == 0) {
+    std::fprintf(stderr, "ingest_soak: sessions/batch/workers must be > 0\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SoakOptions opts;
+  if (!parse_args(argc, argv, opts)) return 2;
+
+  // Session templates: one small crawl, cut into many tiny device uploads.
+  netgen::WorldOptions wopts;
+  wopts.seed = 42;
+  wopts.scale = opts.scale;
+  auto world = netgen::generate_world(wopts);
+  sim::CrawlOptions copts;
+  const auto crawl = sim::run_crawl(world, copts);
+  const auto templates = sim::split_crawl_uploads(crawl.logs, 32);
+  if (templates.empty()) {
+    std::fprintf(stderr, "ingest_soak: no upload templates generated\n");
+    return 2;
+  }
+  std::size_t template_bytes = 0;
+  for (const auto& t : templates) template_bytes += t.diag_log.size();
+  std::printf("soak: %zu sessions in batches of %zu over %zu templates "
+              "(%.1f KB avg), faults %s, %u workers\n",
+              opts.sessions, opts.batch, templates.size(),
+              static_cast<double>(template_bytes) / templates.size() / 1e3,
+              opts.faults ? "ON" : "off", opts.workers);
+
+  ingest::Service::Options sopts;
+  sopts.workers = opts.workers;
+  sopts.queue_capacity = 64;
+  ingest::Service service(sopts);
+
+  ingest::AdversarialOptions ropts;
+  ropts.chunk_bytes = opts.chunk_bytes;
+  ropts.producer_threads = 8;
+  if (opts.faults) ropts.faults = ingest::FaultProfile::aggressive();
+
+  const std::size_t baseline_rss = current_rss_bytes();
+  std::size_t peak_rss = baseline_rss;
+  std::size_t peak_live = 0;
+  std::size_t opened = 0;
+  std::size_t batches = 0;
+  std::size_t total_delivered_bytes = 0;
+  ingest::FaultCounts faults;
+  int failures = 0;
+  std::uint64_t seed_state = opts.seed;
+
+  while (opened < opts.sessions) {
+    const std::size_t n = std::min(opts.batch, opts.sessions - opened);
+    std::vector<sim::DeviceUpload> uploads;
+    uploads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      uploads.push_back(templates[(opened + i) % templates.size()]);
+    ropts.seed = splitmix64(seed_state);  // fresh fleet schedule per batch
+
+    const auto result =
+        ingest::replay_uploads_adversarial(service, uploads, ropts);
+    faults += result.faults;
+    for (const auto& u : result.uploads) total_delivered_bytes += u.bytes.size();
+
+    peak_live = std::max(peak_live, service.live_sessions());
+    if (service.live_sessions() > n) {
+      std::fprintf(stderr,
+                   "FAIL: %zu live sessions mid-flight exceeds batch %zu\n",
+                   service.live_sessions(), n);
+      ++failures;
+    }
+
+    const auto drained = service.drain();
+    const auto reference = ingest::delivered_reference(result);
+    if (!(drained == reference)) {
+      std::fprintf(stderr,
+                   "FAIL: batch %zu drain != delivered-bytes reference "
+                   "(%zu vs %zu samples, seed %llu)\n",
+                   batches, drained.total_samples(), reference.total_samples(),
+                   static_cast<unsigned long long>(ropts.seed));
+      ++failures;
+    }
+    if (service.live_sessions() != 0) {
+      std::fprintf(stderr, "FAIL: %zu sessions still live after drain\n",
+                   service.live_sessions());
+      ++failures;
+    }
+
+    peak_rss = std::max(peak_rss, current_rss_bytes());
+    opened += n;
+    ++batches;
+    if (batches % 16 == 0 || opened == opts.sessions)
+      std::printf("  %zu/%zu sessions, peak RSS %.1f MB, peak live %zu\n",
+                  opened, opts.sessions,
+                  static_cast<double>(peak_rss) / 1e6, peak_live);
+    if (failures) break;  // first violation is enough; keep the log short
+  }
+
+  const ingest::Metrics m = service.metrics();
+  service.stop();
+
+  std::printf(
+      "\nsoak summary: %zu opened, %zu sealed, %zu aborted, %zu live; "
+      "%.1f MB delivered; faults: %zu disconnects, %zu dups, %zu corruptions, "
+      "%zu stalls, %zu reorders; stall %.3f s; peak RSS %.1f MB "
+      "(baseline %.1f MB)\n",
+      m.sessions_opened, m.sessions_sealed, m.sessions_aborted,
+      m.sessions_live, static_cast<double>(total_delivered_bytes) / 1e6,
+      faults.disconnects, faults.duplicates, faults.corruptions, faults.stalls,
+      faults.reorders, m.producer_stall_seconds,
+      static_cast<double>(peak_rss) / 1e6,
+      static_cast<double>(baseline_rss) / 1e6);
+
+  if (m.sessions_opened != m.sessions_sealed + m.sessions_aborted) {
+    std::fprintf(stderr, "FAIL: opened != sealed + aborted\n");
+    ++failures;
+  }
+  if (peak_rss > opts.mem_ceiling_mb * 1000 * 1000 && peak_rss != 0) {
+    std::fprintf(stderr, "FAIL: peak RSS %.1f MB exceeds ceiling %zu MB\n",
+                 static_cast<double>(peak_rss) / 1e6, opts.mem_ceiling_mb);
+    ++failures;
+  }
+  if (opts.max_stall_seconds >= 0 &&
+      m.producer_stall_seconds > opts.max_stall_seconds) {
+    std::fprintf(stderr, "FAIL: producer stall %.3f s exceeds bound %.3f s\n",
+                 m.producer_stall_seconds, opts.max_stall_seconds);
+    ++failures;
+  }
+
+  std::printf("%s\n", failures ? "SOAK FAILED" : "SOAK PASSED");
+  return failures ? 1 : 0;
+}
