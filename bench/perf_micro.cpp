@@ -21,6 +21,7 @@
 #include "mmlab/ue/reselection.hpp"
 #include "mmlab/ue/ue.hpp"
 #include "mmlab/netgen/generator.hpp"
+#include "mmlab/opt/search.hpp"
 #include "mmlab/sim/crawl.hpp"
 #include "mmlab/sim/drive_test.hpp"
 #include "mmlab/util/crc.hpp"
@@ -677,6 +678,36 @@ BENCHMARK(BM_CampaignScaling)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// One optimizer trial — apply a candidate to every LTE cell of the carrier,
+// run a single-city campaign, score it.  This is the inner loop of
+// mmlab_cli opt; its cost bounds how much search budget a tuning run can
+// afford.  The Evaluator mutates cell configs in place, so the world is
+// local and regenerated per benchmark run (not per iteration — restore()
+// returns it to seed state after every trial).
+void BM_OptEvalThroughput(benchmark::State& state) {
+  auto world = netgen::generate_world({.seed = 3, .scale = 0.05});
+  sim::CampaignOptions campaign;
+  campaign.carrier = world.network.carriers().front().id;
+  campaign.cities = {2};
+  campaign.city_drives_per_city = 2;
+  campaign.highway_drives_per_city = 1;
+  campaign.city_drive_duration = 2 * kMillisPerMinute;
+  campaign.threads = static_cast<unsigned>(state.range(0));
+  const auto space = opt::ParamSpace::standard();
+  opt::Evaluator evaluator(world.network, space, campaign, opt::Objective{});
+  Rng rng(11);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const auto trial = evaluator.evaluate(space.sample(rng), index++);
+    benchmark::DoNotOptimize(trial.score);
+  }
+}
+BENCHMARK(BM_OptEvalThroughput)
+    ->Arg(1)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -7,6 +7,7 @@
 // database — the analyses never see simulator ground truth.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

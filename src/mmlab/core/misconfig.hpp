@@ -3,6 +3,9 @@
 // outage, §6's operator suggestions).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 

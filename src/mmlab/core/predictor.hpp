@@ -7,6 +7,8 @@
 // entry condition starts its time-to-trigger countdown.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 

@@ -4,6 +4,9 @@
 // loops that make them structural.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mmlab/core/database.hpp"

@@ -13,6 +13,7 @@
 // next 0x7E terminator and counts (rather than throws on) bad frames.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

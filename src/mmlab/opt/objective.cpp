@@ -1,0 +1,39 @@
+#include "mmlab/opt/objective.hpp"
+
+namespace mmlab::opt {
+
+std::size_t count_pingpongs(const std::vector<sim::HandoffPerf>& handoffs,
+                            Millis window_ms) {
+  std::size_t count = 0;
+  for (std::size_t i = 1; i < handoffs.size(); ++i) {
+    const auto& prev = handoffs[i - 1].rec;
+    const auto& cur = handoffs[i].rec;
+    if (cur.exec_time < prev.exec_time) continue;  // drive boundary
+    if (cur.from == prev.to && cur.to == prev.from &&
+        cur.exec_time - prev.exec_time <= window_ms)
+      ++count;
+  }
+  return count;
+}
+
+CampaignMetrics compute_metrics(const sim::CampaignResult& campaign,
+                                Millis pingpong_window_ms) {
+  CampaignMetrics m;
+  m.mean_throughput_bps = campaign.mean_throughput_bps();
+  m.handoffs = campaign.handoffs.size();
+  m.pingpongs = count_pingpongs(campaign.handoffs, pingpong_window_ms);
+  m.radio_link_failures = campaign.radio_link_failures;
+  m.handoff_failures = campaign.handoff_failures;
+  m.total_km = campaign.total_km;
+  return m;
+}
+
+double Objective::score(const CampaignMetrics& m) const {
+  const double km = m.total_km > 0.0 ? m.total_km : 1.0;
+  return w_throughput * (m.mean_throughput_bps / 1e6) -
+         w_pingpong * (static_cast<double>(m.pingpongs) / km) -
+         w_rlf * (static_cast<double>(m.radio_link_failures) / km) -
+         w_handoff_failure * (static_cast<double>(m.handoff_failures) / km);
+}
+
+}  // namespace mmlab::opt

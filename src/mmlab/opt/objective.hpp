@@ -1,0 +1,61 @@
+// The optimization objective (paper §5: late handoffs cost throughput,
+// §5.2: ping-pong; Benzaghta et al. optimize the same trade-off).
+//
+// A candidate configuration is judged by one campaign (sim::run_campaign)
+// over the tuning city.  compute_metrics() reduces the CampaignResult to
+// the scalar facts the trade-off is made of; Objective::score() collapses
+// them into a single number to MAXIMIZE:
+//
+//   score = w_throughput * mean_thpt_Mbps
+//         - w_pingpong   * pingpongs / km
+//         - w_rlf        * radio_link_failures / km
+//         - w_handoff_failure * handoff_failures / km
+//
+// Mobility penalties are per-km so the objective compares across cities and
+// campaign sizes; throughput rewards the campaign-wide per-tick mean.  All
+// inputs fold deterministically in run_campaign, so a (world, campaign
+// seed, candidate) triple maps to exactly one score bit pattern for any
+// thread count — the property the optimizer's determinism contract needs.
+#pragma once
+
+#include <cstddef>
+
+#include "mmlab/sim/drive_test.hpp"
+
+namespace mmlab::opt {
+
+/// Scalar facts of one campaign evaluation.
+struct CampaignMetrics {
+  double mean_throughput_bps = 0.0;
+  std::size_t handoffs = 0;
+  std::size_t pingpongs = 0;  ///< A->B then B->A within the window
+  std::size_t radio_link_failures = 0;
+  std::size_t handoff_failures = 0;
+  double total_km = 0.0;
+};
+
+/// Count ping-pongs in a pooled handoff list: handoff i is a ping-pong when
+/// it reverts handoff i-1 (from == previous to, to == previous from) within
+/// `window_ms` of its execution.  Campaign drives each restart at t=0 and
+/// handoffs are pooled in drive order, so a non-monotone exec_time marks a
+/// drive boundary and the pair is not considered.
+std::size_t count_pingpongs(const std::vector<sim::HandoffPerf>& handoffs,
+                            Millis window_ms);
+
+CampaignMetrics compute_metrics(const sim::CampaignResult& campaign,
+                                Millis pingpong_window_ms = 5'000);
+
+/// Weighted scalarization; higher is better.  Defaults reward throughput in
+/// Mbps and price one ping-pong per km like ~2 Mbps of mean throughput, an
+/// RLF at 5 Mbps and a failed handoff decision at 1 Mbps.
+struct Objective {
+  double w_throughput = 1.0;
+  double w_pingpong = 2.0;
+  double w_rlf = 5.0;
+  double w_handoff_failure = 1.0;
+  Millis pingpong_window_ms = 5'000;
+
+  double score(const CampaignMetrics& m) const;
+};
+
+}  // namespace mmlab::opt

@@ -1,0 +1,225 @@
+#include "mmlab/opt/param_space.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "mmlab/config/quant.hpp"
+
+namespace mmlab::opt {
+
+namespace {
+
+/// Enumerate a linear quant grid via its decoder, keeping values in
+/// [lo, hi] — the decoder is the single source of truth for the grid, so a
+/// quant change can never silently desynchronize the search space.
+template <typename Decode>
+std::vector<double> linear_grid(Decode decode, std::uint64_t ie_count,
+                                double lo, double hi) {
+  std::vector<double> grid;
+  for (std::uint64_t ie = 0; ie < ie_count; ++ie) {
+    const double v = decode(ie);
+    if (v >= lo && v <= hi) grid.push_back(v);
+  }
+  return grid;
+}
+
+std::vector<double> bounded(const std::vector<double>& full, double lo,
+                            double hi) {
+  std::vector<double> grid;
+  for (double v : full)
+    if (v >= lo && v <= hi) grid.push_back(v);
+  return grid;
+}
+
+/// Round-trip every grid point through the matching quant encoder; a point
+/// the encoder rejects would let the optimizer propose configurations the
+/// RRC codec cannot broadcast.
+void assert_on_grid(const ParamDim& dim) {
+  for (double v : dim.grid) {
+    switch (dim.id) {
+      case ParamDim::Id::kA3OffsetDb: config::quant::encode_a3_offset(v); break;
+      case ParamDim::Id::kTttMs:
+        config::quant::encode_ttt(static_cast<Millis>(v));
+        break;
+      case ParamDim::Id::kHysteresisDb:
+        config::quant::encode_hysteresis(v);
+        break;
+      case ParamDim::Id::kQRxLevMinDbm:
+        config::quant::encode_q_rxlevmin(v);
+        break;
+      case ParamDim::Id::kServingPriority:
+        if (v < 0.0 || v > 7.0 || v != std::floor(v))
+          throw std::invalid_argument("opt: bad priority grid value");
+        break;
+      case ParamDim::Id::kQHystDb: config::quant::encode_q_hyst(v); break;
+    }
+  }
+}
+
+}  // namespace
+
+ParamSpace::ParamSpace(std::vector<ParamDim> dims) : dims_(std::move(dims)) {
+  for (const auto& dim : dims_) {
+    if (dim.grid.empty())
+      throw std::invalid_argument("opt: empty grid for " + dim.name);
+    for (std::size_t i = 1; i < dim.grid.size(); ++i)
+      if (dim.grid[i] <= dim.grid[i - 1])
+        throw std::invalid_argument("opt: non-ascending grid for " + dim.name);
+    assert_on_grid(dim);
+  }
+}
+
+ParamSpace ParamSpace::standard() {
+  using Id = ParamDim::Id;
+  std::vector<ParamDim> dims;
+  dims.push_back({Id::kA3OffsetDb, "a3-offset",
+                  linear_grid(config::quant::decode_a3_offset, 61, -2.0, 10.0)});
+  {
+    // TTT 0 means an instantaneous trigger — excluded: it turns every
+    // momentary fade into a handoff and no operator in the paper runs it.
+    std::vector<double> ttt;
+    for (Millis ms : config::quant::ttt_grid())
+      if (ms >= 40 && ms <= 5120) ttt.push_back(static_cast<double>(ms));
+    dims.push_back({Id::kTttMs, "ttt", std::move(ttt)});
+  }
+  dims.push_back({Id::kHysteresisDb, "hysteresis",
+                  linear_grid(config::quant::decode_hysteresis, 31, 0.0, 5.0)});
+  dims.push_back(
+      {Id::kQRxLevMinDbm, "q-rxlevmin",
+       linear_grid(config::quant::decode_q_rxlevmin, 49, -130.0, -110.0)});
+  dims.push_back(
+      {Id::kServingPriority, "priority", {0, 1, 2, 3, 4, 5, 6, 7}});
+  dims.push_back(
+      {Id::kQHystDb, "q-hyst", bounded(config::quant::q_hyst_grid(), 0.0, 12.0)});
+  return ParamSpace(std::move(dims));
+}
+
+Candidate ParamSpace::default_candidate() const {
+  Candidate c;
+  c.reserve(dims_.size());
+  for (const auto& dim : dims_) {
+    double v = dim.grid.front();
+    switch (dim.id) {
+      case ParamDim::Id::kA3OffsetDb: v = 2.0; break;
+      case ParamDim::Id::kTttMs: v = 320.0; break;
+      case ParamDim::Id::kHysteresisDb: v = 1.0; break;
+      case ParamDim::Id::kQRxLevMinDbm: v = -122.0; break;
+      case ParamDim::Id::kServingPriority: v = 4.0; break;
+      case ParamDim::Id::kQHystDb: v = 4.0; break;
+    }
+    c.push_back(v);
+  }
+  validate(c);
+  return c;
+}
+
+Candidate ParamSpace::sample(Rng& rng) const {
+  Candidate c;
+  c.reserve(dims_.size());
+  for (const auto& dim : dims_)
+    c.push_back(dim.grid[rng.below(dim.grid.size())]);
+  return c;
+}
+
+Candidate ParamSpace::neighbor(const Candidate& base, Rng& rng,
+                               int max_step) const {
+  validate(base);
+  if (max_step < 1) max_step = 1;
+  Candidate c;
+  c.reserve(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const auto& grid = dims_[d].grid;
+    const auto idx = static_cast<std::int64_t>(index_of(d, base[d]));
+    // Non-zero step in [-max_step, max_step], clamped to the grid.
+    std::int64_t step =
+        rng.between(1, max_step) * (rng.chance(0.5) ? 1 : -1);
+    std::int64_t next = idx + step;
+    if (next < 0) next = 0;
+    const auto last = static_cast<std::int64_t>(grid.size()) - 1;
+    if (next > last) next = last;
+    c.push_back(grid[static_cast<std::size_t>(next)]);
+  }
+  return c;
+}
+
+void ParamSpace::validate(const Candidate& c) const {
+  if (c.size() != dims_.size())
+    throw std::invalid_argument("opt: candidate arity mismatch");
+  for (std::size_t d = 0; d < dims_.size(); ++d) index_of(d, c[d]);
+}
+
+std::size_t ParamSpace::index_of(std::size_t d, double value) const {
+  const auto& grid = dims_[d].grid;
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    if (grid[i] == value) return i;
+  throw std::invalid_argument("opt: off-grid value for " + dims_[d].name +
+                              ": " + std::to_string(value));
+}
+
+void ParamSpace::apply(const Candidate& c, config::CellConfig& cfg) const {
+  validate(c);
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const double v = c[d];
+    switch (dims_[d].id) {
+      case ParamDim::Id::kA3OffsetDb:
+        for (auto& ev : cfg.report_configs)
+          if (ev.type == config::EventType::kA3 ||
+              ev.type == config::EventType::kA6)
+            ev.offset_db = v;
+        break;
+      case ParamDim::Id::kTttMs:
+        // The A2 measurement gate and periodic reports keep their own
+        // timing: the knob tunes the *decisive* trigger latency.
+        for (auto& ev : cfg.report_configs)
+          if (config::event_involves_neighbor(ev.type) &&
+              ev.type != config::EventType::kPeriodic)
+            ev.time_to_trigger = static_cast<Millis>(v);
+        break;
+      case ParamDim::Id::kHysteresisDb:
+        for (auto& ev : cfg.report_configs)
+          if (config::event_involves_neighbor(ev.type) &&
+              ev.type != config::EventType::kPeriodic)
+            ev.hysteresis_db = v;
+        break;
+      case ParamDim::Id::kQRxLevMinDbm:
+        cfg.serving.q_rxlevmin_dbm = v;
+        break;
+      case ParamDim::Id::kServingPriority:
+        cfg.serving.priority = static_cast<int>(v);
+        break;
+      case ParamDim::Id::kQHystDb:
+        cfg.serving.q_hyst_db = v;
+        break;
+    }
+  }
+}
+
+std::string ParamSpace::describe(const Candidate& c) const {
+  validate(c);
+  std::string out;
+  char buf[64];
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const char* unit = "";
+    switch (dims_[d].id) {
+      case ParamDim::Id::kA3OffsetDb:
+      case ParamDim::Id::kHysteresisDb:
+      case ParamDim::Id::kQHystDb: unit = "dB"; break;
+      case ParamDim::Id::kTttMs: unit = "ms"; break;
+      case ParamDim::Id::kQRxLevMinDbm: unit = "dBm"; break;
+      case ParamDim::Id::kServingPriority: break;
+    }
+    if (dims_[d].id == ParamDim::Id::kTttMs ||
+        dims_[d].id == ParamDim::Id::kServingPriority)
+      std::snprintf(buf, sizeof buf, "%s=%lld%s", dims_[d].name.c_str(),
+                    static_cast<long long>(c[d]), unit);
+    else
+      std::snprintf(buf, sizeof buf, "%s=%.1f%s", dims_[d].name.c_str(), c[d],
+                    unit);
+    if (!out.empty()) out += ' ';
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mmlab::opt

@@ -1,0 +1,91 @@
+// The handover-parameter search space (paper §6: "configuration tuning").
+//
+// Benzaghta et al. (PAPERS.md) optimize exactly the knobs this repo's
+// misconfiguration analyses flag: A3 offset, time-to-trigger, hysteresis,
+// q-RxLevMin and the reselection priority.  A ParamSpace names those knobs
+// as dimensions; each dimension's legal values are the 3GPP quantization
+// grid points (config/quant) inside an operator-plausible bound, so every
+// candidate the optimizer can express is a configuration a real eNB could
+// broadcast.  Candidates are plain value vectors (one on-grid value per
+// dimension) and apply() overwrites the corresponding fields of a
+// config::CellConfig — the bridge from search space to simulated network.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mmlab/config/cell_config.hpp"
+#include "mmlab/util/rng.hpp"
+
+namespace mmlab::opt {
+
+/// A candidate configuration: one on-grid value per ParamSpace dimension,
+/// index-aligned with ParamSpace::dims().
+using Candidate = std::vector<double>;
+
+/// One tunable knob.  TTT is carried in milliseconds as a double (its grid
+/// is the TS 36.331 enum, so interpolation never happens — search moves by
+/// grid index).
+struct ParamDim {
+  enum class Id {
+    kA3OffsetDb,       ///< decisive A3 offset (0.5 dB grid)
+    kTttMs,            ///< time-to-trigger of decisive events (enum grid)
+    kHysteresisDb,     ///< event hysteresis (0.5 dB grid)
+    kQRxLevMinDbm,     ///< serving minimum level (2 dB grid)
+    kServingPriority,  ///< reselection priority of the serving layer (0..7)
+    kQHystDb,          ///< reselection hysteresis Hs (enum grid)
+  };
+
+  Id id;
+  std::string name;
+  std::vector<double> grid;  ///< legal values, strictly ascending
+};
+
+class ParamSpace {
+ public:
+  /// The standard 6-knob handover space with operator-plausible bounds:
+  /// A3 offset in [-2, 10] dB, TTT in [40, 5120] ms, hysteresis in [0, 5]
+  /// dB, q-RxLevMin in [-130, -110] dBm, priority in [0, 7], q-Hyst in
+  /// [0, 12] dB.  Every grid value round-trips through its config/quant
+  /// encoder (asserted at construction).
+  static ParamSpace standard();
+
+  const std::vector<ParamDim>& dims() const { return dims_; }
+  std::size_t size() const { return dims_.size(); }
+
+  /// The 3GPP-default / seed-typical point: A3 offset 2 dB, TTT 320 ms,
+  /// hysteresis 1 dB, q-RxLevMin -122 dBm, priority 4, q-Hyst 4 dB.
+  Candidate default_candidate() const;
+
+  /// Uniform independent draw from each dimension's grid.
+  Candidate sample(Rng& rng) const;
+
+  /// Perturb `base`: every dimension moves by a uniform non-zero step of at
+  /// most `max_step` grid indices (clamped at the grid ends).  `max_step`
+  /// < 1 is treated as 1.
+  Candidate neighbor(const Candidate& base, Rng& rng, int max_step) const;
+
+  /// Throws std::invalid_argument if the candidate has the wrong arity or
+  /// any value is off-grid.
+  void validate(const Candidate& c) const;
+
+  /// Overwrite the tunable fields of `cfg` with the candidate's values:
+  /// serving.{q_rxlevmin_dbm, priority, q_hyst_db}, and for every
+  /// neighbour-involving report config (A3..B2, not the A2 gate and not
+  /// periodic reports) the hysteresis and TTT, plus offset_db on A3/A6.
+  void apply(const Candidate& c, config::CellConfig& cfg) const;
+
+  /// "a3=2.0dB ttt=320ms hyst=1.0dB qrxlevmin=-122dBm prio=4 qhyst=4.0dB"
+  std::string describe(const Candidate& c) const;
+
+ private:
+  explicit ParamSpace(std::vector<ParamDim> dims);
+
+  /// Grid index of `value` in dimension `d` (exact match; throws otherwise).
+  std::size_t index_of(std::size_t d, double value) const;
+
+  std::vector<ParamDim> dims_;
+};
+
+}  // namespace mmlab::opt

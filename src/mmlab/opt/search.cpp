@@ -1,0 +1,191 @@
+#include "mmlab/opt/search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmlab::opt {
+
+std::vector<Candidate> RandomSearch::propose(const ParamSpace& space,
+                                             std::size_t budget_left,
+                                             Rng& rng) {
+  std::vector<Candidate> batch;
+  const std::size_t n = std::min(batch_size_, budget_left);
+  batch.reserve(n);
+  if (first_ && n > 0) {
+    batch.push_back(space.default_candidate());
+    first_ = false;
+  }
+  while (batch.size() < n) batch.push_back(space.sample(rng));
+  return batch;
+}
+
+HalvingSearch::HalvingSearch(Options options) : opts_(options) {
+  if (opts_.population == 0) opts_.population = 1;
+  if (opts_.survivors == 0) opts_.survivors = 1;
+  if (opts_.survivors > opts_.population) opts_.survivors = opts_.population;
+  if (opts_.initial_step < 1) opts_.initial_step = 1;
+}
+
+std::vector<Candidate> HalvingSearch::propose(const ParamSpace& space,
+                                              std::size_t budget_left,
+                                              Rng& rng) {
+  std::vector<Candidate> batch;
+  const std::size_t n = std::min(opts_.population, budget_left);
+  batch.reserve(n);
+  if (rung_ == 0 || elites_.empty()) {
+    if (n > 0) batch.push_back(space.default_candidate());
+    while (batch.size() < n) batch.push_back(space.sample(rng));
+    return batch;
+  }
+  // Later rungs explore around the elites with a step that halves per rung,
+  // never below one grid index.
+  const int step = std::max(1, opts_.initial_step >> (rung_ - 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    const Trial& parent = elites_[i % elites_.size()];
+    batch.push_back(space.neighbor(parent.params, rng, step));
+  }
+  return batch;
+}
+
+void HalvingSearch::observe(const std::vector<Trial>& batch) {
+  for (const auto& t : batch) elites_.push_back(t);
+  // Best first; ties go to the earlier trial so the elite set — and with it
+  // the whole search trajectory — is a pure function of the scores.
+  std::stable_sort(elites_.begin(), elites_.end(),
+                   [](const Trial& a, const Trial& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.index < b.index;
+                   });
+  if (elites_.size() > opts_.survivors) elites_.resize(opts_.survivors);
+  ++rung_;
+}
+
+std::unique_ptr<Strategy> make_strategy(const std::string& name) {
+  if (name == "random") return std::make_unique<RandomSearch>();
+  if (name == "halving") return std::make_unique<HalvingSearch>();
+  throw std::invalid_argument("make_strategy: unknown strategy '" + name +
+                              "' (expected random|halving)");
+}
+
+Evaluator::Evaluator(net::Deployment& network, const ParamSpace& space,
+                     sim::CampaignOptions campaign, Objective objective)
+    : network_(network),
+      space_(space),
+      campaign_(std::move(campaign)),
+      objective_(objective) {
+  const auto& cells = network_.cells();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].is_lte() && cells[i].carrier == campaign_.carrier)
+      saved_.emplace_back(i, cells[i].lte_config);
+  }
+  if (saved_.empty())
+    throw std::invalid_argument(
+        "Evaluator: campaign carrier has no LTE cells to tune");
+}
+
+Evaluator::~Evaluator() { restore(); }
+
+void Evaluator::restore() {
+  for (const auto& [index, original] : saved_)
+    network_.cell_at(index).lte_config = original;
+}
+
+Trial Evaluator::run_scored(std::size_t index,
+                            const std::vector<geo::CityId>& cities) {
+  sim::CampaignOptions campaign = campaign_;
+  if (!cities.empty()) campaign.cities = cities;
+  const sim::CampaignResult result = sim::run_campaign(network_, campaign);
+  Trial t;
+  t.index = index;
+  t.metrics = compute_metrics(result, objective_.pingpong_window_ms);
+  t.score = objective_.score(t.metrics);
+  return t;
+}
+
+Trial Evaluator::evaluate_baseline(const std::vector<geo::CityId>& cities) {
+  restore();
+  return run_scored(0, cities);
+}
+
+Trial Evaluator::evaluate(const Candidate& c, std::size_t index,
+                          const std::vector<geo::CityId>& cities) {
+  space_.validate(c);
+  // Each candidate starts from the cell's ORIGINAL config, so untuned fields
+  // keep their seed heterogeneity and trials never see a predecessor's
+  // leftovers.
+  for (const auto& [cell_index, original] : saved_) {
+    config::CellConfig cfg = original;
+    space_.apply(c, cfg);
+    network_.cell_at(cell_index).lte_config = cfg;
+  }
+  Trial t = run_scored(index, cities);
+  t.params = c;
+  return t;
+}
+
+OptResult optimize(net::Deployment& network, const ParamSpace& space,
+                   Strategy& strategy, const sim::CampaignOptions& campaign,
+                   const OptOptions& options) {
+  Evaluator evaluator(network, space, campaign, options.objective);
+
+  OptResult out;
+  out.baseline = evaluator.evaluate_baseline();
+  Rng rng(options.seed);
+  std::size_t spent = 0;
+  while (spent < options.budget) {
+    std::vector<Candidate> batch =
+        strategy.propose(space, options.budget - spent, rng);
+    if (batch.empty()) break;
+    if (batch.size() > options.budget - spent)
+      batch.resize(options.budget - spent);
+    std::vector<Trial> evaluated;
+    evaluated.reserve(batch.size());
+    for (const Candidate& c : batch) {
+      Trial t = evaluator.evaluate(c, spent + evaluated.size());
+      evaluated.push_back(std::move(t));
+    }
+    strategy.observe(evaluated);
+    for (Trial& t : evaluated) out.trials.push_back(std::move(t));
+    spent += evaluated.size();
+  }
+
+  for (std::size_t i = 1; i < out.trials.size(); ++i)
+    if (out.trials[i].score > out.trials[out.best_index].score)
+      out.best_index = i;
+  evaluator.restore();
+  return out;
+}
+
+TransferReport run_transfer(net::Deployment& network, const ParamSpace& space,
+                            Strategy& strategy,
+                            const sim::CampaignOptions& campaign_template,
+                            geo::CityId tune_city,
+                            const std::vector<geo::CityId>& eval_cities,
+                            const OptOptions& options) {
+  TransferReport report;
+  report.tune_city = tune_city;
+
+  sim::CampaignOptions tuning_campaign = campaign_template;
+  tuning_campaign.cities = {tune_city};
+  report.tuning =
+      optimize(network, space, strategy, tuning_campaign, options);
+  if (report.tuning.trials.empty())
+    throw std::invalid_argument("run_transfer: optimization produced no trials"
+                                " (budget 0 or strategy proposed nothing)");
+  const Candidate& best = report.tuning.best().params;
+
+  // Per-city seed-vs-tuned comparison, each city its own single-city
+  // campaign with the same CRN seed the tuning ran on.
+  Evaluator evaluator(network, space, tuning_campaign, options.objective);
+  for (geo::CityId city : eval_cities) {
+    CityEval ce;
+    ce.city = city;
+    ce.seed = evaluator.evaluate_baseline({city});
+    ce.tuned = evaluator.evaluate(best, 0, {city});
+    report.cities.push_back(std::move(ce));
+  }
+  evaluator.restore();
+  return report;
+}
+
+}  // namespace mmlab::opt

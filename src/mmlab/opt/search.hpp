@@ -1,0 +1,178 @@
+// Closed-loop search driver: treat sim::run_campaign as a black-box
+// objective over ParamSpace and climb it (ROADMAP item 3).
+//
+// The loop is batch-synchronous: a Strategy proposes a batch of on-grid
+// candidates, the Evaluator writes each one into every LTE cell of the
+// target carrier (in place, originals saved), runs one campaign over the
+// tuning cities and scores it, and the strategy observes the finished
+// trials before proposing again.  Candidates are evaluated with COMMON
+// RANDOM NUMBERS — every trial reuses the same campaign seed, hence the
+// same routes and UE noise streams — so score differences come from the
+// configuration alone, not from route luck (the classic variance-reduction
+// trick for simulation optimization).
+//
+// Determinism contract (pinned by OptParallel in tests/test_opt.cpp): the
+// driver itself is serial — strategy RNG draws, candidate application and
+// score folding happen in trial order — and the only parallel stage is
+// run_campaign's drive fan-out, which is bit-identical for every thread
+// count.  A whole optimization run (every trial's params, metrics and
+// score, and the chosen best) is therefore bit-identical for any
+// CampaignOptions::threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mmlab/opt/objective.hpp"
+#include "mmlab/opt/param_space.hpp"
+
+namespace mmlab::opt {
+
+/// One evaluated candidate.
+struct Trial {
+  std::size_t index = 0;  ///< evaluation order, 0-based
+  Candidate params;       ///< empty for the unmodified-world baseline
+  CampaignMetrics metrics;
+  double score = 0.0;
+};
+
+/// A pluggable proposer.  propose() may return fewer candidates than
+/// `budget_left` but never more; an empty batch ends the run early.
+/// observe() receives the evaluated batch in proposal order.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual const char* name() const = 0;
+  virtual std::vector<Candidate> propose(const ParamSpace& space,
+                                         std::size_t budget_left, Rng& rng) = 0;
+  virtual void observe(const std::vector<Trial>& batch) = 0;
+};
+
+/// Seeded uniform random search — the baseline every model-guided strategy
+/// must beat.  The first batch leads with the 3GPP-default candidate so the
+/// run's best is never worse than the uniform default config.
+class RandomSearch : public Strategy {
+ public:
+  explicit RandomSearch(std::size_t batch_size = 8)
+      : batch_size_(batch_size ? batch_size : 1) {}
+  const char* name() const override { return "random"; }
+  std::vector<Candidate> propose(const ParamSpace& space,
+                                 std::size_t budget_left, Rng& rng) override;
+  void observe(const std::vector<Trial>& batch) override { (void)batch; }
+
+ private:
+  std::size_t batch_size_;
+  bool first_ = true;
+};
+
+/// Model-guided successive-halving local search: rung 0 is a random
+/// population (led by the default candidate); each later rung keeps the
+/// `survivors` best trials seen so far and proposes neighbours of them with
+/// a step size that halves per rung — broad early, fine-grained late.
+class HalvingSearch : public Strategy {
+ public:
+  struct Options {
+    std::size_t population = 8;  ///< rung-0 batch size
+    std::size_t survivors = 2;   ///< elites kept per later rung
+    int initial_step = 4;        ///< neighbour step (grid indices) at rung 1
+  };
+
+  HalvingSearch() : HalvingSearch(Options{}) {}
+  explicit HalvingSearch(Options options);
+  const char* name() const override { return "halving"; }
+  std::vector<Candidate> propose(const ParamSpace& space,
+                                 std::size_t budget_left, Rng& rng) override;
+  void observe(const std::vector<Trial>& batch) override;
+
+ private:
+  Options opts_;
+  int rung_ = 0;
+  std::vector<Trial> elites_;  ///< best-so-far, ascending by (score, -index)
+};
+
+std::unique_ptr<Strategy> make_strategy(const std::string& name);
+
+/// Applies candidates to the network in place and scores them with one
+/// campaign per candidate.  Construction snapshots the LTE configs of the
+/// target carrier's cells; restore() (and the destructor) puts them back,
+/// so a driver run leaves the caller's deployment bit-identical.
+class Evaluator {
+ public:
+  Evaluator(net::Deployment& network, const ParamSpace& space,
+            sim::CampaignOptions campaign, Objective objective);
+  ~Evaluator();
+
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
+
+  /// Evaluate the unmodified (restored) network — the seed baseline.
+  Trial evaluate_baseline(const std::vector<geo::CityId>& cities = {});
+
+  /// Apply `c` to every LTE cell of the campaign carrier and run one
+  /// campaign over `cities` (empty = the campaign template's cities).
+  Trial evaluate(const Candidate& c, std::size_t index,
+                 const std::vector<geo::CityId>& cities = {});
+
+  void restore();
+
+ private:
+  Trial run_scored(std::size_t index, const std::vector<geo::CityId>& cities);
+
+  net::Deployment& network_;
+  const ParamSpace& space_;
+  sim::CampaignOptions campaign_;
+  Objective objective_;
+  /// (cell index, original config) for every LTE cell of the carrier.
+  std::vector<std::pair<std::size_t, config::CellConfig>> saved_;
+};
+
+struct OptOptions {
+  std::uint64_t seed = 1;     ///< strategy RNG stream (not the campaign seed)
+  std::size_t budget = 32;    ///< max candidate evaluations (campaigns)
+  Objective objective;
+};
+
+struct OptResult {
+  Trial baseline;             ///< unmodified world, same campaign + seed
+  std::vector<Trial> trials;  ///< evaluation order
+  std::size_t best_index = 0;
+
+  const Trial& best() const { return trials.at(best_index); }
+};
+
+/// Run the closed loop until the budget is spent (or the strategy stops
+/// proposing).  Best = highest score, earliest trial on ties.  The network
+/// is restored before returning.
+OptResult optimize(net::Deployment& network, const ParamSpace& space,
+                   Strategy& strategy, const sim::CampaignOptions& campaign,
+                   const OptOptions& options);
+
+/// One city's seed-vs-tuned comparison.
+struct CityEval {
+  geo::CityId city = 0;
+  Trial seed;   ///< unmodified configs
+  Trial tuned;  ///< best candidate applied
+  double improvement() const { return tuned.score - seed.score; }
+};
+
+/// The transfer experiment: tune on `tune_city`, then evaluate both the
+/// seed configs and the tuned candidate on every city in `eval_cities`
+/// (typically the tuning city plus held-out ones), each with its own
+/// campaign over that city alone.
+struct TransferReport {
+  geo::CityId tune_city = 0;
+  OptResult tuning;
+  std::vector<CityEval> cities;  ///< eval_cities order
+};
+
+TransferReport run_transfer(net::Deployment& network, const ParamSpace& space,
+                            Strategy& strategy,
+                            const sim::CampaignOptions& campaign_template,
+                            geo::CityId tune_city,
+                            const std::vector<geo::CityId>& eval_cities,
+                            const OptOptions& options);
+
+}  // namespace mmlab::opt

@@ -57,16 +57,36 @@ DriveTestResult run_drive_test(const net::Deployment& network,
 std::vector<HandoffPerf> annotate_handoffs(const DriveTestResult& result) {
   std::vector<HandoffPerf> out;
   out.reserve(result.handoffs.size());
+  // The recorded throughput span (samples are appended tick by tick, so the
+  // vector is time-ordered).  Windows are clamped to it — see the
+  // HandoffPerf contract; +1 ms makes the half-open end include the last
+  // sample.
+  const SimTime span_begin =
+      result.throughput.empty() ? SimTime{0} : result.throughput.front().t;
+  const SimTime span_end = result.throughput.empty()
+                               ? SimTime{0}
+                               : result.throughput.back().t + 1;
   for (const auto& rec : result.handoffs) {
     HandoffPerf hp;
     hp.rec = rec;
     if (!result.throughput.empty()) {
+      SimTime before_from = rec.report_time - 10'000;
+      if (before_from < span_begin) {
+        before_from = span_begin;
+        hp.before_window_truncated = true;
+      }
       hp.min_thpt_before_bps = traffic::min_binned_throughput_bps(
-          result.throughput, rec.report_time - 10'000, rec.report_time, 100);
+          result.throughput, before_from, rec.report_time, 100);
       hp.min_thpt_before_1s_bps = traffic::min_binned_throughput_bps(
-          result.throughput, rec.report_time - 10'000, rec.report_time, 1'000);
-      hp.mean_thpt_after_bps = traffic::mean_throughput_bps(
-          result.throughput, rec.exec_time + 100, rec.exec_time + 5'000);
+          result.throughput, before_from, rec.report_time, 1'000);
+      const SimTime after_from = rec.exec_time + 100;
+      SimTime after_to = rec.exec_time + 5'000;
+      if (after_to > span_end) {
+        after_to = span_end;
+        hp.after_window_truncated = true;
+      }
+      hp.mean_thpt_after_bps =
+          traffic::mean_throughput_bps(result.throughput, after_from, after_to);
     }
     out.push_back(hp);
   }
@@ -79,8 +99,22 @@ namespace {
 struct DriveOutcome {
   std::vector<HandoffPerf> handoffs;
   std::size_t radio_link_failures = 0;
+  std::size_t handoff_failures = 0;
+  double throughput_sum_bps = 0.0;
+  std::size_t throughput_samples = 0;
   double km = 0.0;
 };
+
+DriveOutcome summarize_drive(const DriveTestResult& drive) {
+  DriveOutcome out;
+  out.handoffs = annotate_handoffs(drive);
+  out.radio_link_failures = drive.radio_link_failures;
+  out.handoff_failures = drive.handoff_failures.size();
+  for (const auto& s : drive.throughput) out.throughput_sum_bps += s.bps;
+  out.throughput_samples = drive.throughput.size();
+  out.km = drive.route_length_m / 1000.0;
+  return out;
+}
 
 DriveOutcome run_city_drive(const net::Deployment& network,
                             const CampaignOptions& options,
@@ -94,9 +128,7 @@ DriveOutcome run_city_drive(const net::Deployment& network,
   dopts.carrier = options.carrier;
   dopts.workload = options.workload;
   dopts.band_support = options.band_support;
-  const auto drive = run_drive_test(network, route, dopts);
-  return {annotate_handoffs(drive), drive.radio_link_failures,
-          drive.route_length_m / 1000.0};
+  return summarize_drive(run_drive_test(network, route, dopts));
 }
 
 DriveOutcome run_highway_drive(const net::Deployment& network,
@@ -119,9 +151,7 @@ DriveOutcome run_highway_drive(const net::Deployment& network,
   dopts.carrier = options.carrier;
   dopts.workload = options.workload;
   dopts.band_support = options.band_support;
-  const auto drive = run_drive_test(network, route, dopts);
-  return {annotate_handoffs(drive), drive.radio_link_failures,
-          drive.route_length_m / 1000.0};
+  return summarize_drive(run_drive_test(network, route, dopts));
 }
 
 }  // namespace
@@ -166,6 +196,9 @@ CampaignResult run_campaign(const net::Deployment& network,
   for (auto& outcome : outcomes) {
     for (auto& hp : outcome.handoffs) result.handoffs.push_back(hp);
     result.radio_link_failures += outcome.radio_link_failures;
+    result.handoff_failures += outcome.handoff_failures;
+    result.throughput_sum_bps += outcome.throughput_sum_bps;
+    result.throughput_samples += outcome.throughput_samples;
     result.total_km += outcome.km;
     ++result.drives;
   }

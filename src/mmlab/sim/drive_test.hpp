@@ -2,6 +2,9 @@
 // and record handoffs, throughput and the device diag log — dataset D1.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "mmlab/mobility/route.hpp"
@@ -44,6 +47,15 @@ DriveTestResult run_drive_test(const net::Deployment& network,
                                const DriveTestOptions& options);
 
 /// A handoff annotated with its local performance context (Fig 7-9).
+///
+/// Window contract at route boundaries: the nominal windows — 10 s before
+/// the decisive report, [exec+100 ms, exec+5 s) after execution — are
+/// CLAMPED to the drive's recorded throughput span.  A clamped window keeps
+/// its numeric value (computed over the intersection; an empty intersection
+/// yields 0.0 bps, the historical sentinel) and raises the matching
+/// *_truncated flag, so consumers that need full-window statistics (CDFs of
+/// pre-handoff minima, for instance) can filter instead of silently mixing
+/// 2 s-deep minima from a drive's first handoff with true 10 s minima.
 struct HandoffPerf {
   ue::HandoffRecord rec;
   /// Minimum 100 ms-binned throughput in the 10 s before the decisive
@@ -54,6 +66,12 @@ struct HandoffPerf {
   double min_thpt_before_1s_bps = 0.0;
   /// Mean throughput in the 5 s after execution.
   double mean_thpt_after_bps = 0.0;
+  /// The before-window started before the drive's first throughput sample
+  /// and was clamped (early handoff): the minima above cover < 10 s.
+  bool before_window_truncated = false;
+  /// The after-window ran past the drive's last throughput sample and was
+  /// clamped (handoff near the route end): the mean covers < 4.9 s.
+  bool after_window_truncated = false;
 };
 
 std::vector<HandoffPerf> annotate_handoffs(const DriveTestResult& result);
@@ -80,6 +98,19 @@ struct CampaignResult {
   std::size_t drives = 0;
   double total_km = 0.0;
   std::size_t radio_link_failures = 0;
+  std::size_t handoff_failures = 0;  ///< decisions that produced no switch
+  /// Campaign-wide throughput aggregate (the optimizer's objective input):
+  /// sum and count of every per-tick throughput sample across all drives,
+  /// folded in serial drive order so the double sum is bit-identical for
+  /// every thread count.  Zero for workloads without throughput samples.
+  double throughput_sum_bps = 0.0;
+  std::size_t throughput_samples = 0;
+
+  double mean_throughput_bps() const {
+    return throughput_samples == 0
+               ? 0.0
+               : throughput_sum_bps / static_cast<double>(throughput_samples);
+  }
 };
 
 /// Runs every (city × drive) of the campaign as an independent WorkerPool

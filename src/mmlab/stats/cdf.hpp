@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace mmlab::stats {
@@ -29,7 +30,14 @@ class EmpiricalCdf {
   void add(double x);
   /// Fraction of samples <= x, in [0, 1]. Empty CDF returns 0.
   double at(double x) const;
-  /// Inverse CDF; q in [0, 1].
+  /// Inverse CDF; q in [0, 1].  Definition: Hyndman-Fan type 7 (the R and
+  /// numpy default) — position pos = q*(n-1) on the sorted samples, linear
+  /// interpolation between samples[floor(pos)] and samples[floor(pos)+1].
+  /// Edge semantics, pinned by the Cdf.Quantile* property tests:
+  /// quantile(0) == min(), quantile(1) == max() (pos lands exactly on n-1,
+  /// no interpolation or overshoot), and a single-sample CDF returns that
+  /// sample for every q.  Empty throws std::logic_error; q outside [0, 1]
+  /// throws std::invalid_argument.
   double quantile(double q) const;
 
   std::size_t size() const { return samples_.size(); }

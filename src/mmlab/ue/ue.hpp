@@ -16,6 +16,8 @@
 // radio is interrupted for ~50 ms while the switch executes.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>

@@ -6,6 +6,7 @@
 // codec layers field semantics (offsets, step sizes) on top.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>

@@ -1,0 +1,113 @@
+// Regression tests for sim::annotate_handoffs at route boundaries: the
+// nominal 10 s-before / 5 s-after windows are clamped to the drive's
+// recorded throughput span and flagged (the HandoffPerf contract).  Before
+// the fix, a handoff in the first 10 s of a drive silently mixed a
+// shallow-window minimum into Fig 7/8 CDFs with no way to tell.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mmlab/sim/drive_test.hpp"
+
+namespace mmlab::sim {
+namespace {
+
+ue::HandoffRecord handoff_at(Millis report_ms, Millis exec_ms) {
+  ue::HandoffRecord rec;
+  rec.report_time = SimTime{report_ms};
+  rec.exec_time = SimTime{exec_ms};
+  rec.from = 1;
+  rec.to = 2;
+  return rec;
+}
+
+/// A synthetic 60 s drive: constant 1 Mbps samples every 100 ms, so every
+/// non-empty (sub)window averages exactly 1e6 and the clamping logic is the
+/// only thing under test.
+DriveTestResult constant_drive(std::vector<ue::HandoffRecord> handoffs) {
+  DriveTestResult result;
+  for (Millis t = 0; t <= 60'000; t += 100)
+    result.throughput.push_back({SimTime{t}, 1e6});
+  result.handoffs = std::move(handoffs);
+  return result;
+}
+
+TEST(AnnotateBoundaries, MidRouteHandoffIsUntruncated) {
+  const auto perfs =
+      annotate_handoffs(constant_drive({handoff_at(30'000, 30'050)}));
+  ASSERT_EQ(perfs.size(), 1u);
+  EXPECT_FALSE(perfs[0].before_window_truncated);
+  EXPECT_FALSE(perfs[0].after_window_truncated);
+  EXPECT_DOUBLE_EQ(perfs[0].min_thpt_before_bps, 1e6);
+  EXPECT_DOUBLE_EQ(perfs[0].min_thpt_before_1s_bps, 1e6);
+  EXPECT_DOUBLE_EQ(perfs[0].mean_thpt_after_bps, 1e6);
+}
+
+TEST(AnnotateBoundaries, EarlyHandoffClampsAndFlagsBeforeWindow) {
+  // Report at t=3 s: the nominal window [t-10s, t) starts before the first
+  // sample.  The minimum is computed over the 3 s that exist and the
+  // before flag is raised; the after window is deep inside the drive.
+  const auto perfs =
+      annotate_handoffs(constant_drive({handoff_at(3'000, 3'050)}));
+  ASSERT_EQ(perfs.size(), 1u);
+  EXPECT_TRUE(perfs[0].before_window_truncated);
+  EXPECT_FALSE(perfs[0].after_window_truncated);
+  EXPECT_DOUBLE_EQ(perfs[0].min_thpt_before_bps, 1e6);
+  EXPECT_DOUBLE_EQ(perfs[0].min_thpt_before_1s_bps, 1e6);
+  EXPECT_DOUBLE_EQ(perfs[0].mean_thpt_after_bps, 1e6);
+}
+
+TEST(AnnotateBoundaries, LateHandoffClampsAndFlagsAfterWindow) {
+  // Execution at t=58 s: the nominal after window [58.1 s, 63 s) runs past
+  // the last sample (60 s).  The mean covers the recorded 1.9 s and the
+  // after flag is raised.
+  const auto perfs =
+      annotate_handoffs(constant_drive({handoff_at(57'950, 58'000)}));
+  ASSERT_EQ(perfs.size(), 1u);
+  EXPECT_FALSE(perfs[0].before_window_truncated);
+  EXPECT_TRUE(perfs[0].after_window_truncated);
+  EXPECT_DOUBLE_EQ(perfs[0].min_thpt_before_bps, 1e6);
+  EXPECT_DOUBLE_EQ(perfs[0].mean_thpt_after_bps, 1e6);
+}
+
+TEST(AnnotateBoundaries, EmptyClampedWindowKeepsZeroSentinel) {
+  // Report at the very first sample: the clamped before window [0, 0) is
+  // empty — the historical 0.0 sentinel stays, plus the flag.
+  const auto perfs = annotate_handoffs(constant_drive({handoff_at(0, 50)}));
+  ASSERT_EQ(perfs.size(), 1u);
+  EXPECT_TRUE(perfs[0].before_window_truncated);
+  EXPECT_DOUBLE_EQ(perfs[0].min_thpt_before_bps, 0.0);
+  EXPECT_DOUBLE_EQ(perfs[0].min_thpt_before_1s_bps, 0.0);
+  EXPECT_FALSE(perfs[0].after_window_truncated);
+  EXPECT_DOUBLE_EQ(perfs[0].mean_thpt_after_bps, 1e6);
+}
+
+TEST(AnnotateBoundaries, NoThroughputDriveLeavesDefaults) {
+  // Idle/ping drives record no throughput: there is no span to clamp to,
+  // values keep the 0.0 sentinel and no flag is raised.
+  DriveTestResult result;
+  result.handoffs = {handoff_at(5'000, 5'050)};
+  const auto perfs = annotate_handoffs(result);
+  ASSERT_EQ(perfs.size(), 1u);
+  EXPECT_FALSE(perfs[0].before_window_truncated);
+  EXPECT_FALSE(perfs[0].after_window_truncated);
+  EXPECT_DOUBLE_EQ(perfs[0].min_thpt_before_bps, 0.0);
+  EXPECT_DOUBLE_EQ(perfs[0].mean_thpt_after_bps, 0.0);
+}
+
+TEST(AnnotateBoundaries, BothFlagsOnAVeryShortDrive) {
+  // A 4 s drive with a handoff in the middle truncates on both sides.
+  DriveTestResult result;
+  for (Millis t = 0; t <= 4'000; t += 100)
+    result.throughput.push_back({SimTime{t}, 1e6});
+  result.handoffs = {handoff_at(2'000, 2'050)};
+  const auto perfs = annotate_handoffs(result);
+  ASSERT_EQ(perfs.size(), 1u);
+  EXPECT_TRUE(perfs[0].before_window_truncated);
+  EXPECT_TRUE(perfs[0].after_window_truncated);
+  EXPECT_DOUBLE_EQ(perfs[0].min_thpt_before_bps, 1e6);
+  EXPECT_DOUBLE_EQ(perfs[0].mean_thpt_after_bps, 1e6);
+}
+
+}  // namespace
+}  // namespace mmlab::sim

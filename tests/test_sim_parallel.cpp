@@ -187,6 +187,8 @@ void expect_same_handoff(const HandoffPerf& a, const HandoffPerf& b) {
   EXPECT_TRUE(same_bits(a.min_thpt_before_bps, b.min_thpt_before_bps));
   EXPECT_TRUE(same_bits(a.min_thpt_before_1s_bps, b.min_thpt_before_1s_bps));
   EXPECT_TRUE(same_bits(a.mean_thpt_after_bps, b.mean_thpt_after_bps));
+  EXPECT_EQ(a.before_window_truncated, b.before_window_truncated);
+  EXPECT_EQ(a.after_window_truncated, b.after_window_truncated);
 }
 
 TEST(CampaignParallel, BitIdenticalAcrossThreadCounts) {
@@ -214,6 +216,10 @@ TEST(CampaignParallel, BitIdenticalAcrossThreadCounts) {
     const auto parallel = run_campaign(world.network, opts);
     EXPECT_EQ(serial.drives, parallel.drives);
     EXPECT_EQ(serial.radio_link_failures, parallel.radio_link_failures);
+    EXPECT_EQ(serial.handoff_failures, parallel.handoff_failures);
+    EXPECT_EQ(serial.throughput_samples, parallel.throughput_samples);
+    EXPECT_TRUE(same_bits(serial.throughput_sum_bps,
+                          parallel.throughput_sum_bps));
     EXPECT_TRUE(same_bits(serial.total_km, parallel.total_km));
     ASSERT_EQ(serial.handoffs.size(), parallel.handoffs.size());
     for (std::size_t i = 0; i < serial.handoffs.size(); ++i)

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -121,6 +123,72 @@ TEST(Cdf, QuantileInverse) {
   EmpiricalCdf cdf({0, 10});
   EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
   EXPECT_THROW(EmpiricalCdf{}.quantile(0.5), std::logic_error);
+}
+
+// Reference Hyndman-Fan type-7 quantile over an already-sorted vector: the
+// definition EmpiricalCdf::quantile documents, written independently.
+double type7_reference(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+TEST(Cdf, QuantileEdgeSemantics) {
+  // q=0 is the minimum and q=1 is the maximum, exactly — no interpolation
+  // residue, no out-of-bounds read at pos == n-1.
+  EmpiricalCdf cdf({7, -2, 3, 3, 11});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), -2.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 11.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), cdf.min());
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), cdf.max());
+  EXPECT_THROW(cdf.quantile(-0.01), std::invalid_argument);
+  EXPECT_THROW(cdf.quantile(1.01), std::invalid_argument);
+}
+
+TEST(Cdf, QuantileSingleSample) {
+  EmpiricalCdf cdf({42.5});
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(cdf.quantile(q), 42.5) << "q=" << q;
+}
+
+TEST(Cdf, QuantileExactAtSamplePositions) {
+  // At q = i/(n-1) the type-7 position is integral: the i-th order
+  // statistic comes back exactly (an off-by-one would shift these).
+  const std::vector<double> sorted{1, 4, 9, 16, 25, 36};
+  EmpiricalCdf cdf(sorted);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double q =
+        static_cast<double>(i) / static_cast<double>(sorted.size() - 1);
+    EXPECT_DOUBLE_EQ(cdf.quantile(q), sorted[i]) << "i=" << i;
+  }
+}
+
+TEST(Cdf, QuantileMatchesSortedVectorReference) {
+  // Property test: pseudo-random sample sets of varying size against the
+  // independent reference, across a dense q sweep including both edges.
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 11) / 9007199254740992.0;  // [0,1)
+  };
+  for (std::size_t n : {1u, 2u, 3u, 7u, 100u}) {
+    std::vector<double> samples;
+    for (std::size_t i = 0; i < n; ++i)
+      samples.push_back(200.0 * next() - 100.0);
+    EmpiricalCdf cdf(samples);
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    double prev = sorted.front();
+    for (int k = 0; k <= 100; ++k) {
+      const double q = static_cast<double>(k) / 100.0;
+      const double v = cdf.quantile(q);
+      EXPECT_DOUBLE_EQ(v, type7_reference(sorted, q)) << "n=" << n << " q=" << q;
+      EXPECT_GE(v, prev) << "quantile must be monotone in q";
+      prev = v;
+    }
+  }
 }
 
 TEST(Cdf, SeriesMonotone) {

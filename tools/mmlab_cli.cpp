@@ -16,6 +16,14 @@
 //                                      run the misconfiguration detectors
 //   mmlab_cli drive   [carrier-acr]    one instrumented drive; print the
 //                                      handoff instances from the diag log
+//   mmlab_cli opt     [--budget N] [--threads N] [--strategy random|halving]
+//                     [--cities A,B,...] [--seed S] [--scale F]
+//                     [--carrier acr]
+//                                      closed-loop handover-parameter search:
+//                                      tune on the first city, evaluate
+//                                      seed-vs-tuned on every listed city
+//                                      (the last being the held-out transfer
+//                                      target)
 //
 // Datasets are core/dataset_io.hpp's release CSV or the MMDS v1 binary
 // format; on load the format is sniffed from the file magic, so --format is
@@ -36,6 +44,7 @@
 #include "mmlab/core/stability.hpp"
 #include "mmlab/ingest/replay.hpp"
 #include "mmlab/ingest/service.hpp"
+#include "mmlab/opt/search.hpp"
 #include "mmlab/sim/crawl.hpp"
 #include "mmlab/sim/fleet.hpp"
 #include "mmlab/sim/drive_test.hpp"
@@ -319,12 +328,136 @@ int cmd_drive(int argc, char** argv) {
   return 0;
 }
 
+int cmd_opt(int argc, char** argv) {
+  std::size_t budget = 24;
+  unsigned threads = 0;
+  std::string strategy_name = "halving";
+  std::string acr = "A";
+  std::uint64_t seed = 7;
+  double scale = 0.1;
+  std::vector<geo::CityId> cities = {2, 4};  // tune on 2, hold out 4
+
+  for (int i = 0; i < argc; ++i) {
+    auto need_value = [&](const char* flag) {
+      if (i + 1 < argc) return true;
+      std::fprintf(stderr, "error: %s needs a value\n", flag);
+      return false;
+    };
+    if (!std::strcmp(argv[i], "--budget")) {
+      if (!need_value("--budget") || std::atol(argv[i + 1]) <= 0) return 2;
+      budget = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      if (!need_value("--threads") || std::atoi(argv[i + 1]) <= 0) return 2;
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--strategy")) {
+      if (!need_value("--strategy")) return 2;
+      strategy_name = argv[++i];
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      if (!need_value("--seed")) return 2;
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--scale")) {
+      if (!need_value("--scale") || std::atof(argv[i + 1]) <= 0) return 2;
+      scale = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--carrier")) {
+      if (!need_value("--carrier")) return 2;
+      acr = argv[++i];
+    } else if (!std::strcmp(argv[i], "--cities")) {
+      if (!need_value("--cities")) return 2;
+      cities.clear();
+      for (const char* p = argv[++i]; *p;) {
+        cities.push_back(static_cast<geo::CityId>(std::strtoul(p, nullptr, 10)));
+        while (*p && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+      if (cities.empty()) {
+        std::fprintf(stderr, "error: --cities needs ids like 2,4\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown opt flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  netgen::WorldOptions wopts;
+  wopts.seed = 42;
+  wopts.scale = scale;
+  auto world = netgen::generate_world(wopts);
+  net::CarrierId carrier = 0;
+  for (const auto& c : world.network.carriers())
+    if (c.acronym == acr) carrier = c.id;
+
+  sim::CampaignOptions campaign;
+  campaign.carrier = carrier;
+  campaign.workload = sim::Workload::kSpeedtest;
+  campaign.city_drives_per_city = 2;
+  campaign.highway_drives_per_city = 1;
+  campaign.city_drive_duration = 8 * kMillisPerMinute;
+  campaign.threads = threads;
+  // CRN: one campaign seed for the whole run, derived once from the opt
+  // seed, so every trial sees the same routes and noise.
+  campaign.seed = Rng(seed).fork(0xCA).next_u64();
+
+  const auto space = opt::ParamSpace::standard();
+  std::unique_ptr<opt::Strategy> strategy;
+  try {
+    strategy = opt::make_strategy(strategy_name);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  opt::OptOptions oopts;
+  oopts.seed = seed;
+  oopts.budget = budget;
+
+  std::printf("tuning %s on city %u (%zu trials, strategy %s, seed %llu)...\n",
+              acr.c_str(), cities.front(), budget, strategy->name(),
+              static_cast<unsigned long long>(seed));
+  const auto report = opt::run_transfer(world.network, space, *strategy,
+                                        campaign, cities.front(), cities,
+                                        oopts);
+
+  const auto& tuning = report.tuning;
+  std::printf("\nbaseline (seed configs): score %.3f, mean thpt %.2f Mbps, "
+              "%zu ping-pongs, %zu RLFs, %zu handoff failures / %.1f km\n",
+              tuning.baseline.score,
+              tuning.baseline.metrics.mean_throughput_bps / 1e6,
+              tuning.baseline.metrics.pingpongs,
+              tuning.baseline.metrics.radio_link_failures,
+              tuning.baseline.metrics.handoff_failures,
+              tuning.baseline.metrics.total_km);
+  const auto& best = tuning.best();
+  std::printf("best trial #%zu: score %.3f (%+.3f vs baseline)\n  %s\n",
+              best.index, best.score, best.score - tuning.baseline.score,
+              space.describe(best.params).c_str());
+
+  std::printf("\ntransfer (tuned on city %u):\n", report.tune_city);
+  TablePrinter table({"City", "Seed score", "Tuned score", "Delta",
+                      "Seed Mbps", "Tuned Mbps", "Seed pp/km", "Tuned pp/km"});
+  for (const auto& ce : report.cities) {
+    const double km_s =
+        ce.seed.metrics.total_km > 0 ? ce.seed.metrics.total_km : 1.0;
+    const double km_t =
+        ce.tuned.metrics.total_km > 0 ? ce.tuned.metrics.total_km : 1.0;
+    table.add_row({(std::to_string(ce.city) +
+                    (ce.city == report.tune_city ? " (tuned)" : " (held out)")),
+                   fmt_double(ce.seed.score, 3), fmt_double(ce.tuned.score, 3),
+                   fmt_double(ce.improvement(), 3),
+                   fmt_double(ce.seed.metrics.mean_throughput_bps / 1e6, 2),
+                   fmt_double(ce.tuned.metrics.mean_throughput_bps / 1e6, 2),
+                   fmt_double(ce.seed.metrics.pingpongs / km_s, 3),
+                   fmt_double(ce.tuned.metrics.pingpongs / km_t, 3)});
+  }
+  table.print();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: mmlab_cli <crawl|ingest|report|verify|drive> "
+                 "usage: mmlab_cli <crawl|ingest|report|verify|drive|opt> "
                  "[args...]\n");
     return 2;
   }
@@ -334,6 +467,7 @@ int main(int argc, char** argv) {
   if (!std::strcmp(cmd, "report")) return cmd_report(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "verify")) return cmd_verify(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "drive")) return cmd_drive(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "opt")) return cmd_opt(argc - 2, argv + 2);
   std::fprintf(stderr, "unknown command: %s\n", cmd);
   return 2;
 }
