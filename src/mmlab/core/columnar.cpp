@@ -47,142 +47,156 @@ constexpr std::size_t kLinearDedupLimit = 64;
 
 }  // namespace
 
-void ColumnarView::build_carrier(const std::string& name,
-                                 const ConfigDatabase::CellMap& cells,
-                                 Carrier& out) {
-  out.name = name;
-  out.cells.reserve(cells.size());
-  std::size_t total_obs = 0;
-  for (const auto& [id, rec] : cells) total_obs += rec.observations.size();
-  out.value_col.reserve(total_obs);
-  out.time_col.reserve(total_obs);
-  out.context_col.reserve(total_obs);
+ColumnarView::CarrierAssembler::CarrierAssembler(std::string name,
+                                                 bool keep_columns)
+    : keep_columns_(keep_columns) {
+  out_.name = std::move(name);
+}
 
-  std::set<config::ParamKey> observed;
-  // Scratch reused across cells: (key, original index) pairs whose plain
-  // sort is key-ascending and order-preserving within a key, exactly the
-  // span layout we need.
-  std::vector<std::pair<config::ParamKey, std::uint32_t>> order;
-  std::unordered_set<double> uniq_seen;
-  std::set<std::pair<std::int64_t, double>> ctx_seen;
-
-  for (const auto& [id, rec] : cells) {
-    Cell cell;
-    cell.rec = &rec;
-    cell.id = id;
-    cell.span_begin = static_cast<std::uint32_t>(out.spans.size());
-
-    order.clear();
-    order.reserve(rec.observations.size());
-    for (std::uint32_t i = 0; i < rec.observations.size(); ++i)
-      order.emplace_back(rec.observations[i].key, i);
-    std::sort(order.begin(), order.end());
-
-    for (std::size_t lo = 0; lo < order.size();) {
-      std::size_t hi = lo;
-      while (hi < order.size() && order[hi].first == order[lo].first) ++hi;
-      const config::ParamKey key = order[lo].first;
-      observed.insert(key);
-
-      Span span;
-      span.key = key;
-      span.cell = static_cast<std::uint32_t>(out.cells.size());
-      span.begin = static_cast<std::uint32_t>(out.value_col.size());
-      // Same tie-break as CellRecord::latest: the *last* max-t observation
-      // in original order wins, and t below the -1 sentinel never counts.
-      SimTime best_t{-1};
-      for (std::size_t j = lo; j < hi; ++j) {
-        const Observation& obs = rec.observations[order[j].second];
-        out.value_col.push_back(obs.value);
-        out.time_col.push_back(obs.t);
-        out.context_col.push_back(obs.context);
-        if (obs.t >= best_t) {
-          best_t = obs.t;
-          span.latest = obs.value;
-          span.has_latest = true;
-        }
-      }
-      span.end = static_cast<std::uint32_t>(out.value_col.size());
-
-      // First-seen-order dedup: a linear == scan over the uniques emitted
-      // so far IS the legacy std::find algorithm (NaN never equals itself,
-      // so every occurrence is "unique"; -0.0 == 0.0 collapses).  The
-      // unordered_set spill past kLinearDedupLimit preserves those ==
-      // semantics while avoiding the quadratic cliff.
-      span.uniq_begin = static_cast<std::uint32_t>(out.uniq_col.size());
-      bool uniq_spilled = false;
-      for (std::uint32_t j = span.begin; j < span.end; ++j) {
-        const double v = out.value_col[j];
-        if (!uniq_spilled) {
-          bool dup = false;
-          for (std::size_t k = span.uniq_begin; k < out.uniq_col.size(); ++k) {
-            if (out.uniq_col[k] == v) {
-              dup = true;
-              break;
-            }
-          }
-          if (dup) continue;
-          if (out.uniq_col.size() - span.uniq_begin < kLinearDedupLimit) {
-            out.uniq_col.push_back(v);
-            continue;
-          }
-          uniq_seen.clear();
-          uniq_seen.insert(out.uniq_col.begin() + span.uniq_begin,
-                           out.uniq_col.end());
-          uniq_spilled = true;
-        }
-        if (uniq_seen.insert(v).second) out.uniq_col.push_back(v);
-      }
-      span.uniq_end = static_cast<std::uint32_t>(out.uniq_col.size());
-
-      // Unique (context, value) pairs, context >= 0 only — the
-      // values_by_context per-cell dedup, precomputed.  Duplicates are
-      // defined by std::set's < equivalence (as in the legacy scan), which
-      // the linear path replicates via !(a<b) && !(b<a).
-      span.ctx_begin = static_cast<std::uint32_t>(out.ctx_value_col.size());
-      bool ctx_spilled = false;
-      for (std::uint32_t j = span.begin; j < span.end; ++j) {
-        if (out.context_col[j] < 0) continue;
-        const std::pair<std::int64_t, double> p{out.context_col[j],
-                                                out.value_col[j]};
-        if (!ctx_spilled) {
-          bool dup = false;
-          for (std::size_t k = span.ctx_begin; k < out.ctx_value_col.size();
-               ++k) {
-            const std::pair<std::int64_t, double> q{out.ctx_context_col[k],
-                                                    out.ctx_value_col[k]};
-            if (!(p < q) && !(q < p)) {
-              dup = true;
-              break;
-            }
-          }
-          if (dup) continue;
-          if (out.ctx_value_col.size() - span.ctx_begin < kLinearDedupLimit) {
-            out.ctx_context_col.push_back(p.first);
-            out.ctx_value_col.push_back(p.second);
-            continue;
-          }
-          ctx_seen.clear();
-          for (std::size_t k = span.ctx_begin; k < out.ctx_value_col.size();
-               ++k)
-            ctx_seen.insert({out.ctx_context_col[k], out.ctx_value_col[k]});
-          ctx_spilled = true;
-        }
-        if (ctx_seen.insert(p).second) {
-          out.ctx_context_col.push_back(p.first);
-          out.ctx_value_col.push_back(p.second);
-        }
-      }
-      span.ctx_end = static_cast<std::uint32_t>(out.ctx_value_col.size());
-
-      out.spans.push_back(span);
-      lo = hi;
-    }
-
-    cell.span_end = static_cast<std::uint32_t>(out.spans.size());
-    out.cells.push_back(cell);
+void ColumnarView::CarrierAssembler::reserve(std::size_t cells,
+                                             std::size_t rows) {
+  out_.cells.reserve(cells);
+  if (keep_columns_) {
+    out_.value_col.reserve(rows);
+    out_.time_col.reserve(rows);
+    out_.context_col.reserve(rows);
   }
-  out.observed.assign(observed.begin(), observed.end());
+}
+
+void ColumnarView::CarrierAssembler::add_cell(std::uint32_t id,
+                                              const CellRecord& rec,
+                                              const CellRecord* stable) {
+  Cell cell;
+  if (stable) {
+    cell.rec = stable;
+  } else {
+    CellRecord& meta = out_.owned_meta.emplace_back();
+    meta.cell_id = rec.cell_id;
+    meta.rat = rec.rat;
+    meta.channel = rec.channel;
+    meta.position = rec.position;
+    cell.rec = &meta;
+  }
+  cell.id = id;
+  cell.span_begin = static_cast<std::uint32_t>(out_.spans.size());
+
+  order_.clear();
+  order_.reserve(rec.observations.size());
+  for (std::uint32_t i = 0; i < rec.observations.size(); ++i)
+    order_.emplace_back(rec.observations[i].key, i);
+  std::sort(order_.begin(), order_.end());
+
+  for (std::size_t lo = 0; lo < order_.size();) {
+    std::size_t hi = lo;
+    while (hi < order_.size() && order_[hi].first == order_[lo].first) ++hi;
+    const config::ParamKey key = order_[lo].first;
+    observed_.insert(key);
+
+    Span span;
+    span.key = key;
+    span.cell = static_cast<std::uint32_t>(out_.cells.size());
+    span.begin = static_cast<std::uint32_t>(next_row_);
+    // Same tie-break as CellRecord::latest: the *last* max-t observation
+    // in original order wins, and t below the -1 sentinel never counts.
+    SimTime best_t{-1};
+    for (std::size_t j = lo; j < hi; ++j) {
+      const Observation& obs = rec.observations[order_[j].second];
+      if (keep_columns_) {
+        out_.value_col.push_back(obs.value);
+        out_.time_col.push_back(obs.t);
+        out_.context_col.push_back(obs.context);
+      }
+      if (obs.t >= best_t) {
+        best_t = obs.t;
+        span.latest = obs.value;
+        span.has_latest = true;
+      }
+    }
+    next_row_ += hi - lo;
+    span.end = static_cast<std::uint32_t>(next_row_);
+
+    // First-seen-order dedup: a linear == scan over the uniques emitted
+    // so far IS the legacy std::find algorithm (NaN never equals itself,
+    // so every occurrence is "unique"; -0.0 == 0.0 collapses).  The
+    // unordered_set spill past kLinearDedupLimit preserves those ==
+    // semantics while avoiding the quadratic cliff.
+    span.uniq_begin = static_cast<std::uint32_t>(out_.uniq_col.size());
+    bool uniq_spilled = false;
+    for (std::size_t j = lo; j < hi; ++j) {
+      const double v = rec.observations[order_[j].second].value;
+      if (!uniq_spilled) {
+        bool dup = false;
+        for (std::size_t k = span.uniq_begin; k < out_.uniq_col.size(); ++k) {
+          if (out_.uniq_col[k] == v) {
+            dup = true;
+            break;
+          }
+        }
+        if (dup) continue;
+        if (out_.uniq_col.size() - span.uniq_begin < kLinearDedupLimit) {
+          out_.uniq_col.push_back(v);
+          continue;
+        }
+        uniq_seen_.clear();
+        uniq_seen_.insert(out_.uniq_col.begin() + span.uniq_begin,
+                          out_.uniq_col.end());
+        uniq_spilled = true;
+      }
+      if (uniq_seen_.insert(v).second) out_.uniq_col.push_back(v);
+    }
+    span.uniq_end = static_cast<std::uint32_t>(out_.uniq_col.size());
+
+    // Unique (context, value) pairs, context >= 0 only — the
+    // values_by_context per-cell dedup, precomputed.  Duplicates are
+    // defined by std::set's < equivalence (as in the legacy scan), which
+    // the linear path replicates via !(a<b) && !(b<a).
+    span.ctx_begin = static_cast<std::uint32_t>(out_.ctx_value_col.size());
+    bool ctx_spilled = false;
+    for (std::size_t j = lo; j < hi; ++j) {
+      const Observation& obs = rec.observations[order_[j].second];
+      if (obs.context < 0) continue;
+      const std::pair<std::int64_t, double> p{obs.context, obs.value};
+      if (!ctx_spilled) {
+        bool dup = false;
+        for (std::size_t k = span.ctx_begin; k < out_.ctx_value_col.size();
+             ++k) {
+          const std::pair<std::int64_t, double> q{out_.ctx_context_col[k],
+                                                  out_.ctx_value_col[k]};
+          if (!(p < q) && !(q < p)) {
+            dup = true;
+            break;
+          }
+        }
+        if (dup) continue;
+        if (out_.ctx_value_col.size() - span.ctx_begin < kLinearDedupLimit) {
+          out_.ctx_context_col.push_back(p.first);
+          out_.ctx_value_col.push_back(p.second);
+          continue;
+        }
+        ctx_seen_.clear();
+        for (std::size_t k = span.ctx_begin; k < out_.ctx_value_col.size();
+             ++k)
+          ctx_seen_.insert({out_.ctx_context_col[k], out_.ctx_value_col[k]});
+        ctx_spilled = true;
+      }
+      if (ctx_seen_.insert(p).second) {
+        out_.ctx_context_col.push_back(p.first);
+        out_.ctx_value_col.push_back(p.second);
+      }
+    }
+    span.ctx_end = static_cast<std::uint32_t>(out_.ctx_value_col.size());
+
+    out_.spans.push_back(span);
+    lo = hi;
+  }
+
+  cell.span_end = static_cast<std::uint32_t>(out_.spans.size());
+  out_.cells.push_back(cell);
+}
+
+ColumnarView::Carrier ColumnarView::CarrierAssembler::finish() && {
+  Carrier& out = out_;
+  out.observed.assign(observed_.begin(), observed_.end());
 
   // Inverted span index: bucket span ids by key.  Spans are emitted in
   // cell-ascending order, so a counting pass keeps each bucket
@@ -218,6 +232,20 @@ void ColumnarView::build_carrier(const std::string& name,
         vc.add(out.uniq_col[j]);
     }
   }
+  return std::move(out_);
+}
+
+void ColumnarView::build_carrier(const std::string& name,
+                                 const ConfigDatabase::CellMap& cells,
+                                 Carrier& out) {
+  CarrierAssembler assembler(name, /*keep_columns=*/true);
+  std::size_t total_obs = 0;
+  for (const auto& [id, rec] : cells) total_obs += rec.observations.size();
+  assembler.reserve(cells.size(), total_obs);
+  // The database outlives the view (class contract), so records are stable
+  // and no metadata copy is needed.
+  for (const auto& [id, rec] : cells) assembler.add_cell(id, rec, &rec);
+  out = std::move(assembler).finish();
 }
 
 ColumnarView::ColumnarView(const ConfigDatabase& db, unsigned build_threads) {
@@ -237,6 +265,9 @@ ColumnarView::ColumnarView(const ConfigDatabase& db, unsigned build_threads) {
     });
   }
 }
+
+ColumnarView::ColumnarView(std::vector<Carrier> carriers)
+    : carriers_(std::move(carriers)) {}
 
 std::optional<std::uint32_t> ColumnarView::carrier_index(
     std::string_view name) const {
@@ -260,8 +291,12 @@ std::size_t ColumnarView::total_cells() const {
 }
 
 std::size_t ColumnarView::total_observations() const {
+  // Span row ranges cover every observation back-to-back, so the last
+  // span's end IS the carrier's row count — valid with or without the raw
+  // columns materialized.
   std::size_t n = 0;
-  for (const auto& c : carriers_) n += c.value_col.size();
+  for (const auto& c : carriers_)
+    n += c.spans.empty() ? 0 : c.spans.back().end;
   return n;
 }
 

@@ -34,6 +34,38 @@ std::size_t CellRecord::sample_count(config::ParamKey key) const {
   return n;
 }
 
+void CellRecord::merge_from(CellRecord&& other) {
+  if (other.observations.empty()) return;
+  if (observations.empty() ||
+      other.observations.front().t < observations.front().t) {
+    // The other side saw this cell first; its camp metadata wins, as it
+    // would have under serial extraction.
+    rat = other.rat;
+    channel = other.channel;
+    position = other.position;
+  }
+  auto& obs = observations;
+  const auto mid_pos = static_cast<std::ptrdiff_t>(obs.size());
+  obs.insert(obs.end(), std::make_move_iterator(other.observations.begin()),
+             std::make_move_iterator(other.observations.end()));
+  const auto by_t = [](const Observation& a, const Observation& b) {
+    return a.t < b.t;
+  };
+  const auto mid = obs.begin() + mid_pos;
+  // Extraction appends observations in crawl-time order, so both halves are
+  // already timestamp-sorted and an O(n) merge suffices.  inplace_merge
+  // keeps first-range-before-second for equal timestamps — the same
+  // this-before-other stability stable_sort gave.  Hand-built databases may
+  // violate the sorted precondition, so check and fall back rather than
+  // hand inplace_merge UB.
+  if (std::is_sorted(obs.begin(), mid, by_t) &&
+      std::is_sorted(mid, obs.end(), by_t)) {
+    std::inplace_merge(obs.begin(), mid, obs.end(), by_t);
+  } else {
+    std::stable_sort(obs.begin(), obs.end(), by_t);
+  }
+}
+
 void ConfigDatabase::add_snapshot(
     const std::string& carrier, std::uint32_t cell_id, spectrum::Rat rat,
     std::uint32_t channel, geo::Point position, SimTime t,
@@ -56,37 +88,7 @@ void ConfigDatabase::merge(ConfigDatabase&& other) {
     for (auto& [id, rec] : cells) {
       auto [it, inserted] = dst.try_emplace(id, std::move(rec));
       if (inserted) continue;
-      CellRecord& mine = it->second;
-      if (rec.observations.empty()) continue;
-      if (mine.observations.empty() ||
-          rec.observations.front().t < mine.observations.front().t) {
-        // The shard saw this cell first; its camp metadata wins, as it would
-        // have under serial extraction.
-        mine.rat = rec.rat;
-        mine.channel = rec.channel;
-        mine.position = rec.position;
-      }
-      auto& obs = mine.observations;
-      const auto mid_pos = static_cast<std::ptrdiff_t>(obs.size());
-      obs.insert(obs.end(),
-                 std::make_move_iterator(rec.observations.begin()),
-                 std::make_move_iterator(rec.observations.end()));
-      const auto by_t = [](const Observation& a, const Observation& b) {
-        return a.t < b.t;
-      };
-      const auto mid = obs.begin() + mid_pos;
-      // Extraction appends observations in crawl-time order, so both halves
-      // are already timestamp-sorted and an O(n) merge suffices.
-      // inplace_merge keeps first-range-before-second for equal timestamps
-      // — the same this-before-other stability stable_sort gave.  Hand-built
-      // databases may violate the sorted precondition, so check and fall
-      // back rather than hand inplace_merge UB.
-      if (std::is_sorted(obs.begin(), mid, by_t) &&
-          std::is_sorted(mid, obs.end(), by_t)) {
-        std::inplace_merge(obs.begin(), mid, obs.end(), by_t);
-      } else {
-        std::stable_sort(obs.begin(), obs.end(), by_t);
-      }
+      it->second.merge_from(std::move(rec));
     }
   }
   other.carriers_.clear();

@@ -47,6 +47,16 @@ struct CellRecord {
   /// Number of observations of `key` (the Fig 13a per-cell sample count).
   std::size_t sample_count(config::ParamKey key) const;
 
+  /// Absorb another record of the same cell under ConfigDatabase::merge's
+  /// ordering contract: observations re-ordered by timestamp (stable,
+  /// this-before-other on equal t, with a stable_sort fallback when either
+  /// side isn't already t-sorted), and identity metadata following the side
+  /// whose first observation is earliest.  An observation-less `other`
+  /// contributes nothing — not even metadata.  Exposed so out-of-core shard
+  /// loaders can merge one cell's per-run records bit-identically to a
+  /// whole-database merge.
+  void merge_from(CellRecord&& other);
+
   bool operator==(const CellRecord&) const = default;
 };
 

@@ -3,11 +3,11 @@
 #include <charconv>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
 
-#include "mmlab/util/byteio.hpp"
 #include "mmlab/util/crc.hpp"
 #include "mmlab/util/worker_pool.hpp"
 
@@ -17,7 +17,7 @@ namespace {
 
 constexpr char kHeader[] =
     "carrier,cell_id,rat,channel,x_m,y_m,t_ms,param,value,context";
-constexpr std::uint8_t kMaxRat = 4;  // spectrum::Rat::kCdma1x
+constexpr std::uint8_t kMaxRat = mmds::kMaxRat;
 
 // --- CSV write ---------------------------------------------------------------
 
@@ -137,6 +137,15 @@ Result<LoadStats> load_csv_lines(std::string_view text, ConfigDatabase& db) {
 
 // --- MMDS v1 write -----------------------------------------------------------
 
+std::size_t varint_len(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 /// Serialize everything except the CRC trailer through `emit(ptr, size)`.
 template <typename Emit>
 void serialize_mmds(const ConfigDatabase& db, Emit&& emit) {
@@ -150,13 +159,9 @@ void serialize_mmds(const ConfigDatabase& db, Emit&& emit) {
   for (const auto& [carrier, cells] : db.carriers())
     for (const auto& [id, rec] : cells)
       for (const auto& obs : rec.observations) keys.insert(obs.key);
-  // Flat (rat, id) -> table-index map; id is 16-bit so the table is small.
-  std::vector<std::uint32_t> key_index(
-      (static_cast<std::size_t>(kMaxRat) + 1) << 16, 0);
+  mmds::ParamIndexMap key_index;
   std::uint32_t next_index = 0;
-  for (const auto& key : keys)
-    key_index[(static_cast<std::size_t>(key.rat) << 16) | key.id] =
-        next_index++;
+  for (const auto& key : keys) key_index.set(key, next_index++);
 
   ByteWriter header;
   header.raw(kMmdsMagic, sizeof(kMmdsMagic));
@@ -168,34 +173,27 @@ void serialize_mmds(const ConfigDatabase& db, Emit&& emit) {
   for (const auto& key : keys) header.str(config::param_name(key));
   emit_writer(header);
 
-  ByteWriter block, prefix;
+  // Per-carrier block: a measuring pass sums the exact body length for the
+  // block_length prefix, then cells stream out one at a time — writer-side
+  // memory is bounded by the largest single cell, not the largest carrier
+  // block, and the emitted bytes are identical to the old
+  // assemble-whole-block path.
+  ByteWriter cell;
   std::uint64_t carrier_index = 0;
   for (const auto& [carrier, cells] : db.carriers()) {
-    block.clear();
-    block.varint(cells.size());
+    std::uint64_t body_len = varint_len(cells.size());
+    for (const auto& [id, rec] : cells)
+      body_len += mmds::encoded_cell_size(id, rec, key_index);
+    cell.clear();
+    cell.varint(carrier_index++);
+    cell.varint(body_len);
+    cell.varint(cells.size());
+    emit_writer(cell);
     for (const auto& [id, rec] : cells) {
-      block.varint(id);
-      block.u8(static_cast<std::uint8_t>(rec.rat));
-      block.varint(rec.channel);
-      block.f64le(rec.position.x);
-      block.f64le(rec.position.y);
-      block.varint(rec.observations.size());
-      std::int64_t prev_t = 0;
-      for (const auto& obs : rec.observations) {
-        block.svarint(obs.t.ms - prev_t);
-        prev_t = obs.t.ms;
-        block.varint(
-            key_index[(static_cast<std::size_t>(obs.key.rat) << 16) |
-                      obs.key.id]);
-        block.f64le(obs.value);
-        block.svarint(obs.context);
-      }
+      cell.clear();
+      mmds::encode_cell(cell, id, rec, key_index);
+      emit_writer(cell);
     }
-    prefix.clear();
-    prefix.varint(carrier_index++);
-    prefix.varint(block.size());
-    emit_writer(prefix);
-    emit_writer(block);
   }
 }
 
@@ -218,6 +216,47 @@ std::uint32_t checked_u32(std::uint64_t v, const char* what) {
   return static_cast<std::uint32_t>(v);
 }
 
+/// The fixed per-cell prefix shared by both parse_cell overloads.
+struct CellHeader {
+  std::uint32_t id;
+  std::uint8_t rat_raw;
+  std::uint32_t channel;
+  double x, y;
+  std::uint64_t n_obs;
+};
+
+CellHeader parse_cell_header(ByteReader& r) {
+  CellHeader h;
+  h.id = checked_u32(r.varint(), "cell_id");
+  h.rat_raw = r.u8();
+  if (h.rat_raw > kMaxRat) throw MmdsError("rat out of range");
+  h.channel = checked_u32(r.varint(), "channel");
+  h.x = r.f64le();
+  h.y = r.f64le();
+  h.n_obs = r.varint();
+  // Each observation is at least 11 bytes; a count beyond that is
+  // corruption — catch it before reserve() tries to allocate it.
+  if (h.n_obs > r.remaining() / 11 + 1)
+    throw MmdsError("observation count exceeds block size");
+  return h;
+}
+
+void parse_observations(ByteReader& r, std::uint64_t n_obs,
+                        const std::vector<config::ParamKey>& params,
+                        std::vector<Observation>& out) {
+  out.reserve(out.size() + static_cast<std::size_t>(n_obs));
+  std::int64_t t_ms = 0;
+  for (std::uint64_t i = 0; i < n_obs; ++i) {
+    t_ms += r.svarint();
+    const std::uint64_t param_index = r.varint();
+    if (param_index >= params.size())
+      throw MmdsError("param index out of range");
+    const double value = r.f64le();
+    const std::int64_t context = r.svarint();
+    out.push_back({params[param_index], value, SimTime{t_ms}, context});
+  }
+}
+
 /// Parse one carrier block into `out`; returns the observation count.
 std::size_t parse_block(const BlockSpan& span,
                         const std::vector<std::string>& carriers,
@@ -227,45 +266,79 @@ std::size_t parse_block(const BlockSpan& span,
   const std::string& carrier = carriers[span.carrier_index];
   const std::uint64_t cell_count = r.varint();
   std::size_t rows = 0;
-  for (std::uint64_t c = 0; c < cell_count; ++c) {
-    const std::uint32_t cell_id = checked_u32(r.varint(), "cell_id");
-    const std::uint8_t rat_raw = r.u8();
-    if (rat_raw > kMaxRat) throw MmdsError("rat out of range");
-    const std::uint32_t channel = checked_u32(r.varint(), "channel");
-    const double x = r.f64le();
-    const double y = r.f64le();
-    const std::uint64_t n_obs = r.varint();
-    // Each observation is at least 11 bytes; a count beyond that is
-    // corruption — catch it before reserve() tries to allocate it.
-    if (n_obs > r.remaining() / 11 + 1)
-      throw MmdsError("observation count exceeds block size");
-    CellRecord& rec = out.upsert_cell(carrier, cell_id);
-    if (rec.observations.empty()) {
-      rec.cell_id = cell_id;
-      rec.rat = static_cast<spectrum::Rat>(rat_raw);
-      rec.channel = channel;
-      rec.position = {x, y};
-    }
-    rec.observations.reserve(rec.observations.size() +
-                             static_cast<std::size_t>(n_obs));
-    std::int64_t t_ms = 0;
-    for (std::uint64_t i = 0; i < n_obs; ++i) {
-      t_ms += r.svarint();
-      const std::uint64_t param_index = r.varint();
-      if (param_index >= params.size())
-        throw MmdsError("param index out of range");
-      const double value = r.f64le();
-      const std::int64_t context = r.svarint();
-      rec.observations.push_back(
-          {params[param_index], value, SimTime{t_ms}, context});
-    }
-    rows += static_cast<std::size_t>(n_obs);
-  }
+  for (std::uint64_t c = 0; c < cell_count; ++c)
+    rows += mmds::parse_cell(r, carrier, params, out);
   if (r.remaining() != 0) throw MmdsError("trailing bytes in carrier block");
   return rows;
 }
 
 }  // namespace
+
+// --- shared MMDS cell codec --------------------------------------------------
+
+namespace mmds {
+
+void encode_cell(ByteWriter& out, std::uint32_t id, const CellRecord& rec,
+                 const ParamIndexMap& params) {
+  out.varint(id);
+  out.u8(static_cast<std::uint8_t>(rec.rat));
+  out.varint(rec.channel);
+  out.f64le(rec.position.x);
+  out.f64le(rec.position.y);
+  out.varint(rec.observations.size());
+  std::int64_t prev_t = 0;
+  for (const auto& obs : rec.observations) {
+    out.svarint(obs.t.ms - prev_t);
+    prev_t = obs.t.ms;
+    out.varint(params.get(obs.key));
+    out.f64le(obs.value);
+    out.svarint(obs.context);
+  }
+}
+
+std::size_t encoded_cell_size(std::uint32_t id, const CellRecord& rec,
+                              const ParamIndexMap& params) {
+  std::size_t n = varint_len(id) + 1 + varint_len(rec.channel) + 16 +
+                  varint_len(rec.observations.size());
+  std::int64_t prev_t = 0;
+  for (const auto& obs : rec.observations) {
+    n += varint_len(zigzag_encode(obs.t.ms - prev_t));
+    prev_t = obs.t.ms;
+    n += varint_len(params.get(obs.key)) + 8 +
+         varint_len(zigzag_encode(obs.context));
+  }
+  return n;
+}
+
+std::size_t parse_cell(ByteReader& r, const std::string& carrier,
+                       const std::vector<config::ParamKey>& params,
+                       ConfigDatabase& out) {
+  const CellHeader h = parse_cell_header(r);
+  CellRecord& rec = out.upsert_cell(carrier, h.id);
+  if (rec.observations.empty()) {
+    rec.cell_id = h.id;
+    rec.rat = static_cast<spectrum::Rat>(h.rat_raw);
+    rec.channel = h.channel;
+    rec.position = {h.x, h.y};
+  }
+  parse_observations(r, h.n_obs, params, rec.observations);
+  return static_cast<std::size_t>(h.n_obs);
+}
+
+std::uint32_t parse_cell(ByteReader& r,
+                         const std::vector<config::ParamKey>& params,
+                         CellRecord& rec) {
+  const CellHeader h = parse_cell_header(r);
+  rec.observations.clear();  // keep capacity — this path runs per row chunk
+  rec.cell_id = h.id;
+  rec.rat = static_cast<spectrum::Rat>(h.rat_raw);
+  rec.channel = h.channel;
+  rec.position = {h.x, h.y};
+  parse_observations(r, h.n_obs, params, rec.observations);
+  return h.id;
+}
+
+}  // namespace mmds
 
 // --- CSV ---------------------------------------------------------------------
 
@@ -457,17 +530,34 @@ Result<LoadStats> load_dataset_binary(const std::string& path,
 // --- format dispatch ---------------------------------------------------------
 
 DatasetFormat detect_dataset_format(const std::string& path) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    // A v2 store is a directory; only the manifest marks it as one (any
+    // other directory falls through to the CSV loader's open failure).
+    if (std::filesystem::exists(
+            std::filesystem::path(path) / kMmds2ManifestName, ec))
+      return DatasetFormat::kMmds2;
+    return DatasetFormat::kCsv;
+  }
   std::ifstream in(path, std::ios::binary);
-  char magic[sizeof(kMmdsMagic)] = {};
-  in.read(magic, sizeof(magic));
-  if (in.gcount() == sizeof(magic) &&
-      std::memcmp(magic, kMmdsMagic, sizeof(magic)) == 0)
+  char head[sizeof(kMmdsMagic) + 1] = {};
+  in.read(head, sizeof(head));
+  if (in.gcount() >= static_cast<std::streamsize>(sizeof(kMmdsMagic)) &&
+      std::memcmp(head, kMmdsMagic, sizeof(kMmdsMagic)) == 0) {
+    // A bare v2 manifest file shares the magic; the version byte decides.
+    if (in.gcount() == sizeof(head) &&
+        static_cast<std::uint8_t>(head[4]) == kMmds2Version)
+      return DatasetFormat::kMmds2;
     return DatasetFormat::kBinary;
+  }
   return DatasetFormat::kCsv;
 }
 
 void save_dataset(const ConfigDatabase& db, const std::string& path,
                   DatasetFormat format) {
+  if (format == DatasetFormat::kMmds2)
+    throw std::runtime_error(
+        "save_dataset: MMDS v2 is written by mmlab::store::save_database");
   if (format == DatasetFormat::kBinary)
     save_dataset_binary(db, path);
   else
@@ -476,8 +566,16 @@ void save_dataset(const ConfigDatabase& db, const std::string& path,
 
 Result<LoadStats> load_dataset_any(const std::string& path, ConfigDatabase& db,
                                    unsigned threads) {
-  if (detect_dataset_format(path) == DatasetFormat::kBinary)
-    return load_dataset_binary(path, db, threads);
+  switch (detect_dataset_format(path)) {
+    case DatasetFormat::kMmds2:
+      return Result<LoadStats>::error(
+          "load_dataset_any: " + path +
+          " is an MMDS v2 store; load it via mmlab::store::load_database");
+    case DatasetFormat::kBinary:
+      return load_dataset_binary(path, db, threads);
+    case DatasetFormat::kCsv:
+      break;
+  }
   return load_dataset(path, db);
 }
 

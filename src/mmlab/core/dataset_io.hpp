@@ -30,6 +30,10 @@
 // The trailing CRC means truncated or corrupted files fail loudly instead
 // of half-loading.  Versioning policy: the version byte bumps on any layout
 // change; loaders reject versions they don't know (no silent best-effort).
+// MMDS v2 is the sharded out-of-core layout (directory of shard files plus
+// a version-2 manifest reusing this header); see src/mmlab/store.  This
+// module only *recognizes* v2 (format sniffing) — reading and writing it is
+// the store subsystem's job, so core stays free of mmap concerns.
 #pragma once
 
 #include <cstdint>
@@ -38,12 +42,16 @@
 #include <vector>
 
 #include "mmlab/core/database.hpp"
+#include "mmlab/util/byteio.hpp"
 #include "mmlab/util/result.hpp"
 
 namespace mmlab::core {
 
 inline constexpr std::uint8_t kMmdsMagic[4] = {'M', 'M', 'D', 'S'};
 inline constexpr std::uint8_t kMmdsVersion = 1;
+inline constexpr std::uint8_t kMmds2Version = 2;
+/// Name of the manifest file inside an MMDS v2 store directory.
+inline constexpr char kMmds2ManifestName[] = "manifest.mmds2";
 
 struct LoadStats {
   std::size_t rows = 0;      ///< observations parsed (including rejected)
@@ -52,7 +60,64 @@ struct LoadStats {
                              ///< non-finite values)
 };
 
-enum class DatasetFormat { kCsv, kBinary };
+enum class DatasetFormat { kCsv, kBinary, kMmds2 };
+
+// --- shared MMDS cell codec --------------------------------------------------
+// One cell's wire encoding is identical in a v1 carrier block and a v2 shard
+// run: varint cell_id, u8 rat, varint channel, f64 x, f64 y, varint n_obs,
+// then per observation svarint delta_t / varint param_index / f64 value /
+// svarint context.  Both writers and both readers go through these helpers,
+// so the formats cannot drift apart.
+
+namespace mmds {
+
+inline constexpr std::uint8_t kMaxRat = 4;  // spectrum::Rat::kCdma1x
+
+/// Dense (rat, param-id) -> table-index map.  v1 assigns indices in sorted
+/// ParamKey order up front; the v2 shard writer assigns them on first
+/// sight.  Slot 0 is the unset default, so set() must cover every key that
+/// get() will see (the writers guarantee this by construction).
+class ParamIndexMap {
+ public:
+  ParamIndexMap()
+      : index_((static_cast<std::size_t>(kMaxRat) + 1) << 16, 0) {}
+  void set(config::ParamKey key, std::uint32_t index) {
+    index_[slot(key)] = index;
+  }
+  std::uint32_t get(config::ParamKey key) const { return index_[slot(key)]; }
+
+ private:
+  static std::size_t slot(config::ParamKey key) {
+    return (static_cast<std::size_t>(key.rat) << 16) | key.id;
+  }
+  std::vector<std::uint32_t> index_;
+};
+
+/// Append one cell's encoding to `out`.
+void encode_cell(ByteWriter& out, std::uint32_t id, const CellRecord& rec,
+                 const ParamIndexMap& params);
+
+/// Exact byte length encode_cell would emit, without materializing it — the
+/// v1 saver's measuring pass for the block_length prefix.
+std::size_t encoded_cell_size(std::uint32_t id, const CellRecord& rec,
+                              const ParamIndexMap& params);
+
+/// Parse one cell into `out` (upsert semantics: observations append, cell
+/// identity metadata is taken only when the record was fresh).  Returns the
+/// observation count.  Throws std::runtime_error subclasses on structural
+/// damage (bad rat, out-of-range param index, implausible counts).
+std::size_t parse_cell(ByteReader& r, const std::string& carrier,
+                       const std::vector<config::ParamKey>& params,
+                       ConfigDatabase& out);
+
+/// Parse one cell into a standalone record (the out-of-core path, where no
+/// database exists).  `rec` is reset first; rec.cell_id is filled.  Returns
+/// the cell id.
+std::uint32_t parse_cell(ByteReader& r,
+                         const std::vector<config::ParamKey>& params,
+                         CellRecord& rec);
+
+}  // namespace mmds
 
 // --- CSV ---------------------------------------------------------------------
 
@@ -86,12 +151,17 @@ Result<LoadStats> load_dataset_binary(const std::string& path,
 
 // --- format dispatch ---------------------------------------------------------
 
-/// Sniff a file's magic: kBinary iff it starts with "MMDS".
+/// Sniff a path: a directory holding a manifest.mmds2 (or a bare version-2
+/// manifest file) is kMmds2; a file starting with "MMDS" is kBinary;
+/// everything else is kCsv.
 DatasetFormat detect_dataset_format(const std::string& path);
 
+/// kCsv / kBinary only; kMmds2 throws (use mmlab::store::save_database —
+/// core cannot depend on the store subsystem).
 void save_dataset(const ConfigDatabase& db, const std::string& path,
                   DatasetFormat format);
-/// Load either format, chosen by magic sniffing.
+/// Load either in-memory format, chosen by magic sniffing.  kMmds2 paths
+/// return an error directing callers to mmlab::store::load_database.
 Result<LoadStats> load_dataset_any(const std::string& path, ConfigDatabase& db,
                                    unsigned threads = 1);
 

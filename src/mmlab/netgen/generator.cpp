@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "mmlab/netgen/streamgen.hpp"
+
 namespace mmlab::netgen {
 
 namespace {
@@ -308,23 +310,19 @@ std::vector<ConfigUpdate> make_update_schedule(const CarrierProfile& profile,
   return schedule;
 }
 
-}  // namespace
-
-GeneratedWorld generate_world(const WorldOptions& options) {
-  GeneratedWorld world;
-  world.options = options;
-
-  const auto cities = standard_cities();
-  for (const auto& city : cities) world.network.add_city(city);
-
+/// The one generation loop, shared by generate_world (materialise a
+/// Deployment) and stream_world (emit and forget).  Both callers therefore
+/// consume the identical carrier_rng draw sequence by construction — the
+/// determinism contract of streamgen.hpp.  `on_carrier(profile)` returns the
+/// CarrierId to stamp on that profile's cells; `on_cell(profile, cell,
+/// schedule)` takes each finished cell (may move from both arguments).
+template <typename CarrierFn, typename CellFn>
+void for_each_generated_cell(const WorldOptions& options,
+                             const std::vector<geo::City>& cities,
+                             CarrierFn&& on_carrier, CellFn&& on_cell) {
   net::CellId next_id = 1;
   for (const auto& profile : standard_carrier_profiles()) {
-    net::Carrier carrier;
-    carrier.name = profile.name;
-    carrier.acronym = profile.acronym;
-    carrier.country = profile.country;
-    const net::CarrierId cid = world.network.add_carrier(carrier);
-    world.profiles.push_back(&profile);
+    const net::CarrierId cid = on_carrier(profile);
 
     Rng carrier_rng(hash_keys({options.seed, profile.seed_salt, 0xca1211ULL}));
     const int total = std::max(
@@ -414,12 +412,37 @@ GeneratedWorld generate_world(const WorldOptions& options) {
           cell.legacy_config =
               make_legacy_config(profile, *policy, options.seed, cell.id);
         }
-        world.network.add_cell(cell);
-        world.update_schedule.push_back(
-            make_update_schedule(profile, options, carrier_rng));
+        auto schedule = make_update_schedule(profile, options, carrier_rng);
+        on_cell(profile, cell, schedule);
       }
     }
   }
+}
+
+}  // namespace
+
+GeneratedWorld generate_world(const WorldOptions& options) {
+  GeneratedWorld world;
+  world.options = options;
+
+  const auto cities = standard_cities();
+  for (const auto& city : cities) world.network.add_city(city);
+
+  for_each_generated_cell(
+      options, cities,
+      [&](const CarrierProfile& profile) {
+        net::Carrier carrier;
+        carrier.name = profile.name;
+        carrier.acronym = profile.acronym;
+        carrier.country = profile.country;
+        world.profiles.push_back(&profile);
+        return world.network.add_carrier(carrier);
+      },
+      [&](const CarrierProfile&, net::Cell& cell,
+          std::vector<ConfigUpdate>& schedule) {
+        world.network.add_cell(std::move(cell));
+        world.update_schedule.push_back(std::move(schedule));
+      });
   return world;
 }
 
@@ -467,6 +490,59 @@ void apply_config_update(GeneratedWorld& world, std::size_t cell_index,
     throw std::logic_error("apply_config_update: cell references unknown carrier");
   apply_config_update_to_cell(cell, *world.profiles.at(pos),
                               world.options.seed, update);
+}
+
+StreamStats stream_world(const StreamWorldOptions& options, SnapshotSink& sink) {
+  WorldOptions wopts;
+  wopts.seed = options.seed;
+  wopts.scale = options.scale;
+  wopts.window_days = options.window_days;
+
+  const auto cities = standard_cities();
+  const int visits = std::max(1, options.visits_per_cell);
+
+  StreamStats stats;
+  net::CarrierId next_cid = 0;
+  std::vector<double> visit_days;
+  std::vector<config::ParamObservation> params;
+  for_each_generated_cell(
+      wopts, cities, [&](const CarrierProfile&) { return next_cid++; },
+      [&](const CarrierProfile& profile, net::Cell& cell,
+          std::vector<ConfigUpdate>& schedule) {
+        ++stats.cells;
+        // Visit times come from a per-cell stream independent of the world
+        // draws, so changing visits_per_cell never perturbs the cells.
+        Rng visit_rng(hash_keys({options.seed, 0x51c17ULL, cell.id}));
+        visit_days.clear();
+        for (int v = 0; v < visits; ++v)
+          visit_days.push_back(visit_rng.uniform(0.0, options.window_days));
+        std::sort(visit_days.begin(), visit_days.end());
+
+        std::size_t next_update = 0;
+        for (const double day : visit_days) {
+          // Reconfigurations that landed since the last visit (Fig 13);
+          // legacy configs are static in the model, matching
+          // apply_config_update's early-out.
+          while (next_update < schedule.size() &&
+                 schedule[next_update].day <= day) {
+            if (cell.is_lte()) {
+              apply_config_update_to_cell(cell, profile, options.seed,
+                                          schedule[next_update]);
+              ++stats.updates_applied;
+            }
+            ++next_update;
+          }
+          params = cell.is_lte()
+                       ? config::extract_parameters(cell.lte_config)
+                       : config::extract_parameters(cell.legacy_config);
+          sink.snapshot(profile.name, cell.id, cell.channel.rat,
+                        cell.channel.number, cell.position,
+                        SimTime::from_days(day), params);
+          ++stats.snapshots;
+          stats.rows += params.size();
+        }
+      });
+  return stats;
 }
 
 }  // namespace mmlab::netgen

@@ -1,0 +1,59 @@
+// Figure-level analyses over an out-of-core store.
+//
+// Every columnar analysis entry point gains a StoreView overload that
+// forwards to the core::ColumnarView implementation — the StoreView *is* a
+// ColumnarView assembled out-of-core, so results are bit-identical to the
+// in-memory path by construction (asserted in test_store.cpp and gated in
+// tools/store_soak for thread counts 1/2/4/hw).  Query-level parallel
+// folds (values / values_grouped / values_by_context with threads != 1)
+// come straight from ColumnarView's deterministic partition-merge
+// contract; nothing here re-reads the shards once the view is built.
+#pragma once
+
+#include "mmlab/core/analysis.hpp"
+#include "mmlab/store/columnar_build.hpp"
+
+namespace mmlab::store {
+
+inline std::vector<core::ParamDiversity> diversity_by_param(
+    const StoreView& sv, const std::string& carrier,
+    std::optional<spectrum::Rat> rat = std::nullopt) {
+  return core::diversity_by_param(sv.view, carrier, rat);
+}
+
+inline std::vector<core::ParamDependence> frequency_dependence(
+    const StoreView& sv, const std::string& carrier) {
+  return core::frequency_dependence(sv.view, carrier);
+}
+
+inline std::map<long, stats::ValueCounts> priority_by_channel(
+    const StoreView& sv, const std::string& carrier, bool candidate,
+    unsigned threads = 1) {
+  return core::priority_by_channel(sv.view, carrier, candidate, threads);
+}
+
+inline double multi_priority_cell_fraction(const StoreView& sv,
+                                           const std::string& carrier) {
+  return core::multi_priority_cell_fraction(sv.view, carrier);
+}
+
+inline std::map<long, stats::ValueCounts> priority_by_city(
+    const StoreView& sv, const std::string& carrier,
+    const std::vector<geo::City>& cities) {
+  return core::priority_by_city(sv.view, carrier, cities);
+}
+
+inline std::vector<double> spatial_diversity(const StoreView& sv,
+                                             const std::string& carrier,
+                                             config::ParamKey key,
+                                             const geo::City& city,
+                                             double radius_m) {
+  return core::spatial_diversity(sv.view, carrier, key, city, radius_m);
+}
+
+inline core::MeasurementGaps measurement_decision_gaps(
+    const StoreView& sv, const std::string& carrier = "") {
+  return core::measurement_decision_gaps(sv.view, carrier);
+}
+
+}  // namespace mmlab::store

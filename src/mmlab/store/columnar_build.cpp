@@ -1,0 +1,155 @@
+#include "mmlab/store/columnar_build.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "mmlab/util/byteio.hpp"
+#include "mmlab/util/worker_pool.hpp"
+
+namespace mmlab::store {
+
+namespace {
+
+/// One open block: a reader over the mapped body plus the parsed-ahead
+/// front cell.  Blocks hold one carrier's cells in ascending id order, so
+/// the front is always the cursor's minimum.
+struct Cursor {
+  ByteReader r;
+  std::uint32_t id = 0;
+  core::CellRecord rec;
+  bool has = false;
+
+  explicit Cursor(std::span<const std::uint8_t> body)
+      : r(body.data(), body.size()) {}
+
+  void advance(const std::vector<config::ParamKey>& params) {
+    if (r.remaining() == 0) {
+      has = false;
+      return;
+    }
+    const std::uint32_t prev = id;
+    id = core::mmds::parse_cell(r, params, rec);
+    if (has && id <= prev)
+      throw std::runtime_error("cell ids not ascending within a block");
+    has = true;
+  }
+};
+
+std::uint64_t carrier_view_bytes(const core::ColumnarView::Carrier& c) {
+  using View = core::ColumnarView;
+  return c.cells.size() * sizeof(View::Cell) +
+         c.spans.size() * sizeof(View::Span) + c.uniq_col.size() * 8 +
+         c.ctx_context_col.size() * 8 + c.ctx_value_col.size() * 8 +
+         c.observed.size() * sizeof(config::ParamKey) +
+         c.spans_by_key.size() * 4 +
+         c.key_ranges.size() * sizeof(View::KeyRange) +
+         c.owned_meta.size() * sizeof(core::CellRecord);
+}
+
+}  // namespace
+
+Result<StoreView> build_columnar(const ShardSet& set, BuildOptions options) {
+  using R = Result<StoreView>;
+  const auto start = std::chrono::steady_clock::now();
+  const Manifest& m = set.manifest();
+
+  // Carrier build order = name order, the ColumnarView invariant.
+  std::vector<std::uint32_t> order(m.carriers.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return m.carriers[a] < m.carriers[b];
+            });
+
+  // Global block indices per carrier, (shard, block) order preserved — the
+  // run merge order.
+  std::vector<std::vector<std::size_t>> blocks_of(m.carriers.size());
+  for (std::size_t i = 0; i < set.blocks().size(); ++i)
+    blocks_of[set.blocks()[i].info->carrier_index].push_back(i);
+
+  for (std::uint32_t c = 0; c < m.carriers.size(); ++c) {
+    std::uint64_t rows = 0;
+    for (const std::size_t i : blocks_of[c])
+      rows += set.blocks()[i].info->row_count;
+    // Span offsets are 32-bit; a single carrier beyond that cannot be
+    // assembled (the whole store still can be arbitrarily large).
+    if (rows > std::numeric_limits<std::uint32_t>::max())
+      return R::error("build_columnar: carrier " + m.carriers[c] + " has " +
+                      std::to_string(rows) + " rows (32-bit span limit)");
+  }
+
+  std::vector<core::ColumnarView::Carrier> carriers(order.size());
+  std::vector<std::uint64_t> cell_counts(order.size(), 0);
+
+  const auto build_one = [&](std::size_t oi) {
+    const std::uint32_t ci = order[oi];
+    const std::vector<std::size_t>& idxs = blocks_of[ci];
+    std::vector<Cursor> cursors;
+    cursors.reserve(idxs.size());
+    std::uint64_t cells_upper = 0;
+    for (const std::size_t i : idxs) {
+      cursors.emplace_back(set.block_body(i));
+      cursors.back().advance(set.params());
+      cells_upper += set.blocks()[i].info->cell_count;
+    }
+
+    core::ColumnarView::CarrierAssembler assembler(m.carriers[ci],
+                                                   /*keep_columns=*/false);
+    assembler.reserve(static_cast<std::size_t>(cells_upper), 0);
+
+    core::CellRecord merged;
+    while (true) {
+      // Lowest front id; the first cursor holding it is the base run.
+      std::size_t first = cursors.size();
+      for (std::size_t k = 0; k < cursors.size(); ++k) {
+        if (!cursors[k].has) continue;
+        if (first == cursors.size() || cursors[k].id < cursors[first].id)
+          first = k;
+      }
+      if (first == cursors.size()) break;
+      const std::uint32_t id = cursors[first].id;
+      merged = std::move(cursors[first].rec);
+      cursors[first].advance(set.params());
+      // Later runs of the same cell fold in, in run order — exactly the
+      // pairwise ConfigDatabase::merge the loader performs.
+      for (std::size_t k = first + 1; k < cursors.size(); ++k) {
+        if (!cursors[k].has || cursors[k].id != id) continue;
+        merged.merge_from(std::move(cursors[k].rec));
+        cursors[k].advance(set.params());
+      }
+      assembler.add_cell(id, merged, /*stable=*/nullptr);
+      ++cell_counts[oi];
+    }
+    carriers[oi] = std::move(assembler).finish();
+    if (options.release_mapped)
+      for (const std::size_t i : idxs) set.release_block(i);
+  };
+
+  try {
+    if (options.threads == 1 || order.size() <= 1) {
+      for (std::size_t oi = 0; oi < order.size(); ++oi) build_one(oi);
+    } else {
+      parallel_for_index(options.threads, order.size(), build_one);
+    }
+  } catch (const std::exception& e) {
+    return R::error("build_columnar: " + std::string(e.what()));
+  }
+
+  StoreView out{core::ColumnarView(std::move(carriers)), {}};
+  out.stats.rows = m.total_rows();
+  out.stats.blocks = m.total_blocks();
+  out.stats.shards = m.shards.size();
+  for (const std::uint64_t n : cell_counts) out.stats.cells += n;
+  for (const auto& c : out.view.carriers())
+    out.stats.view_bytes_estimate += carrier_view_bytes(c);
+  out.stats.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+}  // namespace mmlab::store

@@ -1,0 +1,63 @@
+// Out-of-core ColumnarView build over a mapped MMDS v2 store.
+//
+// The in-memory path is database -> ColumnarView; this one goes straight
+// from mapped shard blocks to a view without ever materializing the
+// database.  Per carrier (name order), the carrier's blocks are walked as
+// parallel cursors in global (shard, block) order — the spilled sorted
+// runs the streaming writer produced — and k-way-merged by ascending cell
+// id: the first run containing a cell id is the base record, later runs
+// fold in via CellRecord::merge_from in run order, which is exactly what
+// ConfigDatabase::merge would have done.  The merged record feeds the same
+// CarrierAssembler the in-memory constructor uses, so every precomputed
+// query product is bit-identical to ColumnarView(load_database(store)) by
+// construction (property-tested in test_store.cpp).
+//
+// Memory bounds: the raw per-observation columns are NOT materialized
+// (keep_columns = false) — no analysis entry point reads them, only the
+// precomputed spans/uniques/context pairs — so view size scales with
+// distinct values, not rows.  Transient state is one cell record per open
+// cursor, and consumed block regions are madvised away after each carrier,
+// so peak RSS is bounded by (largest carrier's blocks + view), not by
+// store size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mmlab/core/columnar.hpp"
+#include "mmlab/store/shard_set.hpp"
+#include "mmlab/util/result.hpp"
+
+namespace mmlab::store {
+
+struct BuildOptions {
+  /// Carriers build concurrently when != 1 (0 = all cores); per-carrier
+  /// output is independent, so the view is identical for any value.
+  unsigned threads = 1;
+  /// madvise(MADV_DONTNEED) each carrier's consumed block regions once the
+  /// carrier is assembled.  Disable to keep the page cache warm when the
+  /// same store will be re-read (e.g. a load_database equality pass).
+  bool release_mapped = true;
+};
+
+struct BuildStats {
+  std::uint64_t rows = 0;
+  std::uint64_t cells = 0;  ///< distinct (carrier, cell id) pairs
+  std::uint64_t blocks = 0;
+  std::uint64_t shards = 0;
+  double build_seconds = 0.0;
+  /// Approximate heap footprint of the finished view's columns.
+  std::uint64_t view_bytes_estimate = 0;
+};
+
+/// A ColumnarView assembled out-of-core, plus how it got built.  The view
+/// owns its cell metadata (Carrier::owned_meta), so it stays valid after
+/// the ShardSet is closed.
+struct StoreView {
+  core::ColumnarView view;
+  BuildStats stats;
+};
+
+Result<StoreView> build_columnar(const ShardSet& set, BuildOptions options = {});
+
+}  // namespace mmlab::store

@@ -1,0 +1,135 @@
+#include "mmlab/store/mmds2.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include "mmlab/util/byteio.hpp"
+#include "mmlab/util/crc.hpp"
+
+namespace mmlab::store {
+
+namespace {
+
+std::string manifest_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / core::kMmds2ManifestName).string();
+}
+
+}  // namespace
+
+std::uint64_t Manifest::total_rows() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards)
+    for (const auto& b : s.blocks) n += b.row_count;
+  return n;
+}
+
+std::uint64_t Manifest::total_blocks() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) n += s.blocks.size();
+  return n;
+}
+
+void write_manifest(const std::string& dir, const Manifest& m) {
+  ByteWriter w;
+  w.raw(core::kMmdsMagic, sizeof(core::kMmdsMagic));
+  w.u8(core::kMmds2Version);
+  w.u8(0);  // flags, reserved
+  w.varint(m.carriers.size());
+  for (const auto& c : m.carriers) w.str(c);
+  w.varint(m.params.size());
+  for (const auto& p : m.params) w.str(p);
+  w.varint(m.shards.size());
+  for (const auto& s : m.shards) {
+    w.str(s.filename);
+    w.varint(s.file_size);
+    w.u16le(s.crc16);
+    w.varint(s.blocks.size());
+    for (const auto& b : s.blocks) {
+      w.varint(b.carrier_index);
+      w.varint(b.offset);
+      w.varint(b.length);
+      w.varint(b.cell_count);
+      w.varint(b.row_count);
+    }
+  }
+
+  BufferedFileWriter out(manifest_path(dir));
+  out.write(w.buffer().data(), w.buffer().size());
+  const std::uint16_t crc = out.crc16();
+  const std::uint8_t trailer[2] = {static_cast<std::uint8_t>(crc & 0xFF),
+                                   static_cast<std::uint8_t>(crc >> 8)};
+  out.write(trailer, sizeof(trailer));
+  out.flush();
+}
+
+Result<Manifest> read_manifest(const std::string& dir) {
+  using R = Result<Manifest>;
+  std::vector<std::uint8_t> bytes;
+  if (!read_file_bytes(manifest_path(dir), bytes))
+    return R::error("read_manifest: cannot open " + manifest_path(dir));
+  if (bytes.size() < sizeof(core::kMmdsMagic) + 2 + 2)
+    return R::error("read_manifest: file too small for a manifest header");
+  if (std::memcmp(bytes.data(), core::kMmdsMagic,
+                  sizeof(core::kMmdsMagic)) != 0)
+    return R::error("read_manifest: bad magic (not an MMDS manifest)");
+  if (bytes[4] != core::kMmds2Version)
+    return R::error("read_manifest: unsupported version " +
+                    std::to_string(bytes[4]) + " (expected " +
+                    std::to_string(core::kMmds2Version) + ")");
+  const std::size_t size = bytes.size();
+  const std::uint16_t stored_crc = static_cast<std::uint16_t>(
+      bytes[size - 2] | (static_cast<std::uint16_t>(bytes[size - 1]) << 8));
+  if (crc16_ccitt(bytes.data(), size - 2) != stored_crc)
+    return R::error(
+        "read_manifest: CRC mismatch (manifest truncated or corrupted)");
+
+  try {
+    ByteReader r(bytes.data(), size - 2);
+    r.skip(sizeof(core::kMmdsMagic) + 2);
+    Manifest m;
+    m.carriers.resize(r.varint());
+    for (auto& c : m.carriers) c = std::string(r.str());
+    m.params.resize(r.varint());
+    for (auto& p : m.params) p = std::string(r.str());
+    m.shards.resize(r.varint());
+    for (auto& s : m.shards) {
+      s.filename = std::string(r.str());
+      if (s.filename.empty() ||
+          s.filename.find('/') != std::string::npos ||
+          s.filename.find('\\') != std::string::npos)
+        return R::error("read_manifest: shard filename escapes the store: " +
+                        s.filename);
+      s.file_size = r.varint();
+      s.crc16 = r.u16le();
+      s.blocks.resize(r.varint());
+      std::uint64_t cursor = sizeof(kShardMagic);
+      for (auto& b : s.blocks) {
+        const std::uint64_t carrier_index = r.varint();
+        if (carrier_index >= m.carriers.size())
+          return R::error("read_manifest: carrier index out of range");
+        b.carrier_index = static_cast<std::uint32_t>(carrier_index);
+        b.offset = r.varint();
+        b.length = r.varint();
+        b.cell_count = r.varint();
+        b.row_count = r.varint();
+        // Blocks are written back to back; the manifest must agree, or the
+        // offsets were corrupted in a way the CRC (of the manifest, not the
+        // shard) cannot see.
+        if (b.offset != cursor || b.offset + b.length > s.file_size)
+          return R::error("read_manifest: block offsets inconsistent in " +
+                          s.filename);
+        cursor = b.offset + b.length;
+      }
+      if (cursor != s.file_size)
+        return R::error("read_manifest: shard size disagrees with blocks: " +
+                        s.filename);
+    }
+    if (r.remaining() != 0)
+      return R::error("read_manifest: trailing bytes after shard table");
+    return m;
+  } catch (const std::exception& e) {
+    return R::error("read_manifest: " + std::string(e.what()));
+  }
+}
+
+}  // namespace mmlab::store

@@ -1,0 +1,88 @@
+// MMDS v2: the sharded out-of-core dataset layout (DESIGN.md §11).
+//
+// A v2 store is a directory:
+//
+//   <dir>/manifest.mmds2        the only file parsed up front
+//   <dir>/shard-0000.mmds2      raw carrier-run payloads
+//   <dir>/shard-0001.mmds2      ...
+//
+// Shard file layout: an 8-byte magic "MMS2SHRD" followed by concatenated
+// *block bodies* — nothing else.  A block body is a run of cells of one
+// carrier with ascending cell ids, each encoded exactly as in an MMDS v1
+// carrier block (core/dataset_io's shared cell codec), but with NO leading
+// cell_count and no per-block framing: every structural fact (owning
+// carrier, byte offset, byte length, cell count, row count) lives in the
+// manifest, so the writer streams cells straight to disk in a single pass
+// and a reader can map a shard and jump to any block without scanning.
+//
+// Manifest layout (little-endian; varint = LEB128, as in v1):
+//
+//   [4]  magic "MMDS"            shared with v1 so format sniffing is cheap
+//   [1]  version (= 2)
+//   [1]  flags (reserved, 0)
+//   carrier table: varint N, then N strings        first-seen order
+//   param table:   varint P, then P registry names  first-seen order
+//   varint shard_count, then per shard:
+//     str    filename             relative to the store directory
+//     varint file_size            bytes, magic included
+//     u16le  crc16                CRC-16/CCITT of the whole shard file
+//     varint block_count, then per block:
+//       varint carrier_index
+//       varint offset             into the shard file (>= 8, past the magic)
+//       varint length             block body bytes
+//       varint cell_count
+//       varint row_count          observations
+//   [2]  CRC-16/CCITT over every preceding manifest byte
+//
+// The version byte shares v1's policy: readers reject versions they don't
+// know.  A cell may appear in many blocks (each flush of the streaming
+// writer emits a new run); readers merge runs under the
+// ConfigDatabase::merge contract, in (shard, block) manifest order, which
+// keeps every downstream result independent of chunking and thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mmlab/core/dataset_io.hpp"
+#include "mmlab/util/result.hpp"
+
+namespace mmlab::store {
+
+inline constexpr std::uint8_t kShardMagic[8] = {'M', 'M', 'S', '2',
+                                                'S', 'H', 'R', 'D'};
+
+struct BlockInfo {
+  std::uint32_t carrier_index = 0;
+  std::uint64_t offset = 0;  ///< into the shard file, past the magic
+  std::uint64_t length = 0;
+  std::uint64_t cell_count = 0;
+  std::uint64_t row_count = 0;
+};
+
+struct ShardInfo {
+  std::string filename;  ///< relative to the store directory
+  std::uint64_t file_size = 0;
+  std::uint16_t crc16 = 0;  ///< finalized CRC of the whole file
+  std::vector<BlockInfo> blocks;
+};
+
+struct Manifest {
+  std::vector<std::string> carriers;  ///< first-seen order
+  std::vector<std::string> params;    ///< registry names, first-seen order
+  std::vector<ShardInfo> shards;
+
+  std::uint64_t total_rows() const;
+  std::uint64_t total_blocks() const;
+};
+
+/// Serialize `m` to <dir>/manifest.mmds2 (CRC trailer included).  Throws
+/// std::runtime_error on I/O failure.
+void write_manifest(const std::string& dir, const Manifest& m);
+
+/// Parse <dir>/manifest.mmds2.  Structural damage (magic/version/CRC,
+/// out-of-range indices, blocks outside their shard's size) fails the load.
+Result<Manifest> read_manifest(const std::string& dir);
+
+}  // namespace mmlab::store

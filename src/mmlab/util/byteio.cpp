@@ -119,6 +119,7 @@ BufferedFileWriter::~BufferedFileWriter() {
 void BufferedFileWriter::write(const void* data, std::size_t size) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   crc_state_ = crc16_ccitt_update(crc_state_, p, size);
+  bytes_written_ += size;
   while (size > 0) {
     if (fill_ == buffer_.size()) flush();
     const std::size_t n = std::min(size, buffer_.size() - fill_);

@@ -104,6 +104,9 @@ class BufferedFileWriter {
   void write(const void* data, std::size_t size);
   /// CRC-16/CCITT of everything written so far.
   std::uint16_t crc16() const;
+  /// Total bytes accepted by write() — the current file offset once
+  /// flushed.  The shard writer records block offsets from this.
+  std::uint64_t bytes_written() const { return bytes_written_; }
   /// Flush buffered bytes to the OS; throws on write failure.
   void flush();
 
@@ -112,6 +115,7 @@ class BufferedFileWriter {
   std::string path_;
   std::vector<std::uint8_t> buffer_;
   std::size_t fill_ = 0;
+  std::uint64_t bytes_written_ = 0;
   std::uint16_t crc_state_;
 };
 

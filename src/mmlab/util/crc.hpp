@@ -18,7 +18,7 @@ std::uint16_t crc16_ccitt_update(std::uint16_t state, const std::uint8_t* data,
                                  std::size_t size);
 
 /// The textbook byte-at-a-time update.  crc16_ccitt_update runs a
-/// slice-by-4 variant (4 bytes per table round); this one is kept as the
+/// slice-by-8 variant (8 bytes per table round); this one is kept as the
 /// test oracle the fast path is property-checked against.
 std::uint16_t crc16_ccitt_update_reference(std::uint16_t state,
                                            const std::uint8_t* data,

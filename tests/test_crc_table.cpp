@@ -34,17 +34,17 @@ TEST(Crc, SingleBitChangesChecksum) {
   }
 }
 
-TEST(Crc, SliceBy4MatchesBytewiseOracle) {
-  // The shipped update is slice-by-4; the byte-at-a-time table walk is the
-  // oracle.  Sweep every length 0..64 (all tail cases) and random offsets,
-  // from random intermediate states (chunked streaming never starts at the
-  // init value).
+TEST(Crc, SliceBy8MatchesBytewiseOracle) {
+  // The shipped update is slice-by-8; the byte-at-a-time table walk is the
+  // oracle.  Sweep every length 0..128 (all head/tail cases around the
+  // 8-byte round) and random offsets — every alignment mod 8 — from random
+  // intermediate states (chunked streaming never starts at the init value).
   Rng rng(0xc3c1);
   std::vector<std::uint8_t> buf(4096);
   for (auto& b : buf) b = static_cast<std::uint8_t>(rng.below(256));
-  for (std::size_t len = 0; len <= 64; ++len) {
+  for (std::size_t len = 0; len <= 128; ++len) {
     for (int trial = 0; trial < 8; ++trial) {
-      const auto off = static_cast<std::size_t>(rng.below(buf.size() - 64));
+      const auto off = static_cast<std::size_t>(rng.below(buf.size() - 128));
       const auto state = static_cast<std::uint16_t>(rng.below(0x10000));
       EXPECT_EQ(crc16_ccitt_update(state, buf.data() + off, len),
                 crc16_ccitt_update_reference(state, buf.data() + off, len))
@@ -53,7 +53,29 @@ TEST(Crc, SliceBy4MatchesBytewiseOracle) {
   }
 }
 
-TEST(Crc, SliceBy4MatchesOracleOnLongRandomBuffers) {
+TEST(Crc, SliceBy8EveryAlignmentAndTail) {
+  // Deterministic alignment grid: every (start mod 8, length mod 8)
+  // combination across several round counts, so no alignment/tail pair of
+  // the 8-byte main loop goes untested.
+  Rng rng(0xc3c3);
+  std::vector<std::uint8_t> buf(1024);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.below(256));
+  for (std::size_t align = 0; align < 8; ++align) {
+    for (std::size_t tail = 0; tail < 8; ++tail) {
+      for (std::size_t rounds : {0u, 1u, 2u, 7u, 64u}) {
+        const std::size_t len = 8 * rounds + tail;
+        ASSERT_LE(align + len, buf.size());
+        EXPECT_EQ(
+            crc16_ccitt_update(kCrc16CcittInit, buf.data() + align, len),
+            crc16_ccitt_update_reference(kCrc16CcittInit, buf.data() + align,
+                                         len))
+            << "align " << align << " len " << len;
+      }
+    }
+  }
+}
+
+TEST(Crc, SliceBy8MatchesOracleOnLongRandomBuffers) {
   Rng rng(0xc3c2);
   for (int trial = 0; trial < 32; ++trial) {
     std::vector<std::uint8_t> buf(1 + rng.below(100'000));

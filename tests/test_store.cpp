@@ -1,0 +1,523 @@
+// MMDS v2 out-of-core store: property-based round-trips (random database ->
+// sharded store -> load is bit-exact; chunk size and thread count never
+// change results), out-of-core columnar equivalence against the in-memory
+// view, manifest/shard corruption rejection, and the streaming generator's
+// determinism contract against generate_world.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mmlab/core/analysis.hpp"
+#include "mmlab/core/columnar.hpp"
+#include "mmlab/core/database.hpp"
+#include "mmlab/netgen/generator.hpp"
+#include "mmlab/netgen/streamgen.hpp"
+#include "mmlab/store/analytics.hpp"
+#include "mmlab/store/columnar_build.hpp"
+#include "mmlab/store/mmds2.hpp"
+#include "mmlab/store/shard_set.hpp"
+#include "mmlab/store/shard_writer.hpp"
+#include "mmlab/util/rng.hpp"
+
+namespace mmlab::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test store directory under the gtest temp dir.
+class StoreDir {
+ public:
+  explicit StoreDir(const std::string& tag)
+      : path_((fs::path(::testing::TempDir()) / ("mmlab_store_" + tag))
+                  .string()) {
+    fs::remove_all(path_);
+  }
+  ~StoreDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A random database with adversarial shape: many carriers, duplicate
+/// snapshots of the same cell (multi-visit), several RATs, contexts, and
+/// value repetition so the dedup paths all fire.
+core::ConfigDatabase random_db(std::uint64_t seed, std::size_t carriers = 4,
+                               std::size_t cells_per_carrier = 40,
+                               int max_visits = 3) {
+  Rng rng(seed);
+  core::ConfigDatabase db;
+  for (std::size_t c = 0; c < carriers; ++c) {
+    std::string name = "C";  // (not operator+: GCC 12 -Wrestrict false positive)
+    name += std::to_string(c);
+    for (std::size_t i = 0; i < cells_per_carrier; ++i) {
+      const auto id = static_cast<std::uint32_t>(1 + rng.below(1'000'000));
+      const auto rat = static_cast<spectrum::Rat>(rng.below(4));
+      const auto channel = static_cast<std::uint32_t>(rng.below(66'000));
+      const geo::Point pos{rng.uniform(-5e4, 5e4), rng.uniform(-5e4, 5e4)};
+      const int visits = 1 + static_cast<int>(rng.below(
+                                 static_cast<std::uint64_t>(max_visits)));
+      SimTime t{static_cast<Millis>(rng.below(1'000'000))};
+      for (int v = 0; v < visits; ++v) {
+        std::vector<config::ParamObservation> params;
+        const int n = 1 + static_cast<int>(rng.below(6));
+        for (int p = 0; p < n; ++p) {
+          config::ParamObservation obs;
+          obs.key = config::ParamKey{
+              rat, static_cast<std::uint16_t>(rng.below(8))};
+          obs.value = static_cast<double>(rng.below(5)) - 2.0;
+          obs.context =
+              rng.chance(0.3) ? static_cast<std::int64_t>(rng.below(100)) : -1;
+          params.push_back(obs);
+        }
+        db.add_snapshot(name, id, rat, channel, pos, t, params);
+        t += static_cast<Millis>(1 + rng.below(1'000'000));
+      }
+    }
+  }
+  return db;
+}
+
+TEST(StoreRoundTrip, RandomDatabasesAreBitExact) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    StoreDir dir("roundtrip_" + std::to_string(seed));
+    const auto db = random_db(seed);
+
+    // Tiny rotation targets so even a small database spans many blocks and
+    // shards — the layout under test, not the happy single-block path.
+    WriterOptions wopts;
+    wopts.target_block_bytes = 1024;
+    wopts.target_shard_bytes = 8192;
+    const auto wstats = save_database(db, dir.path(), wopts);
+    EXPECT_EQ(wstats.rows, db.total_samples());
+    EXPECT_GT(wstats.shards, 1u) << "rotation targets too lax to test layout";
+
+    auto set = ShardSet::open(dir.path());
+    ASSERT_TRUE(set.ok()) << set.error_message();
+    const auto verified = set.value().verify();
+    EXPECT_TRUE(verified.ok()) << verified.error_message();
+
+    core::ConfigDatabase loaded;
+    const auto lstats = load_database(set.value(), loaded);
+    ASSERT_TRUE(lstats.ok()) << lstats.error_message();
+    EXPECT_EQ(lstats.value().rows, db.total_samples());
+    EXPECT_EQ(loaded, db);
+  }
+}
+
+TEST(StoreRoundTrip, LoadIsThreadCountInvariant) {
+  StoreDir dir("threads");
+  const auto db = random_db(77, 6, 60);
+  WriterOptions wopts;
+  wopts.target_block_bytes = 2048;
+  wopts.target_shard_bytes = 16384;
+  save_database(db, dir.path(), wopts);
+  auto set = ShardSet::open(dir.path());
+  ASSERT_TRUE(set.ok()) << set.error_message();
+
+  core::ConfigDatabase serial;
+  ASSERT_TRUE(load_database(set.value(), serial, 1).ok());
+  EXPECT_EQ(serial, db);
+  for (unsigned threads : {2u, 4u, 0u}) {
+    core::ConfigDatabase parallel;
+    ASSERT_TRUE(load_database(set.value(), parallel, threads).ok());
+    EXPECT_EQ(parallel, serial) << "threads " << threads;
+  }
+}
+
+/// Replays a database's snapshots (carrier name order, cells ascending,
+/// observations in time order) into a StreamingDatasetSink — the same
+/// per-cell nondecreasing-time contract the generator satisfies.
+WriteStats replay_into_sink(const core::ConfigDatabase& db,
+                            StreamingDatasetSink& sink) {
+  for (const auto& [carrier, cells] : db.carriers()) {
+    for (const auto& [id, rec] : cells) {
+      // Group the flat observation list back into snapshots: the encoder
+      // stored them in arrival order, so consecutive equal timestamps of
+      // one visit stay adjacent.
+      std::size_t i = 0;
+      while (i < rec.observations.size()) {
+        std::size_t j = i;
+        std::vector<config::ParamObservation> params;
+        while (j < rec.observations.size() &&
+               rec.observations[j].t == rec.observations[i].t) {
+          params.push_back({rec.observations[j].key, rec.observations[j].value,
+                            rec.observations[j].context});
+          ++j;
+        }
+        sink.snapshot(carrier, id, rec.rat, rec.channel, rec.position,
+                      rec.observations[i].t, params);
+        i = j;
+      }
+    }
+  }
+  return sink.finish();
+}
+
+TEST(StoreRoundTrip, ChunkSizeNeverChangesTheStore) {
+  // The spill contract: any chunk size yields a store that loads back to
+  // the identical database (visit-grouped replay keeps per-cell times
+  // nondecreasing, the documented sufficient condition).
+  Rng rng(99);
+  core::ConfigDatabase reference_db = random_db(13, 3, 30);
+  core::ConfigDatabase first_loaded;
+  bool have_first = false;
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t chunk_rows =
+        trial == 0 ? 1 : 1 + rng.below(400);  // 1 = spill every snapshot
+    StoreDir dir("chunk_" + std::to_string(trial));
+    WriterOptions wopts;
+    wopts.target_block_bytes = 1536;
+    wopts.target_shard_bytes = 8192;
+    ShardWriter writer(dir.path(), wopts);
+    StreamingDatasetSink sink(writer, chunk_rows);
+    replay_into_sink(reference_db, sink);
+
+    auto set = ShardSet::open(dir.path());
+    ASSERT_TRUE(set.ok()) << set.error_message();
+    core::ConfigDatabase loaded;
+    ASSERT_TRUE(load_database(set.value(), loaded, 1 + trial % 3).ok());
+    EXPECT_EQ(loaded, reference_db) << "chunk_rows " << chunk_rows;
+    if (!have_first) {
+      first_loaded = loaded;
+      have_first = true;
+    } else {
+      EXPECT_EQ(loaded, first_loaded);
+    }
+  }
+}
+
+/// Bit-level equality of two view carriers, ignoring the raw observation
+/// columns (dropped on the out-of-core path by design) and rec pointers
+/// (compared through the metadata they point at).
+void expect_carriers_identical(const core::ColumnarView::Carrier& a,
+                               const core::ColumnarView::Carrier& b) {
+  EXPECT_EQ(a.name, b.name);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].id, b.cells[i].id);
+    EXPECT_EQ(a.cells[i].span_begin, b.cells[i].span_begin);
+    EXPECT_EQ(a.cells[i].span_end, b.cells[i].span_end);
+    ASSERT_NE(a.cells[i].rec, nullptr);
+    ASSERT_NE(b.cells[i].rec, nullptr);
+    EXPECT_EQ(a.cells[i].rec->rat, b.cells[i].rec->rat);
+    EXPECT_EQ(a.cells[i].rec->channel, b.cells[i].rec->channel);
+    EXPECT_EQ(a.cells[i].rec->position.x, b.cells[i].rec->position.x);
+    EXPECT_EQ(a.cells[i].rec->position.y, b.cells[i].rec->position.y);
+  }
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  for (std::size_t i = 0; i < a.spans.size(); ++i) {
+    EXPECT_EQ(a.spans[i].key, b.spans[i].key);
+    EXPECT_EQ(a.spans[i].cell, b.spans[i].cell);
+    EXPECT_EQ(a.spans[i].begin, b.spans[i].begin);
+    EXPECT_EQ(a.spans[i].end, b.spans[i].end);
+    EXPECT_EQ(a.spans[i].uniq_begin, b.spans[i].uniq_begin);
+    EXPECT_EQ(a.spans[i].uniq_end, b.spans[i].uniq_end);
+    EXPECT_EQ(a.spans[i].ctx_begin, b.spans[i].ctx_begin);
+    EXPECT_EQ(a.spans[i].ctx_end, b.spans[i].ctx_end);
+    EXPECT_EQ(a.spans[i].has_latest, b.spans[i].has_latest);
+    if (a.spans[i].has_latest) {
+      EXPECT_EQ(a.spans[i].latest, b.spans[i].latest);
+    }
+  }
+  EXPECT_EQ(a.uniq_col, b.uniq_col);
+  EXPECT_EQ(a.ctx_context_col, b.ctx_context_col);
+  EXPECT_EQ(a.ctx_value_col, b.ctx_value_col);
+  EXPECT_EQ(a.observed, b.observed);
+  EXPECT_EQ(a.spans_by_key, b.spans_by_key);
+  ASSERT_EQ(a.key_ranges.size(), b.key_ranges.size());
+  for (std::size_t i = 0; i < a.key_ranges.size(); ++i) {
+    EXPECT_EQ(a.key_ranges[i].begin, b.key_ranges[i].begin);
+    EXPECT_EQ(a.key_ranges[i].end, b.key_ranges[i].end);
+  }
+  EXPECT_EQ(a.key_totals, b.key_totals);
+}
+
+TEST(StoreColumnar, OutOfCoreViewMatchesInMemory) {
+  StoreDir dir("columnar");
+  const auto db = random_db(21, 5, 50, 4);
+  WriterOptions wopts;
+  wopts.target_block_bytes = 1024;
+  wopts.target_shard_bytes = 4096;
+  save_database(db, dir.path(), wopts);
+  auto set = ShardSet::open(dir.path());
+  ASSERT_TRUE(set.ok()) << set.error_message();
+
+  const core::ColumnarView reference(db, 1);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    BuildOptions bopts;
+    bopts.threads = threads;
+    bopts.release_mapped = false;
+    auto sv = build_columnar(set.value(), bopts);
+    ASSERT_TRUE(sv.ok()) << sv.error_message();
+    const auto& view = sv.value().view;
+    ASSERT_EQ(view.carriers().size(), reference.carriers().size());
+    for (std::size_t i = 0; i < view.carriers().size(); ++i)
+      expect_carriers_identical(view.carriers()[i], reference.carriers()[i]);
+    EXPECT_EQ(sv.value().stats.rows, db.total_samples());
+    EXPECT_EQ(view.total_observations(), reference.total_observations());
+  }
+}
+
+TEST(StoreColumnar, ChunkedStreamFromGeneratorMatchesDirectDatabase) {
+  // End to end on real generated data: stream_world -> chunked v2 store ->
+  // out-of-core view must answer the analysis queries exactly like a
+  // database assembled by add_snapshot-ing the identical stream.
+  class Both final : public netgen::SnapshotSink {
+   public:
+    Both(StreamingDatasetSink& sink, core::ConfigDatabase& db)
+        : sink_(sink), db_(db) {}
+    void snapshot(const std::string& carrier, net::CellId cell_id,
+                  spectrum::Rat rat, std::uint32_t channel, geo::Point position,
+                  SimTime t,
+                  const std::vector<config::ParamObservation>& params) override {
+      sink_.snapshot(carrier, cell_id, rat, channel, position, t, params);
+      db_.add_snapshot(carrier, cell_id, rat, channel, position, t, params);
+    }
+
+   private:
+    StreamingDatasetSink& sink_;
+    core::ConfigDatabase& db_;
+  };
+
+  StoreDir dir("stream");
+  core::ConfigDatabase db;
+  WriterOptions wopts;
+  wopts.target_block_bytes = 4096;
+  wopts.target_shard_bytes = 32768;
+  ShardWriter writer(dir.path(), wopts);
+  StreamingDatasetSink sink(writer, 500);  // many chunks
+  Both both(sink, db);
+  netgen::StreamWorldOptions gopts;
+  gopts.seed = 5;
+  gopts.scale = 0.02;
+  gopts.visits_per_cell = 3;
+  const auto gstats = netgen::stream_world(gopts, both);
+  const auto wstats = sink.finish();
+  EXPECT_EQ(wstats.rows, gstats.rows);
+  EXPECT_EQ(db.total_samples(), gstats.rows);
+
+  auto set = ShardSet::open(dir.path());
+  ASSERT_TRUE(set.ok()) << set.error_message();
+  core::ConfigDatabase loaded;
+  ASSERT_TRUE(load_database(set.value(), loaded, 2).ok());
+  EXPECT_EQ(loaded, db);
+
+  auto sv = build_columnar(set.value(), {2, false});
+  ASSERT_TRUE(sv.ok()) << sv.error_message();
+  const core::ColumnarView reference(db, 1);
+  for (const auto& carrier : reference.carriers()) {
+    const auto ref_div = core::diversity_by_param(reference, carrier.name);
+    const auto ooc_div = store::diversity_by_param(sv.value(), carrier.name);
+    ASSERT_EQ(ref_div.size(), ooc_div.size()) << carrier.name;
+    for (std::size_t i = 0; i < ref_div.size(); ++i) {
+      EXPECT_EQ(ref_div[i].key, ooc_div[i].key);
+      EXPECT_EQ(ref_div[i].measures.richness, ooc_div[i].measures.richness);
+      EXPECT_EQ(ref_div[i].cells, ooc_div[i].cells);
+    }
+    EXPECT_EQ(core::priority_by_channel(reference, carrier.name, false, 1),
+              store::priority_by_channel(sv.value(), carrier.name, false, 2));
+  }
+}
+
+// --- corruption ---------------------------------------------------------------
+
+void populate_store(const StoreDir& dir, std::string* manifest_path,
+                    std::string* shard_path) {
+  const auto db = random_db(31, 2, 20);
+  save_database(db, dir.path());
+  *manifest_path =
+      (fs::path(dir.path()) / core::kMmds2ManifestName).string();
+  *shard_path = (fs::path(dir.path()) / "shard-0000.mmds2").string();
+}
+
+void flip_byte(const std::string& path, std::size_t offset_from_end) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  ASSERT_GT(size, offset_from_end);
+  const auto pos = static_cast<std::streamoff>(size - 1 - offset_from_end);
+  f.seekg(pos);
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x40);
+  f.seekp(pos);
+  f.write(&b, 1);
+}
+
+TEST(StoreManifest, RejectsBadMagic) {
+  StoreDir dir("corrupt_magic");
+  std::string manifest, shard;
+  populate_store(dir, &manifest, &shard);
+  {
+    std::fstream f(manifest, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(0);
+    f.write("XXXX", 4);
+  }
+  EXPECT_FALSE(ShardSet::open(dir.path()).ok());
+}
+
+TEST(StoreManifest, RejectsCorruptedManifest) {
+  StoreDir dir("corrupt_mancrc");
+  std::string manifest, shard;
+  populate_store(dir, &manifest, &shard);
+  flip_byte(manifest, 10);  // inside the payload; the CRC trailer catches it
+  EXPECT_FALSE(ShardSet::open(dir.path()).ok());
+}
+
+TEST(StoreManifest, VerifyCatchesShardBitFlip) {
+  StoreDir dir("corrupt_shardcrc");
+  std::string manifest, shard;
+  populate_store(dir, &manifest, &shard);
+  flip_byte(shard, 5);
+  auto set = ShardSet::open(dir.path());
+  // Open maps and size-checks only; the payload CRC is verify()'s job.
+  ASSERT_TRUE(set.ok()) << set.error_message();
+  EXPECT_FALSE(set.value().verify().ok());
+}
+
+TEST(StoreManifest, RejectsTruncatedShard) {
+  StoreDir dir("corrupt_trunc");
+  std::string manifest, shard;
+  populate_store(dir, &manifest, &shard);
+  fs::resize_file(shard, fs::file_size(shard) - 1);
+  EXPECT_FALSE(ShardSet::open(dir.path()).ok());
+}
+
+TEST(StoreManifest, RejectsMissingShard) {
+  StoreDir dir("corrupt_missing");
+  std::string manifest, shard;
+  populate_store(dir, &manifest, &shard);
+  fs::remove(shard);
+  EXPECT_FALSE(ShardSet::open(dir.path()).ok());
+}
+
+TEST(StoreManifest, RejectsEscapingShardFilename) {
+  Manifest m;
+  m.carriers = {"C"};
+  ShardInfo shard;
+  shard.filename = "../evil.mmds2";
+  shard.file_size = 8;
+  m.shards.push_back(shard);
+  StoreDir dir("escape");
+  fs::create_directories(dir.path());
+  write_manifest(dir.path(), m);
+  auto r = read_manifest(dir.path());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(StoreFormat, DirectoryDetectsAsMmds2) {
+  StoreDir dir("corrupt_detect");
+  std::string manifest, shard;
+  populate_store(dir, &manifest, &shard);
+  EXPECT_EQ(core::detect_dataset_format(dir.path()),
+            core::DatasetFormat::kMmds2);
+  EXPECT_EQ(core::detect_dataset_format(manifest),
+            core::DatasetFormat::kMmds2);
+}
+
+// --- streaming generator ------------------------------------------------------
+
+TEST(StreamGen, MatchesGenerateWorld) {
+  // Determinism contract: the streamed cells are generate_world's cells —
+  // same ids, channels, positions; and for cells with no reconfiguration
+  // before their first visit, the first snapshot's parameters are exactly
+  // extract_parameters of the generated config.
+  netgen::WorldOptions wopts;
+  wopts.seed = 11;
+  wopts.scale = 0.02;
+  const auto world = netgen::generate_world(wopts);
+
+  struct Rec {
+    std::uint32_t channel;
+    spectrum::Rat rat;
+    geo::Point pos;
+    SimTime t;
+    std::vector<config::ParamObservation> params;
+  };
+  class Recorder final : public netgen::SnapshotSink {
+   public:
+    std::map<net::CellId, Rec> first;
+    std::size_t snapshots = 0;
+    void snapshot(const std::string&, net::CellId cell_id, spectrum::Rat rat,
+                  std::uint32_t channel, geo::Point position, SimTime t,
+                  const std::vector<config::ParamObservation>& params) override {
+      ++snapshots;
+      first.emplace(cell_id, Rec{channel, rat, position, t, params});
+    }
+  };
+
+  Recorder rec;
+  netgen::StreamWorldOptions gopts;
+  gopts.seed = wopts.seed;
+  gopts.scale = wopts.scale;
+  gopts.visits_per_cell = 2;
+  const auto stats = netgen::stream_world(gopts, rec);
+  ASSERT_EQ(stats.cells, world.network.cells().size());
+  EXPECT_EQ(stats.snapshots, rec.snapshots);
+  EXPECT_EQ(stats.snapshots, stats.cells * 2);
+
+  std::size_t pristine_checked = 0;
+  for (std::size_t i = 0; i < world.network.cells().size(); ++i) {
+    const auto& cell = world.network.cells()[i];
+    const auto it = rec.first.find(cell.id);
+    ASSERT_NE(it, rec.first.end()) << "cell " << cell.id << " never streamed";
+    EXPECT_EQ(it->second.channel, cell.channel.number);
+    EXPECT_EQ(it->second.rat, cell.channel.rat);
+    EXPECT_EQ(it->second.pos.x, cell.position.x);
+    EXPECT_EQ(it->second.pos.y, cell.position.y);
+
+    const auto& schedule = world.update_schedule[i];
+    const bool pristine =
+        schedule.empty() ||
+        SimTime::from_days(schedule.front().day) > it->second.t;
+    if (!pristine) continue;
+    ++pristine_checked;
+    const auto expected =
+        cell.is_lte() ? config::extract_parameters(cell.lte_config)
+                      : config::extract_parameters(cell.legacy_config);
+    ASSERT_EQ(it->second.params.size(), expected.size()) << "cell " << cell.id;
+    for (std::size_t p = 0; p < expected.size(); ++p) {
+      EXPECT_EQ(it->second.params[p].key, expected[p].key);
+      EXPECT_EQ(it->second.params[p].value, expected[p].value);
+      EXPECT_EQ(it->second.params[p].context, expected[p].context);
+    }
+  }
+  EXPECT_GT(pristine_checked, stats.cells / 2);
+}
+
+TEST(StreamGen, VisitCountDoesNotPerturbTheWorld) {
+  // Visit times draw from an independent stream: the set of cells and
+  // their first-visit configs are identical whatever visits_per_cell is.
+  class IdsOnly final : public netgen::SnapshotSink {
+   public:
+    std::map<net::CellId, std::uint32_t> channel_of;
+    void snapshot(const std::string&, net::CellId cell_id, spectrum::Rat,
+                  std::uint32_t channel, geo::Point, SimTime,
+                  const std::vector<config::ParamObservation>&) override {
+      channel_of.emplace(cell_id, channel);
+    }
+  };
+  netgen::StreamWorldOptions gopts;
+  gopts.seed = 9;
+  gopts.scale = 0.01;
+  gopts.visits_per_cell = 1;
+  IdsOnly one;
+  netgen::stream_world(gopts, one);
+  gopts.visits_per_cell = 4;
+  IdsOnly four;
+  netgen::stream_world(gopts, four);
+  EXPECT_EQ(one.channel_of, four.channel_of);
+}
+
+}  // namespace
+}  // namespace mmlab::store

@@ -24,10 +24,20 @@
 //                                      seed-vs-tuned on every listed city
 //                                      (the last being the held-out transfer
 //                                      target)
+//   mmlab_cli generate <out-dir> [scale|countrywide] [--visits N]
+//                      [--chunk-rows R]
+//                                      stream-generate a world straight into
+//                                      a sharded MMDS v2 store (bounded
+//                                      memory at any scale)
+//   mmlab_cli convert <in> <out> [--format csv|bin|mmds2]
+//                                      re-encode a dataset; output format
+//                                      from --format (default: v1 bin <->
+//                                      v2 sharded)
 //
-// Datasets are core/dataset_io.hpp's release CSV or the MMDS v1 binary
-// format; on load the format is sniffed from the file magic, so --format is
-// only needed to force a choice (e.g. a CSV that happens to start "MMDS").
+// Datasets are core/dataset_io.hpp's release CSV, the MMDS v1 binary file,
+// or a sharded MMDS v2 store directory (store/); on load the format is
+// sniffed from the path and magic, so --format is only needed to force a
+// choice (e.g. a CSV that happens to start "MMDS").
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,10 +54,13 @@
 #include "mmlab/core/stability.hpp"
 #include "mmlab/ingest/replay.hpp"
 #include "mmlab/ingest/service.hpp"
+#include "mmlab/netgen/streamgen.hpp"
 #include "mmlab/opt/search.hpp"
 #include "mmlab/sim/crawl.hpp"
 #include "mmlab/sim/fleet.hpp"
 #include "mmlab/sim/drive_test.hpp"
+#include "mmlab/store/shard_set.hpp"
+#include "mmlab/store/shard_writer.hpp"
 #include "mmlab/util/table.hpp"
 
 namespace {
@@ -96,8 +109,11 @@ CliOptions parse_options(int argc, char** argv) {
         opts.format = core::DatasetFormat::kCsv;
       else if (i + 1 < argc && !std::strcmp(argv[i + 1], "bin"))
         opts.format = core::DatasetFormat::kBinary;
+      else if (i + 1 < argc && !std::strcmp(argv[i + 1], "mmds2"))
+        opts.format = core::DatasetFormat::kMmds2;
       else {
-        std::fprintf(stderr, "error: --format needs 'csv' or 'bin'\n");
+        std::fprintf(stderr,
+                     "error: --format needs 'csv', 'bin' or 'mmds2'\n");
         opts.ok = false;
         return opts;
       }
@@ -109,14 +125,60 @@ CliOptions parse_options(int argc, char** argv) {
   return opts;
 }
 
-/// Load either dataset format: forced by --format, sniffed otherwise.
+/// Load an MMDS v2 store directory, printing the loader stats the report
+/// path surfaces (shards, blocks, mapped payload).
+Result<core::LoadStats> load_mmds2_for_cli(const char* path,
+                                           const CliOptions& opts,
+                                           core::ConfigDatabase& db) {
+  auto set = store::ShardSet::open(path);
+  if (!set.ok()) return Result<core::LoadStats>::error(set.error_message());
+  const auto& m = set.value().manifest();
+  std::uint64_t bytes = 0;
+  for (const auto& s : m.shards) bytes += s.file_size;
+  std::printf("MMDS v2 store: %zu shards, %zu blocks, %llu rows, %.1f MB\n",
+              m.shards.size(), static_cast<std::size_t>(m.total_blocks()),
+              static_cast<unsigned long long>(m.total_rows()),
+              static_cast<double>(bytes) / 1e6);
+  return store::load_database(set.value(), db, opts.threads);
+}
+
+/// Load any dataset format: forced by --format, sniffed otherwise (an MMDS
+/// v2 store is a directory, so the sniff works on paths too).
 Result<core::LoadStats> load_for_cli(const char* path,
                                            const CliOptions& opts,
                                            core::ConfigDatabase& db) {
-  if (!opts.format) return core::load_dataset_any(path, db, opts.threads);
-  if (*opts.format == core::DatasetFormat::kBinary)
-    return core::load_dataset_binary(path, db, opts.threads);
-  return core::load_dataset(path, db);
+  const auto format =
+      opts.format ? *opts.format : core::detect_dataset_format(path);
+  switch (format) {
+    case core::DatasetFormat::kMmds2:
+      return load_mmds2_for_cli(path, opts, db);
+    case core::DatasetFormat::kBinary:
+      if (!opts.format) return core::load_dataset_any(path, db, opts.threads);
+      return core::load_dataset_binary(path, db, opts.threads);
+    case core::DatasetFormat::kCsv:
+    default:
+      if (!opts.format) return core::load_dataset_any(path, db, opts.threads);
+      return core::load_dataset(path, db);
+  }
+}
+
+/// Save in any format (save_dataset handles csv/bin; v2 goes through the
+/// sharded store writer).
+void save_for_cli(const core::ConfigDatabase& db, const char* path,
+                  core::DatasetFormat format) {
+  if (format == core::DatasetFormat::kMmds2) {
+    const auto stats = store::save_database(db, path);
+    std::printf("wrote %zu observations from %zu cells to %s "
+                "(MMDS v2: %llu shards, %llu blocks)\n",
+                db.total_samples(), db.total_cells(), path,
+                static_cast<unsigned long long>(stats.shards),
+                static_cast<unsigned long long>(stats.blocks));
+    return;
+  }
+  core::save_dataset(db, path, format);
+  std::printf("wrote %zu observations from %zu cells to %s (%s)\n",
+              db.total_samples(), db.total_cells(), path,
+              format == core::DatasetFormat::kBinary ? "MMDS v1" : "csv");
 }
 
 int cmd_crawl(int argc, char** argv) {
@@ -149,11 +211,7 @@ int cmd_crawl(int argc, char** argv) {
               static_cast<double>(pstats.totals.bytes) / 1e6, pstats.threads,
               pstats.extract_seconds, pstats.merge_seconds,
               pstats.records_per_second(), pstats.bytes_per_second() / 1e6);
-  core::save_dataset(db, path,
-                     opts.format.value_or(core::DatasetFormat::kCsv));
-  std::printf("wrote %zu observations from %zu cells to %s (%s)\n",
-              db.total_samples(), db.total_cells(), path,
-              opts.format == core::DatasetFormat::kBinary ? "MMDS v1" : "csv");
+  save_for_cli(db, path, opts.format.value_or(core::DatasetFormat::kCsv));
   return 0;
 }
 
@@ -199,11 +257,7 @@ int cmd_ingest(int argc, char** argv) {
               "%.0f records/s\n",
               mb, replay.seconds, metrics.workers, mb / replay.seconds,
               static_cast<double>(metrics.records) / replay.seconds);
-  core::save_dataset(db, path,
-                     opts.format.value_or(core::DatasetFormat::kCsv));
-  std::printf("wrote %zu observations from %zu cells to %s (%s)\n",
-              db.total_samples(), db.total_cells(), path,
-              opts.format == core::DatasetFormat::kBinary ? "MMDS v1" : "csv");
+  save_for_cli(db, path, opts.format.value_or(core::DatasetFormat::kCsv));
   return 0;
 }
 
@@ -452,13 +506,115 @@ int cmd_opt(int argc, char** argv) {
   return 0;
 }
 
+/// netgen::SnapshotSink -> streaming v2 writer glue (netgen cannot depend
+/// on store, so the adapter lives with the caller).
+class GenerateSink final : public netgen::SnapshotSink {
+ public:
+  explicit GenerateSink(store::StreamingDatasetSink& sink) : sink_(sink) {}
+  void snapshot(const std::string& carrier, net::CellId cell_id,
+                spectrum::Rat rat, std::uint32_t channel, geo::Point position,
+                SimTime t,
+                const std::vector<config::ParamObservation>& params) override {
+    sink_.snapshot(carrier, cell_id, rat, channel, position, t, params);
+  }
+
+ private:
+  store::StreamingDatasetSink& sink_;
+};
+
+int cmd_generate(int argc, char** argv) {
+  netgen::StreamWorldOptions gopts;
+  std::size_t chunk_rows = 4'000'000;
+  const char* out = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--visits")) {
+      if (i + 1 >= argc || std::atoi(argv[i + 1]) <= 0) {
+        std::fprintf(stderr, "error: --visits needs a positive integer\n");
+        return 2;
+      }
+      gopts.visits_per_cell = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--chunk-rows")) {
+      if (i + 1 >= argc || std::atol(argv[i + 1]) <= 0) {
+        std::fprintf(stderr, "error: --chunk-rows needs a positive integer\n");
+        return 2;
+      }
+      chunk_rows = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (!out) {
+      out = argv[i];
+    } else if (!std::strcmp(argv[i], "countrywide")) {
+      gopts.scale = netgen::kCountrywideScale;
+    } else {
+      gopts.scale = std::atof(argv[i]);
+      if (gopts.scale <= 0.0) {
+        std::fprintf(stderr, "error: scale must be positive (or "
+                             "'countrywide')\n");
+        return 2;
+      }
+    }
+  }
+  if (!out) {
+    std::fprintf(stderr,
+                 "usage: mmlab_cli generate <out-dir> [scale|countrywide] "
+                 "[--visits N] [--chunk-rows R]\n");
+    return 2;
+  }
+  std::printf("streaming scale %.2f world (%d visits/cell) into %s...\n",
+              gopts.scale, gopts.visits_per_cell, out);
+  store::ShardWriter writer(out);
+  store::StreamingDatasetSink sink(writer, chunk_rows);
+  GenerateSink adapter(sink);
+  const auto gstats = netgen::stream_world(gopts, adapter);
+  const auto wstats = sink.finish();
+  std::printf("wrote %llu rows from %llu cells (%llu snapshots) to %s "
+              "(MMDS v2: %llu shards, %llu blocks, %.1f MB)\n",
+              static_cast<unsigned long long>(wstats.rows),
+              static_cast<unsigned long long>(gstats.cells),
+              static_cast<unsigned long long>(gstats.snapshots), out,
+              static_cast<unsigned long long>(wstats.shards),
+              static_cast<unsigned long long>(wstats.blocks),
+              static_cast<double>(wstats.bytes) / 1e6);
+  return 0;
+}
+
+int cmd_convert(int argc, char** argv) {
+  const CliOptions opts = parse_options(argc, argv);
+  if (!opts.ok) return 2;
+  if (opts.positional.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: mmlab_cli convert <in> <out> "
+                 "[--format csv|bin|mmds2] [--threads N]\n");
+    return 2;
+  }
+  const char* in = opts.positional[0];
+  const char* out = opts.positional[1];
+  const auto in_format = core::detect_dataset_format(in);
+
+  core::ConfigDatabase db;
+  // The sniffed input format decides the loader; --format names the OUTPUT.
+  CliOptions load_opts = opts;
+  load_opts.format.reset();
+  const auto stats = load_for_cli(in, load_opts, db);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error: %s\n", stats.error_message().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu rows from %s\n", stats.value().rows, in);
+
+  // Default conversion: v2 -> v1 binary, anything else -> v2.
+  const auto out_format = opts.format.value_or(
+      in_format == core::DatasetFormat::kMmds2 ? core::DatasetFormat::kBinary
+                                               : core::DatasetFormat::kMmds2);
+  save_for_cli(db, out, out_format);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: mmlab_cli <crawl|ingest|report|verify|drive|opt> "
-                 "[args...]\n");
+                 "usage: mmlab_cli <crawl|ingest|report|verify|drive|opt|"
+                 "generate|convert> [args...]\n");
     return 2;
   }
   const char* cmd = argv[1];
@@ -468,6 +624,8 @@ int main(int argc, char** argv) {
   if (!std::strcmp(cmd, "verify")) return cmd_verify(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "drive")) return cmd_drive(argc - 2, argv + 2);
   if (!std::strcmp(cmd, "opt")) return cmd_opt(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "generate")) return cmd_generate(argc - 2, argv + 2);
+  if (!std::strcmp(cmd, "convert")) return cmd_convert(argc - 2, argv + 2);
   std::fprintf(stderr, "unknown command: %s\n", cmd);
   return 2;
 }

@@ -1,0 +1,443 @@
+// Out-of-core store soak harness (MMDS v2).
+//
+//   store_soak [--scale X] [--visits N] [--chunk-rows R] [--threads T]
+//              [--block-mb B] [--shard-mb S] [--dir PATH]
+//              [--mem-ceiling-mb M] [--equality-scale Y] [--skip-equality]
+//              [--skip-soak] [--seed S] [--keep]
+//
+// Two phases, exit code 1 on any violation:
+//
+//   1. Equality (D2 scale by default): stream-generate a world straight
+//      into an MMDS v2 store, then check that the out-of-core columnar
+//      build is bit-identical to the in-memory reference —
+//      ColumnarView(load_database(store)) — across the full fig 11-22
+//      analysis mix, for build/query thread counts 1, 2, 4 and hw.
+//   2. Soak (countrywide scale by default, ~320k cells / 100M+ rows):
+//      stream-generate into v2, verify every shard CRC, build the view
+//      out-of-core, and run the analysis mix — gating peak RSS (Linux
+//      VmHWM) under the ceiling (default 2 GB) the whole way.
+//
+// CI runs a reduced configuration (see .github/workflows/ci.yml); the full
+// countrywide soak is the acceptance run for ROADMAP's out-of-core item.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mmlab/core/analysis.hpp"
+#include "mmlab/core/columnar.hpp"
+#include "mmlab/core/database.hpp"
+#include "mmlab/netgen/profile.hpp"
+#include "mmlab/netgen/streamgen.hpp"
+#include "mmlab/store/analytics.hpp"
+#include "mmlab/store/columnar_build.hpp"
+#include "mmlab/store/shard_set.hpp"
+#include "mmlab/store/shard_writer.hpp"
+
+namespace {
+
+using namespace mmlab;
+
+struct SoakOptions {
+  double scale = netgen::kCountrywideScale;
+  int visits = 8;  ///< ~114M rows at countrywide scale
+  std::size_t chunk_rows = 4'000'000;
+  unsigned threads = 0;  ///< 0 = hardware_concurrency
+  std::size_t block_mb = 8;
+  std::size_t shard_mb = 64;
+  std::string dir = "store_soak_data";
+  std::size_t mem_ceiling_mb = 2048;
+  double equality_scale = 1.0;  ///< D2 scale
+  bool run_equality = true;
+  bool run_soak = true;
+  std::uint64_t seed = 42;
+  bool keep = false;
+};
+
+/// Linux VmRSS / VmHWM in bytes; 0 where /proc is unavailable.
+std::size_t proc_status_bytes(const char* key) {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f)) {
+    if (!std::strncmp(line, key, key_len) && line[key_len] == ':') {
+      std::sscanf(line + key_len + 1, "%zu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+#else
+  (void)key;
+  return 0;
+#endif
+}
+
+std::size_t current_rss_bytes() { return proc_status_bytes("VmRSS"); }
+std::size_t peak_rss_bytes() { return proc_status_bytes("VmHWM"); }
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool parse_args(int argc, char** argv, SoakOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    auto want_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "store_soak: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (!std::strcmp(arg, "--scale")) {
+      if (!(v = want_value(arg))) return false;
+      opts.scale = std::atof(v);
+    } else if (!std::strcmp(arg, "--visits")) {
+      if (!(v = want_value(arg))) return false;
+      opts.visits = std::atoi(v);
+    } else if (!std::strcmp(arg, "--chunk-rows")) {
+      if (!(v = want_value(arg))) return false;
+      opts.chunk_rows = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--threads")) {
+      if (!(v = want_value(arg))) return false;
+      opts.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (!std::strcmp(arg, "--block-mb")) {
+      if (!(v = want_value(arg))) return false;
+      opts.block_mb = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--shard-mb")) {
+      if (!(v = want_value(arg))) return false;
+      opts.shard_mb = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--dir")) {
+      if (!(v = want_value(arg))) return false;
+      opts.dir = v;
+    } else if (!std::strcmp(arg, "--mem-ceiling-mb")) {
+      if (!(v = want_value(arg))) return false;
+      opts.mem_ceiling_mb = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--equality-scale")) {
+      if (!(v = want_value(arg))) return false;
+      opts.equality_scale = std::atof(v);
+    } else if (!std::strcmp(arg, "--skip-equality")) {
+      opts.run_equality = false;
+    } else if (!std::strcmp(arg, "--skip-soak")) {
+      opts.run_soak = false;
+    } else if (!std::strcmp(arg, "--seed")) {
+      if (!(v = want_value(arg))) return false;
+      opts.seed = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--keep")) {
+      opts.keep = true;
+    } else {
+      std::fprintf(stderr, "store_soak: unknown flag %s\n", arg);
+      return false;
+    }
+  }
+  if (opts.scale <= 0.0 || opts.visits <= 0 || opts.chunk_rows == 0 ||
+      opts.block_mb == 0 || opts.shard_mb == 0) {
+    std::fprintf(stderr, "store_soak: scale/visits/chunk-rows/block-mb/"
+                         "shard-mb must be > 0\n");
+    return false;
+  }
+  return true;
+}
+
+/// netgen::SnapshotSink -> store::StreamingDatasetSink adapter (netgen
+/// cannot depend on store, so the glue lives with the caller).
+class StoreSink final : public netgen::SnapshotSink {
+ public:
+  explicit StoreSink(store::StreamingDatasetSink& sink) : sink_(sink) {}
+  void snapshot(const std::string& carrier, net::CellId cell_id,
+                spectrum::Rat rat, std::uint32_t channel, geo::Point position,
+                SimTime t,
+                const std::vector<config::ParamObservation>& params) override {
+    sink_.snapshot(carrier, cell_id, rat, channel, position, t, params);
+  }
+
+ private:
+  store::StreamingDatasetSink& sink_;
+};
+
+/// Stream-generate a world directly into an MMDS v2 store directory.
+store::WriteStats generate_store(const SoakOptions& opts, double scale,
+                                 const std::string& dir,
+                                 netgen::StreamStats* gen_stats) {
+  store::WriterOptions wopts;
+  wopts.target_block_bytes = opts.block_mb << 20;
+  wopts.target_shard_bytes = opts.shard_mb << 20;
+  store::ShardWriter writer(dir, wopts);
+  store::StreamingDatasetSink sink(writer, opts.chunk_rows);
+  StoreSink adapter(sink);
+
+  netgen::StreamWorldOptions gopts;
+  gopts.seed = opts.seed;
+  gopts.scale = scale;
+  gopts.visits_per_cell = opts.visits;
+  const auto stats = netgen::stream_world(gopts, adapter);
+  if (gen_stats) *gen_stats = stats;
+  return sink.finish();
+}
+
+// --- exact-equality helpers --------------------------------------------------
+// The contract is BIT-identity, so doubles compare by representation: NaN
+// equals NaN (coefficient-of-variation is NaN for zero-mean parameters on
+// both sides) while 0.0 != -0.0 would still be caught.
+
+bool eq(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+bool eq(const core::ParamDiversity& a, const core::ParamDiversity& b) {
+  return a.key == b.key && eq(a.measures.simpson, b.measures.simpson) &&
+         eq(a.measures.cv, b.measures.cv) &&
+         a.measures.richness == b.measures.richness && a.cells == b.cells;
+}
+bool eq(const core::ParamDependence& a, const core::ParamDependence& b) {
+  return a.key == b.key && eq(a.zeta_simpson, b.zeta_simpson) &&
+         eq(a.zeta_cv, b.zeta_cv);
+}
+template <typename T>
+bool eq(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!eq(a[i], b[i])) return false;
+  return true;
+}
+bool eq(const core::MeasurementGaps& a, const core::MeasurementGaps& b) {
+  return eq(a.intra_minus_nonintra, b.intra_minus_nonintra) &&
+         eq(a.intra_minus_slow, b.intra_minus_slow) &&
+         eq(a.nonintra_minus_slow, b.nonintra_minus_slow);
+}
+
+/// Run the fig 11-22 analysis mix over a StoreView; when `reference` is
+/// non-null, every result must equal the in-memory reference's exactly.
+/// Returns the number of mismatches (0 when reference is null).
+int run_analysis_mix(const store::StoreView& sv,
+                     const core::ColumnarView* reference,
+                     unsigned query_threads, const char* tag) {
+  int mismatches = 0;
+  const auto cities = netgen::standard_cities();
+  auto check = [&](bool same, const std::string& what) {
+    if (!same) {
+      std::fprintf(stderr, "FAIL: [%s] %s differs from in-memory reference\n",
+                   tag, what.c_str());
+      ++mismatches;
+    }
+  };
+
+  for (const auto& carrier : sv.view.carriers()) {
+    const std::string& name = carrier.name;
+    const auto div = store::diversity_by_param(sv, name);
+    const auto dep = store::frequency_dependence(sv, name);
+    const auto pri_s =
+        store::priority_by_channel(sv, name, false, query_threads);
+    const auto pri_c = store::priority_by_channel(sv, name, true, query_threads);
+    const auto multi = store::multi_priority_cell_fraction(sv, name);
+    const auto by_city = store::priority_by_city(sv, name, cities);
+    if (reference) {
+      check(eq(div, core::diversity_by_param(*reference, name)),
+            name + " diversity_by_param");
+      check(eq(dep, core::frequency_dependence(*reference, name)),
+            name + " frequency_dependence");
+      check(pri_s == core::priority_by_channel(*reference, name, false, 1),
+            name + " priority_by_channel(serving)");
+      check(pri_c == core::priority_by_channel(*reference, name, true, 1),
+            name + " priority_by_channel(candidate)");
+      check(eq(multi, core::multi_priority_cell_fraction(*reference, name)),
+            name + " multi_priority_cell_fraction");
+      check(by_city == core::priority_by_city(*reference, name, cities),
+            name + " priority_by_city");
+    }
+  }
+  // Pooled gaps (Fig 11) and one spatial pass (Fig 21, priciest query).
+  const auto gaps = store::measurement_decision_gaps(sv);
+  const auto spatial = store::spatial_diversity(
+      sv, sv.view.carriers().empty() ? "" : sv.view.carriers().front().name,
+      config::lte_param(config::ParamId::kServingPriority), cities.front(),
+      2'000.0);
+  if (reference) {
+    check(eq(gaps, core::measurement_decision_gaps(*reference)),
+          "pooled measurement_decision_gaps");
+    check(eq(spatial,
+             core::spatial_diversity(
+                  *reference,
+                  sv.view.carriers().empty() ? ""
+                                             : sv.view.carriers().front().name,
+                  config::lte_param(config::ParamId::kServingPriority),
+                  cities.front(), 2'000.0)),
+          "spatial_diversity");
+  }
+  return mismatches;
+}
+
+int run_equality_phase(const SoakOptions& opts, unsigned hw) {
+  const std::string dir = opts.dir + "/equality";
+  std::printf("equality: streaming D2-scale world (scale %.2f) into %s\n",
+              opts.equality_scale, dir.c_str());
+  const auto wstats = generate_store(opts, opts.equality_scale, dir, nullptr);
+  std::printf("equality: wrote %llu rows, %llu blocks, %llu shards "
+              "(%.1f MB)\n",
+              static_cast<unsigned long long>(wstats.rows),
+              static_cast<unsigned long long>(wstats.blocks),
+              static_cast<unsigned long long>(wstats.shards),
+              static_cast<double>(wstats.bytes) / 1e6);
+
+  auto set_r = store::ShardSet::open(dir);
+  if (!set_r.ok()) {
+    std::fprintf(stderr, "FAIL: equality open: %s\n",
+                 set_r.error_message().c_str());
+    return 1;
+  }
+  const auto set = std::move(set_r).take();
+
+  // In-memory reference: materialize the database, then the classic view.
+  core::ConfigDatabase db;
+  const auto load = store::load_database(set, db, hw);
+  if (!load.ok()) {
+    std::fprintf(stderr, "FAIL: equality load: %s\n",
+                 load.error_message().c_str());
+    return 1;
+  }
+  const core::ColumnarView reference(db, 1);
+
+  int failures = 0;
+  std::vector<unsigned> thread_counts = {1, 2, 4, hw};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+  for (const unsigned t : thread_counts) {
+    store::BuildOptions bopts;
+    bopts.threads = t;
+    bopts.release_mapped = false;  // the store is re-read per thread count
+    auto sv_r = store::build_columnar(set, bopts);
+    if (!sv_r.ok()) {
+      std::fprintf(stderr, "FAIL: equality build (threads %u): %s\n", t,
+                   sv_r.error_message().c_str());
+      ++failures;
+      continue;
+    }
+    const auto sv = std::move(sv_r).take();
+    char tag[32];
+    std::snprintf(tag, sizeof tag, "threads %u", t);
+    const int mism = run_analysis_mix(sv, &reference, t, tag);
+    failures += mism;
+    std::printf("equality: threads %u -> %s (build %.2f s)\n", t,
+                mism ? "MISMATCH" : "bit-identical", sv.stats.build_seconds);
+  }
+  return failures;
+}
+
+int run_soak_phase(const SoakOptions& opts, unsigned hw) {
+  const std::string dir = opts.dir + "/world";
+  const unsigned threads = opts.threads ? opts.threads : hw;
+  int failures = 0;
+
+  std::printf("soak: streaming scale %.2f world (visits %d, chunk %zu rows) "
+              "into %s\n",
+              opts.scale, opts.visits, opts.chunk_rows, dir.c_str());
+  double t0 = now_seconds();
+  netgen::StreamStats gen;
+  const auto wstats = generate_store(opts, opts.scale, dir, &gen);
+  const double write_s = now_seconds() - t0;
+  std::printf("soak: %llu cells, %llu snapshots, %llu rows -> %llu blocks, "
+              "%llu shards, %.1f MB in %.1f s (%.1f Mrows/s); RSS %.1f MB\n",
+              static_cast<unsigned long long>(gen.cells),
+              static_cast<unsigned long long>(gen.snapshots),
+              static_cast<unsigned long long>(gen.rows),
+              static_cast<unsigned long long>(wstats.blocks),
+              static_cast<unsigned long long>(wstats.shards),
+              static_cast<double>(wstats.bytes) / 1e6, write_s,
+              static_cast<double>(gen.rows) / 1e6 / write_s,
+              static_cast<double>(current_rss_bytes()) / 1e6);
+
+  auto set_r = store::ShardSet::open(dir);
+  if (!set_r.ok()) {
+    std::fprintf(stderr, "FAIL: soak open: %s\n",
+                 set_r.error_message().c_str());
+    return failures + 1;
+  }
+  const auto set = std::move(set_r).take();
+  if (set.total_rows() != gen.rows) {
+    std::fprintf(stderr, "FAIL: manifest rows %llu != generated rows %llu\n",
+                 static_cast<unsigned long long>(set.total_rows()),
+                 static_cast<unsigned long long>(gen.rows));
+    ++failures;
+  }
+
+  t0 = now_seconds();
+  const auto verified = set.verify();
+  if (!verified.ok()) {
+    std::fprintf(stderr, "FAIL: CRC verify: %s\n",
+                 verified.error_message().c_str());
+    ++failures;
+  } else {
+    std::printf("soak: CRC-verified %.1f MB in %.1f s; RSS %.1f MB\n",
+                static_cast<double>(verified.value()) / 1e6,
+                now_seconds() - t0,
+                static_cast<double>(current_rss_bytes()) / 1e6);
+  }
+
+  store::BuildOptions bopts;
+  bopts.threads = threads;
+  auto sv_r = store::build_columnar(set, bopts);
+  if (!sv_r.ok()) {
+    std::fprintf(stderr, "FAIL: soak build: %s\n",
+                 sv_r.error_message().c_str());
+    return failures + 1;
+  }
+  const auto sv = std::move(sv_r).take();
+  std::printf("soak: out-of-core view built in %.1f s (%llu cells, "
+              "~%.1f MB view); RSS %.1f MB\n",
+              sv.stats.build_seconds,
+              static_cast<unsigned long long>(sv.stats.cells),
+              static_cast<double>(sv.stats.view_bytes_estimate) / 1e6,
+              static_cast<double>(current_rss_bytes()) / 1e6);
+
+  t0 = now_seconds();
+  failures += run_analysis_mix(sv, nullptr, threads, "soak");
+  std::printf("soak: fig 11-22 analysis mix over %zu carriers in %.1f s; "
+              "RSS %.1f MB\n",
+              sv.view.carriers().size(), now_seconds() - t0,
+              static_cast<double>(current_rss_bytes()) / 1e6);
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SoakOptions opts;
+  if (!parse_args(argc, argv, opts)) return 2;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::error_code ec;
+  std::filesystem::create_directories(opts.dir, ec);
+
+  int failures = 0;
+  if (opts.run_equality) failures += run_equality_phase(opts, hw);
+  if (opts.run_soak) failures += run_soak_phase(opts, hw);
+
+  const std::size_t peak = peak_rss_bytes();
+  if (peak != 0) {
+    std::printf("peak RSS %.1f MB (ceiling %zu MB)\n",
+                static_cast<double>(peak) / 1e6, opts.mem_ceiling_mb);
+    if (peak > opts.mem_ceiling_mb * 1000 * 1000) {
+      std::fprintf(stderr, "FAIL: peak RSS %.1f MB exceeds ceiling %zu MB\n",
+                   static_cast<double>(peak) / 1e6, opts.mem_ceiling_mb);
+      ++failures;
+    }
+  }
+
+  if (!opts.keep) std::filesystem::remove_all(opts.dir, ec);
+  std::printf("%s\n", failures ? "SOAK FAILED" : "SOAK PASSED");
+  return failures ? 1 : 0;
+}
