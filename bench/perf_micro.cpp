@@ -21,9 +21,11 @@
 #include "mmlab/ue/reselection.hpp"
 #include "mmlab/ue/ue.hpp"
 #include "mmlab/netgen/generator.hpp"
+#include "mmlab/netgen/profile.hpp"
 #include "mmlab/opt/search.hpp"
 #include "mmlab/sim/crawl.hpp"
 #include "mmlab/sim/drive_test.hpp"
+#include "mmlab/store/analytics.hpp"
 #include "mmlab/store/columnar_build.hpp"
 #include "mmlab/store/shard_set.hpp"
 #include "mmlab/store/shard_writer.hpp"
@@ -687,6 +689,76 @@ void BM_StoreOocBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreOocBuild)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Small-block store fixture for the block-parallel paths: tiny rotation
+// targets turn the same 1M rows into hundreds of blocks, so the intra-
+// carrier parse fan-out (and the direct fold's windowed merge) is the
+// dominant cost, not one giant block per carrier.
+const std::string& small_block_store_dir() {
+  static const std::string dir = [] {
+    std::string path =
+        (std::filesystem::temp_directory_path() / "mmlab_bench_store_small")
+            .string();
+    std::filesystem::remove_all(path);
+    store::WriterOptions wopts;
+    wopts.target_block_bytes = 64 * 1024;
+    wopts.target_shard_bytes = 4 * 1024 * 1024;
+    store::save_database(dataset_db(), path, wopts);
+    return path;
+  }();
+  return dir;
+}
+
+// The fig 11-22 mix straight off the mapped shards: one analyze_carrier
+// fold per carrier, no database, no view.  Compare against BM_StoreOocBuild
+// + the view queries: the direct path pays the parse every run but holds
+// only the parse window resident.
+void BM_StoreDirectFold(benchmark::State& state) {
+  const auto& dir = small_block_store_dir();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const auto cities = netgen::standard_cities();
+  for (auto _ : state) {
+    auto set = store::ShardSet::open(dir);
+    store::FoldOptions fopts;
+    fopts.threads = threads;
+    fopts.release_mapped = false;  // page cache stays warm across iterations
+    const store::DirectFold direct(set.value(), fopts);
+    std::uint64_t cells = 0;
+    for (const auto& carrier : direct.carriers()) {
+      store::MixOptions mopts;
+      mopts.cities = cities;
+      auto mix = store::analyze_carrier(direct, carrier, mopts);
+      cells += mix.value().stats.cells;
+    }
+    benchmark::DoNotOptimize(cells);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(dataset_db().total_samples()));
+}
+BENCHMARK(BM_StoreDirectFold)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Block-parallel view build over the many-block fixture (BM_StoreOocBuild
+// uses default 8 MB blocks, where each carrier is one or two blocks and the
+// fan-out has nothing to chew on).
+void BM_StoreBuildParallel(benchmark::State& state) {
+  const auto& dir = small_block_store_dir();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto set = store::ShardSet::open(dir);
+    store::BuildOptions bopts;
+    bopts.threads = threads;
+    bopts.release_mapped = false;
+    auto view = store::build_columnar(set.value(), bopts);
+    benchmark::DoNotOptimize(view.value().view.total_observations());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(dataset_db().total_samples()));
+}
+BENCHMARK(BM_StoreBuildParallel)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // --- deterministic parallel simulation: crawl + campaign fan-out -------------
 // run_crawl applies each cell's scheduled reconfigurations as the crawl

@@ -1,0 +1,127 @@
+#include "mmlab/core/cell_fold.hpp"
+
+#include <algorithm>
+
+namespace mmlab::core {
+
+void CellFolder::fold(const CellRecord& rec) {
+  keys_.clear();
+  uniq_.clear();
+  ctx_context_.clear();
+  ctx_value_.clear();
+
+  order_.clear();
+  order_.reserve(rec.observations.size());
+  for (std::uint32_t i = 0; i < rec.observations.size(); ++i)
+    order_.emplace_back(rec.observations[i].key, i);
+  std::sort(order_.begin(), order_.end());
+
+  for (std::size_t lo = 0; lo < order_.size();) {
+    std::size_t hi = lo;
+    while (hi < order_.size() && order_[hi].first == order_[lo].first) ++hi;
+
+    KeySlice slice;
+    slice.key = order_[lo].first;
+    slice.obs_begin = static_cast<std::uint32_t>(lo);
+    slice.obs_end = static_cast<std::uint32_t>(hi);
+    // Same tie-break as CellRecord::latest: the *last* max-t observation
+    // in original order wins, and t below the -1 sentinel never counts.
+    SimTime best_t{-1};
+    for (std::size_t j = lo; j < hi; ++j) {
+      const Observation& obs = rec.observations[order_[j].second];
+      if (obs.t >= best_t) {
+        best_t = obs.t;
+        slice.latest = obs.value;
+        slice.has_latest = true;
+      }
+    }
+
+    // First-seen-order dedup: a linear == scan over the uniques emitted
+    // so far IS the legacy std::find algorithm (NaN never equals itself,
+    // so every occurrence is "unique"; -0.0 == 0.0 collapses).  The
+    // unordered_set spill past kLinearDedupLimit preserves those ==
+    // semantics while avoiding the quadratic cliff.
+    slice.uniq_begin = static_cast<std::uint32_t>(uniq_.size());
+    bool uniq_spilled = false;
+    for (std::size_t j = lo; j < hi; ++j) {
+      const double v = rec.observations[order_[j].second].value;
+      if (!uniq_spilled) {
+        bool dup = false;
+        for (std::size_t k = slice.uniq_begin; k < uniq_.size(); ++k) {
+          if (uniq_[k] == v) {
+            dup = true;
+            break;
+          }
+        }
+        if (dup) continue;
+        if (uniq_.size() - slice.uniq_begin < kLinearDedupLimit) {
+          uniq_.push_back(v);
+          continue;
+        }
+        uniq_seen_.clear();
+        uniq_seen_.insert(uniq_.begin() + slice.uniq_begin, uniq_.end());
+        uniq_spilled = true;
+      }
+      if (uniq_seen_.insert(v).second) uniq_.push_back(v);
+    }
+    slice.uniq_end = static_cast<std::uint32_t>(uniq_.size());
+
+    // Unique (context, value) pairs, context >= 0 only — the
+    // values_by_context per-cell dedup.  Duplicates are defined by
+    // std::set's < equivalence (as in the legacy scan), which the linear
+    // path replicates via !(a<b) && !(b<a).
+    slice.ctx_begin = static_cast<std::uint32_t>(ctx_value_.size());
+    bool ctx_spilled = false;
+    for (std::size_t j = lo; j < hi; ++j) {
+      const Observation& obs = rec.observations[order_[j].second];
+      if (obs.context < 0) continue;
+      const std::pair<std::int64_t, double> p{obs.context, obs.value};
+      if (!ctx_spilled) {
+        bool dup = false;
+        for (std::size_t k = slice.ctx_begin; k < ctx_value_.size(); ++k) {
+          const std::pair<std::int64_t, double> q{ctx_context_[k],
+                                                  ctx_value_[k]};
+          if (!(p < q) && !(q < p)) {
+            dup = true;
+            break;
+          }
+        }
+        if (dup) continue;
+        if (ctx_value_.size() - slice.ctx_begin < kLinearDedupLimit) {
+          ctx_context_.push_back(p.first);
+          ctx_value_.push_back(p.second);
+          continue;
+        }
+        ctx_seen_.clear();
+        for (std::size_t k = slice.ctx_begin; k < ctx_value_.size(); ++k)
+          ctx_seen_.insert({ctx_context_[k], ctx_value_[k]});
+        ctx_spilled = true;
+      }
+      if (ctx_seen_.insert(p).second) {
+        ctx_context_.push_back(p.first);
+        ctx_value_.push_back(p.second);
+      }
+    }
+    slice.ctx_end = static_cast<std::uint32_t>(ctx_value_.size());
+
+    keys_.push_back(slice);
+    lo = hi;
+  }
+}
+
+const CellFolder::KeySlice* CellFolder::find(config::ParamKey key) const {
+  const auto it = std::lower_bound(
+      keys_.begin(), keys_.end(), key,
+      [](const KeySlice& s, config::ParamKey k) { return s.key < k; });
+  if (it == keys_.end() || !(it->key == key)) return nullptr;
+  return &*it;
+}
+
+std::span<const double> CellFolder::unique_values(config::ParamKey key) const {
+  const KeySlice* s = find(key);
+  if (!s) return {};
+  return {uniq_.data() + s->uniq_begin,
+          static_cast<std::size_t>(s->uniq_end - s->uniq_begin)};
+}
+
+}  // namespace mmlab::core

@@ -1,8 +1,6 @@
 #include "mmlab/core/columnar.hpp"
 
 #include <algorithm>
-#include <set>
-#include <unordered_set>
 #include <utility>
 
 #include "mmlab/util/worker_pool.hpp"
@@ -37,13 +35,6 @@ Partial fold_cells(std::size_t n_cells, unsigned threads,
   for (auto& partial : partials) merge(acc, std::move(partial));
   return acc;
 }
-
-// Per-span unique cardinality is tiny for real configs (a handful of
-// distinct settings), so dedup is a linear == scan — the exact legacy
-// std::find semantics (NaN never matches itself, -0.0 == 0.0 collapses) at a
-// fraction of the hashing cost.  Past this threshold we spill to a hashed /
-// ordered container to stay off the O(n^2) cliff on adversarial data.
-constexpr std::size_t kLinearDedupLimit = 64;
 
 }  // namespace
 
@@ -80,115 +71,48 @@ void ColumnarView::CarrierAssembler::add_cell(std::uint32_t id,
   cell.id = id;
   cell.span_begin = static_cast<std::uint32_t>(out_.spans.size());
 
-  order_.clear();
-  order_.reserve(rec.observations.size());
-  for (std::uint32_t i = 0; i < rec.observations.size(); ++i)
-    order_.emplace_back(rec.observations[i].key, i);
-  std::sort(order_.begin(), order_.end());
+  // All dedup/latest/grouping semantics live in the shared kernel; this
+  // method only relocates its per-cell output into the carrier columns.
+  folder_.fold(rec);
+  const auto order = folder_.grouped_order();
+  const std::uint32_t uniq_base = static_cast<std::uint32_t>(
+      out_.uniq_col.size());
+  const std::uint32_t ctx_base = static_cast<std::uint32_t>(
+      out_.ctx_value_col.size());
 
-  for (std::size_t lo = 0; lo < order_.size();) {
-    std::size_t hi = lo;
-    while (hi < order_.size() && order_[hi].first == order_[lo].first) ++hi;
-    const config::ParamKey key = order_[lo].first;
-    observed_.insert(key);
-
+  for (const CellFolder::KeySlice& slice : folder_.keys()) {
+    observed_.insert(slice.key);
     Span span;
-    span.key = key;
+    span.key = slice.key;
     span.cell = static_cast<std::uint32_t>(out_.cells.size());
-    span.begin = static_cast<std::uint32_t>(next_row_);
-    // Same tie-break as CellRecord::latest: the *last* max-t observation
-    // in original order wins, and t below the -1 sentinel never counts.
-    SimTime best_t{-1};
-    for (std::size_t j = lo; j < hi; ++j) {
-      const Observation& obs = rec.observations[order_[j].second];
-      if (keep_columns_) {
+    span.begin = static_cast<std::uint32_t>(next_row_) + slice.obs_begin;
+    span.end = static_cast<std::uint32_t>(next_row_) + slice.obs_end;
+    span.uniq_begin = uniq_base + slice.uniq_begin;
+    span.uniq_end = uniq_base + slice.uniq_end;
+    span.ctx_begin = ctx_base + slice.ctx_begin;
+    span.ctx_end = ctx_base + slice.ctx_end;
+    span.latest = slice.latest;
+    span.has_latest = slice.has_latest;
+    if (keep_columns_) {
+      for (std::uint32_t j = slice.obs_begin; j < slice.obs_end; ++j) {
+        const Observation& obs = rec.observations[order[j].second];
         out_.value_col.push_back(obs.value);
         out_.time_col.push_back(obs.t);
         out_.context_col.push_back(obs.context);
       }
-      if (obs.t >= best_t) {
-        best_t = obs.t;
-        span.latest = obs.value;
-        span.has_latest = true;
-      }
     }
-    next_row_ += hi - lo;
-    span.end = static_cast<std::uint32_t>(next_row_);
-
-    // First-seen-order dedup: a linear == scan over the uniques emitted
-    // so far IS the legacy std::find algorithm (NaN never equals itself,
-    // so every occurrence is "unique"; -0.0 == 0.0 collapses).  The
-    // unordered_set spill past kLinearDedupLimit preserves those ==
-    // semantics while avoiding the quadratic cliff.
-    span.uniq_begin = static_cast<std::uint32_t>(out_.uniq_col.size());
-    bool uniq_spilled = false;
-    for (std::size_t j = lo; j < hi; ++j) {
-      const double v = rec.observations[order_[j].second].value;
-      if (!uniq_spilled) {
-        bool dup = false;
-        for (std::size_t k = span.uniq_begin; k < out_.uniq_col.size(); ++k) {
-          if (out_.uniq_col[k] == v) {
-            dup = true;
-            break;
-          }
-        }
-        if (dup) continue;
-        if (out_.uniq_col.size() - span.uniq_begin < kLinearDedupLimit) {
-          out_.uniq_col.push_back(v);
-          continue;
-        }
-        uniq_seen_.clear();
-        uniq_seen_.insert(out_.uniq_col.begin() + span.uniq_begin,
-                          out_.uniq_col.end());
-        uniq_spilled = true;
-      }
-      if (uniq_seen_.insert(v).second) out_.uniq_col.push_back(v);
-    }
-    span.uniq_end = static_cast<std::uint32_t>(out_.uniq_col.size());
-
-    // Unique (context, value) pairs, context >= 0 only — the
-    // values_by_context per-cell dedup, precomputed.  Duplicates are
-    // defined by std::set's < equivalence (as in the legacy scan), which
-    // the linear path replicates via !(a<b) && !(b<a).
-    span.ctx_begin = static_cast<std::uint32_t>(out_.ctx_value_col.size());
-    bool ctx_spilled = false;
-    for (std::size_t j = lo; j < hi; ++j) {
-      const Observation& obs = rec.observations[order_[j].second];
-      if (obs.context < 0) continue;
-      const std::pair<std::int64_t, double> p{obs.context, obs.value};
-      if (!ctx_spilled) {
-        bool dup = false;
-        for (std::size_t k = span.ctx_begin; k < out_.ctx_value_col.size();
-             ++k) {
-          const std::pair<std::int64_t, double> q{out_.ctx_context_col[k],
-                                                  out_.ctx_value_col[k]};
-          if (!(p < q) && !(q < p)) {
-            dup = true;
-            break;
-          }
-        }
-        if (dup) continue;
-        if (out_.ctx_value_col.size() - span.ctx_begin < kLinearDedupLimit) {
-          out_.ctx_context_col.push_back(p.first);
-          out_.ctx_value_col.push_back(p.second);
-          continue;
-        }
-        ctx_seen_.clear();
-        for (std::size_t k = span.ctx_begin; k < out_.ctx_value_col.size();
-             ++k)
-          ctx_seen_.insert({out_.ctx_context_col[k], out_.ctx_value_col[k]});
-        ctx_spilled = true;
-      }
-      if (ctx_seen_.insert(p).second) {
-        out_.ctx_context_col.push_back(p.first);
-        out_.ctx_value_col.push_back(p.second);
-      }
-    }
-    span.ctx_end = static_cast<std::uint32_t>(out_.ctx_value_col.size());
-
     out_.spans.push_back(span);
-    lo = hi;
   }
+  next_row_ += order.size();
+
+  const auto uniq = folder_.unique_values();
+  out_.uniq_col.insert(out_.uniq_col.end(), uniq.begin(), uniq.end());
+  const auto ctx_c = folder_.ctx_contexts();
+  out_.ctx_context_col.insert(out_.ctx_context_col.end(), ctx_c.begin(),
+                              ctx_c.end());
+  const auto ctx_v = folder_.ctx_values();
+  out_.ctx_value_col.insert(out_.ctx_value_col.end(), ctx_v.begin(),
+                            ctx_v.end());
 
   cell.span_end = static_cast<std::uint32_t>(out_.spans.size());
   out_.cells.push_back(cell);

@@ -41,10 +41,10 @@
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "mmlab/core/cell_fold.hpp"
 #include "mmlab/core/database.hpp"
 
 namespace mmlab::core {
@@ -149,12 +149,10 @@ class ColumnarView {
     bool keep_columns_;
     std::uint64_t next_row_ = 0;
     std::set<config::ParamKey> observed_;
-    // Scratch reused across cells: (key, original index) pairs whose plain
-    // sort is key-ascending and order-preserving within a key, exactly the
-    // span layout we need.
-    std::vector<std::pair<config::ParamKey, std::uint32_t>> order_;
-    std::unordered_set<double> uniq_seen_;
-    std::set<std::pair<std::int64_t, double>> ctx_seen_;
+    // The per-cell product kernel (dedup, latest, key grouping) shared with
+    // the direct-fold query path; add_cell copies its per-cell output into
+    // the carrier columns.
+    CellFolder folder_;
   };
 
   /// Builds the view; `build_threads` workers build carriers concurrently

@@ -1,17 +1,32 @@
 // Figure-level analyses over an out-of-core store.
 //
-// Every columnar analysis entry point gains a StoreView overload that
-// forwards to the core::ColumnarView implementation — the StoreView *is* a
-// ColumnarView assembled out-of-core, so results are bit-identical to the
-// in-memory path by construction (asserted in test_store.cpp and gated in
-// tools/store_soak for thread counts 1/2/4/hw).  Query-level parallel
-// folds (values / values_grouped / values_by_context with threads != 1)
-// come straight from ColumnarView's deterministic partition-merge
-// contract; nothing here re-reads the shards once the view is built.
+// Two families:
+//
+// StoreView overloads forward to the core::ColumnarView implementation —
+// the StoreView *is* a ColumnarView assembled out-of-core, so results are
+// bit-identical to the in-memory path by construction (asserted in
+// test_store.cpp and gated in tools/store_soak for thread counts 1/2/4/hw).
+// Query-level parallel folds (values / values_grouped / values_by_context
+// with threads != 1) come straight from ColumnarView's deterministic
+// partition-merge contract; nothing here re-reads the shards once the view
+// is built.
+//
+// DirectFold overloads answer the same questions straight off the mapped
+// shards with no view at all: each is one streaming fold over the carrier's
+// merged cells (core::CellFolder supplies the identical per-cell dedup /
+// latest products the view precomputes), so results are bit-identical to
+// BOTH other paths while resident memory stays O(parse window + answer).
+// They return Result because a fold can hit mid-stream corruption (block
+// CRC or structural damage) — on error no partial answer escapes.  For the
+// whole fig11–22 mix, analyze_carrier folds the carrier ONCE and fills
+// every product, instead of one fold per entry point.
 #pragma once
+
+#include <optional>
 
 #include "mmlab/core/analysis.hpp"
 #include "mmlab/store/columnar_build.hpp"
+#include "mmlab/store/direct_fold.hpp"
 
 namespace mmlab::store {
 
@@ -55,5 +70,77 @@ inline core::MeasurementGaps measurement_decision_gaps(
     const StoreView& sv, const std::string& carrier = "") {
   return core::measurement_decision_gaps(sv.view, carrier);
 }
+
+// --- shard-direct overloads (no view materialization) ------------------------
+// Defined in analytics.cpp; each is a single fold over the carrier's merged
+// cells, bit-identical to the StoreView / in-memory answers.
+
+Result<std::vector<core::ParamDiversity>> diversity_by_param(
+    const DirectFold& direct, const std::string& carrier,
+    std::optional<spectrum::Rat> rat = std::nullopt);
+
+Result<std::vector<core::ParamDependence>> frequency_dependence(
+    const DirectFold& direct, const std::string& carrier);
+
+Result<std::map<long, stats::ValueCounts>> priority_by_channel(
+    const DirectFold& direct, const std::string& carrier, bool candidate);
+
+Result<double> multi_priority_cell_fraction(const DirectFold& direct,
+                                            const std::string& carrier);
+
+Result<std::map<long, stats::ValueCounts>> priority_by_city(
+    const DirectFold& direct, const std::string& carrier,
+    const std::vector<geo::City>& cities);
+
+Result<std::vector<double>> spatial_diversity(const DirectFold& direct,
+                                              const std::string& carrier,
+                                              config::ParamKey key,
+                                              const geo::City& city,
+                                              double radius_m);
+
+/// Empty carrier = pool every carrier (name order), as in the other paths.
+Result<core::MeasurementGaps> measurement_decision_gaps(
+    const DirectFold& direct, const std::string& carrier = "");
+
+// --- the one-pass analysis mix ----------------------------------------------
+
+/// The Fig 21 spatial-diversity query's inputs.
+struct SpatialQuery {
+  config::ParamKey key;
+  geo::City city;
+  double radius_m = 0.0;
+};
+
+struct MixOptions {
+  /// Fig 16's optional RAT filter for the diversity sweep.
+  std::optional<spectrum::Rat> diversity_rat;
+  /// Cities for the Fig 20 location join (empty = every cell maps to -1 and
+  /// priority_by_city comes back empty, matching values_grouped semantics).
+  std::vector<geo::City> cities;
+  /// Fig 21, run only when set.
+  std::optional<SpatialQuery> spatial;
+};
+
+/// Every fig11–22 product of one carrier, from ONE fold over its shards.
+struct CarrierAnalysis {
+  std::vector<core::ParamDiversity> diversity;          // fig 16/17/22
+  std::vector<core::ParamDependence> dependence;        // fig 19
+  std::map<long, stats::ValueCounts> serving_priority;  // fig 18
+  std::map<long, stats::ValueCounts> candidate_priority;
+  double multi_priority_fraction = 0.0;
+  std::map<long, stats::ValueCounts> priority_by_city;  // fig 20
+  std::vector<double> spatial_diversity;                // fig 21
+  core::MeasurementGaps gaps;                           // fig 11
+  FoldStats stats;
+};
+
+/// Fold `carrier` once and compute every analysis product — each member is
+/// bit-identical to the corresponding standalone entry point (which is
+/// bit-identical to the view path in turn).  The per-entry-point folds
+/// would re-parse the store once per figure; this is the economical form
+/// the CLI and soak tool drive.
+Result<CarrierAnalysis> analyze_carrier(const DirectFold& direct,
+                                        const std::string& carrier,
+                                        const MixOptions& options = {});
 
 }  // namespace mmlab::store

@@ -4,40 +4,12 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
-#include <numeric>
-#include <vector>
 
-#include "mmlab/util/byteio.hpp"
-#include "mmlab/util/worker_pool.hpp"
+#include "mmlab/store/direct_fold.hpp"
 
 namespace mmlab::store {
 
 namespace {
-
-/// One open block: a reader over the mapped body plus the parsed-ahead
-/// front cell.  Blocks hold one carrier's cells in ascending id order, so
-/// the front is always the cursor's minimum.
-struct Cursor {
-  ByteReader r;
-  std::uint32_t id = 0;
-  core::CellRecord rec;
-  bool has = false;
-
-  explicit Cursor(std::span<const std::uint8_t> body)
-      : r(body.data(), body.size()) {}
-
-  void advance(const std::vector<config::ParamKey>& params) {
-    if (r.remaining() == 0) {
-      has = false;
-      return;
-    }
-    const std::uint32_t prev = id;
-    id = core::mmds::parse_cell(r, params, rec);
-    if (has && id <= prev)
-      throw std::runtime_error("cell ids not ascending within a block");
-    has = true;
-  }
-};
 
 std::uint64_t carrier_view_bytes(const core::ColumnarView::Carrier& c) {
   using View = core::ColumnarView;
@@ -57,93 +29,62 @@ Result<StoreView> build_columnar(const ShardSet& set, BuildOptions options) {
   const auto start = std::chrono::steady_clock::now();
   const Manifest& m = set.manifest();
 
-  // Carrier build order = name order, the ColumnarView invariant.
-  std::vector<std::uint32_t> order(m.carriers.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              return m.carriers[a] < m.carriers[b];
-            });
+  // The fold engine owns run discovery, windowed parsing and the manifest-
+  // order cell merge; the builder is just a consumer feeding the same
+  // CarrierAssembler the in-memory path uses.  Parallelism is block-level
+  // inside each carrier (carriers assemble serially, in name order): block
+  // count scales with data while carrier count does not, so the fan-out
+  // stays effective on any store shape, and holding one carrier's assembly
+  // at a time keeps peak RSS to (parse window + one carrier + finished
+  // view) instead of every carrier's blocks at once.  CRC checking is left
+  // to verify(): the build behaves exactly as before the fold engine
+  // existed.
+  FoldOptions fold_options;
+  fold_options.threads = options.threads;
+  fold_options.release_mapped = options.release_mapped;
+  fold_options.check_block_crc = false;
+  const DirectFold fold(set, fold_options);
 
-  // Global block indices per carrier, (shard, block) order preserved — the
-  // run merge order.
-  std::vector<std::vector<std::size_t>> blocks_of(m.carriers.size());
-  for (std::size_t i = 0; i < set.blocks().size(); ++i)
-    blocks_of[set.blocks()[i].info->carrier_index].push_back(i);
-
+  // Per-carrier row counts for the 32-bit span limit check, cell-run upper
+  // bounds for the assembler reserve.
+  std::vector<std::uint64_t> rows_of(m.carriers.size(), 0);
+  std::vector<std::uint64_t> cells_of(m.carriers.size(), 0);
+  for (const auto& ref : set.blocks()) {
+    rows_of[ref.info->carrier_index] += ref.info->row_count;
+    cells_of[ref.info->carrier_index] += ref.info->cell_count;
+  }
   for (std::uint32_t c = 0; c < m.carriers.size(); ++c) {
-    std::uint64_t rows = 0;
-    for (const std::size_t i : blocks_of[c])
-      rows += set.blocks()[i].info->row_count;
     // Span offsets are 32-bit; a single carrier beyond that cannot be
     // assembled (the whole store still can be arbitrarily large).
-    if (rows > std::numeric_limits<std::uint32_t>::max())
+    if (rows_of[c] > std::numeric_limits<std::uint32_t>::max())
       return R::error("build_columnar: carrier " + m.carriers[c] + " has " +
-                      std::to_string(rows) + " rows (32-bit span limit)");
+                      std::to_string(rows_of[c]) + " rows (32-bit span limit)");
   }
 
-  std::vector<core::ColumnarView::Carrier> carriers(order.size());
-  std::vector<std::uint64_t> cell_counts(order.size(), 0);
-
-  const auto build_one = [&](std::size_t oi) {
-    const std::uint32_t ci = order[oi];
-    const std::vector<std::size_t>& idxs = blocks_of[ci];
-    std::vector<Cursor> cursors;
-    cursors.reserve(idxs.size());
-    std::uint64_t cells_upper = 0;
-    for (const std::size_t i : idxs) {
-      cursors.emplace_back(set.block_body(i));
-      cursors.back().advance(set.params());
-      cells_upper += set.blocks()[i].info->cell_count;
-    }
-
-    core::ColumnarView::CarrierAssembler assembler(m.carriers[ci],
+  std::vector<core::ColumnarView::Carrier> carriers(fold.carriers().size());
+  std::uint64_t total_cells = 0;
+  for (std::size_t oi = 0; oi < fold.carriers().size(); ++oi) {
+    const std::string& name = fold.carriers()[oi];
+    core::ColumnarView::CarrierAssembler assembler(name,
                                                    /*keep_columns=*/false);
-    assembler.reserve(static_cast<std::size_t>(cells_upper), 0);
-
-    core::CellRecord merged;
-    while (true) {
-      // Lowest front id; the first cursor holding it is the base run.
-      std::size_t first = cursors.size();
-      for (std::size_t k = 0; k < cursors.size(); ++k) {
-        if (!cursors[k].has) continue;
-        if (first == cursors.size() || cursors[k].id < cursors[first].id)
-          first = k;
-      }
-      if (first == cursors.size()) break;
-      const std::uint32_t id = cursors[first].id;
-      merged = std::move(cursors[first].rec);
-      cursors[first].advance(set.params());
-      // Later runs of the same cell fold in, in run order — exactly the
-      // pairwise ConfigDatabase::merge the loader performs.
-      for (std::size_t k = first + 1; k < cursors.size(); ++k) {
-        if (!cursors[k].has || cursors[k].id != id) continue;
-        merged.merge_from(std::move(cursors[k].rec));
-        cursors[k].advance(set.params());
-      }
-      assembler.add_cell(id, merged, /*stable=*/nullptr);
-      ++cell_counts[oi];
-    }
+    const auto ci = std::find(m.carriers.begin(), m.carriers.end(), name) -
+                    m.carriers.begin();
+    assembler.reserve(static_cast<std::size_t>(cells_of[ci]), 0);
+    const auto folded = fold.fold_carrier(
+        name, [&](std::uint32_t id, const core::CellRecord& rec) {
+          assembler.add_cell(id, rec, /*stable=*/nullptr);
+        });
+    if (!folded)
+      return R::error("build_columnar: " + folded.error_message());
+    total_cells += folded.value().cells;
     carriers[oi] = std::move(assembler).finish();
-    if (options.release_mapped)
-      for (const std::size_t i : idxs) set.release_block(i);
-  };
-
-  try {
-    if (options.threads == 1 || order.size() <= 1) {
-      for (std::size_t oi = 0; oi < order.size(); ++oi) build_one(oi);
-    } else {
-      parallel_for_index(options.threads, order.size(), build_one);
-    }
-  } catch (const std::exception& e) {
-    return R::error("build_columnar: " + std::string(e.what()));
   }
 
   StoreView out{core::ColumnarView(std::move(carriers)), {}};
   out.stats.rows = m.total_rows();
+  out.stats.cells = total_cells;
   out.stats.blocks = m.total_blocks();
   out.stats.shards = m.shards.size();
-  for (const std::uint64_t n : cell_counts) out.stats.cells += n;
   for (const auto& c : out.view.carriers())
     out.stats.view_bytes_estimate += carrier_view_bytes(c);
   out.stats.build_seconds =

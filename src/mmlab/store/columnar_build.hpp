@@ -2,23 +2,24 @@
 //
 // The in-memory path is database -> ColumnarView; this one goes straight
 // from mapped shard blocks to a view without ever materializing the
-// database.  Per carrier (name order), the carrier's blocks are walked as
-// parallel cursors in global (shard, block) order — the spilled sorted
-// runs the streaming writer produced — and k-way-merged by ascending cell
-// id: the first run containing a cell id is the base record, later runs
-// fold in via CellRecord::merge_from in run order, which is exactly what
-// ConfigDatabase::merge would have done.  The merged record feeds the same
-// CarrierAssembler the in-memory constructor uses, so every precomputed
-// query product is bit-identical to ColumnarView(load_database(store)) by
-// construction (property-tested in test_store.cpp).
+// database.  Carriers assemble serially in name order; within each
+// carrier, the DirectFold engine (store/direct_fold.hpp) parses blocks
+// concurrently through its bounded window and merges each cell's runs via
+// CellRecord::merge_from in global (shard, block) manifest order — exactly
+// what ConfigDatabase::merge would have done.  The merged record feeds the
+// same CarrierAssembler the in-memory constructor uses, so every
+// precomputed query product is bit-identical to
+// ColumnarView(load_database(store)) by construction (property-tested in
+// test_store.cpp), and identical for every thread count (the merge is
+// serial; only block parsing fans out).
 //
 // Memory bounds: the raw per-observation columns are NOT materialized
 // (keep_columns = false) — no analysis entry point reads them, only the
 // precomputed spans/uniques/context pairs — so view size scales with
-// distinct values, not rows.  Transient state is one cell record per open
-// cursor, and consumed block regions are madvised away after each carrier,
-// so peak RSS is bounded by (largest carrier's blocks + view), not by
-// store size.
+// distinct values, not rows.  Transient state is the fold engine's parse
+// window plus one carrier under assembly, and consumed blocks are madvised
+// away as soon as their last cell merges out, so peak RSS is bounded by
+// (parse window + largest carrier's view), not by store size.
 #pragma once
 
 #include <cstdint>
@@ -31,12 +32,15 @@
 namespace mmlab::store {
 
 struct BuildOptions {
-  /// Carriers build concurrently when != 1 (0 = all cores); per-carrier
-  /// output is independent, so the view is identical for any value.
+  /// Blocks parse concurrently within each carrier when != 1 (0 = all
+  /// cores).  Block count scales with data while carrier count does not,
+  /// so the fan-out is effective even on few-carrier countrywide stores.
+  /// The run merge stays serial in manifest order, so the view is
+  /// identical for any value.
   unsigned threads = 1;
-  /// madvise(MADV_DONTNEED) each carrier's consumed block regions once the
-  /// carrier is assembled.  Disable to keep the page cache warm when the
-  /// same store will be re-read (e.g. a load_database equality pass).
+  /// madvise(MADV_DONTNEED) each consumed block region as soon as its last
+  /// cell merges out.  Disable to keep the page cache warm when the same
+  /// store will be re-read (e.g. a load_database equality pass).
   bool release_mapped = true;
 };
 

@@ -1,0 +1,299 @@
+#include "mmlab/store/direct_fold.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "mmlab/core/cell_fold.hpp"
+#include "mmlab/util/byteio.hpp"
+#include "mmlab/util/crc.hpp"
+#include "mmlab/util/worker_pool.hpp"
+
+namespace mmlab::store {
+
+namespace {
+
+/// One parsed block: its cells in ascending id order plus the merge front.
+/// `cells` is freed (and the mapping released) the moment the front passes
+/// the end — a retired block lingers in the window only as an empty husk
+/// until it reaches the deque front.
+struct ParsedBlock {
+  std::size_t global = 0;  ///< index into ShardSet::blocks()
+  std::vector<std::pair<std::uint32_t, core::CellRecord>> cells;
+  std::size_t next = 0;
+
+  bool exhausted() const { return next >= cells.size(); }
+};
+
+}  // namespace
+
+DirectFold::DirectFold(const ShardSet& set, FoldOptions options)
+    : set_(&set), options_(options) {
+  const Manifest& m = set.manifest();
+  // Sorted carrier order, same as ColumnarView.
+  std::vector<std::uint32_t> order(m.carriers.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return m.carriers[a] < m.carriers[b];
+  });
+
+  std::vector<std::vector<std::size_t>> blocks_of(m.carriers.size());
+  for (std::size_t i = 0; i < set.blocks().size(); ++i)
+    blocks_of[set.blocks()[i].info->carrier_index].push_back(i);
+
+  names_.reserve(order.size());
+  plans_.reserve(order.size());
+  for (const std::uint32_t ci : order) {
+    names_.push_back(m.carriers[ci]);
+    CarrierPlan plan;
+    plan.carrier_index = ci;
+    plan.blocks = std::move(blocks_of[ci]);
+    if (m.block_extras) {
+      plan.safe_floor.resize(plan.blocks.size());
+      std::uint32_t floor = std::numeric_limits<std::uint32_t>::max();
+      for (std::size_t i = plan.blocks.size(); i-- > 0;) {
+        floor = std::min(floor, set.blocks()[plan.blocks[i]].info->first_cell);
+        plan.safe_floor[i] = floor;
+      }
+    }
+    plans_.push_back(std::move(plan));
+  }
+  stats_.crc_checked = m.block_extras && options_.check_block_crc;
+}
+
+Result<FoldStats> DirectFold::fold_carrier(std::string_view carrier,
+                                           const CellConsumer& consumer) const {
+  using R = Result<FoldStats>;
+  const auto start = std::chrono::steady_clock::now();
+  const auto it = std::lower_bound(names_.begin(), names_.end(), carrier);
+  if (it == names_.end() || *it != carrier) return FoldStats{};
+  const CarrierPlan& plan = plans_[static_cast<std::size_t>(it - names_.begin())];
+
+  const bool extras = set_->manifest().block_extras;
+  const bool check_crc = extras && options_.check_block_crc;
+  unsigned threads = options_.threads == 0 ? WorkerPool::default_thread_count()
+                                           : options_.threads;
+  if (threads == 0) threads = 1;
+  std::size_t window = options_.window_blocks;
+  if (window == 0) window = std::max<std::size_t>(2, std::size_t{2} * threads);
+  // No per-block cell-id ranges means no emission frontier: every block
+  // could still contribute a run of any cell, so parse them all up front.
+  if (!extras) window = plan.blocks.size();
+
+  FoldStats fs;
+  fs.crc_checked = check_crc;
+  std::deque<ParsedBlock> live;
+  std::size_t resident = 0;  // live blocks still holding parsed cells
+  std::size_t next_block = 0;
+
+  const auto parse_one = [&](ParsedBlock& pb) {
+    const BlockInfo& info = *set_->blocks()[pb.global].info;
+    const auto body = set_->block_body(pb.global);
+    if (check_crc && crc16_ccitt(body.data(), body.size()) != info.crc16)
+      throw std::runtime_error("block CRC mismatch at shard offset " +
+                               std::to_string(info.offset));
+    ByteReader r(body.data(), body.size());
+    pb.cells.reserve(static_cast<std::size_t>(info.cell_count));
+    std::uint64_t rows = 0;
+    while (r.remaining() > 0) {
+      core::CellRecord rec;
+      const std::uint32_t id = core::mmds::parse_cell(r, set_->params(), rec);
+      if (!pb.cells.empty() && id <= pb.cells.back().first)
+        throw std::runtime_error("cell ids not ascending within a block");
+      rows += rec.observations.size();
+      pb.cells.emplace_back(id, std::move(rec));
+    }
+    if (pb.cells.size() != info.cell_count)
+      throw std::runtime_error("block cell count disagrees with manifest");
+    if (rows != info.row_count)
+      throw std::runtime_error("block row count disagrees with manifest");
+    if (extras && !pb.cells.empty() &&
+        (pb.cells.front().first != info.first_cell ||
+         pb.cells.back().first != info.last_cell))
+      throw std::runtime_error("block cell-id range disagrees with manifest");
+  };
+
+  // Parse the next `window` blocks, concurrently.  Errors are captured per
+  // block and the first one in manifest order wins (the load_database
+  // convention), so diagnostics are deterministic under any thread count.
+  const auto parse_batch = [&]() -> std::string {
+    const std::size_t n = std::min(window, plan.blocks.size() - next_block);
+    const std::size_t base = live.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      live.emplace_back();
+      live.back().global = plan.blocks[next_block + k];
+    }
+    std::vector<std::string> errors(n);
+    const auto run = [&](std::size_t k) {
+      try {
+        parse_one(live[base + k]);
+      } catch (const std::exception& e) {
+        errors[k] = e.what();
+      }
+    };
+    if (threads == 1 || n <= 1) {
+      for (std::size_t k = 0; k < n; ++k) run(k);
+    } else {
+      parallel_for_index(threads, n, run);
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      if (errors[k].empty()) continue;
+      const BlockInfo& info = *set_->blocks()[plan.blocks[next_block + k]].info;
+      return "block " + std::to_string(next_block + k) + " of carrier " +
+             set_->manifest().carriers[plan.carrier_index] + " (offset " +
+             std::to_string(info.offset) + "): " + errors[k];
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      const BlockInfo& info = *set_->blocks()[plan.blocks[next_block + k]].info;
+      fs.rows += info.row_count;
+      fs.bytes += info.length;
+    }
+    fs.blocks += n;
+    next_block += n;
+    resident += n;
+    fs.peak_resident_blocks = std::max<std::uint64_t>(
+        fs.peak_resident_blocks, resident);
+    return {};
+  };
+
+  // Frees a drained block's parsed cells and releases its mapping; the husk
+  // itself is popped off the deque front after the merge step (never while
+  // iterating it).
+  const auto retire = [&](ParsedBlock& pb) {
+    if (options_.release_mapped) set_->release_block(pb.global);
+    pb.cells = {};  // free, not just clear
+    --resident;
+  };
+
+  core::CellRecord merged;
+  while (true) {
+    // Minimum front id over the window.
+    std::int64_t min_id = -1;
+    bool found = false;
+    for (const ParsedBlock& pb : live) {
+      if (pb.exhausted()) continue;
+      const std::int64_t id = pb.cells[pb.next].first;
+      if (!found || id < min_id) {
+        min_id = id;
+        found = true;
+      }
+    }
+    // Emission frontier: every id at or below it has all its runs parsed.
+    const std::int64_t safe =
+        next_block >= plan.blocks.size()
+            ? std::numeric_limits<std::int64_t>::max()
+            : static_cast<std::int64_t>(plan.safe_floor[next_block]) - 1;
+    if (!found || min_id > safe) {
+      if (next_block >= plan.blocks.size()) {
+        if (!found) break;  // fully drained
+        // Unreachable: safe is +inf once everything is parsed.
+      } else {
+        const std::string err = parse_batch();
+        if (!err.empty()) return R::error("fold_carrier: " + err);
+        continue;
+      }
+    }
+    // Merge every front run of min_id, in window (= manifest) order — the
+    // pairwise ConfigDatabase::merge the loader and view builder perform.
+    bool first = true;
+    for (ParsedBlock& pb : live) {
+      if (pb.exhausted() || pb.cells[pb.next].first != min_id) continue;
+      if (first) {
+        merged = std::move(pb.cells[pb.next].second);
+        first = false;
+      } else {
+        merged.merge_from(std::move(pb.cells[pb.next].second));
+      }
+      ++pb.next;
+      if (pb.exhausted()) retire(pb);
+    }
+    consumer(static_cast<std::uint32_t>(min_id), merged);
+    ++fs.cells;
+    while (!live.empty() && live.front().exhausted()) live.pop_front();
+  }
+
+  fs.fold_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  stats_.rows += fs.rows;
+  stats_.cells += fs.cells;
+  stats_.blocks += fs.blocks;
+  stats_.bytes += fs.bytes;
+  stats_.peak_resident_blocks =
+      std::max(stats_.peak_resident_blocks, fs.peak_resident_blocks);
+  stats_.crc_checked = stats_.crc_checked && fs.crc_checked;
+  stats_.fold_seconds += fs.fold_seconds;
+  return fs;
+}
+
+Result<stats::ValueCounts> DirectFold::values(const std::string& carrier,
+                                              config::ParamKey key) const {
+  stats::ValueCounts out;
+  core::CellFolder folder;
+  const auto r = fold_carrier(carrier, [&](std::uint32_t,
+                                           const core::CellRecord& rec) {
+    folder.fold(rec);
+    for (const double v : folder.unique_values(key)) out.add(v);
+  });
+  if (!r) return Result<stats::ValueCounts>::error(r.error_message());
+  return out;
+}
+
+Result<std::map<long, stats::ValueCounts>> DirectFold::values_grouped(
+    const std::string& carrier, config::ParamKey key,
+    const std::function<long(const core::CellRecord&)>& factor) const {
+  std::map<long, stats::ValueCounts> out;
+  core::CellFolder folder;
+  const auto r = fold_carrier(carrier, [&](std::uint32_t,
+                                           const core::CellRecord& rec) {
+    folder.fold(rec);
+    const auto uniq = folder.unique_values(key);
+    // Same contract as the view: `factor` is only consulted for cells that
+    // observed the key at all, and negative factors drop the cell.
+    if (uniq.empty()) return;
+    const long f = factor(rec);
+    if (f < 0) return;
+    stats::ValueCounts& vc = out[f];
+    for (const double v : uniq) vc.add(v);
+  });
+  if (!r) return Result<std::map<long, stats::ValueCounts>>::error(r.error_message());
+  return out;
+}
+
+Result<std::map<long, stats::ValueCounts>> DirectFold::values_by_context(
+    const std::string& carrier, config::ParamKey key) const {
+  std::map<long, stats::ValueCounts> out;
+  core::CellFolder folder;
+  const auto r = fold_carrier(carrier, [&](std::uint32_t,
+                                           const core::CellRecord& rec) {
+    folder.fold(rec);
+    const auto* slice = folder.find(key);
+    if (!slice) return;
+    const auto contexts = folder.ctx_contexts();
+    const auto values = folder.ctx_values();
+    for (std::uint32_t j = slice->ctx_begin; j < slice->ctx_end; ++j)
+      out[static_cast<long>(contexts[j])].add(values[j]);
+  });
+  if (!r) return Result<std::map<long, stats::ValueCounts>>::error(r.error_message());
+  return out;
+}
+
+Result<std::vector<config::ParamKey>> DirectFold::observed_params(
+    const std::string& carrier) const {
+  std::set<config::ParamKey> seen;
+  core::CellFolder folder;
+  const auto r = fold_carrier(carrier, [&](std::uint32_t,
+                                           const core::CellRecord& rec) {
+    folder.fold(rec);
+    for (const auto& slice : folder.keys()) seen.insert(slice.key);
+  });
+  if (!r) return Result<std::vector<config::ParamKey>>::error(r.error_message());
+  return std::vector<config::ParamKey>(seen.begin(), seen.end());
+}
+
+}  // namespace mmlab::store

@@ -1,0 +1,146 @@
+// Shard-direct query folds: answer analysis queries straight off the mapped
+// MMDS v2 blocks, with no ColumnarView (or any other whole-store structure)
+// materialized in between.
+//
+// The view path pays for generality: build_columnar parses every block,
+// assembles per-carrier column arrays, and only then answers queries — so
+// peak RSS carries the whole view even when the caller wants one number.
+// DirectFold inverts that: it streams each carrier's blocks through a
+// bounded parse window and hands every *fully merged* cell record to a
+// consumer exactly once, in globally ascending cell-id order.  Queries and
+// the figure entry points (store/analytics.hpp) are folds over that stream,
+// so resident memory is O(window) blocks plus the answer — never the store,
+// never a view.
+//
+// Merge contract (DESIGN.md §12): a cell's runs merge via
+// CellRecord::merge_from in global (shard, block) manifest order — exactly
+// what load_database and build_columnar do — so every downstream product is
+// bit-identical to the view path for any thread count and window size.  The
+// windowing invariant that makes streaming safe: with the manifest's
+// per-block cell-id ranges (Manifest::block_extras), a merged cell may be
+// emitted once its id is below every unparsed block's first_cell — ids
+// within a block lie inside [first_cell, last_cell], so no later block can
+// contribute another run of it.  Stores without the extras (written before
+// they existed) still fold correctly; they just parse all of a carrier's
+// blocks before emitting (no frontier information) and skip the per-block
+// CRC (no stored block CRC).
+//
+// Integrity: with the extras present, each block body is checksummed right
+// before parsing (FoldOptions::check_block_crc).  A mismatch — or any
+// structural damage the parser trips on — fails the whole fold; a query
+// never returns a partial answer built from a corrupt prefix.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mmlab/core/database.hpp"
+#include "mmlab/stats/diversity.hpp"
+#include "mmlab/store/shard_set.hpp"
+#include "mmlab/util/result.hpp"
+
+namespace mmlab::store {
+
+struct FoldOptions {
+  /// Blocks within the parse window parse concurrently when != 1 (0 = all
+  /// cores).  The merge is serial in manifest order, so results are
+  /// identical for every value.
+  unsigned threads = 1;
+  /// madvise(MADV_DONTNEED) each block's mapped bytes once its last cell
+  /// has been merged out.  Disable to keep the page cache warm when the
+  /// same store will be re-read immediately (equality passes).
+  bool release_mapped = true;
+  /// Parse window in blocks (0 = auto: max(2, 2 * threads)).  Larger
+  /// windows trade memory for parse parallelism.  The window is a floor on
+  /// batching, not a ceiling on residency: blocks stay resident until their
+  /// cells are merged out, so a layout with interleaved cell-id ranges can
+  /// hold more than `window_blocks` parsed blocks alive (correctness never
+  /// depends on the window).  Without manifest extras the whole carrier
+  /// parses up front regardless.
+  std::size_t window_blocks = 0;
+  /// Checksum each block body against the manifest's per-block CRC right
+  /// before parsing it.  Only effective when the store carries the extras
+  /// (see FoldStats::crc_checked for what actually happened).
+  bool check_block_crc = true;
+};
+
+struct FoldStats {
+  std::uint64_t rows = 0;    ///< observations parsed
+  std::uint64_t cells = 0;   ///< merged cells emitted (distinct ids)
+  std::uint64_t blocks = 0;  ///< blocks parsed
+  std::uint64_t bytes = 0;   ///< block body bytes parsed
+  /// Largest number of concurrently parsed-and-resident blocks — the
+  /// realized window, i.e. what bounds transient memory.
+  std::uint64_t peak_resident_blocks = 0;
+  bool crc_checked = false;  ///< per-block CRCs were verified mid-fold
+  double fold_seconds = 0.0;
+};
+
+/// Streaming fold engine over an opened ShardSet.  The set must outlive the
+/// engine and stay open across every fold.  Folds are const but accumulate
+/// into stats(); run them from one thread at a time.
+class DirectFold {
+ public:
+  explicit DirectFold(const ShardSet& set, FoldOptions options = {});
+
+  const ShardSet& shards() const { return *set_; }
+  const FoldOptions& options() const { return options_; }
+  /// Carrier names in sorted order (the ColumnarView carrier order).
+  const std::vector<std::string>& carriers() const { return names_; }
+
+  /// Receives each of the carrier's cells exactly once, fully merged across
+  /// all its runs, in ascending id order.  The record is only valid for the
+  /// duration of the call.
+  using CellConsumer =
+      std::function<void(std::uint32_t id, const core::CellRecord& rec)>;
+
+  /// Stream one carrier.  An unknown carrier is an empty success (zero
+  /// stats), matching the view queries' empty-result convention.  Block
+  /// CRC mismatches and structural damage fail the fold; the consumer may
+  /// have seen a prefix of the cells, so callers discard partial
+  /// accumulation on error (every query in this module does).
+  Result<FoldStats> fold_carrier(std::string_view carrier,
+                                 const CellConsumer& consumer) const;
+
+  // --- ConfigDatabase / ColumnarView query equivalents -----------------------
+  // Bit-identical to the same-named ColumnarView queries (property-tested in
+  // test_direct_fold.cpp); each is one fold over the carrier.
+
+  Result<stats::ValueCounts> values(const std::string& carrier,
+                                    config::ParamKey key) const;
+
+  Result<std::map<long, stats::ValueCounts>> values_grouped(
+      const std::string& carrier, config::ParamKey key,
+      const std::function<long(const core::CellRecord&)>& factor) const;
+
+  Result<std::map<long, stats::ValueCounts>> values_by_context(
+      const std::string& carrier, config::ParamKey key) const;
+
+  Result<std::vector<config::ParamKey>> observed_params(
+      const std::string& carrier) const;
+
+  /// Cumulative stats over every fold this engine has run (crc_checked and
+  /// peak_resident_blocks reflect the whole history: AND and max).
+  const FoldStats& stats() const { return stats_; }
+
+ private:
+  struct CarrierPlan {
+    std::uint32_t carrier_index = 0;
+    std::vector<std::size_t> blocks;  ///< global indices, manifest order
+    /// safe_floor[i] = min first_cell over blocks[i..] — the emission
+    /// frontier once blocks[0..i) are parsed.  Empty without extras.
+    std::vector<std::uint32_t> safe_floor;
+  };
+
+  const ShardSet* set_;
+  FoldOptions options_;
+  std::vector<std::string> names_;   ///< sorted
+  std::vector<CarrierPlan> plans_;   ///< parallel to names_
+  mutable FoldStats stats_;
+};
+
+}  // namespace mmlab::store

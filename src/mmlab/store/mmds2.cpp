@@ -33,7 +33,7 @@ void write_manifest(const std::string& dir, const Manifest& m) {
   ByteWriter w;
   w.raw(core::kMmdsMagic, sizeof(core::kMmdsMagic));
   w.u8(core::kMmds2Version);
-  w.u8(0);  // flags, reserved
+  w.u8(m.block_extras ? 0x01 : 0x00);  // flags
   w.varint(m.carriers.size());
   for (const auto& c : m.carriers) w.str(c);
   w.varint(m.params.size());
@@ -50,6 +50,11 @@ void write_manifest(const std::string& dir, const Manifest& m) {
       w.varint(b.length);
       w.varint(b.cell_count);
       w.varint(b.row_count);
+      if (m.block_extras) {
+        w.u16le(b.crc16);
+        w.varint(b.first_cell);
+        w.varint(b.last_cell);
+      }
     }
   }
 
@@ -76,6 +81,11 @@ Result<Manifest> read_manifest(const std::string& dir) {
     return R::error("read_manifest: unsupported version " +
                     std::to_string(bytes[4]) + " (expected " +
                     std::to_string(core::kMmds2Version) + ")");
+  // Same policy as the version byte: a flag bit we don't know changes the
+  // block-entry layout, so refusing is the only safe reading.
+  if (bytes[5] & ~std::uint8_t{0x01})
+    return R::error("read_manifest: unknown flag bits " +
+                    std::to_string(bytes[5]));
   const std::size_t size = bytes.size();
   const std::uint16_t stored_crc = static_cast<std::uint16_t>(
       bytes[size - 2] | (static_cast<std::uint16_t>(bytes[size - 1]) << 8));
@@ -87,6 +97,7 @@ Result<Manifest> read_manifest(const std::string& dir) {
     ByteReader r(bytes.data(), size - 2);
     r.skip(sizeof(core::kMmdsMagic) + 2);
     Manifest m;
+    m.block_extras = (bytes[5] & 0x01) != 0;
     m.carriers.resize(r.varint());
     for (auto& c : m.carriers) c = std::string(r.str());
     m.params.resize(r.varint());
@@ -112,6 +123,16 @@ Result<Manifest> read_manifest(const std::string& dir) {
         b.length = r.varint();
         b.cell_count = r.varint();
         b.row_count = r.varint();
+        if (m.block_extras) {
+          b.crc16 = r.u16le();
+          const std::uint64_t first = r.varint();
+          const std::uint64_t last = r.varint();
+          if (first > last || last > 0xFFFFFFFFull)
+            return R::error("read_manifest: bad block cell-id range in " +
+                            s.filename);
+          b.first_cell = static_cast<std::uint32_t>(first);
+          b.last_cell = static_cast<std::uint32_t>(last);
+        }
         // Blocks are written back to back; the manifest must agree, or the
         // offsets were corrupted in a way the CRC (of the manifest, not the
         // shard) cannot see.

@@ -19,7 +19,7 @@
 //
 //   [4]  magic "MMDS"            shared with v1 so format sniffing is cheap
 //   [1]  version (= 2)
-//   [1]  flags (reserved, 0)
+//   [1]  flags (bit 0 = per-block extras present; other bits reserved)
 //   carrier table: varint N, then N strings        first-seen order
 //   param table:   varint P, then P registry names  first-seen order
 //   varint shard_count, then per shard:
@@ -32,13 +32,23 @@
 //       varint length             block body bytes
 //       varint cell_count
 //       varint row_count          observations
+//       when flags bit 0 (per-block extras):
+//         u16le  crc16            CRC-16/CCITT of the block body alone
+//         varint first_cell       lowest cell id in the block
+//         varint last_cell        highest cell id in the block
 //   [2]  CRC-16/CCITT over every preceding manifest byte
 //
 // The version byte shares v1's policy: readers reject versions they don't
-// know.  A cell may appear in many blocks (each flush of the streaming
-// writer emits a new run); readers merge runs under the
-// ConfigDatabase::merge contract, in (shard, block) manifest order, which
-// keeps every downstream result independent of chunking and thread count.
+// know; unknown flag bits are likewise rejected (no silent best-effort).
+// The per-block extras let the direct-fold query path checksum each block
+// right before parsing it (mid-fold corruption rejection without a whole-
+// store verify pass) and bound its merge window by cell-id range; stores
+// written before the extras existed (flags = 0) still load everywhere, the
+// readers just fall back to unwindowed folding with shard-level CRCs only.
+// A cell may appear in many blocks (each flush of the streaming writer
+// emits a new run); readers merge runs under the ConfigDatabase::merge
+// contract, in (shard, block) manifest order, which keeps every downstream
+// result independent of chunking and thread count.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +69,10 @@ struct BlockInfo {
   std::uint64_t length = 0;
   std::uint64_t cell_count = 0;
   std::uint64_t row_count = 0;
+  // Per-block extras, valid only when Manifest::block_extras is set.
+  std::uint16_t crc16 = 0;        ///< CRC-16/CCITT of the block body alone
+  std::uint32_t first_cell = 0;   ///< lowest cell id in the block
+  std::uint32_t last_cell = 0;    ///< highest cell id in the block
 };
 
 struct ShardInfo {
@@ -72,6 +86,10 @@ struct Manifest {
   std::vector<std::string> carriers;  ///< first-seen order
   std::vector<std::string> params;    ///< registry names, first-seen order
   std::vector<ShardInfo> shards;
+  /// Per-block extras (body CRC + cell-id range) are present.  Set by
+  /// every ShardWriter since the direct-fold engine landed; false for
+  /// stores written before then (they remain fully readable).
+  bool block_extras = false;
 
   std::uint64_t total_rows() const;
   std::uint64_t total_blocks() const;

@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "mmlab/util/crc.hpp"
+
 namespace mmlab::store {
 
 namespace {
@@ -20,6 +22,7 @@ std::string shard_name(std::size_t index) {
 
 ShardWriter::ShardWriter(std::string dir, WriterOptions options)
     : dir_(std::move(dir)), options_(options) {
+  manifest_.block_extras = true;
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec)
@@ -50,6 +53,7 @@ void ShardWriter::add_cell(const std::string& carrier, std::uint32_t id,
   if (!in_block_) {
     in_block_ = true;
     block_carrier_ = cit->second;
+    block_first_id_ = id;
     block_cells_ = 0;
     block_rows_ = 0;
   }
@@ -76,6 +80,9 @@ void ShardWriter::flush_block() {
   info.length = block_.size();
   info.cell_count = block_cells_;
   info.row_count = block_rows_;
+  info.crc16 = crc16_ccitt(block_.buffer().data(), block_.size());
+  info.first_cell = block_first_id_;
+  info.last_cell = last_id_;
   shard_->write(block_.buffer().data(), block_.size());
   manifest_.shards.back().blocks.push_back(info);
   stats_.rows += block_rows_;

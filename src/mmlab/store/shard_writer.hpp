@@ -83,6 +83,7 @@ class ShardWriter {
   // Current-block state; carrier index is valid only while in_block_.
   bool in_block_ = false;
   std::uint32_t block_carrier_ = 0;
+  std::uint32_t block_first_id_ = 0;
   std::uint32_t last_id_ = 0;
   std::uint64_t block_cells_ = 0;
   std::uint64_t block_rows_ = 0;

@@ -1,5 +1,6 @@
 #include "mmlab/util/byteio.hpp"
 
+#include <bit>
 #include <cstring>
 
 #include "mmlab/util/crc.hpp"
@@ -56,9 +57,14 @@ std::uint16_t ByteReader::u16le() {
 
 double ByteReader::f64le() {
   if (size_ - pos_ < 8) throw ByteUnderflow();
-  std::uint64_t bits = 0;
-  for (int i = 0; i < 8; ++i)
-    bits |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  std::uint64_t bits;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(&bits, data_ + pos_, 8);
+  } else {
+    bits = 0;
+    for (int i = 0; i < 8; ++i)
+      bits |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
   pos_ += 8;
   double v;
   std::memcpy(&v, &bits, sizeof(v));
@@ -66,6 +72,36 @@ double ByteReader::f64le() {
 }
 
 std::uint64_t ByteReader::varint() {
+  // SWAR fast path (see the header contract): with a full 10-byte window
+  // available no truncation is possible within the first 8 encoded bytes,
+  // so one unaligned word load replaces up to 8 bounds-checked byte loads.
+  // The continuation scan is branch-free: a clear high bit in byte i shows
+  // up as a set bit in z at position 8i+7, and countr_zero finds the first.
+  if constexpr (std::endian::native == std::endian::little) {
+    if (size_ - pos_ >= 10) {
+      std::uint64_t w;
+      std::memcpy(&w, data_ + pos_, 8);
+      const std::uint64_t z = ~w & 0x8080808080808080ull;
+      if (z != 0) {
+        const unsigned len = static_cast<unsigned>(std::countr_zero(z)) / 8 + 1;
+        if (len < 8) w &= (std::uint64_t{1} << (8 * len)) - 1;
+        w &= 0x7F7F7F7F7F7F7F7Full;
+        // Fold the 7-bit payload groups together (8 bytes -> 56 bits).
+        w = ((w & 0x7F007F007F007F00ull) >> 1) | (w & 0x007F007F007F007Full);
+        w = ((w & 0x3FFF00003FFF0000ull) >> 2) | (w & 0x00003FFF00003FFFull);
+        w = ((w & 0x0FFFFFFF00000000ull) >> 4) | (w & 0x000000000FFFFFFFull);
+        pos_ += len;
+        return w;
+      }
+      // 9- and 10-byte varints (values >= 2^56) are rare enough that the
+      // reference loop — which also owns the over-long rejection — takes
+      // them.
+    }
+  }
+  return varint_reference();
+}
+
+std::uint64_t ByteReader::varint_reference() {
   std::uint64_t v = 0;
   for (unsigned shift = 0; shift < 70; shift += 7) {
     if (pos_ >= size_) throw ByteUnderflow("truncated varint");

@@ -72,7 +72,18 @@ class ByteReader {
   std::uint8_t u8();
   std::uint16_t u16le();
   double f64le();
+  /// LEB128 decode.  Fast path: when at least 10 bytes remain (the longest
+  /// legal varint), an 8-byte little-endian word is scanned branch-free for
+  /// the first clear continuation bit and its 7-bit groups compacted in
+  /// O(1) — covering every varint of up to 8 encoded bytes (values below
+  /// 2^56, i.e. all ids/channels/counts/deltas in practice).  Longer
+  /// varints, buffer tails and big-endian hosts take varint_reference(),
+  /// which stays the byte-at-a-time oracle (property-swept against the
+  /// fast path in test_byteio.cpp, the crc16_ccitt_update_reference idiom).
   std::uint64_t varint();
+  /// The reference byte-at-a-time decoder: bit-identical results, errors
+  /// and final position to varint() on every input.
+  std::uint64_t varint_reference();
   std::int64_t svarint() { return zigzag_decode(varint()); }
   /// Borrow `size` bytes (no copy); the view aliases the underlying span.
   const std::uint8_t* raw(std::size_t size);

@@ -1,0 +1,686 @@
+// Shard-direct query folds: DirectFold must answer every analysis question
+// bit-identically to BOTH the out-of-core StoreView and the in-memory
+// ConfigDatabase paths, for any thread count and any parse-window size;
+// mid-fold corruption (a flipped byte in any block) must surface as an
+// error with no partial answer escaping; manifest block extras round-trip
+// and their absence (legacy flags=0 stores) degrades to the unwindowed
+// fold without changing a single bit of the results.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mmlab/core/analysis.hpp"
+#include "mmlab/core/columnar.hpp"
+#include "mmlab/core/database.hpp"
+#include "mmlab/store/analytics.hpp"
+#include "mmlab/store/columnar_build.hpp"
+#include "mmlab/store/direct_fold.hpp"
+#include "mmlab/store/mmds2.hpp"
+#include "mmlab/store/shard_set.hpp"
+#include "mmlab/store/shard_writer.hpp"
+#include "mmlab/util/crc.hpp"
+#include "mmlab/util/rng.hpp"
+
+namespace mmlab::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreDir {
+ public:
+  explicit StoreDir(const std::string& tag)
+      : path_((fs::path(::testing::TempDir()) / ("mmlab_direct_" + tag))
+                  .string()) {
+    fs::remove_all(path_);
+  }
+  ~StoreDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Same adversarial shape as test_store.cpp: several carriers, multi-visit
+/// cells, mixed RATs, contexts, repeated values.  LTE-heavy so the
+/// priority/dependence/gaps paths all have real work.
+core::ConfigDatabase random_db(std::uint64_t seed, std::size_t carriers = 3,
+                               std::size_t cells_per_carrier = 50,
+                               int max_visits = 3) {
+  Rng rng(seed);
+  core::ConfigDatabase db;
+  for (std::size_t c = 0; c < carriers; ++c) {
+    std::string name = "C";
+    name += std::to_string(c);
+    for (std::size_t i = 0; i < cells_per_carrier; ++i) {
+      const auto id = static_cast<std::uint32_t>(1 + rng.below(1'000'000));
+      const auto rat = rng.chance(0.6) ? spectrum::Rat::kLte
+                                       : static_cast<spectrum::Rat>(
+                                             rng.below(4));
+      const auto channel = static_cast<std::uint32_t>(rng.below(40));
+      const geo::Point pos{rng.uniform(-5e4, 5e4), rng.uniform(-5e4, 5e4)};
+      const int visits = 1 + static_cast<int>(rng.below(
+                                 static_cast<std::uint64_t>(max_visits)));
+      SimTime t{static_cast<Millis>(rng.below(1'000'000))};
+      for (int v = 0; v < visits; ++v) {
+        std::vector<config::ParamObservation> params;
+        const int n = 1 + static_cast<int>(rng.below(6));
+        for (int p = 0; p < n; ++p) {
+          config::ParamObservation obs;
+          obs.key = config::ParamKey{rat,
+                                     static_cast<std::uint16_t>(rng.below(8))};
+          obs.value = static_cast<double>(rng.below(5)) - 2.0;
+          obs.context =
+              rng.chance(0.3) ? static_cast<std::int64_t>(rng.below(40)) : -1;
+          params.push_back(obs);
+        }
+        // Make sure the LTE priority / measurement keys fire often.
+        if (rat == spectrum::Rat::kLte && rng.chance(0.7)) {
+          params.push_back({config::lte_param(config::ParamId::kServingPriority),
+                            static_cast<double>(rng.below(8)), -1});
+          params.push_back(
+              {config::lte_param(config::ParamId::kNeighborPriority),
+               static_cast<double>(rng.below(8)),
+               static_cast<std::int64_t>(rng.below(40))});
+        }
+        db.add_snapshot(name, id, rat, channel, pos, t, params);
+        t += static_cast<Millis>(1 + rng.below(1'000'000));
+      }
+    }
+  }
+  return db;
+}
+
+void save_small_blocks(const core::ConfigDatabase& db, const std::string& dir) {
+  WriterOptions wopts;
+  wopts.target_block_bytes = 1024;  // many blocks, many shards
+  wopts.target_shard_bytes = 8192;
+  save_database(db, dir, wopts);
+}
+
+/// Bit-exact double comparison: NaN == NaN, -0.0 != 0.0 — stricter than
+/// EXPECT_EQ, which is the point of the determinism contract.
+void expect_bits(double a, double b, const std::string& what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << ": " << a << " vs " << b;
+}
+
+void expect_bits(const std::vector<double>& a, const std::vector<double>& b,
+                 const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    expect_bits(a[i], b[i], what + "[" + std::to_string(i) + "]");
+}
+
+void expect_counts(const std::map<long, stats::ValueCounts>& a,
+                   const std::map<long, stats::ValueCounts>& b,
+                   const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  auto ib = b.begin();
+  for (auto ia = a.begin(); ia != a.end(); ++ia, ++ib) {
+    EXPECT_EQ(ia->first, ib->first) << what;
+    ASSERT_EQ(ia->second.counts().size(), ib->second.counts().size()) << what;
+    auto vb = ib->second.counts().begin();
+    for (auto va = ia->second.counts().begin();
+         va != ia->second.counts().end(); ++va, ++vb) {
+      expect_bits(va->first, vb->first, what + " value");
+      EXPECT_EQ(va->second, vb->second) << what;
+    }
+  }
+}
+
+void expect_diversity(const std::vector<core::ParamDiversity>& a,
+                      const std::vector<core::ParamDiversity>& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key) << what;
+    EXPECT_EQ(a[i].cells, b[i].cells) << what;
+    EXPECT_EQ(a[i].measures.richness, b[i].measures.richness) << what;
+    expect_bits(a[i].measures.simpson, b[i].measures.simpson, what);
+    expect_bits(a[i].measures.cv, b[i].measures.cv, what);
+  }
+}
+
+void expect_dependence(const std::vector<core::ParamDependence>& a,
+                       const std::vector<core::ParamDependence>& b,
+                       const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key) << what;
+    expect_bits(a[i].zeta_simpson, b[i].zeta_simpson, what);
+    expect_bits(a[i].zeta_cv, b[i].zeta_cv, what);
+  }
+}
+
+void expect_gaps(const core::MeasurementGaps& a, const core::MeasurementGaps& b,
+                 const std::string& what) {
+  expect_bits(a.intra_minus_nonintra, b.intra_minus_nonintra, what + " i-n");
+  expect_bits(a.intra_minus_slow, b.intra_minus_slow, what + " i-s");
+  expect_bits(a.nonintra_minus_slow, b.nonintra_minus_slow, what + " n-s");
+}
+
+std::vector<geo::City> test_cities() {
+  std::vector<geo::City> cities;
+  for (int i = 0; i < 3; ++i) {
+    geo::City city;
+    city.id = static_cast<geo::CityId>(i + 1);
+    city.name = "city" + std::to_string(i);
+    city.code = "C" + std::to_string(i + 1);
+    city.origin = {-5e4 + i * 3.4e4, -5e4};
+    city.extent_m = 3.4e4;
+    cities.push_back(city);
+  }
+  return cities;
+}
+
+// --- equivalence ---------------------------------------------------------------
+
+TEST(DirectFold, GenericQueriesMatchViewAcrossThreadsAndWindows) {
+  StoreDir dir("generic");
+  const auto db = random_db(41);
+  save_small_blocks(db, dir.path());
+  auto set = ShardSet::open(dir.path());
+  ASSERT_TRUE(set.ok()) << set.error_message();
+  const core::ColumnarView view(db, 1);
+
+  const auto serving = config::lte_param(config::ParamId::kServingPriority);
+  const auto neighbor = config::lte_param(config::ParamId::kNeighborPriority);
+  const auto by_channel = [](const core::CellRecord& rec) {
+    return static_cast<long>(rec.channel);
+  };
+
+  for (const unsigned threads : {1u, 2u, 4u, 0u}) {
+    for (const std::size_t window : {std::size_t{0}, std::size_t{1},
+                                     std::size_t{3}, std::size_t{64}}) {
+      FoldOptions fopts;
+      fopts.threads = threads;
+      fopts.window_blocks = window;
+      const DirectFold direct(set.value(), fopts);
+      const std::string tag = "threads=" + std::to_string(threads) +
+                              " window=" + std::to_string(window);
+      ASSERT_EQ(direct.carriers().size(), view.carriers().size());
+      for (const auto& carrier : direct.carriers()) {
+        auto values = direct.values(carrier, serving);
+        ASSERT_TRUE(values.ok()) << values.error_message();
+        EXPECT_EQ(values.value(), view.values(carrier, serving)) << tag;
+
+        auto grouped = direct.values_grouped(carrier, serving, by_channel);
+        ASSERT_TRUE(grouped.ok()) << grouped.error_message();
+        expect_counts(grouped.value(),
+                      view.values_grouped(carrier, serving, by_channel),
+                      tag + " grouped");
+
+        auto ctx = direct.values_by_context(carrier, neighbor);
+        ASSERT_TRUE(ctx.ok()) << ctx.error_message();
+        expect_counts(ctx.value(), view.values_by_context(carrier, neighbor),
+                      tag + " ctx");
+
+        auto observed = direct.observed_params(carrier);
+        ASSERT_TRUE(observed.ok()) << observed.error_message();
+        EXPECT_EQ(observed.value(), view.observed_params(carrier)) << tag;
+      }
+    }
+  }
+}
+
+TEST(DirectFold, EntryPointsMatchViewAndInMemoryBitExact) {
+  StoreDir dir("figures");
+  const auto db = random_db(43, 3, 60, 4);
+  save_small_blocks(db, dir.path());
+  auto set = ShardSet::open(dir.path());
+  ASSERT_TRUE(set.ok()) << set.error_message();
+  auto sv = build_columnar(set.value(), {1, false});
+  ASSERT_TRUE(sv.ok()) << sv.error_message();
+  const auto cities = test_cities();
+  const auto spatial_key = config::lte_param(config::ParamId::kServingPriority);
+
+  for (const unsigned threads : {1u, 4u}) {
+    FoldOptions fopts;
+    fopts.threads = threads;
+    const DirectFold direct(set.value(), fopts);
+    const std::string tag = "threads=" + std::to_string(threads);
+
+    for (const auto& carrier : direct.carriers()) {
+      // Fig 16/17/22 diversity (both RAT-filtered and not).
+      auto div = diversity_by_param(direct, carrier);
+      ASSERT_TRUE(div.ok()) << div.error_message();
+      expect_diversity(div.value(), diversity_by_param(sv.value(), carrier),
+                       tag + " div " + carrier);
+      expect_diversity(div.value(), core::diversity_by_param(db, carrier),
+                       tag + " div-mem " + carrier);
+      auto div_lte = diversity_by_param(direct, carrier, spectrum::Rat::kLte);
+      ASSERT_TRUE(div_lte.ok());
+      expect_diversity(
+          div_lte.value(),
+          core::diversity_by_param(db, carrier, spectrum::Rat::kLte),
+          tag + " div-lte " + carrier);
+
+      // Fig 19 dependence.
+      auto dep = frequency_dependence(direct, carrier);
+      ASSERT_TRUE(dep.ok()) << dep.error_message();
+      expect_dependence(dep.value(), frequency_dependence(sv.value(), carrier),
+                        tag + " dep " + carrier);
+      expect_dependence(dep.value(), core::frequency_dependence(db, carrier),
+                        tag + " dep-mem " + carrier);
+
+      // Fig 18 priorities.
+      for (const bool candidate : {false, true}) {
+        auto pri = priority_by_channel(direct, carrier, candidate);
+        ASSERT_TRUE(pri.ok()) << pri.error_message();
+        expect_counts(pri.value(),
+                      priority_by_channel(sv.value(), carrier, candidate),
+                      tag + " pri " + carrier);
+        expect_counts(pri.value(),
+                      core::priority_by_channel(db, carrier, candidate),
+                      tag + " pri-mem " + carrier);
+      }
+      auto multi = multi_priority_cell_fraction(direct, carrier);
+      ASSERT_TRUE(multi.ok());
+      expect_bits(multi.value(),
+                  core::multi_priority_cell_fraction(db, carrier),
+                  tag + " multi " + carrier);
+      expect_bits(multi.value(),
+                  multi_priority_cell_fraction(sv.value(), carrier),
+                  tag + " multi-view " + carrier);
+
+      // Fig 20 city join.
+      auto by_city = priority_by_city(direct, carrier, cities);
+      ASSERT_TRUE(by_city.ok());
+      expect_counts(by_city.value(),
+                    core::priority_by_city(db, carrier, cities),
+                    tag + " city " + carrier);
+
+      // Fig 21 spatial diversity.
+      auto spatial =
+          spatial_diversity(direct, carrier, spatial_key, cities[0], 8000.0);
+      ASSERT_TRUE(spatial.ok());
+      expect_bits(spatial.value(),
+                  core::spatial_diversity(db, carrier, spatial_key, cities[0],
+                                          8000.0),
+                  tag + " spatial " + carrier);
+
+      // Fig 11 gaps, per carrier.
+      auto gaps = measurement_decision_gaps(direct, carrier);
+      ASSERT_TRUE(gaps.ok());
+      expect_gaps(gaps.value(), core::measurement_decision_gaps(db, carrier),
+                  tag + " gaps " + carrier);
+    }
+
+    // Fig 11 pooled over every carrier.
+    auto pooled = measurement_decision_gaps(direct);
+    ASSERT_TRUE(pooled.ok());
+    expect_gaps(pooled.value(), core::measurement_decision_gaps(db),
+                tag + " gaps pooled");
+  }
+}
+
+TEST(DirectFold, AnalyzeCarrierMatchesStandaloneEntryPoints) {
+  StoreDir dir("mix");
+  const auto db = random_db(47, 2, 70, 4);
+  save_small_blocks(db, dir.path());
+  auto set = ShardSet::open(dir.path());
+  ASSERT_TRUE(set.ok()) << set.error_message();
+  const DirectFold direct(set.value(), {});
+  const auto cities = test_cities();
+
+  MixOptions mopts;
+  mopts.cities = cities;
+  mopts.spatial = SpatialQuery{
+      config::lte_param(config::ParamId::kServingPriority), cities[0], 8000.0};
+
+  for (const auto& carrier : direct.carriers()) {
+    auto mix = analyze_carrier(direct, carrier, mopts);
+    ASSERT_TRUE(mix.ok()) << mix.error_message();
+    const auto& a = mix.value();
+
+    expect_diversity(a.diversity, diversity_by_param(direct, carrier).value(),
+                     "mix div");
+    expect_dependence(a.dependence,
+                      frequency_dependence(direct, carrier).value(), "mix dep");
+    expect_counts(a.serving_priority,
+                  priority_by_channel(direct, carrier, false).value(),
+                  "mix serving");
+    expect_counts(a.candidate_priority,
+                  priority_by_channel(direct, carrier, true).value(),
+                  "mix candidate");
+    expect_bits(a.multi_priority_fraction,
+                multi_priority_cell_fraction(direct, carrier).value(),
+                "mix multi");
+    expect_counts(a.priority_by_city,
+                  priority_by_city(direct, carrier, cities).value(),
+                  "mix city");
+    expect_bits(a.spatial_diversity,
+                spatial_diversity(direct, carrier, mopts.spatial->key,
+                                  mopts.spatial->city, mopts.spatial->radius_m)
+                    .value(),
+                "mix spatial");
+    expect_gaps(a.gaps, measurement_decision_gaps(direct, carrier).value(),
+                "mix gaps");
+    EXPECT_EQ(a.stats.cells, mix.value().stats.cells);
+    EXPECT_GT(a.stats.rows, 0u);
+  }
+}
+
+TEST(DirectFold, UnknownCarrierYieldsEmptySuccess) {
+  StoreDir dir("unknown");
+  save_small_blocks(random_db(5, 1, 10), dir.path());
+  auto set = ShardSet::open(dir.path());
+  ASSERT_TRUE(set.ok());
+  const DirectFold direct(set.value(), {});
+  auto r = direct.values("NOPE", config::lte_param(
+                                     config::ParamId::kServingPriority));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+  std::size_t calls = 0;
+  auto fr = direct.fold_carrier("NOPE", [&](std::uint32_t,
+                                            const core::CellRecord&) {
+    ++calls;
+  });
+  ASSERT_TRUE(fr.ok());
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(fr.value().blocks, 0u);
+}
+
+// --- residency bound -----------------------------------------------------------
+
+TEST(DirectFold, ResidencyStaysWithinTheParseWindow) {
+  // save_database writes each carrier's cells in one ascending pass, so
+  // block id-ranges are disjoint and the safe frontier drains every batch
+  // completely: peak residency must equal the window, not the store.
+  StoreDir dir("residency");
+  const auto db = random_db(53, 1, 400, 2);
+  save_small_blocks(db, dir.path());
+  auto set = ShardSet::open(dir.path());
+  ASSERT_TRUE(set.ok()) << set.error_message();
+  ASSERT_TRUE(set.value().manifest().block_extras);
+  const std::size_t blocks = set.value().blocks().size();
+  ASSERT_GT(blocks, 8u) << "rotation targets too lax";
+
+  for (const std::size_t window : {std::size_t{2}, std::size_t{4}}) {
+    FoldOptions fopts;
+    fopts.window_blocks = window;
+    const DirectFold direct(set.value(), fopts);
+    for (const auto& carrier : direct.carriers()) {
+      auto r = direct.fold_carrier(carrier,
+                                   [](std::uint32_t, const core::CellRecord&) {});
+      ASSERT_TRUE(r.ok()) << r.error_message();
+      EXPECT_LE(r.value().peak_resident_blocks, window)
+          << carrier << " window " << window;
+      EXPECT_TRUE(r.value().crc_checked);
+    }
+  }
+}
+
+// --- corruption ----------------------------------------------------------------
+
+TEST(DirectFold, CorruptByteInAnyBlockRejectsTheFoldWithNoPartialAnswer) {
+  StoreDir dir("corrupt");
+  const auto db = random_db(59, 2, 40, 2);
+  save_small_blocks(db, dir.path());
+
+  // Pristine copies of every shard file, for per-block restore.
+  std::map<std::string, std::vector<char>> pristine;
+  {
+    auto set = ShardSet::open(dir.path());
+    ASSERT_TRUE(set.ok()) << set.error_message();
+    for (const auto& shard : set.value().manifest().shards) {
+      const auto path = (fs::path(dir.path()) / shard.filename).string();
+      std::ifstream in(path, std::ios::binary);
+      pristine[shard.filename] = std::vector<char>(
+          std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    }
+  }
+
+  const auto serving = config::lte_param(config::ParamId::kServingPriority);
+  auto probe = ShardSet::open(dir.path());
+  ASSERT_TRUE(probe.ok());
+  const std::size_t n_blocks = probe.value().blocks().size();
+  ASSERT_GT(n_blocks, 4u);
+
+  for (std::size_t target = 0; target < n_blocks; ++target) {
+    // Restore everything, then flip one byte in the middle of block
+    // `target`'s body.
+    for (const auto& [name, bytes] : pristine) {
+      std::ofstream out((fs::path(dir.path()) / name).string(),
+                        std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    std::string victim_carrier;
+    {
+      auto set = ShardSet::open(dir.path());
+      ASSERT_TRUE(set.ok());
+      const auto& ref = set.value().blocks()[target];
+      const auto& m = set.value().manifest();
+      victim_carrier = m.carriers[ref.info->carrier_index];
+      const auto path =
+          (fs::path(dir.path()) / m.shards[ref.shard].filename).string();
+      std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+      const auto pos = static_cast<std::streamoff>(ref.info->offset +
+                                                   ref.info->length / 2);
+      f.seekg(pos);
+      char b = 0;
+      f.read(&b, 1);
+      b = static_cast<char>(b ^ 0x40);
+      f.seekp(pos);
+      f.write(&b, 1);
+    }
+
+    auto set = ShardSet::open(dir.path());
+    ASSERT_TRUE(set.ok()) << set.error_message();  // open does not CRC bodies
+    const DirectFold direct(set.value(), {});
+    // The query over the damaged carrier must error — the fold's CRC check
+    // fires mid-stream and no partial ValueCounts escapes the Result.
+    auto r = direct.values(victim_carrier, serving);
+    ASSERT_FALSE(r.ok()) << "block " << target << " of " << victim_carrier;
+    EXPECT_NE(r.error_message().find("CRC"), std::string::npos)
+        << r.error_message();
+    // Every other carrier still answers, and answers exactly.
+    for (const auto& carrier : direct.carriers()) {
+      if (carrier == victim_carrier) continue;
+      auto ok = direct.values(carrier, serving);
+      ASSERT_TRUE(ok.ok()) << ok.error_message();
+    }
+  }
+}
+
+TEST(DirectFold, CrcCheckingCanBeDisabledForTrustedStores) {
+  // build_columnar runs with check_block_crc=false (verify() owns payload
+  // integrity there); the flag must actually bypass the mid-fold check.
+  StoreDir dir("nocrc");
+  save_small_blocks(random_db(61, 1, 30), dir.path());
+  auto set = ShardSet::open(dir.path());
+  ASSERT_TRUE(set.ok());
+  FoldOptions fopts;
+  fopts.check_block_crc = false;
+  const DirectFold direct(set.value(), fopts);
+  EXPECT_FALSE(direct.stats().crc_checked);
+  auto r = direct.fold_carrier("C0",
+                               [](std::uint32_t, const core::CellRecord&) {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().crc_checked);
+}
+
+// --- manifest extras -----------------------------------------------------------
+
+TEST(DirectFold, ManifestExtrasRoundTripAndMatchTheBlocks) {
+  StoreDir dir("extras");
+  const auto db = random_db(67, 2, 40);
+  save_small_blocks(db, dir.path());
+  auto set = ShardSet::open(dir.path());
+  ASSERT_TRUE(set.ok()) << set.error_message();
+  const auto& m = set.value().manifest();
+  EXPECT_TRUE(m.block_extras);
+  for (std::size_t i = 0; i < set.value().blocks().size(); ++i) {
+    const auto& info = *set.value().blocks()[i].info;
+    EXPECT_LE(info.first_cell, info.last_cell);
+    // The engine revalidates first/last against the parsed cells and the
+    // body against crc16 on every fold; a clean full fold over every
+    // carrier is the round-trip assertion.
+  }
+  const DirectFold direct(set.value(), {});
+  std::uint64_t cells = 0;
+  for (const auto& carrier : direct.carriers()) {
+    auto r = direct.fold_carrier(
+        carrier, [&](std::uint32_t, const core::CellRecord&) { ++cells; });
+    ASSERT_TRUE(r.ok()) << r.error_message();
+    EXPECT_TRUE(r.value().crc_checked);
+  }
+  EXPECT_GT(cells, 0u);
+}
+
+TEST(DirectFold, LegacyStoresWithoutExtrasFoldIdentically) {
+  // A flags=0 manifest (pre-extras stores) must still fold — unwindowed,
+  // CRC deferred to verify() — with bit-identical results.
+  StoreDir dir("legacy");
+  const auto db = random_db(71, 2, 50, 3);
+  save_small_blocks(db, dir.path());
+
+  auto modern_set = ShardSet::open(dir.path());
+  ASSERT_TRUE(modern_set.ok());
+  const DirectFold modern(modern_set.value(), {});
+  const auto serving = config::lte_param(config::ParamId::kServingPriority);
+  std::map<std::string, stats::ValueCounts> expected;
+  for (const auto& carrier : modern.carriers())
+    expected[carrier] = modern.values(carrier, serving).value();
+
+  // Strip the extras: rewrite the manifest with block_extras=false.
+  {
+    auto m = read_manifest(dir.path());
+    ASSERT_TRUE(m.ok()) << m.error_message();
+    Manifest stripped = m.value();
+    stripped.block_extras = false;
+    write_manifest(dir.path(), stripped);
+  }
+
+  auto legacy_set = ShardSet::open(dir.path());
+  ASSERT_TRUE(legacy_set.ok()) << legacy_set.error_message();
+  EXPECT_FALSE(legacy_set.value().manifest().block_extras);
+  for (const unsigned threads : {1u, 4u}) {
+    FoldOptions fopts;
+    fopts.threads = threads;
+    const DirectFold legacy(legacy_set.value(), fopts);
+    EXPECT_FALSE(legacy.stats().crc_checked);  // nothing to check against
+    for (const auto& carrier : legacy.carriers()) {
+      auto r = legacy.values(carrier, serving);
+      ASSERT_TRUE(r.ok()) << r.error_message();
+      EXPECT_EQ(r.value(), expected[carrier]) << carrier;
+    }
+    // Unwindowed: the whole carrier is resident at once.
+    auto fr = legacy.fold_carrier(legacy.carriers()[0],
+                                  [](std::uint32_t, const core::CellRecord&) {});
+    ASSERT_TRUE(fr.ok());
+    EXPECT_FALSE(fr.value().crc_checked);
+  }
+
+  // The legacy store must also still build a view and load.
+  auto sv = build_columnar(legacy_set.value(), {2, false});
+  ASSERT_TRUE(sv.ok()) << sv.error_message();
+  core::ConfigDatabase loaded;
+  ASSERT_TRUE(load_database(legacy_set.value(), loaded, 2).ok());
+  EXPECT_EQ(loaded, db);
+}
+
+TEST(DirectFold, UnknownManifestFlagBitsAreRejected) {
+  // Forward-compat contract: a store written with flag bits we do not
+  // understand must refuse to open, not silently best-effort.
+  StoreDir dir("flags");
+  save_small_blocks(random_db(73, 1, 10), dir.path());
+  const auto manifest_path =
+      (fs::path(dir.path()) / core::kMmds2ManifestName).string();
+
+  std::vector<char> bytes;
+  {
+    std::ifstream in(manifest_path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 8u);
+  bytes[5] = static_cast<char>(bytes[5] | 0x02);  // an undefined flag bit
+  // Fix up the CRC trailer so only the flag byte is "wrong".
+  {
+    const auto payload = bytes.size() - 2;
+    const std::uint16_t crc = crc16_ccitt(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), payload);
+    bytes[payload] = static_cast<char>(crc & 0xFF);
+    bytes[payload + 1] = static_cast<char>((crc >> 8) & 0xFF);
+    std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto r = ShardSet::open(dir.path());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("flag"), std::string::npos)
+      << r.error_message();
+}
+
+// --- parallel view build -------------------------------------------------------
+
+TEST(StoreBuildParallel, ManyBlockBuildIsThreadCountInvariant) {
+  StoreDir dir("build");
+  const auto db = random_db(79, 4, 80, 3);
+  save_small_blocks(db, dir.path());
+  auto set = ShardSet::open(dir.path());
+  ASSERT_TRUE(set.ok()) << set.error_message();
+  ASSERT_GT(set.value().blocks().size(), 16u);
+
+  const core::ColumnarView reference(db, 1);
+  const auto serving = config::lte_param(config::ParamId::kServingPriority);
+  for (const unsigned threads : {1u, 2u, 4u, 0u}) {
+    BuildOptions bopts;
+    bopts.threads = threads;
+    bopts.release_mapped = true;
+    auto sv = build_columnar(set.value(), bopts);
+    ASSERT_TRUE(sv.ok()) << sv.error_message();
+    EXPECT_EQ(sv.value().stats.rows, db.total_samples());
+    ASSERT_EQ(sv.value().view.carriers().size(), reference.carriers().size());
+    for (const auto& carrier : reference.carriers()) {
+      EXPECT_EQ(sv.value().view.values(carrier.name, serving),
+                reference.values(carrier.name, serving))
+          << "threads " << threads;
+      EXPECT_EQ(sv.value().view.observed_params(carrier.name),
+                reference.observed_params(carrier.name));
+      expect_diversity(diversity_by_param(sv.value(), carrier.name),
+                       core::diversity_by_param(reference, carrier.name),
+                       "build threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(StoreBuildParallel, ConcurrentFoldsOfDistinctCarriersAreIndependent) {
+  // TSan-facing: two DirectFold instances over one ShardSet folding
+  // different carriers from different threads share only the read-only
+  // mapping.  (A single DirectFold's stats() accumulation is documented
+  // single-threaded; separate instances are the concurrent idiom.)
+  StoreDir dir("concurrent");
+  const auto db = random_db(83, 2, 60, 2);
+  save_small_blocks(db, dir.path());
+  auto set = ShardSet::open(dir.path());
+  ASSERT_TRUE(set.ok()) << set.error_message();
+  const auto serving = config::lte_param(config::ParamId::kServingPriority);
+
+  FoldOptions fopts;
+  fopts.release_mapped = false;  // do not discard pages under the other fold
+  const DirectFold a(set.value(), fopts);
+  const DirectFold b(set.value(), fopts);
+  const core::ColumnarView reference(db, 1);
+
+  stats::ValueCounts ra, rb;
+  std::thread ta([&] { ra = a.values("C0", serving).value(); });
+  std::thread tb([&] { rb = b.values("C1", serving).value(); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(ra, reference.values("C0", serving));
+  EXPECT_EQ(rb, reference.values("C1", serving));
+}
+
+}  // namespace
+}  // namespace mmlab::store

@@ -10,8 +10,13 @@
 //                                      same world, but replay the crawl as K
 //                                      concurrent chunked device uploads
 //                                      through the streaming ingest service
-//   mmlab_cli report  <in> [carrier] [--format csv|bin]
-//                                      dataset summary + diversity report
+//   mmlab_cli report  <in> [carrier] [--format csv|bin] [--direct]
+//                                      dataset summary + diversity report;
+//                                      --direct (MMDS v2 stores only) answers
+//                                      straight off the mapped shards via
+//                                      DirectFold — no database, no view —
+//                                      and prints the fold's resident-memory
+//                                      stats
 //   mmlab_cli verify  <in> [--format csv|bin]
 //                                      run the misconfiguration detectors
 //   mmlab_cli drive   [carrier-acr]    one instrumented drive; print the
@@ -38,6 +43,7 @@
 // or a sharded MMDS v2 store directory (store/); on load the format is
 // sniffed from the path and magic, so --format is only needed to force a
 // choice (e.g. a CSV that happens to start "MMDS").
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,6 +65,7 @@
 #include "mmlab/sim/crawl.hpp"
 #include "mmlab/sim/fleet.hpp"
 #include "mmlab/sim/drive_test.hpp"
+#include "mmlab/store/analytics.hpp"
 #include "mmlab/store/shard_set.hpp"
 #include "mmlab/store/shard_writer.hpp"
 #include "mmlab/util/table.hpp"
@@ -75,6 +82,7 @@ struct CliOptions {
   unsigned devices = 8;  ///< ingest: device sessions per carrier
   std::size_t chunk_bytes = 4096;  ///< ingest: upload chunk size
   std::optional<core::DatasetFormat> format;  ///< unset = sniff / default
+  bool direct = false;  ///< report: fold shards directly, no materialization
   std::vector<const char*> positional;
   bool ok = true;
 };
@@ -118,6 +126,8 @@ CliOptions parse_options(int argc, char** argv) {
         return opts;
       }
       ++i;
+    } else if (!std::strcmp(argv[i], "--direct")) {
+      opts.direct = true;
     } else {
       opts.positional.push_back(argv[i]);
     }
@@ -261,13 +271,97 @@ int cmd_ingest(int argc, char** argv) {
   return 0;
 }
 
+/// `report --direct`: every table straight off the mapped shards.  Nothing
+/// is materialized — not the database, not the view — so resident memory is
+/// the fold's parse window plus the per-carrier answers, and the stats line
+/// shows exactly that.
+int report_direct(const CliOptions& opts) {
+  auto set = store::ShardSet::open(opts.positional[0]);
+  if (!set.ok()) {
+    std::fprintf(stderr, "error: %s\n", set.error_message().c_str());
+    return 1;
+  }
+  const auto& m = set.value().manifest();
+  std::uint64_t bytes = 0;
+  for (const auto& s : m.shards) bytes += s.file_size;
+  std::printf("MMDS v2 store: %zu shards, %zu blocks, %llu rows, %.1f MB "
+              "(direct fold, no view)\n\n",
+              m.shards.size(), static_cast<std::size_t>(m.total_blocks()),
+              static_cast<unsigned long long>(m.total_rows()),
+              static_cast<double>(bytes) / 1e6);
+
+  store::FoldOptions fopts;
+  fopts.threads = opts.threads == 0 ? 0 : opts.threads;
+  const store::DirectFold direct(set.value(), fopts);
+  std::uint64_t max_block = 0;
+  for (const auto& ref : set.value().blocks())
+    max_block = std::max<std::uint64_t>(max_block, ref.info->length);
+
+  TablePrinter table({"Carrier", "Cells", "Samples", "LTE params observed"});
+  for (const auto& carrier : direct.carriers()) {
+    auto mix = store::analyze_carrier(direct, carrier);
+    if (!mix.ok()) {
+      std::fprintf(stderr, "error: %s\n", mix.error_message().c_str());
+      return 1;
+    }
+    std::size_t lte_params = 0;
+    for (const auto& d : mix.value().diversity)
+      lte_params += d.key.rat == spectrum::Rat::kLte;
+    table.add_row({carrier, std::to_string(mix.value().stats.cells),
+                   std::to_string(mix.value().stats.rows),
+                   std::to_string(lte_params)});
+  }
+  table.print();
+
+  const std::string carrier = opts.positional.size() > 1
+                                  ? opts.positional[1]
+                                  : direct.carriers().front();
+  std::printf("\ndiversity report for %s (sorted by Simpson index):\n",
+              carrier.c_str());
+  auto div = store::diversity_by_param(direct, carrier, spectrum::Rat::kLte);
+  if (!div.ok()) {
+    std::fprintf(stderr, "error: %s\n", div.error_message().c_str());
+    return 1;
+  }
+  TablePrinter diversity({"Param", "richness", "D", "Cv"});
+  for (const auto& d : div.value())
+    diversity.add_row({config::param_name(d.key),
+                       std::to_string(d.measures.richness),
+                       fmt_double(d.measures.simpson, 3),
+                       fmt_double(d.measures.cv, 3)});
+  diversity.print();
+
+  const auto& fs = direct.stats();
+  std::printf("\nfold stats: %llu blocks parsed (%.1f MB), peak window "
+              "%llu blocks (~%.1f MB resident), CRC %s, %.2fs total\n",
+              static_cast<unsigned long long>(fs.blocks),
+              static_cast<double>(fs.bytes) / 1e6,
+              static_cast<unsigned long long>(fs.peak_resident_blocks),
+              static_cast<double>(fs.peak_resident_blocks * max_block) / 1e6,
+              fs.crc_checked ? "checked per block" : "not checked",
+              fs.fold_seconds);
+  return 0;
+}
+
 int cmd_report(int argc, char** argv) {
   const CliOptions opts = parse_options(argc, argv);
   if (!opts.ok) return 2;
   if (opts.positional.empty()) {
     std::fprintf(stderr,
-                 "usage: mmlab_cli report <in> [carrier] [--format csv|bin]\n");
+                 "usage: mmlab_cli report <in> [carrier] [--format csv|bin] "
+                 "[--direct]\n");
     return 2;
+  }
+  if (opts.direct) {
+    const auto format = opts.format ? *opts.format
+                                    : core::detect_dataset_format(
+                                          opts.positional[0]);
+    if (format != core::DatasetFormat::kMmds2) {
+      std::fprintf(stderr,
+                   "error: --direct needs an MMDS v2 store directory\n");
+      return 2;
+    }
+    return report_direct(opts);
   }
   core::ConfigDatabase db;
   const auto stats = load_for_cli(opts.positional[0], opts, db);

@@ -3,19 +3,25 @@
 //   store_soak [--scale X] [--visits N] [--chunk-rows R] [--threads T]
 //              [--block-mb B] [--shard-mb S] [--dir PATH]
 //              [--mem-ceiling-mb M] [--equality-scale Y] [--skip-equality]
-//              [--skip-soak] [--seed S] [--keep]
+//              [--skip-soak] [--seed S] [--keep] [--direct]
 //
 // Two phases, exit code 1 on any violation:
 //
 //   1. Equality (D2 scale by default): stream-generate a world straight
 //      into an MMDS v2 store, then check that the out-of-core columnar
-//      build is bit-identical to the in-memory reference —
-//      ColumnarView(load_database(store)) — across the full fig 11-22
-//      analysis mix, for build/query thread counts 1, 2, 4 and hw.
+//      build AND the shard-direct fold are bit-identical to the in-memory
+//      reference — ColumnarView(load_database(store)) — across the full
+//      fig 11-22 analysis mix, for build/query thread counts 1, 2, 4 and
+//      hw.
 //   2. Soak (countrywide scale by default, ~320k cells / 100M+ rows):
-//      stream-generate into v2, verify every shard CRC, build the view
-//      out-of-core, and run the analysis mix — gating peak RSS (Linux
-//      VmHWM) under the ceiling (default 2 GB) the whole way.
+//      stream-generate into v2, then run the analysis mix — gating peak
+//      RSS (Linux VmHWM) under the ceiling (default 2 GB) the whole way.
+//      Default path: verify every shard CRC, build the view out-of-core,
+//      query the view.  --direct: answer the mix straight off the mapped
+//      shards (store::analyze_carrier, one fold per carrier with per-block
+//      CRC checking mid-fold — no separate verify pass, no view), which is
+//      the O(parse window) resident-memory path; gate it with a much
+//      tighter ceiling (e.g. --mem-ceiling-mb 300 countrywide).
 //
 // CI runs a reduced configuration (see .github/workflows/ci.yml); the full
 // countrywide soak is the acceptance run for ROADMAP's out-of-core item.
@@ -58,6 +64,7 @@ struct SoakOptions {
   bool run_soak = true;
   std::uint64_t seed = 42;
   bool keep = false;
+  bool direct = false;  ///< soak: shard-direct mix instead of view build
 };
 
 /// Linux VmRSS / VmHWM in bytes; 0 where /proc is unavailable.
@@ -138,6 +145,8 @@ bool parse_args(int argc, char** argv, SoakOptions& opts) {
       opts.seed = std::strtoull(v, nullptr, 10);
     } else if (!std::strcmp(arg, "--keep")) {
       opts.keep = true;
+    } else if (!std::strcmp(arg, "--direct")) {
+      opts.direct = true;
     } else {
       std::fprintf(stderr, "store_soak: unknown flag %s\n", arg);
       return false;
@@ -279,6 +288,80 @@ int run_analysis_mix(const store::StoreView& sv,
   return mismatches;
 }
 
+/// Run the fig 11-22 mix straight off the shards (one analyze_carrier fold
+/// per carrier); when `reference` is non-null every product must equal the
+/// in-memory reference bit-for-bit.  Returns mismatches + fold failures.
+int run_direct_mix(const store::DirectFold& direct,
+                   const core::ColumnarView* reference, const char* tag,
+                   store::FoldStats* total = nullptr) {
+  int mismatches = 0;
+  const auto cities = netgen::standard_cities();
+  auto check = [&](bool same, const std::string& what) {
+    if (!same) {
+      std::fprintf(stderr, "FAIL: [%s] %s differs from in-memory reference\n",
+                   tag, what.c_str());
+      ++mismatches;
+    }
+  };
+
+  bool first_carrier = true;
+  for (const auto& name : direct.carriers()) {
+    store::MixOptions mopts;
+    mopts.cities = cities;
+    if (first_carrier)  // same single spatial pass run_analysis_mix does
+      mopts.spatial = store::SpatialQuery{
+          config::lte_param(config::ParamId::kServingPriority), cities.front(),
+          2'000.0};
+    auto mix = store::analyze_carrier(direct, name, mopts);
+    if (!mix.ok()) {
+      std::fprintf(stderr, "FAIL: [%s] analyze_carrier(%s): %s\n", tag,
+                   name.c_str(), mix.error_message().c_str());
+      ++mismatches;
+      first_carrier = false;
+      continue;
+    }
+    const auto& a = mix.value();
+    if (total) {
+      total->rows += a.stats.rows;
+      total->cells += a.stats.cells;
+      total->blocks += a.stats.blocks;
+      total->bytes += a.stats.bytes;
+      total->peak_resident_blocks =
+          std::max(total->peak_resident_blocks, a.stats.peak_resident_blocks);
+      total->fold_seconds += a.stats.fold_seconds;
+    }
+    if (reference) {
+      check(eq(a.diversity, core::diversity_by_param(*reference, name)),
+            name + " diversity_by_param(direct)");
+      check(eq(a.dependence, core::frequency_dependence(*reference, name)),
+            name + " frequency_dependence(direct)");
+      check(a.serving_priority ==
+                core::priority_by_channel(*reference, name, false, 1),
+            name + " priority_by_channel(serving,direct)");
+      check(a.candidate_priority ==
+                core::priority_by_channel(*reference, name, true, 1),
+            name + " priority_by_channel(candidate,direct)");
+      check(eq(a.multi_priority_fraction,
+               core::multi_priority_cell_fraction(*reference, name)),
+            name + " multi_priority_cell_fraction(direct)");
+      check(a.priority_by_city ==
+                core::priority_by_city(*reference, name, cities),
+            name + " priority_by_city(direct)");
+      check(eq(a.gaps, core::measurement_decision_gaps(*reference, name)),
+            name + " measurement_decision_gaps(direct)");
+      if (first_carrier)
+        check(eq(a.spatial_diversity,
+                 core::spatial_diversity(
+                     *reference, name,
+                     config::lte_param(config::ParamId::kServingPriority),
+                     cities.front(), 2'000.0)),
+              name + " spatial_diversity(direct)");
+    }
+    first_carrier = false;
+  }
+  return mismatches;
+}
+
 int run_equality_phase(const SoakOptions& opts, unsigned hw) {
   const std::string dir = opts.dir + "/equality";
   std::printf("equality: streaming D2-scale world (scale %.2f) into %s\n",
@@ -333,6 +416,19 @@ int run_equality_phase(const SoakOptions& opts, unsigned hw) {
     failures += mism;
     std::printf("equality: threads %u -> %s (build %.2f s)\n", t,
                 mism ? "MISMATCH" : "bit-identical", sv.stats.build_seconds);
+
+    // Same thread count, shard-direct: no view at all.
+    store::FoldOptions fopts;
+    fopts.threads = t;
+    fopts.release_mapped = false;  // the store is re-read per thread count
+    const store::DirectFold direct(set, fopts);
+    char dtag[32];
+    std::snprintf(dtag, sizeof dtag, "direct threads %u", t);
+    const int dmism = run_direct_mix(direct, &reference, dtag);
+    failures += dmism;
+    std::printf("equality: direct threads %u -> %s (fold %.2f s)\n", t,
+                dmism ? "MISMATCH" : "bit-identical",
+                direct.stats().fold_seconds);
   }
   return failures;
 }
@@ -372,6 +468,30 @@ int run_soak_phase(const SoakOptions& opts, unsigned hw) {
                  static_cast<unsigned long long>(set.total_rows()),
                  static_cast<unsigned long long>(gen.rows));
     ++failures;
+  }
+
+  if (opts.direct) {
+    // Shard-direct mix: per-block CRC checking happens inside the fold
+    // (manifest extras), so there is no separate verify pass to fault the
+    // whole store through RSS, and no view is ever materialized.
+    store::FoldOptions fopts;
+    fopts.threads = threads;
+    const store::DirectFold direct(set, fopts);
+    t0 = now_seconds();
+    store::FoldStats total;
+    failures += run_direct_mix(direct, nullptr, "soak-direct", &total);
+    std::printf("soak: direct fig 11-22 mix over %zu carriers in %.1f s "
+                "(%llu cells, %llu block parses, %.1f MB read, peak window "
+                "%llu blocks, CRC %s); RSS %.1f MB\n",
+                direct.carriers().size(), now_seconds() - t0,
+                static_cast<unsigned long long>(total.cells),
+                static_cast<unsigned long long>(total.blocks),
+                static_cast<double>(total.bytes) / 1e6,
+                static_cast<unsigned long long>(total.peak_resident_blocks),
+                set.manifest().block_extras ? "checked per block"
+                                            : "unavailable (no extras)",
+                static_cast<double>(current_rss_bytes()) / 1e6);
+    return failures;
   }
 
   t0 = now_seconds();
