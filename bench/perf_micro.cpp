@@ -739,6 +739,60 @@ void BM_StoreDirectFold(benchmark::State& state) {
 BENCHMARK(BM_StoreDirectFold)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Planned single-carrier mix over the same many-block fixture: the query
+// planner confines the fold to the one selected carrier's blocks — the
+// other three carriers' blocks are never mapped or parsed.  Compare against
+// BM_StoreDirectFold, which folds all four.
+void BM_StoreDirectFoldPlanned(benchmark::State& state) {
+  const auto& dir = small_block_store_dir();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const auto cities = netgen::standard_cities();
+  for (auto _ : state) {
+    auto set = store::ShardSet::open(dir);
+    store::FoldOptions fopts;
+    fopts.threads = threads;
+    fopts.release_mapped = false;
+    const store::DirectFold direct(set.value(), fopts);
+    const std::string& carrier = direct.carriers().front();
+    store::Query q;
+    q.carriers = {carrier};
+    store::MixOptions mopts;
+    mopts.cities = cities;
+    auto mix = store::analyze_carrier(direct, carrier, mopts, q);
+    benchmark::DoNotOptimize(mix.value().stats.cells);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(dataset_db().total_samples() / 4));
+}
+BENCHMARK(BM_StoreDirectFoldPlanned)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// The cross-carrier scheduler driving the whole mix: analyze_query folds
+// every carrier — the sequential per-carrier loop at threads=1, concurrent
+// pool jobs under the shared window budget at threads=4.
+void BM_StoreCrossCarrierFold(benchmark::State& state) {
+  const auto& dir = small_block_store_dir();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const auto cities = netgen::standard_cities();
+  for (auto _ : state) {
+    auto set = store::ShardSet::open(dir);
+    store::FoldOptions fopts;
+    fopts.threads = threads;
+    fopts.release_mapped = false;
+    const store::DirectFold direct(set.value(), fopts);
+    store::MixOptions mopts;
+    mopts.cities = cities;
+    auto qa = store::analyze_query(direct, store::Query{}, mopts);
+    benchmark::DoNotOptimize(qa.value().stats.cells);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(dataset_db().total_samples()));
+}
+BENCHMARK(BM_StoreCrossCarrierFold)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 // Block-parallel view build over the many-block fixture (BM_StoreOocBuild
 // uses default 8 MB blocks, where each carrier is one or two blocks and the
 // fan-out has nothing to chew on).

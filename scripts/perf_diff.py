@@ -19,6 +19,13 @@ Exit status: 0 = no regressions, 1 = regressions or missing benchmarks,
   * CI smoke vs committed baseline: --threshold 3.0 (different machine and
     a tiny --benchmark_min_time; only hangs and order-of-magnitude shifts
     are actionable there)
+
+Runs stamped with a mmlab_cores context (scripts/run_perf.sh does this) are
+additionally checked for core-count agreement: a strict-threshold diff
+across different core counts is refused outright — the threaded benches
+scale with cores, so the numbers are not comparable (EXPERIMENTS.md §"
+multi-core measurement protocol").  At --threshold >= 1.0 the mismatch
+degrades to a warning.
 """
 
 import argparse
@@ -30,7 +37,7 @@ _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_times(path):
-    """name -> real time in ns.
+    """name -> real time in ns, plus the run's context dict.
 
     Repetition runs are averaged; explicit aggregate rows (run_type
     "aggregate") are preferred when present, using the "mean" aggregate.
@@ -54,7 +61,33 @@ def load_times(path):
     times.update(aggregates)
     if not times:
         sys.exit(f"error: {path} contains no benchmarks")
-    return times
+    return times, doc.get("context", {})
+
+
+# Cross-core-count comparisons only make sense at the loose CI threshold:
+# the threaded benches scale with the visible core count, so at a strict
+# threshold a core-count change masquerades as a perf change.  At or above
+# this threshold (CI smoke uses 3.0) the mismatch degrades to a warning.
+_CORES_STRICT_CUTOFF = 1.0
+
+
+def check_core_counts(old_ctx, new_ctx, threshold):
+    """Refuse strict diffs across different mmlab_cores contexts."""
+    old_cores = old_ctx.get("mmlab_cores")
+    new_cores = new_ctx.get("mmlab_cores")
+    if old_cores is None or new_cores is None:
+        return  # pre-stamping baseline; nothing to compare
+    if str(old_cores) == str(new_cores):
+        return
+    msg = (f"core counts differ: baseline ran on {old_cores} cores, "
+           f"candidate on {new_cores}")
+    if threshold < _CORES_STRICT_CUTOFF:
+        sys.exit(f"error: {msg}; threaded benchmarks are not comparable "
+                 f"at a strict threshold (< {_CORES_STRICT_CUTOFF:.0%}). "
+                 "Re-baseline on this machine, pin with taskset, or pass "
+                 "--threshold 3.0 for an order-of-magnitude-only check.")
+    print(f"warning: {msg}; only order-of-magnitude shifts are meaningful",
+          file=sys.stderr)
 
 
 def fmt_ns(ns):
@@ -94,8 +127,9 @@ def main():
                 return ratio
         return args.threshold
 
-    old = load_times(args.old)
-    new = load_times(args.new)
+    old, old_ctx = load_times(args.old)
+    new, new_ctx = load_times(args.new)
+    check_core_counts(old_ctx, new_ctx, args.threshold)
 
     regressions, missing, rows = [], [], []
     for name in sorted(old):

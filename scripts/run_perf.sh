@@ -43,8 +43,14 @@ mkdir -p "$(dirname "$OUT")"
 # library_build_type field reflects how libbenchmark itself was compiled
 # (Debian ships a no-NDEBUG build that always reports "debug"), so it says
 # nothing about whether mmlab's code was optimized — this field does.
+# mmlab_cores records the visible core count: the threaded benches
+# (BM_StoreCrossCarrierFold, the Arg(4) fold variants) scale with it, so a
+# 1-core number is not comparable to a 8-core number — perf_diff.py refuses
+# to diff across different core counts at strict thresholds.
+CORES=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)
 "$BIN" --benchmark_out="$OUT" --benchmark_out_format=json \
-       --benchmark_context=mmlab_build_type="${BUILD_TYPE:-unknown}" "$@"
+       --benchmark_context=mmlab_build_type="${BUILD_TYPE:-unknown}" \
+       --benchmark_context=mmlab_cores="$CORES" "$@"
 echo "wrote $OUT"
 
 if [ "${MMLAB_PERF_SYNC:-0}" = "1" ]; then

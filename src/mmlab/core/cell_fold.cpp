@@ -4,6 +4,24 @@
 
 namespace mmlab::core {
 
+ParamKeySet::ParamKeySet(std::vector<config::ParamKey> keys)
+    : keys_(std::move(keys)) {
+  std::sort(keys_.begin(), keys_.end());
+  keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+}
+
+bool ParamKeySet::contains(config::ParamKey key) const {
+  return std::binary_search(keys_.begin(), keys_.end(), key);
+}
+
+std::vector<char> ParamKeySet::index_mask(
+    const std::vector<config::ParamKey>& table) const {
+  std::vector<char> mask(table.size(), 0);
+  for (std::size_t i = 0; i < table.size(); ++i)
+    if (contains(table[i])) mask[i] = 1;
+  return mask;
+}
+
 void CellFolder::fold(const CellRecord& rec) {
   keys_.clear();
   uniq_.clear();

@@ -32,6 +32,31 @@
 
 namespace mmlab::core {
 
+/// A sorted, deduplicated set of parameter keys — the value side of a
+/// query's ParamKey predicate.  An *empty* set is a valid object but never
+/// means "match everything"; callers that want no filtering pass no set at
+/// all (store::Query uses an empty key list for that, resolved before a
+/// ParamKeySet is built).
+class ParamKeySet {
+ public:
+  ParamKeySet() = default;
+  explicit ParamKeySet(std::vector<config::ParamKey> keys);
+
+  bool empty() const { return keys_.empty(); }
+  std::size_t size() const { return keys_.size(); }
+  const std::vector<config::ParamKey>& keys() const { return keys_; }
+  bool contains(config::ParamKey key) const;
+
+  /// Per-index keep mask over a dataset's param table (1 = key selected) —
+  /// the O(1)-per-observation form the wire-level push-down parser consumes
+  /// (core::mmds::parse_cell_filtered).
+  std::vector<char> index_mask(
+      const std::vector<config::ParamKey>& table) const;
+
+ private:
+  std::vector<config::ParamKey> keys_;  ///< sorted, unique
+};
+
 /// Per-span unique cardinality is tiny for real configs (a handful of
 /// distinct settings), so dedup is a linear == scan — the exact legacy
 /// std::find semantics at a fraction of the hashing cost.  Past this

@@ -338,6 +338,48 @@ std::uint32_t parse_cell(ByteReader& r,
   return h.id;
 }
 
+std::uint32_t parse_cell_filtered(ByteReader& r,
+                                  const std::vector<config::ParamKey>& params,
+                                  const std::vector<char>& keep,
+                                  std::uint32_t min_cell,
+                                  std::uint32_t max_cell, CellRecord& rec,
+                                  CellScan& scan) {
+  const CellHeader h = parse_cell_header(r);
+  rec.observations.clear();  // keep capacity, as in the unfiltered overload
+  rec.cell_id = h.id;
+  rec.rat = static_cast<spectrum::Rat>(h.rat_raw);
+  rec.channel = h.channel;
+  rec.position = {h.x, h.y};
+  scan.rows = h.n_obs;
+  scan.values_skipped = 0;
+  scan.front_t_ms = 0;
+  scan.has_front = h.n_obs > 0;
+  const bool in_range = h.id >= min_cell && h.id <= max_cell;
+  if (in_range && keep.empty()) {
+    parse_observations(r, h.n_obs, params, rec.observations);
+    if (!rec.observations.empty()) scan.front_t_ms = rec.observations.front().t.ms;
+    return h.id;
+  }
+  std::int64_t t_ms = 0;
+  for (std::uint64_t i = 0; i < h.n_obs; ++i) {
+    t_ms += r.svarint();
+    if (i == 0) scan.front_t_ms = t_ms;
+    const std::uint64_t param_index = r.varint();
+    if (param_index >= params.size())
+      throw MmdsError("param index out of range");
+    if (in_range && (keep.empty() || keep[param_index])) {
+      const double value = r.f64le();
+      rec.observations.push_back(
+          {params[param_index], value, SimTime{t_ms}, r.svarint()});
+    } else {
+      r.skip(8);
+      ++scan.values_skipped;
+      (void)r.svarint();  // context: varint-decoded only to advance
+    }
+  }
+  return h.id;
+}
+
 }  // namespace mmds
 
 // --- CSV ---------------------------------------------------------------------

@@ -117,6 +117,33 @@ std::uint32_t parse_cell(ByteReader& r,
                          const std::vector<config::ParamKey>& params,
                          CellRecord& rec);
 
+/// Wire-level facts parse_cell_filtered reports about the *unfiltered* cell
+/// run it just scanned — everything a filtering reader needs to (a) validate
+/// raw counts against the manifest and (b) preserve the merge contract's
+/// metadata tie-break, which is defined over unfiltered runs.
+struct CellScan {
+  std::uint64_t rows = 0;            ///< observations on the wire
+  std::uint64_t values_skipped = 0;  ///< 8-byte value payloads not decoded
+  std::int64_t front_t_ms = 0;  ///< first wire observation's t (has_front)
+  bool has_front = false;       ///< the run had at least one observation
+};
+
+/// Predicate push-down variant of the record-reuse parse_cell: decodes the
+/// cell's full wire structure (every varint must be walked to find the next
+/// cell) but materializes only observations whose param-table index is set
+/// in `keep` — the 8-byte value payload of a filtered observation is
+/// *skipped*, never loaded, and counted in CellScan::values_skipped.  An
+/// empty `keep` keeps every observation.  When the returned id falls
+/// outside [min_cell, max_cell] nothing is materialized at all (the caller
+/// drops the cell); `rec` still carries the header metadata either way.
+/// Same structural-damage errors as parse_cell.
+std::uint32_t parse_cell_filtered(ByteReader& r,
+                                  const std::vector<config::ParamKey>& params,
+                                  const std::vector<char>& keep,
+                                  std::uint32_t min_cell,
+                                  std::uint32_t max_cell, CellRecord& rec,
+                                  CellScan& scan);
+
 }  // namespace mmds
 
 // --- CSV ---------------------------------------------------------------------

@@ -227,108 +227,132 @@ struct GapsAcc {
   }
 };
 
-}  // namespace
+/// Drive one carrier fold for either family: the plain full fold when no
+/// query was given, the planned fold otherwise.  When the query has no
+/// param predicate of its own, `narrow` (the exact keys the caller's
+/// accumulator reads; empty = reads everything) becomes the push-down set,
+/// so fixed-key products decode only their own values.
+Result<FoldStats> fold_for(const DirectFold& direct, const std::string& carrier,
+                           const Query* query,
+                           std::vector<config::ParamKey> narrow,
+                           const DirectFold::CellConsumer& consumer) {
+  if (!query) return direct.fold_carrier(carrier, consumer);
+  Query q = *query;
+  q.carriers = {carrier};
+  if (q.params.empty()) q.params = std::move(narrow);
+  const QueryPlan plan(direct.shards(), std::move(q));
+  return direct.fold_planned(plan, carrier, consumer);
+}
 
-Result<std::vector<core::ParamDiversity>> diversity_by_param(
-    const DirectFold& direct, const std::string& carrier,
+Result<std::vector<core::ParamDiversity>> diversity_impl(
+    const DirectFold& direct, const std::string& carrier, const Query* query,
     std::optional<spectrum::Rat> rat) {
   DiversityAcc acc;
   core::CellFolder folder;
-  const auto r = direct.fold_carrier(
-      carrier, [&](std::uint32_t, const core::CellRecord& rec) {
-        folder.fold(rec);
-        acc.consume(folder);
-      });
+  const auto r = fold_for(direct, carrier, query, {},
+                          [&](std::uint32_t, const core::CellRecord& rec) {
+                            folder.fold(rec);
+                            acc.consume(folder);
+                          });
   if (!r) return Result<std::vector<core::ParamDiversity>>::error(r.error_message());
   return acc.finish(rat);
 }
 
-Result<std::vector<core::ParamDependence>> frequency_dependence(
-    const DirectFold& direct, const std::string& carrier) {
+Result<std::vector<core::ParamDependence>> dependence_impl(
+    const DirectFold& direct, const std::string& carrier, const Query* query) {
   DependenceAcc acc;
   core::CellFolder folder;
-  const auto r = direct.fold_carrier(
-      carrier, [&](std::uint32_t, const core::CellRecord& rec) {
-        folder.fold(rec);
-        acc.consume(rec, folder);
-      });
+  const auto r = fold_for(direct, carrier, query, {},
+                          [&](std::uint32_t, const core::CellRecord& rec) {
+                            folder.fold(rec);
+                            acc.consume(rec, folder);
+                          });
   if (!r) return Result<std::vector<core::ParamDependence>>::error(r.error_message());
   return acc.finish();
 }
 
-Result<std::map<long, stats::ValueCounts>> priority_by_channel(
-    const DirectFold& direct, const std::string& carrier, bool candidate) {
+Result<std::map<long, stats::ValueCounts>> priority_by_channel_impl(
+    const DirectFold& direct, const std::string& carrier, bool candidate,
+    const Query* query) {
   using R = Result<std::map<long, stats::ValueCounts>>;
   core::CellFolder folder;
   if (candidate) {
     CandidatePriorityAcc acc;
     const auto key = config::lte_param(config::ParamId::kNeighborPriority);
-    const auto r = direct.fold_carrier(
-        carrier, [&](std::uint32_t, const core::CellRecord& rec) {
-          folder.fold(rec);
-          acc.consume(folder, key);
-        });
+    const auto r = fold_for(direct, carrier, query, {key},
+                            [&](std::uint32_t, const core::CellRecord& rec) {
+                              folder.fold(rec);
+                              acc.consume(folder, key);
+                            });
     if (!r) return R::error(r.error_message());
     return std::move(acc.out);
   }
   ServingPriorityAcc acc;
   const auto key = config::lte_param(config::ParamId::kServingPriority);
-  const auto r = direct.fold_carrier(
-      carrier, [&](std::uint32_t, const core::CellRecord& rec) {
-        folder.fold(rec);
-        acc.consume(rec, folder, key);
-      });
+  const auto r = fold_for(direct, carrier, query, {key},
+                          [&](std::uint32_t, const core::CellRecord& rec) {
+                            folder.fold(rec);
+                            acc.consume(rec, folder, key);
+                          });
   if (!r) return R::error(r.error_message());
   return std::move(acc.groups);
 }
 
-Result<double> multi_priority_cell_fraction(const DirectFold& direct,
-                                            const std::string& carrier) {
+Result<double> multi_priority_impl(const DirectFold& direct,
+                                   const std::string& carrier,
+                                   const Query* query) {
   ServingPriorityAcc acc;
   core::CellFolder folder;
   const auto key = config::lte_param(config::ParamId::kServingPriority);
-  const auto r = direct.fold_carrier(
-      carrier, [&](std::uint32_t, const core::CellRecord& rec) {
-        folder.fold(rec);
-        acc.consume(rec, folder, key);
-      });
+  const auto r = fold_for(direct, carrier, query, {key},
+                          [&](std::uint32_t, const core::CellRecord& rec) {
+                            folder.fold(rec);
+                            acc.consume(rec, folder, key);
+                          });
   if (!r) return Result<double>::error(r.error_message());
   return acc.multi_priority_fraction();
 }
 
-Result<std::map<long, stats::ValueCounts>> priority_by_city(
+Result<std::map<long, stats::ValueCounts>> priority_by_city_impl(
     const DirectFold& direct, const std::string& carrier,
-    const std::vector<geo::City>& cities) {
+    const std::vector<geo::City>& cities, const Query* query) {
   CityPriorityAcc acc;
   core::CellFolder folder;
   const auto key = config::lte_param(config::ParamId::kServingPriority);
-  const auto r = direct.fold_carrier(
-      carrier, [&](std::uint32_t, const core::CellRecord& rec) {
-        folder.fold(rec);
-        acc.consume(rec, folder, key, cities);
-      });
+  const auto r = fold_for(direct, carrier, query, {key},
+                          [&](std::uint32_t, const core::CellRecord& rec) {
+                            folder.fold(rec);
+                            acc.consume(rec, folder, key, cities);
+                          });
   if (!r) return Result<std::map<long, stats::ValueCounts>>::error(r.error_message());
   return std::move(acc.out);
 }
 
-Result<std::vector<double>> spatial_diversity(const DirectFold& direct,
-                                              const std::string& carrier,
-                                              config::ParamKey key,
-                                              const geo::City& city,
-                                              double radius_m) {
+Result<std::vector<double>> spatial_impl(const DirectFold& direct,
+                                         const std::string& carrier,
+                                         config::ParamKey key,
+                                         const geo::City& city, double radius_m,
+                                         const Query* query) {
   SpatialAcc acc(radius_m);
   core::CellFolder folder;
-  const auto r = direct.fold_carrier(
-      carrier, [&](std::uint32_t, const core::CellRecord& rec) {
-        folder.fold(rec);
-        acc.consume(rec, folder, key, city);
-      });
+  const auto r = fold_for(direct, carrier, query, {key},
+                          [&](std::uint32_t, const core::CellRecord& rec) {
+                            folder.fold(rec);
+                            acc.consume(rec, folder, key, city);
+                          });
   if (!r) return Result<std::vector<double>>::error(r.error_message());
   return acc.finish(radius_m);
 }
 
-Result<core::MeasurementGaps> measurement_decision_gaps(
-    const DirectFold& direct, const std::string& carrier) {
+std::vector<config::ParamKey> gaps_keys() {
+  return {config::lte_param(config::ParamId::kSIntraSearch),
+          config::lte_param(config::ParamId::kSNonIntraSearch),
+          config::lte_param(config::ParamId::kThreshServingLow)};
+}
+
+Result<core::MeasurementGaps> gaps_impl(const DirectFold& direct,
+                                        const std::string& carrier,
+                                        const Query* query) {
   GapsAcc acc;
   core::CellFolder folder;
   const auto consumer = [&](std::uint32_t, const core::CellRecord& rec) {
@@ -336,12 +360,22 @@ Result<core::MeasurementGaps> measurement_decision_gaps(
     acc.consume(rec, folder);
   };
   if (!carrier.empty()) {
-    const auto r = direct.fold_carrier(carrier, consumer);
+    const auto r = fold_for(direct, carrier, query, gaps_keys(), consumer);
     if (!r) return Result<core::MeasurementGaps>::error(r.error_message());
     return std::move(acc.gaps);
   }
-  // Pooled = every carrier in name order, exactly the view path's carrier
-  // iteration — the per-carrier gap vectors concatenate.
+  // Pooled = every (selected) carrier in name order, exactly the view
+  // path's carrier iteration — the per-carrier gap vectors concatenate.
+  if (query) {
+    Query q = *query;
+    if (q.params.empty()) q.params = gaps_keys();
+    const QueryPlan plan(direct.shards(), std::move(q));
+    for (const CarrierQueryPlan& cp : plan.carriers()) {
+      const auto r = direct.fold_planned(plan, cp.name, consumer);
+      if (!r) return Result<core::MeasurementGaps>::error(r.error_message());
+    }
+    return std::move(acc.gaps);
+  }
   for (const auto& name : direct.carriers()) {
     const auto r = direct.fold_carrier(name, consumer);
     if (!r) return Result<core::MeasurementGaps>::error(r.error_message());
@@ -349,10 +383,99 @@ Result<core::MeasurementGaps> measurement_decision_gaps(
   return std::move(acc.gaps);
 }
 
-Result<CarrierAnalysis> analyze_carrier(const DirectFold& direct,
-                                        const std::string& carrier,
-                                        const MixOptions& options) {
-  CarrierAnalysis out;
+}  // namespace
+
+Result<std::vector<core::ParamDiversity>> diversity_by_param(
+    const DirectFold& direct, const std::string& carrier,
+    std::optional<spectrum::Rat> rat) {
+  return diversity_impl(direct, carrier, nullptr, rat);
+}
+
+Result<std::vector<core::ParamDiversity>> diversity_by_param(
+    const DirectFold& direct, const std::string& carrier, const Query& query,
+    std::optional<spectrum::Rat> rat) {
+  return diversity_impl(direct, carrier, &query, rat);
+}
+
+Result<std::vector<core::ParamDependence>> frequency_dependence(
+    const DirectFold& direct, const std::string& carrier) {
+  return dependence_impl(direct, carrier, nullptr);
+}
+
+Result<std::vector<core::ParamDependence>> frequency_dependence(
+    const DirectFold& direct, const std::string& carrier, const Query& query) {
+  return dependence_impl(direct, carrier, &query);
+}
+
+Result<std::map<long, stats::ValueCounts>> priority_by_channel(
+    const DirectFold& direct, const std::string& carrier, bool candidate) {
+  return priority_by_channel_impl(direct, carrier, candidate, nullptr);
+}
+
+Result<std::map<long, stats::ValueCounts>> priority_by_channel(
+    const DirectFold& direct, const std::string& carrier, bool candidate,
+    const Query& query) {
+  return priority_by_channel_impl(direct, carrier, candidate, &query);
+}
+
+Result<double> multi_priority_cell_fraction(const DirectFold& direct,
+                                            const std::string& carrier) {
+  return multi_priority_impl(direct, carrier, nullptr);
+}
+
+Result<double> multi_priority_cell_fraction(const DirectFold& direct,
+                                            const std::string& carrier,
+                                            const Query& query) {
+  return multi_priority_impl(direct, carrier, &query);
+}
+
+Result<std::map<long, stats::ValueCounts>> priority_by_city(
+    const DirectFold& direct, const std::string& carrier,
+    const std::vector<geo::City>& cities) {
+  return priority_by_city_impl(direct, carrier, cities, nullptr);
+}
+
+Result<std::map<long, stats::ValueCounts>> priority_by_city(
+    const DirectFold& direct, const std::string& carrier,
+    const std::vector<geo::City>& cities, const Query& query) {
+  return priority_by_city_impl(direct, carrier, cities, &query);
+}
+
+Result<std::vector<double>> spatial_diversity(const DirectFold& direct,
+                                              const std::string& carrier,
+                                              config::ParamKey key,
+                                              const geo::City& city,
+                                              double radius_m) {
+  return spatial_impl(direct, carrier, key, city, radius_m, nullptr);
+}
+
+Result<std::vector<double>> spatial_diversity(const DirectFold& direct,
+                                              const std::string& carrier,
+                                              config::ParamKey key,
+                                              const geo::City& city,
+                                              double radius_m,
+                                              const Query& query) {
+  return spatial_impl(direct, carrier, key, city, radius_m, &query);
+}
+
+Result<core::MeasurementGaps> measurement_decision_gaps(
+    const DirectFold& direct, const std::string& carrier) {
+  return gaps_impl(direct, carrier, nullptr);
+}
+
+Result<core::MeasurementGaps> measurement_decision_gaps(
+    const DirectFold& direct, const Query& query, const std::string& carrier) {
+  return gaps_impl(direct, carrier, &query);
+}
+
+namespace {
+
+/// The whole fig11–22 accumulator set behind ONE fold, bundled so the
+/// scheduled multi-carrier mix can hold an independent instance per
+/// concurrent carrier job (CellFolder is stateful — never share one across
+/// threads).  Same consume() calls in the same order as the standalone
+/// entry points, so every product is bit-identical to them.
+struct MixAcc {
   DiversityAcc diversity;
   DependenceAcc dependence;
   ServingPriorityAcc serving;
@@ -360,36 +483,105 @@ Result<CarrierAnalysis> analyze_carrier(const DirectFold& direct,
   CityPriorityAcc city;
   GapsAcc gaps;
   std::optional<SpatialAcc> spatial;
-  if (options.spatial) spatial.emplace(options.spatial->radius_m);
-
-  const auto serving_key = config::lte_param(config::ParamId::kServingPriority);
-  const auto candidate_key =
+  core::CellFolder folder;
+  const MixOptions* options;
+  config::ParamKey serving_key = config::lte_param(config::ParamId::kServingPriority);
+  config::ParamKey candidate_key =
       config::lte_param(config::ParamId::kNeighborPriority);
 
-  core::CellFolder folder;
-  const auto r = direct.fold_carrier(
-      carrier, [&](std::uint32_t, const core::CellRecord& rec) {
-        folder.fold(rec);
-        diversity.consume(folder);
-        dependence.consume(rec, folder);
-        serving.consume(rec, folder, serving_key);
-        candidate.consume(folder, candidate_key);
-        city.consume(rec, folder, serving_key, options.cities);
-        gaps.consume(rec, folder);
-        if (spatial)
-          spatial->consume(rec, folder, options.spatial->key,
-                           options.spatial->city);
-      });
-  if (!r) return Result<CarrierAnalysis>::error(r.error_message());
+  explicit MixAcc(const MixOptions& opts) : options(&opts) {
+    if (opts.spatial) spatial.emplace(opts.spatial->radius_m);
+  }
 
-  out.diversity = diversity.finish(options.diversity_rat);
-  out.dependence = dependence.finish();
-  out.multi_priority_fraction = serving.multi_priority_fraction();
-  out.serving_priority = std::move(serving.groups);
-  out.candidate_priority = std::move(candidate.out);
-  out.priority_by_city = std::move(city.out);
-  if (spatial) out.spatial_diversity = spatial->finish(options.spatial->radius_m);
-  out.gaps = std::move(gaps.gaps);
+  void consume(const core::CellRecord& rec) {
+    folder.fold(rec);
+    diversity.consume(folder);
+    dependence.consume(rec, folder);
+    serving.consume(rec, folder, serving_key);
+    candidate.consume(folder, candidate_key);
+    city.consume(rec, folder, serving_key, options->cities);
+    gaps.consume(rec, folder);
+    if (spatial)
+      spatial->consume(rec, folder, options->spatial->key,
+                       options->spatial->city);
+  }
+
+  CarrierAnalysis finish(FoldStats stats) {
+    CarrierAnalysis out;
+    out.diversity = diversity.finish(options->diversity_rat);
+    out.dependence = dependence.finish();
+    out.multi_priority_fraction = serving.multi_priority_fraction();
+    out.serving_priority = std::move(serving.groups);
+    out.candidate_priority = std::move(candidate.out);
+    out.priority_by_city = std::move(city.out);
+    if (spatial)
+      out.spatial_diversity = spatial->finish(options->spatial->radius_m);
+    out.gaps = std::move(gaps.gaps);
+    out.stats = stats;
+    return out;
+  }
+};
+
+}  // namespace
+
+Result<CarrierAnalysis> analyze_carrier(const DirectFold& direct,
+                                        const std::string& carrier,
+                                        const MixOptions& options) {
+  MixAcc acc(options);
+  const auto r = direct.fold_carrier(
+      carrier,
+      [&](std::uint32_t, const core::CellRecord& rec) { acc.consume(rec); });
+  if (!r) return Result<CarrierAnalysis>::error(r.error_message());
+  return acc.finish(r.value());
+}
+
+Result<CarrierAnalysis> analyze_carrier(const DirectFold& direct,
+                                        const std::string& carrier,
+                                        const MixOptions& options,
+                                        const Query& query) {
+  Query q = query;
+  q.carriers = {carrier};
+  const QueryPlan plan(direct.shards(), std::move(q));
+  MixAcc acc(options);
+  const auto r = direct.fold_planned(
+      plan, carrier,
+      [&](std::uint32_t, const core::CellRecord& rec) { acc.consume(rec); });
+  if (!r) return Result<CarrierAnalysis>::error(r.error_message());
+  return acc.finish(r.value());
+}
+
+Result<QueryAnalysis> analyze_query(const DirectFold& direct,
+                                    const Query& query,
+                                    const MixOptions& options) {
+  const QueryPlan plan(direct.shards(), query);
+  QueryAnalysis out;
+
+  // One independent accumulator bundle per selected carrier; fold_query
+  // drives each from exactly one job, so no bundle is ever shared.
+  std::vector<MixAcc> accs;
+  accs.reserve(plan.carriers().size());
+  for (std::size_t i = 0; i < plan.carriers().size(); ++i)
+    accs.emplace_back(options);
+
+  std::vector<FoldStats> per;
+  const auto r = direct.fold_query(
+      plan,
+      [&](std::size_t slot, const CarrierQueryPlan&) {
+        return [&accs, slot](std::uint32_t, const core::CellRecord& rec) {
+          accs[slot].consume(rec);
+        };
+      },
+      &per);
+  if (!r) return Result<QueryAnalysis>::error(r.error_message());
+
+  out.carriers.reserve(plan.carriers().size());
+  out.results.reserve(plan.carriers().size());
+  for (std::size_t i = 0; i < plan.carriers().size(); ++i) {
+    out.carriers.push_back(plan.carriers()[i].name);
+    // Each entry carries its own fold's rows/cells/blocks/bytes; the
+    // plan-wide skip counts live only in the aggregate (no double count).
+    out.results.push_back(accs[i].finish(per[i]));
+  }
   out.stats = r.value();
   return out;
 }

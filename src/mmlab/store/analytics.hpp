@@ -102,6 +102,50 @@ Result<std::vector<double>> spatial_diversity(const DirectFold& direct,
 Result<core::MeasurementGaps> measurement_decision_gaps(
     const DirectFold& direct, const std::string& carrier = "");
 
+// --- planned overloads -------------------------------------------------------
+// Same products restricted to the query's selection: the planner prunes
+// blocks (other carriers, non-overlapping cell ranges) and the ParamKey
+// predicate pushes down to the wire (store/query_plan.hpp).  `query`'s
+// carrier list is ignored where an explicit carrier argument exists — the
+// argument wins.  Fixed-key products (priorities, gaps, spatial) narrow an
+// empty query.params to exactly the keys they read, so a planned call
+// decodes only those values; census products (diversity, dependence) need
+// every parameter and never narrow.  Each planned answer equals the plain
+// answer computed over a pre-filtered database (property-tested in
+// test_query_plan.cpp).
+
+Result<std::vector<core::ParamDiversity>> diversity_by_param(
+    const DirectFold& direct, const std::string& carrier, const Query& query,
+    std::optional<spectrum::Rat> rat = std::nullopt);
+
+Result<std::vector<core::ParamDependence>> frequency_dependence(
+    const DirectFold& direct, const std::string& carrier, const Query& query);
+
+Result<std::map<long, stats::ValueCounts>> priority_by_channel(
+    const DirectFold& direct, const std::string& carrier, bool candidate,
+    const Query& query);
+
+Result<double> multi_priority_cell_fraction(const DirectFold& direct,
+                                            const std::string& carrier,
+                                            const Query& query);
+
+Result<std::map<long, stats::ValueCounts>> priority_by_city(
+    const DirectFold& direct, const std::string& carrier,
+    const std::vector<geo::City>& cities, const Query& query);
+
+Result<std::vector<double>> spatial_diversity(const DirectFold& direct,
+                                              const std::string& carrier,
+                                              config::ParamKey key,
+                                              const geo::City& city,
+                                              double radius_m,
+                                              const Query& query);
+
+/// Pooled over the query's selected carriers (sorted name order) when
+/// `carrier` is empty.
+Result<core::MeasurementGaps> measurement_decision_gaps(
+    const DirectFold& direct, const Query& query,
+    const std::string& carrier = "");
+
 // --- the one-pass analysis mix ----------------------------------------------
 
 /// The Fig 21 spatial-diversity query's inputs.
@@ -142,5 +186,34 @@ struct CarrierAnalysis {
 Result<CarrierAnalysis> analyze_carrier(const DirectFold& direct,
                                         const std::string& carrier,
                                         const MixOptions& options = {});
+
+/// Planned mix: only the query's selected blocks of `carrier` fold (the
+/// returned stats carry the plan's store-wide skip counts), and any
+/// ParamKey predicate pushes down to the wire.  The mix reads every
+/// parameter, so an empty query.params is NOT narrowed; with a non-empty
+/// predicate, fixed-key products whose keys were filtered out come back
+/// empty (that is what the query asked for).
+Result<CarrierAnalysis> analyze_carrier(const DirectFold& direct,
+                                        const std::string& carrier,
+                                        const MixOptions& options,
+                                        const Query& query);
+
+/// The scheduled multi-carrier mix: every carrier the query selects,
+/// analyzed via DirectFold::fold_query — concurrent cross-carrier jobs
+/// (largest first) under the engine's shared window budget when
+/// options().threads > 1, the sequential per-carrier loop when 1.
+struct QueryAnalysis {
+  std::vector<std::string> carriers;  ///< selected, sorted name order
+  /// Parallel to `carriers`; each entry's stats are that carrier's own
+  /// fold (rows/cells/blocks/bytes, no plan-wide skip counts).
+  std::vector<CarrierAnalysis> results;
+  /// Aggregate over all carrier folds; includes the plan's skip counts and
+  /// the *concurrent* peak_resident_blocks (the shared-budget number).
+  FoldStats stats;
+};
+
+Result<QueryAnalysis> analyze_query(const DirectFold& direct,
+                                    const Query& query,
+                                    const MixOptions& options = {});
 
 }  // namespace mmlab::store

@@ -18,14 +18,26 @@ namespace mmlab::store {
 
 namespace {
 
+/// One parsed cell run plus the unfiltered-front facts the merge contract's
+/// metadata tie-break needs under wire filtering (front_t / has_front
+/// describe the run as stored, before any ParamKey predicate dropped
+/// observations; unused by unfiltered folds).
+struct ParsedCell {
+  std::uint32_t id = 0;
+  core::CellRecord rec;
+  std::int64_t front_t = 0;
+  bool has_front = false;
+};
+
 /// One parsed block: its cells in ascending id order plus the merge front.
 /// `cells` is freed (and the mapping released) the moment the front passes
 /// the end — a retired block lingers in the window only as an empty husk
 /// until it reaches the deque front.
 struct ParsedBlock {
   std::size_t global = 0;  ///< index into ShardSet::blocks()
-  std::vector<std::pair<std::uint32_t, core::CellRecord>> cells;
+  std::vector<ParsedCell> cells;
   std::size_t next = 0;
+  std::uint64_t values_skipped = 0;  ///< push-down skipped value payloads
 
   bool exhausted() const { return next >= cells.size(); }
 };
@@ -66,24 +78,44 @@ DirectFold::DirectFold(const ShardSet& set, FoldOptions options)
   stats_.crc_checked = m.block_extras && options_.check_block_crc;
 }
 
-Result<FoldStats> DirectFold::fold_carrier(std::string_view carrier,
-                                           const CellConsumer& consumer) const {
-  using R = Result<FoldStats>;
-  const auto start = std::chrono::steady_clock::now();
-  const auto it = std::lower_bound(names_.begin(), names_.end(), carrier);
-  if (it == names_.end() || *it != carrier) return FoldStats{};
-  const CarrierPlan& plan = plans_[static_cast<std::size_t>(it - names_.begin())];
-
-  const bool extras = set_->manifest().block_extras;
-  const bool check_crc = extras && options_.check_block_crc;
+DirectFold::FoldJob DirectFold::make_job(
+    const std::vector<std::size_t>& blocks,
+    const std::vector<std::uint32_t>& safe_floor, std::string_view carrier,
+    const QueryPlan* plan) const {
+  FoldJob job;
+  job.blocks = &blocks;
+  job.safe_floor = &safe_floor;
+  job.carrier = carrier;
+  job.max_cell = std::numeric_limits<std::uint32_t>::max();
+  if (plan) {
+    job.param_mask = &plan->param_mask();
+    job.min_cell = plan->query().min_cell;
+    job.max_cell = plan->query().max_cell;
+    job.filtered = plan->filtered();
+  }
   unsigned threads = options_.threads == 0 ? WorkerPool::default_thread_count()
                                            : options_.threads;
   if (threads == 0) threads = 1;
+  job.threads = threads;
   std::size_t window = options_.window_blocks;
   if (window == 0) window = std::max<std::size_t>(2, std::size_t{2} * threads);
   // No per-block cell-id ranges means no emission frontier: every block
   // could still contribute a run of any cell, so parse them all up front.
-  if (!extras) window = plan.blocks.size();
+  if (safe_floor.empty()) window = blocks.size();
+  job.window = window;
+  job.gauge = options_.gauge;
+  return job;
+}
+
+Result<FoldStats> DirectFold::run_fold(const FoldJob& job,
+                                       const CellConsumer& consumer) const {
+  using R = Result<FoldStats>;
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<std::size_t>& blocks = *job.blocks;
+  const bool extras = set_->manifest().block_extras;
+  const bool check_crc = extras && options_.check_block_crc;
+  static const std::vector<char> kNoMask;
+  const std::vector<char>& keep = job.param_mask ? *job.param_mask : kNoMask;
 
   FoldStats fs;
   fs.crc_checked = check_crc;
@@ -98,23 +130,61 @@ Result<FoldStats> DirectFold::fold_carrier(std::string_view carrier,
       throw std::runtime_error("block CRC mismatch at shard offset " +
                                std::to_string(info.offset));
     ByteReader r(body.data(), body.size());
-    pb.cells.reserve(static_cast<std::size_t>(info.cell_count));
     std::uint64_t rows = 0;
-    while (r.remaining() > 0) {
-      core::CellRecord rec;
-      const std::uint32_t id = core::mmds::parse_cell(r, set_->params(), rec);
-      if (!pb.cells.empty() && id <= pb.cells.back().first)
-        throw std::runtime_error("cell ids not ascending within a block");
-      rows += rec.observations.size();
-      pb.cells.emplace_back(id, std::move(rec));
+    if (!job.filtered) {
+      pb.cells.reserve(static_cast<std::size_t>(info.cell_count));
+      while (r.remaining() > 0) {
+        ParsedCell pc;
+        pc.id = core::mmds::parse_cell(r, set_->params(), pc.rec);
+        if (!pb.cells.empty() && pc.id <= pb.cells.back().id)
+          throw std::runtime_error("cell ids not ascending within a block");
+        rows += pc.rec.observations.size();
+        pb.cells.push_back(std::move(pc));
+      }
+      if (pb.cells.size() != info.cell_count)
+        throw std::runtime_error("block cell count disagrees with manifest");
+      if (rows != info.row_count)
+        throw std::runtime_error("block row count disagrees with manifest");
+      if (extras && !pb.cells.empty() &&
+          (pb.cells.front().id != info.first_cell ||
+           pb.cells.back().id != info.last_cell))
+        throw std::runtime_error("block cell-id range disagrees with manifest");
+      return;
     }
-    if (pb.cells.size() != info.cell_count)
+    // Filtered path: every cell's wire structure is still walked (and the
+    // manifest's raw counts/ranges validated against it), but only in-range
+    // cells materialize and only selected params' values decode.
+    std::uint64_t scanned = 0;
+    std::uint32_t first_raw = 0, last_raw = 0;
+    bool any = false;
+    core::CellRecord rec;
+    core::mmds::CellScan scan;
+    while (r.remaining() > 0) {
+      const std::uint32_t id = core::mmds::parse_cell_filtered(
+          r, set_->params(), keep, job.min_cell, job.max_cell, rec, scan);
+      if (any && id <= last_raw)
+        throw std::runtime_error("cell ids not ascending within a block");
+      if (!any) first_raw = id;
+      any = true;
+      last_raw = id;
+      ++scanned;
+      rows += scan.rows;
+      pb.values_skipped += scan.values_skipped;
+      if (id >= job.min_cell && id <= job.max_cell) {
+        ParsedCell pc;
+        pc.id = id;
+        pc.rec = std::move(rec);
+        pc.front_t = scan.front_t_ms;
+        pc.has_front = scan.has_front;
+        pb.cells.push_back(std::move(pc));
+      }
+    }
+    if (scanned != info.cell_count)
       throw std::runtime_error("block cell count disagrees with manifest");
     if (rows != info.row_count)
       throw std::runtime_error("block row count disagrees with manifest");
-    if (extras && !pb.cells.empty() &&
-        (pb.cells.front().first != info.first_cell ||
-         pb.cells.back().first != info.last_cell))
+    if (extras && any &&
+        (first_raw != info.first_cell || last_raw != info.last_cell))
       throw std::runtime_error("block cell-id range disagrees with manifest");
   };
 
@@ -122,11 +192,11 @@ Result<FoldStats> DirectFold::fold_carrier(std::string_view carrier,
   // block and the first one in manifest order wins (the load_database
   // convention), so diagnostics are deterministic under any thread count.
   const auto parse_batch = [&]() -> std::string {
-    const std::size_t n = std::min(window, plan.blocks.size() - next_block);
+    const std::size_t n = std::min(job.window, blocks.size() - next_block);
     const std::size_t base = live.size();
     for (std::size_t k = 0; k < n; ++k) {
       live.emplace_back();
-      live.back().global = plan.blocks[next_block + k];
+      live.back().global = blocks[next_block + k];
     }
     std::vector<std::string> errors(n);
     const auto run = [&](std::size_t k) {
@@ -136,28 +206,30 @@ Result<FoldStats> DirectFold::fold_carrier(std::string_view carrier,
         errors[k] = e.what();
       }
     };
-    if (threads == 1 || n <= 1) {
+    if (job.threads == 1 || n <= 1) {
       for (std::size_t k = 0; k < n; ++k) run(k);
     } else {
-      parallel_for_index(threads, n, run);
+      parallel_for_index(job.threads, n, run);
     }
     for (std::size_t k = 0; k < n; ++k) {
       if (errors[k].empty()) continue;
-      const BlockInfo& info = *set_->blocks()[plan.blocks[next_block + k]].info;
+      const BlockInfo& info = *set_->blocks()[blocks[next_block + k]].info;
       return "block " + std::to_string(next_block + k) + " of carrier " +
-             set_->manifest().carriers[plan.carrier_index] + " (offset " +
+             std::string(job.carrier) + " (offset " +
              std::to_string(info.offset) + "): " + errors[k];
     }
     for (std::size_t k = 0; k < n; ++k) {
-      const BlockInfo& info = *set_->blocks()[plan.blocks[next_block + k]].info;
+      const BlockInfo& info = *set_->blocks()[blocks[next_block + k]].info;
       fs.rows += info.row_count;
       fs.bytes += info.length;
+      fs.values_skipped += live[base + k].values_skipped;
     }
     fs.blocks += n;
     next_block += n;
     resident += n;
-    fs.peak_resident_blocks = std::max<std::uint64_t>(
-        fs.peak_resident_blocks, resident);
+    if (job.gauge) job.gauge->add(n);
+    fs.peak_resident_blocks =
+        std::max<std::uint64_t>(fs.peak_resident_blocks, resident);
     return {};
   };
 
@@ -168,6 +240,7 @@ Result<FoldStats> DirectFold::fold_carrier(std::string_view carrier,
     if (options_.release_mapped) set_->release_block(pb.global);
     pb.cells = {};  // free, not just clear
     --resident;
+    if (job.gauge) job.gauge->sub(1);
   };
 
   core::CellRecord merged;
@@ -177,19 +250,24 @@ Result<FoldStats> DirectFold::fold_carrier(std::string_view carrier,
     bool found = false;
     for (const ParsedBlock& pb : live) {
       if (pb.exhausted()) continue;
-      const std::int64_t id = pb.cells[pb.next].first;
+      const std::int64_t id = pb.cells[pb.next].id;
       if (!found || id < min_id) {
         min_id = id;
         found = true;
       }
     }
     // Emission frontier: every id at or below it has all its runs parsed.
-    const std::int64_t safe =
-        next_block >= plan.blocks.size()
-            ? std::numeric_limits<std::int64_t>::max()
-            : static_cast<std::int64_t>(plan.safe_floor[next_block]) - 1;
+    // Without extras there is no frontier information at all (safe_floor is
+    // empty — indexing it here was the seed's latent out-of-bounds read):
+    // nothing is emittable until every block has parsed, so the frontier
+    // sits below any possible id.
+    std::int64_t safe = std::numeric_limits<std::int64_t>::max();
+    if (next_block < blocks.size())
+      safe = job.safe_floor->empty()
+                 ? std::int64_t{-1}
+                 : static_cast<std::int64_t>((*job.safe_floor)[next_block]) - 1;
     if (!found || min_id > safe) {
-      if (next_block >= plan.blocks.size()) {
+      if (next_block >= blocks.size()) {
         if (!found) break;  // fully drained
         // Unreachable: safe is +inf once everything is parsed.
       } else {
@@ -200,17 +278,48 @@ Result<FoldStats> DirectFold::fold_carrier(std::string_view carrier,
     }
     // Merge every front run of min_id, in window (= manifest) order — the
     // pairwise ConfigDatabase::merge the loader and view builder perform.
+    // Under wire filtering, merge_from's metadata tie-break would see
+    // *filtered* front timestamps, so the winner (minimal unfiltered front
+    // t over non-empty runs, earliest run on ties, first run when all runs
+    // are empty — exactly merge_from's pairwise outcome on unfiltered
+    // runs) is recomputed from the wire facts and reapplied after the
+    // merge; the observation merge itself commutes with filtering (stable
+    // sort by t of a filtered concatenation = filter of the stable sort).
     bool first = true;
+    spectrum::Rat m_rat{};
+    std::uint32_t m_channel = 0;
+    geo::Point m_position{};
+    std::int64_t best_front = 0;
+    bool have_front = false;
     for (ParsedBlock& pb : live) {
-      if (pb.exhausted() || pb.cells[pb.next].first != min_id) continue;
+      if (pb.exhausted() || pb.cells[pb.next].id != min_id) continue;
+      ParsedCell& pc = pb.cells[pb.next];
+      if (job.filtered) {
+        const bool wins =
+            pc.has_front && (!have_front || pc.front_t < best_front);
+        if (first || wins) {
+          m_rat = pc.rec.rat;
+          m_channel = pc.rec.channel;
+          m_position = pc.rec.position;
+        }
+        if (wins) {
+          have_front = true;
+          best_front = pc.front_t;
+        }
+      }
       if (first) {
-        merged = std::move(pb.cells[pb.next].second);
+        merged = std::move(pc.rec);
         first = false;
       } else {
-        merged.merge_from(std::move(pb.cells[pb.next].second));
+        merged.merge_from(std::move(pc.rec));
       }
       ++pb.next;
       if (pb.exhausted()) retire(pb);
+    }
+    if (job.filtered) {
+      merged.rat = m_rat;
+      merged.channel = m_channel;
+      merged.position = m_position;
     }
     consumer(static_cast<std::uint32_t>(min_id), merged);
     ++fs.cells;
@@ -220,15 +329,158 @@ Result<FoldStats> DirectFold::fold_carrier(std::string_view carrier,
   fs.fold_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  accumulate(fs);
+  return fs;
+}
+
+void DirectFold::accumulate(const FoldStats& fs) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_.rows += fs.rows;
   stats_.cells += fs.cells;
   stats_.blocks += fs.blocks;
   stats_.bytes += fs.bytes;
+  stats_.values_skipped += fs.values_skipped;
   stats_.peak_resident_blocks =
       std::max(stats_.peak_resident_blocks, fs.peak_resident_blocks);
   stats_.crc_checked = stats_.crc_checked && fs.crc_checked;
   stats_.fold_seconds += fs.fold_seconds;
+}
+
+FoldStats DirectFold::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+Result<FoldStats> DirectFold::fold_carrier(std::string_view carrier,
+                                           const CellConsumer& consumer) const {
+  const auto it = std::lower_bound(names_.begin(), names_.end(), carrier);
+  if (it == names_.end() || *it != carrier) return FoldStats{};
+  const CarrierPlan& plan =
+      plans_[static_cast<std::size_t>(it - names_.begin())];
+  return run_fold(make_job(plan.blocks, plan.safe_floor, *it, nullptr),
+                  consumer);
+}
+
+Result<FoldStats> DirectFold::fold_planned(const QueryPlan& plan,
+                                           std::string_view carrier,
+                                           const CellConsumer& consumer) const {
+  using R = Result<FoldStats>;
+  if (&plan.shards() != set_)
+    return R::error("fold_planned: plan is bound to a different shard set");
+  const CarrierQueryPlan* cp = plan.find_carrier(carrier);
+  if (!cp) return FoldStats{};
+  auto r = run_fold(make_job(cp->blocks, cp->safe_floor, cp->name, &plan),
+                    consumer);
+  if (!r) return r;
+  FoldStats fs = r.value();
+  fs.blocks_skipped = plan.blocks_skipped();
+  fs.bytes_skipped = plan.bytes_skipped();
   return fs;
+}
+
+Result<FoldStats> DirectFold::fold_query(
+    const QueryPlan& plan,
+    const std::function<CellConsumer(std::size_t, const CarrierQueryPlan&)>&
+        make_consumer,
+    std::vector<FoldStats>* per_carrier) const {
+  using R = Result<FoldStats>;
+  if (&plan.shards() != set_)
+    return R::error("fold_query: plan is bound to a different shard set");
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<CarrierQueryPlan>& cps = plan.carriers();
+
+  // Consumers are created serially, in sorted carrier order, before any
+  // fold starts — accumulator setup never races.
+  std::vector<CellConsumer> consumers;
+  consumers.reserve(cps.size());
+  for (std::size_t i = 0; i < cps.size(); ++i)
+    consumers.push_back(make_consumer(i, cps[i]));
+
+  unsigned threads = options_.threads == 0 ? WorkerPool::default_thread_count()
+                                           : options_.threads;
+  if (threads == 0) threads = 1;
+  std::size_t nonempty = 0;
+  for (const CarrierQueryPlan& cp : cps)
+    if (!cp.blocks.empty()) ++nonempty;
+  const std::size_t jobs =
+      std::min<std::size_t>(threads, std::max<std::size_t>(nonempty, 1));
+
+  FoldStats agg;
+  agg.crc_checked = set_->manifest().block_extras && options_.check_block_crc;
+  agg.blocks_skipped = plan.blocks_skipped();
+  agg.bytes_skipped = plan.bytes_skipped();
+
+  std::vector<std::string> errors(cps.size());
+  std::vector<FoldStats> per(cps.size());
+
+  if (jobs <= 1) {
+    // The sequential per-carrier loop, with intra-carrier parallelism as
+    // configured — one thread means exactly the pre-scheduler behavior.
+    for (std::size_t i = 0; i < cps.size(); ++i) {
+      const auto r = run_fold(
+          make_job(cps[i].blocks, cps[i].safe_floor, cps[i].name, &plan),
+          consumers[i]);
+      if (!r) return R::error(r.error_message());
+      per[i] = r.value();
+      agg.peak_resident_blocks =
+          std::max(agg.peak_resident_blocks, per[i].peak_resident_blocks);
+    }
+  } else {
+    // Cross-carrier concurrency replaces intra-carrier fan-out: each job
+    // folds with one parse thread and a 1/jobs slice of the global window
+    // budget, so total residency honors the same bound the sequential path
+    // had.  Submission is largest-carrier-first (FIFO pool start order):
+    // the longest fold starts immediately instead of becoming the tail.
+    std::size_t budget = options_.window_blocks;
+    if (budget == 0) budget = std::max<std::size_t>(2, std::size_t{2} * threads);
+    const std::size_t per_window = std::max<std::size_t>(1, budget / jobs);
+    ResidencyGauge local_gauge;
+    ResidencyGauge* gauge = options_.gauge ? options_.gauge : &local_gauge;
+
+    std::vector<std::size_t> order(cps.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (cps[a].rows != cps[b].rows) return cps[a].rows > cps[b].rows;
+      return a < b;
+    });
+
+    WorkerPool pool(static_cast<unsigned>(jobs));
+    for (const std::size_t i : order) {
+      pool.submit([this, &plan, &cps, &consumers, &errors, &per, per_window,
+                   gauge, i] {
+        FoldJob job =
+            make_job(cps[i].blocks, cps[i].safe_floor, cps[i].name, &plan);
+        job.threads = 1;
+        if (!cps[i].safe_floor.empty()) job.window = per_window;
+        job.gauge = gauge;
+        const auto r = run_fold(job, consumers[i]);
+        if (!r) {
+          errors[i] = r.error_message();
+        } else {
+          per[i] = r.value();
+        }
+      });
+    }
+    pool.wait_idle();
+    agg.peak_resident_blocks = gauge->peak.load(std::memory_order_relaxed);
+    // First failing carrier in sorted order wins, deterministically.
+    for (std::size_t i = 0; i < cps.size(); ++i)
+      if (!errors[i].empty()) return R::error(errors[i]);
+  }
+
+  for (std::size_t i = 0; i < cps.size(); ++i) {
+    agg.rows += per[i].rows;
+    agg.cells += per[i].cells;
+    agg.blocks += per[i].blocks;
+    agg.bytes += per[i].bytes;
+    agg.values_skipped += per[i].values_skipped;
+    agg.crc_checked = agg.crc_checked && per[i].crc_checked;
+  }
+  agg.fold_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (per_carrier) *per_carrier = std::move(per);
+  return agg;
 }
 
 Result<stats::ValueCounts> DirectFold::values(const std::string& carrier,
@@ -289,6 +541,88 @@ Result<std::vector<config::ParamKey>> DirectFold::observed_params(
   core::CellFolder folder;
   const auto r = fold_carrier(carrier, [&](std::uint32_t,
                                            const core::CellRecord& rec) {
+    folder.fold(rec);
+    for (const auto& slice : folder.keys()) seen.insert(slice.key);
+  });
+  if (!r) return Result<std::vector<config::ParamKey>>::error(r.error_message());
+  return std::vector<config::ParamKey>(seen.begin(), seen.end());
+}
+
+// --- planned overloads -------------------------------------------------------
+
+Result<stats::ValueCounts> DirectFold::values(const std::string& carrier,
+                                              config::ParamKey key,
+                                              const Query& query) const {
+  Query q = query;
+  q.carriers = {carrier};
+  if (q.params.empty()) q.params = {key};
+  const QueryPlan plan(*set_, std::move(q));
+  stats::ValueCounts out;
+  core::CellFolder folder;
+  const auto r = fold_planned(plan, carrier, [&](std::uint32_t,
+                                                 const core::CellRecord& rec) {
+    folder.fold(rec);
+    for (const double v : folder.unique_values(key)) out.add(v);
+  });
+  if (!r) return Result<stats::ValueCounts>::error(r.error_message());
+  return out;
+}
+
+Result<std::map<long, stats::ValueCounts>> DirectFold::values_grouped(
+    const std::string& carrier, config::ParamKey key,
+    const std::function<long(const core::CellRecord&)>& factor,
+    const Query& query) const {
+  Query q = query;
+  q.carriers = {carrier};
+  const QueryPlan plan(*set_, std::move(q));
+  std::map<long, stats::ValueCounts> out;
+  core::CellFolder folder;
+  const auto r = fold_planned(plan, carrier, [&](std::uint32_t,
+                                                 const core::CellRecord& rec) {
+    folder.fold(rec);
+    const auto uniq = folder.unique_values(key);
+    if (uniq.empty()) return;
+    const long f = factor(rec);
+    if (f < 0) return;
+    stats::ValueCounts& vc = out[f];
+    for (const double v : uniq) vc.add(v);
+  });
+  if (!r) return Result<std::map<long, stats::ValueCounts>>::error(r.error_message());
+  return out;
+}
+
+Result<std::map<long, stats::ValueCounts>> DirectFold::values_by_context(
+    const std::string& carrier, config::ParamKey key,
+    const Query& query) const {
+  Query q = query;
+  q.carriers = {carrier};
+  if (q.params.empty()) q.params = {key};
+  const QueryPlan plan(*set_, std::move(q));
+  std::map<long, stats::ValueCounts> out;
+  core::CellFolder folder;
+  const auto r = fold_planned(plan, carrier, [&](std::uint32_t,
+                                                 const core::CellRecord& rec) {
+    folder.fold(rec);
+    const auto* slice = folder.find(key);
+    if (!slice) return;
+    const auto contexts = folder.ctx_contexts();
+    const auto values = folder.ctx_values();
+    for (std::uint32_t j = slice->ctx_begin; j < slice->ctx_end; ++j)
+      out[static_cast<long>(contexts[j])].add(values[j]);
+  });
+  if (!r) return Result<std::map<long, stats::ValueCounts>>::error(r.error_message());
+  return out;
+}
+
+Result<std::vector<config::ParamKey>> DirectFold::observed_params(
+    const std::string& carrier, const Query& query) const {
+  Query q = query;
+  q.carriers = {carrier};
+  const QueryPlan plan(*set_, std::move(q));
+  std::set<config::ParamKey> seen;
+  core::CellFolder folder;
+  const auto r = fold_planned(plan, carrier, [&](std::uint32_t,
+                                                 const core::CellRecord& rec) {
     folder.fold(rec);
     for (const auto& slice : folder.keys()) seen.insert(slice.key);
   });

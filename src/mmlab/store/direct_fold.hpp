@@ -25,30 +25,69 @@
 // blocks before emitting (no frontier information) and skip the per-block
 // CRC (no stored block CRC).
 //
+// Planned folds (DESIGN.md §13): a store::QueryPlan narrows a fold to the
+// blocks that can contribute to a query — other carriers' blocks and (with
+// the extras) blocks whose cell-id range misses the query are never mapped,
+// checksummed, or parsed; FoldStats counts what the planner skipped.  A
+// ParamKey predicate additionally pushes down to the wire: filtered
+// observations' 8-byte value payloads are skipped, not decoded.  Filtered
+// folds preserve the merge contract exactly — the metadata tie-break
+// (which run's rat/channel/position wins) is computed over each run's
+// *unfiltered* front observation, so a planned answer is bit-identical to
+// filtering the corresponding full-fold answer.  fold_query schedules the
+// selected carriers as concurrent pool jobs (largest first) under one
+// shared parse-window budget.
+//
 // Integrity: with the extras present, each block body is checksummed right
 // before parsing (FoldOptions::check_block_crc).  A mismatch — or any
 // structural damage the parser trips on — fails the whole fold; a query
 // never returns a partial answer built from a corrupt prefix.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "mmlab/core/database.hpp"
 #include "mmlab/stats/diversity.hpp"
+#include "mmlab/store/query_plan.hpp"
 #include "mmlab/store/shard_set.hpp"
 #include "mmlab/util/result.hpp"
 
 namespace mmlab::store {
 
+/// Shared residency accounting for folds that run concurrently (the
+/// cross-carrier scheduler): every participating fold adds its parsed-and-
+/// resident block count here, so `peak` is the high-water mark of the
+/// *total* window across jobs — the number the shared budget bounds.
+struct ResidencyGauge {
+  std::atomic<std::uint64_t> resident{0};
+  std::atomic<std::uint64_t> peak{0};
+
+  void add(std::uint64_t n) {
+    const std::uint64_t now =
+        resident.fetch_add(n, std::memory_order_relaxed) + n;
+    std::uint64_t p = peak.load(std::memory_order_relaxed);
+    while (p < now &&
+           !peak.compare_exchange_weak(p, now, std::memory_order_relaxed)) {
+    }
+  }
+  void sub(std::uint64_t n) {
+    resident.fetch_sub(n, std::memory_order_relaxed);
+  }
+};
+
 struct FoldOptions {
   /// Blocks within the parse window parse concurrently when != 1 (0 = all
   /// cores).  The merge is serial in manifest order, so results are
-  /// identical for every value.
+  /// identical for every value.  fold_query additionally uses this as the
+  /// cross-carrier job count (concurrency moves between carriers, never
+  /// multiplies).
   unsigned threads = 1;
   /// madvise(MADV_DONTNEED) each block's mapped bytes once its last cell
   /// has been merged out.  Disable to keep the page cache warm when the
@@ -60,29 +99,51 @@ struct FoldOptions {
   /// cells are merged out, so a layout with interleaved cell-id ranges can
   /// hold more than `window_blocks` parsed blocks alive (correctness never
   /// depends on the window).  Without manifest extras the whole carrier
-  /// parses up front regardless.
+  /// parses up front regardless.  fold_query treats this as the GLOBAL
+  /// budget and splits it across concurrent carrier jobs.
   std::size_t window_blocks = 0;
   /// Checksum each block body against the manifest's per-block CRC right
   /// before parsing it.  Only effective when the store carries the extras
   /// (see FoldStats::crc_checked for what actually happened).
   bool check_block_crc = true;
+  /// Optional shared residency gauge; every fold run through this engine
+  /// reports its resident-block count there (fold_query supplies its own
+  /// when the caller doesn't).  Must outlive the folds.
+  ResidencyGauge* gauge = nullptr;
 };
 
 struct FoldStats {
-  std::uint64_t rows = 0;    ///< observations parsed
+  std::uint64_t rows = 0;    ///< observations parsed (wire rows scanned)
   std::uint64_t cells = 0;   ///< merged cells emitted (distinct ids)
   std::uint64_t blocks = 0;  ///< blocks parsed
   std::uint64_t bytes = 0;   ///< block body bytes parsed
+  /// Blocks / bytes the query planner pruned — never mapped or parsed.
+  /// Zero for plain (unplanned) folds; for planned folds this is the
+  /// store-wide count relative to the bound QueryPlan (other carriers'
+  /// blocks count as skipped — exactly what the plan saved over a full
+  /// fold of the store).
+  std::uint64_t blocks_skipped = 0;
+  std::uint64_t bytes_skipped = 0;
+  /// Observations whose 8-byte value payload the ParamKey push-down
+  /// skipped instead of decoding (they still count in `rows`).
+  std::uint64_t values_skipped = 0;
   /// Largest number of concurrently parsed-and-resident blocks — the
-  /// realized window, i.e. what bounds transient memory.
+  /// realized window, i.e. what bounds transient memory.  For fold_query
+  /// this is the gauge peak: the total across concurrent carrier jobs.
   std::uint64_t peak_resident_blocks = 0;
   bool crc_checked = false;  ///< per-block CRCs were verified mid-fold
   double fold_seconds = 0.0;
+
+  /// Body bytes actually decoded: parsed bytes minus the skipped value
+  /// payloads.  Strictly less than `bytes` whenever the param push-down
+  /// filtered anything.
+  std::uint64_t bytes_read() const { return bytes - 8 * values_skipped; }
 };
 
 /// Streaming fold engine over an opened ShardSet.  The set must outlive the
-/// engine and stay open across every fold.  Folds are const but accumulate
-/// into stats(); run them from one thread at a time.
+/// engine and stay open across every fold.  Folds are const; cumulative
+/// stats() accumulation is mutex-guarded, so independent folds (e.g. the
+/// cross-carrier scheduler's jobs) may run concurrently on one engine.
 class DirectFold {
  public:
   explicit DirectFold(const ShardSet& set, FoldOptions options = {});
@@ -94,7 +155,11 @@ class DirectFold {
 
   /// Receives each of the carrier's cells exactly once, fully merged across
   /// all its runs, in ascending id order.  The record is only valid for the
-  /// duration of the call.
+  /// duration of the call.  Under a ParamKey predicate a cell whose
+  /// observations were all filtered out is still delivered (with empty
+  /// observations): per-cell census products — e.g. the LTE cell count
+  /// under multi_priority_cell_fraction — must not shift when values are
+  /// filtered.  Only cells outside the query's id range are dropped.
   using CellConsumer =
       std::function<void(std::uint32_t id, const core::CellRecord& rec)>;
 
@@ -105,6 +170,37 @@ class DirectFold {
   /// accumulation on error (every query in this module does).
   Result<FoldStats> fold_carrier(std::string_view carrier,
                                  const CellConsumer& consumer) const;
+
+  /// Stream one planned carrier: only the plan's selected blocks parse,
+  /// and the plan's wire predicates (cell range, param mask) apply.  The
+  /// plan must be bound to this engine's ShardSet.  A carrier the plan did
+  /// not select is an empty success.  Returned skip counts are the plan's
+  /// store-wide numbers (see FoldStats).
+  Result<FoldStats> fold_planned(const QueryPlan& plan,
+                                 std::string_view carrier,
+                                 const CellConsumer& consumer) const;
+
+  /// Cross-carrier scheduler: fold every carrier the plan selected, as
+  /// concurrent pool jobs when options().threads > 1 (largest carrier
+  /// first, so stragglers start early), under ONE shared parse-window
+  /// budget (options().window_blocks, split across jobs).  With one
+  /// thread this is exactly the sequential per-carrier loop.
+  ///
+  /// `make_consumer(slot, cp)` is called serially, in sorted carrier order,
+  /// once per selected carrier before any fold starts; each returned
+  /// consumer is driven by exactly one job (consumers never share state
+  /// unless the caller makes them).  Errors: the first failing carrier in
+  /// sorted order wins, deterministically.  The returned stats aggregate
+  /// all jobs; peak_resident_blocks is the concurrent total.  On success,
+  /// `per_carrier` (when given) receives each slot's own fold stats —
+  /// rows/cells/blocks/bytes of that carrier alone, no plan-wide skip
+  /// counts — parallel to plan.carriers().
+  Result<FoldStats> fold_query(
+      const QueryPlan& plan,
+      const std::function<CellConsumer(std::size_t slot,
+                                       const CarrierQueryPlan& cp)>&
+          make_consumer,
+      std::vector<FoldStats>* per_carrier = nullptr) const;
 
   // --- ConfigDatabase / ColumnarView query equivalents -----------------------
   // Bit-identical to the same-named ColumnarView queries (property-tested in
@@ -123,9 +219,38 @@ class DirectFold {
   Result<std::vector<config::ParamKey>> observed_params(
       const std::string& carrier) const;
 
+  // --- planned overloads ------------------------------------------------------
+  // Same answers as the plain overloads restricted to the query's selection
+  // (property-tested against a pre-filtered in-memory oracle).  `query`'s
+  // carrier list is ignored — the explicit carrier argument wins.  For the
+  // single-key queries (values / values_by_context) an empty query.params
+  // is narrowed to {key}: the answer provably depends on that key alone,
+  // so the fold skips every other parameter's value bytes.  values_grouped
+  // does NOT narrow — its factor may inspect the record's observations —
+  // and observed_params cannot (it asks about all parameters); both still
+  // benefit from carrier/range pruning and any explicit param predicate.
+
+  Result<stats::ValueCounts> values(const std::string& carrier,
+                                    config::ParamKey key,
+                                    const Query& query) const;
+
+  Result<std::map<long, stats::ValueCounts>> values_grouped(
+      const std::string& carrier, config::ParamKey key,
+      const std::function<long(const core::CellRecord&)>& factor,
+      const Query& query) const;
+
+  Result<std::map<long, stats::ValueCounts>> values_by_context(
+      const std::string& carrier, config::ParamKey key,
+      const Query& query) const;
+
+  Result<std::vector<config::ParamKey>> observed_params(
+      const std::string& carrier, const Query& query) const;
+
   /// Cumulative stats over every fold this engine has run (crc_checked and
-  /// peak_resident_blocks reflect the whole history: AND and max).
-  const FoldStats& stats() const { return stats_; }
+  /// peak_resident_blocks reflect the whole history: AND and max; planner
+  /// skip counts are NOT accumulated here — they belong to a plan, not the
+  /// engine).  Mutex-guarded; safe to read between folds.
+  FoldStats stats() const;
 
  private:
   struct CarrierPlan {
@@ -136,10 +261,34 @@ class DirectFold {
     std::vector<std::uint32_t> safe_floor;
   };
 
+  /// One windowed streaming fold, fully parameterized: the shared engine
+  /// under fold_carrier (no filter), fold_planned (plan selection + wire
+  /// predicates) and fold_query's jobs (split window, shared gauge).
+  struct FoldJob {
+    const std::vector<std::size_t>* blocks = nullptr;
+    const std::vector<std::uint32_t>* safe_floor = nullptr;
+    std::string_view carrier;               ///< for error messages
+    const std::vector<char>* param_mask = nullptr;  ///< empty/null = all
+    std::uint32_t min_cell = 0;
+    std::uint32_t max_cell = 0;
+    bool filtered = false;  ///< any wire predicate active
+    unsigned threads = 1;
+    std::size_t window = 0;  ///< resolved; 0 only for empty block lists
+    ResidencyGauge* gauge = nullptr;
+  };
+
+  FoldJob make_job(const std::vector<std::size_t>& blocks,
+                   const std::vector<std::uint32_t>& safe_floor,
+                   std::string_view carrier, const QueryPlan* plan) const;
+  Result<FoldStats> run_fold(const FoldJob& job,
+                             const CellConsumer& consumer) const;
+  void accumulate(const FoldStats& fs) const;
+
   const ShardSet* set_;
   FoldOptions options_;
   std::vector<std::string> names_;   ///< sorted
   std::vector<CarrierPlan> plans_;   ///< parallel to names_
+  mutable std::mutex stats_mutex_;
   mutable FoldStats stats_;
 };
 

@@ -70,9 +70,20 @@ struct BlockInfo {
   std::uint64_t cell_count = 0;
   std::uint64_t row_count = 0;
   // Per-block extras, valid only when Manifest::block_extras is set.
+  // Extras are all-or-nothing at the manifest level: a single flags byte
+  // governs every block of every shard, so a store either supports range
+  // pruning everywhere or nowhere (store::QueryPlan relies on this).
   std::uint16_t crc16 = 0;        ///< CRC-16/CCITT of the block body alone
   std::uint32_t first_cell = 0;   ///< lowest cell id in the block
   std::uint32_t last_cell = 0;    ///< highest cell id in the block
+
+  /// The block's cell-id range intersects [min_cell, max_cell].  Only
+  /// meaningful when the manifest carries the extras; a non-overlapping
+  /// block cannot contain any in-range cell (ids within a block lie inside
+  /// [first_cell, last_cell]), so a range query may skip it entirely.
+  bool overlaps(std::uint32_t min_cell, std::uint32_t max_cell) const {
+    return last_cell >= min_cell && first_cell <= max_cell;
+  }
 };
 
 struct ShardInfo {

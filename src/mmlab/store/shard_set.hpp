@@ -12,6 +12,14 @@
 // (checked at open) plus a per-shard whole-file CRC, checked by verify()
 // with a streaming reader — never via the mapping, so a verify pass does
 // not fault the whole store into RSS.
+//
+// Concurrency: an opened ShardSet is immutable — every accessor below is a
+// const read over state fixed at open(), and block_body/release_block touch
+// only the read-only mappings (release is a stateless madvise; concurrent
+// calls for any mix of blocks are safe).  The cross-carrier fold scheduler
+// (store::DirectFold::fold_query) relies on exactly this: many carrier
+// folds share one ShardSet, each parsing and releasing disjoint block sets
+// from pool threads with no locking here.
 #pragma once
 
 #include <cstdint>

@@ -31,6 +31,35 @@ void BitWriter::align() {
 std::uint64_t BitReader::read(unsigned width) {
   if (width > 64) throw std::invalid_argument("BitReader: width > 64");
   if (pos_ + width > size_bits_) throw BitUnderflow{};
+  if (width == 0) return 0;
+  const std::size_t byte = pos_ / 8;
+  const unsigned bit = static_cast<unsigned>(pos_ % 8);
+  // Fast path: with 8 whole bytes at the cursor, any field of <= 64 - bit
+  // bits falls inside one big-endian 64-bit load; wider fields (bit > 0)
+  // spill at most 7 bits into the following byte, which the underflow
+  // check above already proved in bounds (bit + width > 64 forces
+  // byte + 8 < size_bits_ / 8).  The byte-wise assembly compiles to a
+  // single load + bswap; unaligned access stays portable.
+  if (byte + 8 <= size_bits_ / 8) {
+    std::uint64_t w = 0;
+    for (unsigned i = 0; i < 8; ++i) w = (w << 8) | data_[byte + i];
+    pos_ += width;
+    if (bit + width <= 64) {
+      const std::uint64_t mask =
+          width == 64 ? ~0ULL : (1ULL << width) - 1;
+      return (w >> (64 - bit - width)) & mask;
+    }
+    const unsigned rem = bit + width - 64;  // in [1, 7]
+    const std::uint64_t head = w & ((1ULL << (64 - bit)) - 1);
+    return (head << rem) | (data_[byte + 8] >> (8 - rem));
+  }
+  // Tail (< 8 bytes left): the reference bit loop, bounded by 56 bits.
+  return read_reference(width);
+}
+
+std::uint64_t BitReader::read_reference(unsigned width) {
+  if (width > 64) throw std::invalid_argument("BitReader: width > 64");
+  if (pos_ + width > size_bits_) throw BitUnderflow{};
   std::uint64_t value = 0;
   for (unsigned i = 0; i < width; ++i) {
     const std::size_t byte = pos_ / 8;

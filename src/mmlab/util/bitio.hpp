@@ -51,8 +51,18 @@ class BitReader {
   explicit BitReader(const std::vector<std::uint8_t>& buf)
       : BitReader(buf.data(), buf.size()) {}
 
-  /// Read `width` bits MSB-first. Throws BitUnderflow past the end.
+  /// Read `width` bits MSB-first. Throws BitUnderflow past the end (the
+  /// position is unchanged on throw).  Batched: whenever 8 bytes remain at
+  /// the cursor, the field is extracted from one 64-bit big-endian load
+  /// (plus at most one spill byte for fields straddling past bit 64)
+  /// instead of a bit-at-a-time loop — the RRC decode hot path.
   std::uint64_t read(unsigned width);
+
+  /// The original bit-at-a-time loop, kept as the property-test oracle for
+  /// the batched fast path (tests/test_bitio.cpp sweeps both across widths,
+  /// offsets and buffer tails, mirroring the SWAR varint oracle in
+  /// byteio.hpp).  Identical contract to read().
+  std::uint64_t read_reference(unsigned width);
 
   bool read_bit() { return read(1) != 0; }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "mmlab/util/rng.hpp"
 
 namespace mmlab {
@@ -122,6 +124,84 @@ INSTANTIATE_TEST_SUITE_P(AllWidths, BitIoWidthSweep,
                          ::testing::Values(1u, 2u, 3u, 5u, 7u, 8u, 9u, 13u,
                                            16u, 18u, 28u, 31u, 32u, 33u, 48u,
                                            63u, 64u));
+
+// --- batched read() vs the bit-at-a-time oracle ------------------------------
+// read() extracts each field from one 64-bit big-endian load whenever 8
+// whole bytes remain at the cursor (with a spill byte for fields straddling
+// past bit 64) and falls back to the reference loop on the tail;
+// read_reference() IS the original loop, kept as the oracle.  The sweeps
+// mirror the SWAR-varint-vs-reference property tests in byteio: every
+// (width, bit offset, buffer size) combination — in-word extract, spill
+// byte, tail fallback, and underflow — must agree with the oracle exactly,
+// including the position-unchanged-on-throw contract.
+
+TEST(BitIo, BatchedMatchesReferenceSweep) {
+  Rng rng(0xB175);
+  for (const std::size_t size : {0u, 1u, 2u, 3u, 7u, 8u, 9u, 15u, 16u, 17u,
+                                 24u, 64u}) {
+    std::vector<std::uint8_t> buf(size);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+    const std::size_t bits = size * 8;
+    for (unsigned offset = 0; offset < 8 && offset <= bits; ++offset) {
+      for (unsigned width = 0; width <= 64; ++width) {
+        BitReader batched(buf.data(), size);
+        BitReader oracle(buf.data(), size);
+        if (offset) {
+          batched.read(offset);
+          oracle.read_reference(offset);
+        }
+        if (offset + width > bits) {
+          EXPECT_THROW(batched.read(width), BitUnderflow);
+          EXPECT_THROW(oracle.read_reference(width), BitUnderflow);
+          // Underflow must not move the cursor on either path.
+          EXPECT_EQ(batched.position_bits(), offset);
+          EXPECT_EQ(oracle.position_bits(), offset);
+        } else {
+          EXPECT_EQ(batched.read(width), oracle.read_reference(width))
+              << "size " << size << " offset " << offset << " width "
+              << width;
+          EXPECT_EQ(batched.position_bits(), oracle.position_bits());
+        }
+      }
+    }
+  }
+}
+
+TEST(BitIo, BatchedMatchesReferenceRandomStream) {
+  Rng rng(0x517EA);
+  std::vector<std::uint8_t> buf(509);  // odd size: tail exercises fallback
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+  BitReader batched(buf);
+  BitReader oracle(buf);
+  while (batched.remaining_bits() > 0) {
+    const unsigned width =
+        std::min<unsigned>(1 + static_cast<unsigned>(rng.below(64)),
+                           static_cast<unsigned>(batched.remaining_bits()));
+    EXPECT_EQ(batched.read(width), oracle.read_reference(width))
+        << "at bit " << oracle.position_bits() << " width " << width;
+  }
+  EXPECT_EQ(batched.position_bits(), oracle.position_bits());
+}
+
+TEST(BitIo, BatchedAndReferenceInterleaveOnOneReader) {
+  // Both entry points share the cursor, so a consumer may mix them freely;
+  // alternate them on one reader against a pure-oracle reader.
+  Rng rng(0x1A7E);
+  std::vector<std::uint8_t> buf(128);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+  BitReader mixed(buf);
+  BitReader oracle(buf);
+  bool use_batched = true;
+  while (mixed.remaining_bits() > 0) {
+    const unsigned width =
+        std::min<unsigned>(1 + static_cast<unsigned>(rng.below(64)),
+                           static_cast<unsigned>(mixed.remaining_bits()));
+    const std::uint64_t got =
+        use_batched ? mixed.read(width) : mixed.read_reference(width);
+    EXPECT_EQ(got, oracle.read_reference(width));
+    use_batched = !use_batched;
+  }
+}
 
 TEST(BitIo, MixedWidthSequence) {
   Rng rng(99);

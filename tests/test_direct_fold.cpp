@@ -658,8 +658,9 @@ TEST(StoreBuildParallel, ManyBlockBuildIsThreadCountInvariant) {
 TEST(StoreBuildParallel, ConcurrentFoldsOfDistinctCarriersAreIndependent) {
   // TSan-facing: two DirectFold instances over one ShardSet folding
   // different carriers from different threads share only the read-only
-  // mapping.  (A single DirectFold's stats() accumulation is documented
-  // single-threaded; separate instances are the concurrent idiom.)
+  // mapping.  (A single engine's stats() accumulation is mutex-guarded too —
+  // that's what fold_query leans on — but distinct instances must also stay
+  // independent.)
   StoreDir dir("concurrent");
   const auto db = random_db(83, 2, 60, 2);
   save_small_blocks(db, dir.path());

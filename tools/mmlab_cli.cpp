@@ -11,12 +11,20 @@
 //                                      concurrent chunked device uploads
 //                                      through the streaming ingest service
 //   mmlab_cli report  <in> [carrier] [--format csv|bin] [--direct]
+//                     [--carrier A] [--param NAME]
 //                                      dataset summary + diversity report;
 //                                      --direct (MMDS v2 stores only) answers
 //                                      straight off the mapped shards via
 //                                      DirectFold — no database, no view —
 //                                      and prints the fold's resident-memory
-//                                      stats
+//                                      stats.  With --direct, repeatable
+//                                      --carrier / --param flags build a
+//                                      query: the planner folds only the
+//                                      selected carriers' blocks and the
+//                                      param predicate skips every other
+//                                      parameter's value bytes on the wire
+//                                      (the stats line shows what was
+//                                      skipped / not read)
 //   mmlab_cli verify  <in> [--format csv|bin]
 //                                      run the misconfiguration detectors
 //   mmlab_cli drive   [carrier-acr]    one instrumented drive; print the
@@ -83,6 +91,8 @@ struct CliOptions {
   std::size_t chunk_bytes = 4096;  ///< ingest: upload chunk size
   std::optional<core::DatasetFormat> format;  ///< unset = sniff / default
   bool direct = false;  ///< report: fold shards directly, no materialization
+  std::vector<std::string> carriers;        ///< report --direct: query filter
+  std::vector<config::ParamKey> params;     ///< report --direct: push-down
   std::vector<const char*> positional;
   bool ok = true;
 };
@@ -128,6 +138,26 @@ CliOptions parse_options(int argc, char** argv) {
       ++i;
     } else if (!std::strcmp(argv[i], "--direct")) {
       opts.direct = true;
+    } else if (!std::strcmp(argv[i], "--carrier")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --carrier needs a carrier name\n");
+        opts.ok = false;
+        return opts;
+      }
+      opts.carriers.emplace_back(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--param")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --param needs a parameter name\n");
+        opts.ok = false;
+        return opts;
+      }
+      const auto key = config::parse_param_name(argv[++i]);
+      if (!key) {
+        std::fprintf(stderr, "error: unknown parameter '%s'\n", argv[i]);
+        opts.ok = false;
+        return opts;
+      }
+      opts.params.push_back(*key);
     } else {
       opts.positional.push_back(argv[i]);
     }
@@ -297,28 +327,40 @@ int report_direct(const CliOptions& opts) {
   for (const auto& ref : set.value().blocks())
     max_block = std::max<std::uint64_t>(max_block, ref.info->length);
 
+  store::Query query;
+  query.carriers = opts.carriers;
+  query.params = opts.params;
+
+  // One scheduled pass over the query's carriers (concurrent jobs under the
+  // shared window budget when --threads > 1) fills the whole summary table.
+  auto qa = store::analyze_query(direct, query);
+  if (!qa.ok()) {
+    std::fprintf(stderr, "error: %s\n", qa.error_message().c_str());
+    return 1;
+  }
+  if (qa.value().carriers.empty()) {
+    std::fprintf(stderr, "error: no carrier matches the query\n");
+    return 1;
+  }
   TablePrinter table({"Carrier", "Cells", "Samples", "LTE params observed"});
-  for (const auto& carrier : direct.carriers()) {
-    auto mix = store::analyze_carrier(direct, carrier);
-    if (!mix.ok()) {
-      std::fprintf(stderr, "error: %s\n", mix.error_message().c_str());
-      return 1;
-    }
+  for (std::size_t i = 0; i < qa.value().carriers.size(); ++i) {
+    const auto& mix = qa.value().results[i];
     std::size_t lte_params = 0;
-    for (const auto& d : mix.value().diversity)
+    for (const auto& d : mix.diversity)
       lte_params += d.key.rat == spectrum::Rat::kLte;
-    table.add_row({carrier, std::to_string(mix.value().stats.cells),
-                   std::to_string(mix.value().stats.rows),
+    table.add_row({qa.value().carriers[i], std::to_string(mix.stats.cells),
+                   std::to_string(mix.stats.rows),
                    std::to_string(lte_params)});
   }
   table.print();
 
   const std::string carrier = opts.positional.size() > 1
                                   ? opts.positional[1]
-                                  : direct.carriers().front();
+                                  : qa.value().carriers.front();
   std::printf("\ndiversity report for %s (sorted by Simpson index):\n",
               carrier.c_str());
-  auto div = store::diversity_by_param(direct, carrier, spectrum::Rat::kLte);
+  auto div = store::diversity_by_param(direct, carrier, query,
+                                       spectrum::Rat::kLte);
   if (!div.ok()) {
     std::fprintf(stderr, "error: %s\n", div.error_message().c_str());
     return 1;
@@ -331,15 +373,26 @@ int report_direct(const CliOptions& opts) {
                        fmt_double(d.measures.cv, 3)});
   diversity.print();
 
-  const auto& fs = direct.stats();
-  std::printf("\nfold stats: %llu blocks parsed (%.1f MB), peak window "
-              "%llu blocks (~%.1f MB resident), CRC %s, %.2fs total\n",
-              static_cast<unsigned long long>(fs.blocks),
-              static_cast<double>(fs.bytes) / 1e6,
-              static_cast<unsigned long long>(fs.peak_resident_blocks),
-              static_cast<double>(fs.peak_resident_blocks * max_block) / 1e6,
-              fs.crc_checked ? "checked per block" : "not checked",
-              fs.fold_seconds);
+  // The scheduled pass's own accounting (the diversity table above re-folds
+  // one carrier and is not included): parsed + skipped covers every block
+  // of the store, bytes-not-read is the wire push-down (8 bytes per
+  // skipped value payload).
+  const auto& plan_stats = qa.value().stats;
+  std::printf("\nfold stats: %llu blocks parsed (%.1f MB), "
+              "%llu blocks skipped by the plan (%.1f MB), "
+              "%.1f MB not read, peak window %llu blocks "
+              "(~%.1f MB resident), CRC %s, %.2fs total\n",
+              static_cast<unsigned long long>(plan_stats.blocks),
+              static_cast<double>(plan_stats.bytes) / 1e6,
+              static_cast<unsigned long long>(plan_stats.blocks_skipped),
+              static_cast<double>(plan_stats.bytes_skipped) / 1e6,
+              static_cast<double>(plan_stats.bytes - plan_stats.bytes_read()) /
+                  1e6,
+              static_cast<unsigned long long>(plan_stats.peak_resident_blocks),
+              static_cast<double>(plan_stats.peak_resident_blocks * max_block) /
+                  1e6,
+              plan_stats.crc_checked ? "checked per block" : "not checked",
+              plan_stats.fold_seconds);
   return 0;
 }
 
@@ -349,7 +402,7 @@ int cmd_report(int argc, char** argv) {
   if (opts.positional.empty()) {
     std::fprintf(stderr,
                  "usage: mmlab_cli report <in> [carrier] [--format csv|bin] "
-                 "[--direct]\n");
+                 "[--direct] [--carrier A] [--param NAME]\n");
     return 2;
   }
   if (opts.direct) {

@@ -288,9 +288,11 @@ int run_analysis_mix(const store::StoreView& sv,
   return mismatches;
 }
 
-/// Run the fig 11-22 mix straight off the shards (one analyze_carrier fold
-/// per carrier); when `reference` is non-null every product must equal the
-/// in-memory reference bit-for-bit.  Returns mismatches + fold failures.
+/// Run the fig 11-22 mix straight off the shards through the cross-carrier
+/// scheduler (store::analyze_query: one fold per carrier, concurrent jobs
+/// under the shared window budget when the engine has threads > 1); when
+/// `reference` is non-null every product must equal the in-memory reference
+/// bit-for-bit.  Returns mismatches + fold failures.
 int run_direct_mix(const store::DirectFold& direct,
                    const core::ColumnarView* reference, const char* tag,
                    store::FoldStats* total = nullptr) {
@@ -304,61 +306,115 @@ int run_direct_mix(const store::DirectFold& direct,
     }
   };
 
-  bool first_carrier = true;
-  for (const auto& name : direct.carriers()) {
-    store::MixOptions mopts;
-    mopts.cities = cities;
-    if (first_carrier)  // same single spatial pass run_analysis_mix does
-      mopts.spatial = store::SpatialQuery{
-          config::lte_param(config::ParamId::kServingPriority), cities.front(),
-          2'000.0};
-    auto mix = store::analyze_carrier(direct, name, mopts);
-    if (!mix.ok()) {
-      std::fprintf(stderr, "FAIL: [%s] analyze_carrier(%s): %s\n", tag,
-                   name.c_str(), mix.error_message().c_str());
-      ++mismatches;
-      first_carrier = false;
-      continue;
-    }
-    const auto& a = mix.value();
-    if (total) {
-      total->rows += a.stats.rows;
-      total->cells += a.stats.cells;
-      total->blocks += a.stats.blocks;
-      total->bytes += a.stats.bytes;
-      total->peak_resident_blocks =
-          std::max(total->peak_resident_blocks, a.stats.peak_resident_blocks);
-      total->fold_seconds += a.stats.fold_seconds;
-    }
-    if (reference) {
-      check(eq(a.diversity, core::diversity_by_param(*reference, name)),
-            name + " diversity_by_param(direct)");
-      check(eq(a.dependence, core::frequency_dependence(*reference, name)),
-            name + " frequency_dependence(direct)");
-      check(a.serving_priority ==
-                core::priority_by_channel(*reference, name, false, 1),
-            name + " priority_by_channel(serving,direct)");
-      check(a.candidate_priority ==
-                core::priority_by_channel(*reference, name, true, 1),
-            name + " priority_by_channel(candidate,direct)");
-      check(eq(a.multi_priority_fraction,
-               core::multi_priority_cell_fraction(*reference, name)),
-            name + " multi_priority_cell_fraction(direct)");
-      check(a.priority_by_city ==
-                core::priority_by_city(*reference, name, cities),
-            name + " priority_by_city(direct)");
-      check(eq(a.gaps, core::measurement_decision_gaps(*reference, name)),
-            name + " measurement_decision_gaps(direct)");
-      if (first_carrier)
-        check(eq(a.spatial_diversity,
-                 core::spatial_diversity(
-                     *reference, name,
-                     config::lte_param(config::ParamId::kServingPriority),
-                     cities.front(), 2'000.0)),
-              name + " spatial_diversity(direct)");
-    }
-    first_carrier = false;
+  store::MixOptions mopts;
+  mopts.cities = cities;
+  mopts.spatial = store::SpatialQuery{
+      config::lte_param(config::ParamId::kServingPriority), cities.front(),
+      2'000.0};
+  auto qa_r = store::analyze_query(direct, store::Query{}, mopts);
+  if (!qa_r.ok()) {
+    std::fprintf(stderr, "FAIL: [%s] analyze_query: %s\n", tag,
+                 qa_r.error_message().c_str());
+    return 1;
   }
+  const auto& qa = qa_r.value();
+  if (total) {
+    total->rows += qa.stats.rows;
+    total->cells += qa.stats.cells;
+    total->blocks += qa.stats.blocks;
+    total->bytes += qa.stats.bytes;
+    total->peak_resident_blocks =
+        std::max(total->peak_resident_blocks, qa.stats.peak_resident_blocks);
+    total->fold_seconds += qa.stats.fold_seconds;
+  }
+  for (std::size_t i = 0; reference && i < qa.carriers.size(); ++i) {
+    const std::string& name = qa.carriers[i];
+    const auto& a = qa.results[i];
+    check(eq(a.diversity, core::diversity_by_param(*reference, name)),
+          name + " diversity_by_param(direct)");
+    check(eq(a.dependence, core::frequency_dependence(*reference, name)),
+          name + " frequency_dependence(direct)");
+    check(a.serving_priority ==
+              core::priority_by_channel(*reference, name, false, 1),
+          name + " priority_by_channel(serving,direct)");
+    check(a.candidate_priority ==
+              core::priority_by_channel(*reference, name, true, 1),
+          name + " priority_by_channel(candidate,direct)");
+    check(eq(a.multi_priority_fraction,
+             core::multi_priority_cell_fraction(*reference, name)),
+          name + " multi_priority_cell_fraction(direct)");
+    check(a.priority_by_city ==
+              core::priority_by_city(*reference, name, cities),
+          name + " priority_by_city(direct)");
+    check(eq(a.gaps, core::measurement_decision_gaps(*reference, name)),
+          name + " measurement_decision_gaps(direct)");
+    check(eq(a.spatial_diversity,
+             core::spatial_diversity(
+                 *reference, name,
+                 config::lte_param(config::ParamId::kServingPriority),
+                 cities.front(), 2'000.0)),
+          name + " spatial_diversity(direct)");
+  }
+  return mismatches;
+}
+
+/// Planned-fold spot checks against the in-memory reference: a full
+/// single-carrier selection must answer exactly like the unplanned path,
+/// and a ParamKey push-down must answer the view's values() while decoding
+/// strictly fewer bytes than it parsed.  (The exhaustive predicate x
+/// threads x window property lives in tests/test_query_plan.cpp; this keeps
+/// the same invariant gated at soak scales.)
+int run_planned_checks(const store::DirectFold& direct,
+                       const core::ColumnarView& reference, const char* tag) {
+  int mismatches = 0;
+  auto check = [&](bool same, const std::string& what) {
+    if (!same) {
+      std::fprintf(stderr, "FAIL: [%s] %s\n", tag, what.c_str());
+      ++mismatches;
+    }
+  };
+  if (direct.carriers().empty()) return 0;
+  const std::string& name = direct.carriers().front();
+  const auto key = config::lte_param(config::ParamId::kServingPriority);
+  const auto cities = netgen::standard_cities();
+
+  // Full single-carrier selection: planned == plain == reference.
+  store::Query q_carrier;
+  q_carrier.carriers = {name};
+  store::MixOptions mopts;
+  mopts.cities = cities;
+  auto planned = store::analyze_carrier(direct, name, mopts, q_carrier);
+  if (!planned.ok()) {
+    std::fprintf(stderr, "FAIL: [%s] planned analyze_carrier(%s): %s\n", tag,
+                 name.c_str(), planned.error_message().c_str());
+    return 1;
+  }
+  check(eq(planned.value().diversity, core::diversity_by_param(reference, name)),
+        name + " planned diversity_by_param != reference");
+  check(planned.value().serving_priority ==
+            core::priority_by_channel(reference, name, false, 1),
+        name + " planned priority_by_channel != reference");
+  check(eq(planned.value().gaps,
+           core::measurement_decision_gaps(reference, name)),
+        name + " planned measurement_decision_gaps != reference");
+
+  // ParamKey push-down: same counts as the view, strictly fewer bytes
+  // decoded than parsed (the store carries more than one parameter).  The
+  // per-call stats surface through the engine's cumulative counter, so diff
+  // it around the call.
+  const auto before = direct.stats();
+  auto narrowed = direct.values(name, key, store::Query{});
+  const auto after = direct.stats();
+  if (!narrowed.ok()) {
+    std::fprintf(stderr, "FAIL: [%s] planned values(%s): %s\n", tag,
+                 name.c_str(), narrowed.error_message().c_str());
+    return mismatches + 1;
+  }
+  check(narrowed.value() == reference.values(name, key),
+        name + " planned values() != reference values()");
+  check(after.values_skipped > before.values_skipped,
+        name + " planned values(): push-down decoded every value payload "
+               "(expected skipped bytes)");
   return mismatches;
 }
 
@@ -424,7 +480,8 @@ int run_equality_phase(const SoakOptions& opts, unsigned hw) {
     const store::DirectFold direct(set, fopts);
     char dtag[32];
     std::snprintf(dtag, sizeof dtag, "direct threads %u", t);
-    const int dmism = run_direct_mix(direct, &reference, dtag);
+    int dmism = run_direct_mix(direct, &reference, dtag);
+    dmism += run_planned_checks(direct, reference, dtag);
     failures += dmism;
     std::printf("equality: direct threads %u -> %s (fold %.2f s)\n", t,
                 dmism ? "MISMATCH" : "bit-identical",
@@ -471,9 +528,10 @@ int run_soak_phase(const SoakOptions& opts, unsigned hw) {
   }
 
   if (opts.direct) {
-    // Shard-direct mix: per-block CRC checking happens inside the fold
-    // (manifest extras), so there is no separate verify pass to fault the
-    // whole store through RSS, and no view is ever materialized.
+    // Shard-direct mix through the cross-carrier scheduler: per-block CRC
+    // checking happens inside the folds (manifest extras), so there is no
+    // separate verify pass to fault the whole store through RSS, and no
+    // view is ever materialized.
     store::FoldOptions fopts;
     fopts.threads = threads;
     const store::DirectFold direct(set, fopts);
@@ -491,6 +549,102 @@ int run_soak_phase(const SoakOptions& opts, unsigned hw) {
                 set.manifest().block_extras ? "checked per block"
                                             : "unavailable (no extras)",
                 static_cast<double>(current_rss_bytes()) / 1e6);
+
+    // Planned single-carrier mix: the planner must confine the fold to
+    // exactly the selected carrier's blocks — everything else is skipped
+    // without being mapped or parsed.  Gate on the MEDIAN-sized carrier:
+    // the skip fraction is 1 - carrier share by construction, so the
+    // largest carrier (AT&T holds ~23% of a countrywide store) would
+    // measure its own size, not planner precision.
+    if (!direct.carriers().empty()) {
+      std::vector<std::size_t> per_carrier(set.manifest().carriers.size(), 0);
+      for (const auto& ref : set.blocks())
+        ++per_carrier[ref.info->carrier_index];
+      std::vector<std::uint32_t> by_size(per_carrier.size());
+      for (std::uint32_t ci = 0; ci < by_size.size(); ++ci) by_size[ci] = ci;
+      std::sort(by_size.begin(), by_size.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return per_carrier[a] < per_carrier[b];
+                });
+      const std::uint32_t carrier_index = by_size[by_size.size() / 2];
+      const std::string& name = set.manifest().carriers[carrier_index];
+      const std::size_t carrier_blocks = per_carrier[carrier_index];
+      store::Query q;
+      q.carriers = {name};
+      store::MixOptions mopts;
+      mopts.cities = netgen::standard_cities();
+      t0 = now_seconds();
+      auto planned = store::analyze_carrier(direct, name, mopts, q);
+      if (!planned.ok()) {
+        std::fprintf(stderr, "FAIL: planned analyze_carrier(%s): %s\n",
+                     name.c_str(), planned.error_message().c_str());
+        ++failures;
+      } else {
+        const auto& ps = planned.value().stats;
+        const std::size_t total_blocks = set.blocks().size();
+        const double skip_pct =
+            total_blocks ? 100.0 * static_cast<double>(ps.blocks_skipped) /
+                               static_cast<double>(total_blocks)
+                         : 0.0;
+        std::printf("soak: planned analyze_carrier(%s) in %.1f s: parsed "
+                    "%llu/%zu blocks, skipped %llu (%.1f%%, %.1f MB never "
+                    "mapped)\n",
+                    name.c_str(), now_seconds() - t0,
+                    static_cast<unsigned long long>(ps.blocks), total_blocks,
+                    static_cast<unsigned long long>(ps.blocks_skipped),
+                    skip_pct, static_cast<double>(ps.bytes_skipped) / 1e6);
+        if (ps.blocks != carrier_blocks) {
+          std::fprintf(stderr,
+                       "FAIL: planned fold parsed %llu blocks, carrier owns "
+                       "%zu\n",
+                       static_cast<unsigned long long>(ps.blocks),
+                       carrier_blocks);
+          ++failures;
+        }
+        // The >= 90% skip gate only makes sense when the store actually has
+        // many carriers (countrywide: 10+); tiny test worlds are exempt.
+        if (set.manifest().carriers.size() >= 10 && skip_pct < 90.0) {
+          std::fprintf(stderr,
+                       "FAIL: planned single-carrier fold skipped only "
+                       "%.1f%% of blocks (expected >= 90%%)\n",
+                       skip_pct);
+          ++failures;
+        }
+      }
+
+      // Planned single-ParamKey values(): the push-down must decode
+      // strictly fewer bytes than the fold parsed.
+      const auto before = direct.stats();
+      t0 = now_seconds();
+      auto vals = direct.values(
+          name, config::lte_param(config::ParamId::kServingPriority),
+          store::Query{});
+      const auto after = direct.stats();
+      if (!vals.ok()) {
+        std::fprintf(stderr, "FAIL: planned values(%s): %s\n", name.c_str(),
+                     vals.error_message().c_str());
+        ++failures;
+      } else {
+        const std::uint64_t parsed = after.bytes - before.bytes;
+        const std::uint64_t skipped =
+            8 * (after.values_skipped - before.values_skipped);
+        std::printf("soak: planned values(%s, Ps) in %.1f s: "
+                    "parsed %.1f MB, decoded %.1f MB (%.1f MB of value "
+                    "payloads skipped on the wire)\n",
+                    name.c_str(), now_seconds() - t0,
+                    static_cast<double>(parsed) / 1e6,
+                    static_cast<double>(parsed - skipped) / 1e6,
+                    static_cast<double>(skipped) / 1e6);
+        if (skipped == 0 || skipped >= parsed) {
+          std::fprintf(stderr,
+                       "FAIL: planned values() read %llu of %llu bytes "
+                       "(expected 0 < read < parsed)\n",
+                       static_cast<unsigned long long>(parsed - skipped),
+                       static_cast<unsigned long long>(parsed));
+          ++failures;
+        }
+      }
+    }
     return failures;
   }
 
